@@ -1,0 +1,44 @@
+(* Shared helpers for the experiment harness. Every experiment prints a
+   paper-shaped table: simulated runtimes (or speedups) next to the values
+   the paper reports, plus FAIL/timeout rows where the paper reports them. *)
+
+module Value = Emma_value.Value
+module Cluster = Emma_engine.Cluster
+module Metrics = Emma_engine.Metrics
+module Pipeline = Emma_compiler.Pipeline
+
+let timeout_1h = 3600.0
+
+type run = Time of float * Metrics.t | Fail of string | Timeout of float
+
+let run_config ~rt ~opts prog tables =
+  let algo = Emma.parallelize ~opts prog in
+  match Emma.run_on rt algo ~tables with
+  | Emma.Finished { metrics; _ } -> Time (metrics.Metrics.sim_time_s, metrics)
+  | Emma.Failed { reason; _ } -> Fail reason
+  | Emma.Timed_out { at_s; _ } -> Timeout at_s
+
+let time_cell = function
+  | Time (s, _) -> Printf.sprintf "%.0f s" s
+  | Fail _ -> "FAIL (OOM)"
+  | Timeout _ -> Printf.sprintf "> %.0f s (timeout)" timeout_1h
+
+let speedup_cell ~baseline run =
+  match (baseline, run) with
+  | Time (b, _), Time (r, _) -> Printf.sprintf "%.2fx" (b /. r)
+  | _, Fail _ -> "FAIL"
+  | _, Timeout _ -> "timeout"
+  | (Fail _ | Timeout _), Time _ -> "inf (baseline failed)"
+
+let rt ~profile ?(dop = 320) ?(data_scale = 1.0) ?(table_scales = []) ?(timeout_s = timeout_1h)
+    () =
+  Emma.
+    { cluster = Cluster.paper_cluster ~dop ~data_scale ~table_scales ();
+      profile;
+      timeout_s = Some timeout_s }
+
+let spark = Cluster.spark_like
+let flink = Cluster.flink_like
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')

@@ -1,0 +1,70 @@
+(* Figure 4: effect of unnesting / partition pulling / caching on the
+   data-parallel workflow (paper §5.1).
+
+   Workload: 1 M emails averaging 100 KB (100 GB logical), 100 K blacklist
+   entries (2 GB logical), 8 classifiers, on the 40×8 cluster. We generate
+   2,000 physical emails and run the cost model at data_scale 500.
+
+   The paper reports relative speedups over the un-optimized baseline:
+     Spark:  U 1.50x   U+P 1.50x   U+C 3.86x    U+P+C 4.18x
+     Flink:  U 6.56x   U+P 6.56x   U+C 12.07x   U+P+C 18.16x *)
+
+open Exp_common
+module W = Emma_workloads
+module Pr = Emma_programs
+
+let physical_emails = 2_000
+let data_scale = 500.0 (* 2k physical -> 1M logical emails *)
+
+let configs =
+  [ ("baseline", Pipeline.with_ ~unnest:false ~cache:false ~partition:false ());
+    ("U", Pipeline.with_ ~unnest:true ~cache:false ~partition:false ());
+    ("U+P", Pipeline.with_ ~unnest:true ~cache:false ~partition:true ());
+    ("U+C", Pipeline.with_ ~unnest:true ~cache:true ~partition:false ());
+    ("U+P+C", Pipeline.with_ ~unnest:true ~cache:true ~partition:true ()) ]
+
+let paper =
+  [ ("U", (1.50, 6.56));
+    ("U+P", (1.50, 6.56));
+    ("U+C", (3.86, 12.07));
+    ("U+P+C", (4.18, 18.16)) ]
+
+let run () =
+  section "E1 / Figure 4: optimization effect on the data-parallel workflow";
+  let cfg = W.Email_gen.paper_config ~physical_emails in
+  let tables =
+    [ ("emails_raw", W.Email_gen.emails ~seed:1 cfg);
+      ("blacklist_raw", W.Email_gen.blacklist ~seed:1 cfg) ]
+  in
+  let prog = Pr.Spam_workflow.program Pr.Spam_workflow.default_params in
+  let run_all profile =
+    List.map
+      (fun (name, opts) ->
+        (name, run_config ~rt:(rt ~profile ~data_scale ()) ~opts prog tables))
+      configs
+  in
+  let spark_runs = run_all spark in
+  let flink_runs = run_all flink in
+  let baseline_of runs = List.assoc "baseline" runs in
+  let rows =
+    List.filter_map
+      (fun (name, _) ->
+        if name = "baseline" then None
+        else
+          let s = List.assoc name spark_runs and f = List.assoc name flink_runs in
+          let ps, pf = List.assoc name paper in
+          Some
+            [ name;
+              speedup_cell ~baseline:(baseline_of spark_runs) s;
+              Printf.sprintf "%.2fx" ps;
+              speedup_cell ~baseline:(baseline_of flink_runs) f;
+              Printf.sprintf "%.2fx" pf ])
+      configs
+  in
+  Emma_util.Tbl.print
+    ~title:"Figure 4 — relative speedup over the un-optimized baseline"
+    ~header:[ "config"; "Spark (sim)"; "Spark (paper)"; "Flink (sim)"; "Flink (paper)" ]
+    rows;
+  Printf.printf "absolute baseline: Spark %s, Flink %s\n"
+    (time_cell (baseline_of spark_runs))
+    (time_cell (baseline_of flink_runs))

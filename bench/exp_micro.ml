@@ -1,0 +1,55 @@
+(* E7: real wall-clock micro-benchmarks of the compiler pipeline itself,
+   measured with Bechamel — one Test.make per pipeline phase/program,
+   estimated by OLS against the monotonic clock. *)
+
+module Pr = Emma_programs
+module Pipeline = Emma_compiler.Pipeline
+module Fusion = Emma_compiler.Fusion
+module Normalize = Emma_comp.Normalize
+module Sinline = Emma_compiler.Sinline
+
+let kmeans = Pr.Kmeans.(program default_params)
+let q1 = Pr.Tpch_q1.(program default_params)
+let q4 = Pr.Tpch_q4.(program default_params)
+let spam = Pr.Spam_workflow.(program default_params)
+let pagerank = Pr.Pagerank.(program (default_params ~n_pages:1000))
+
+let tests =
+  let open Bechamel in
+  let normalized_kmeans = Normalize.program (Sinline.program kmeans) in
+  [ Test.make ~name:"inline+normalize k-means"
+      (Staged.stage (fun () -> Normalize.program (Sinline.program kmeans)));
+    Test.make ~name:"fold-group fusion k-means"
+      (Staged.stage (fun () -> Fusion.program normalized_kmeans));
+    Test.make ~name:"full compile k-means" (Staged.stage (fun () -> Pipeline.compile kmeans));
+    Test.make ~name:"full compile TPC-H Q1" (Staged.stage (fun () -> Pipeline.compile q1));
+    Test.make ~name:"full compile TPC-H Q4" (Staged.stage (fun () -> Pipeline.compile q4));
+    Test.make ~name:"full compile spam workflow"
+      (Staged.stage (fun () -> Pipeline.compile spam));
+    Test.make ~name:"full compile PageRank"
+      (Staged.stage (fun () -> Pipeline.compile pagerank)) ]
+
+let run () =
+  Exp_common.section "E7: compiler pipeline micro-benchmarks (wall clock)";
+  let open Bechamel in
+  let grouped = Test.make_grouped ~name:"compiler" tests in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) () in
+  let results = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let cell =
+          match Analyze.OLS.estimates result with
+          | Some (est :: _) ->
+              if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+              else Printf.sprintf "%.0f µs" (est /. 1e3)
+          | _ -> "n/a"
+        in
+        [ name; cell ] :: acc)
+      analyzed []
+    |> List.sort compare
+  in
+  Emma_util.Tbl.print ~title:"compiler phases — time per run (OLS estimate)"
+    ~header:[ "phase"; "time" ] rows

@@ -1,0 +1,34 @@
+(* §5.2, TPC-H Q1 and Q4 at logical scale factor 100.
+
+   The paper reports that without the logical optimizations neither query
+   finishes within one hour, and with them:
+     Q1: 466 s (Spark) / 240 s (Flink)
+     Q4: 577 s (Spark) / 569 s (Flink). *)
+
+open Exp_common
+module W = Emma_workloads
+module Pr = Emma_programs
+
+let tables () =
+  let physical_sf = 0.001 in
+  let cfg = W.Tpch_gen.of_scale_factor physical_sf in
+  let t =
+    [ ("lineitem", W.Tpch_gen.lineitem ~seed:3 cfg);
+      ("orders", W.Tpch_gen.orders ~seed:3 cfg) ]
+  in
+  (t, 100.0 /. physical_sf)
+
+let run () =
+  section "E4 / §5.2: TPC-H Q1 and Q4 (logical SF 100)";
+  let tbls, data_scale = tables () in
+  let q1 = Pr.Tpch_q1.program Pr.Tpch_q1.default_params in
+  let q4 = Pr.Tpch_q4.program Pr.Tpch_q4.default_params in
+  let with_opts = Pipeline.default_opts in
+  let without = Pipeline.no_opts in
+  let cell profile opts prog = time_cell (run_config ~rt:(rt ~profile ~data_scale ()) ~opts prog tbls) in
+  Emma_util.Tbl.print ~title:"TPC-H — simulated runtimes (timeout 1 h)"
+    ~header:[ "query"; "Spark (sim)"; "Spark (paper)"; "Flink (sim)"; "Flink (paper)" ]
+    [ [ "Q1, logical opts"; cell spark with_opts q1; "466 s"; cell flink with_opts q1; "240 s" ];
+      [ "Q1, no opts"; cell spark without q1; "> 1 h"; cell flink without q1; "> 1 h" ];
+      [ "Q4, logical opts"; cell spark with_opts q4; "577 s"; cell flink with_opts q4; "569 s" ];
+      [ "Q4, no opts"; cell spark without q4; "> 1 h"; cell flink without q4; "> 1 h" ] ]

@@ -1,0 +1,36 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md §3 for the experiment index).
+
+     dune exec bench/main.exe            runs everything
+     dune exec bench/main.exe -- fig4    runs one experiment
+                                 (fig4 | table1 | iterative | tpch | fig5 |
+                                  ablation | micro) *)
+
+let experiments =
+  [ ("table1", Exp_table1.run);
+    ("fig4", Exp_fig4.run);
+    ("iterative", Exp_iterative.run);
+    ("tpch", Exp_tpch.run);
+    ("fig5", Exp_fig5.run);
+    ("ablation", Exp_ablation.run);
+    ("crossover", Exp_crossover.run);
+    ("micro", Exp_micro.run) ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    match args with
+    | [] -> List.map fst experiments
+    | names -> names
+  in
+  print_endline "Emma reproduction — experiment harness";
+  print_endline "(simulated 40-node cluster; times are cost-model seconds, not wall clock)";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S (available: %s)\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    selected

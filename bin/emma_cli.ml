@@ -1,0 +1,220 @@
+(* emma — command-line driver for the Emma reproduction.
+
+     emma list                          enumerate built-in programs
+     emma show kmeans                   print a program's Emma source
+     emma compile q4 [--no-unnest ...]  compile and print plans + report
+     emma run spam --engine flink       execute on the simulated engine
+     emma native q1                     execute on the native DataBag
+
+   Programs come with generated default workloads (see Registry). *)
+
+open Cmdliner
+module Pipeline = Emma_compiler.Pipeline
+
+let program_arg =
+  let doc = "Built-in program name (see $(b,emma list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let opts_term =
+  let flag name doc = Arg.(value & flag & info [ name ] ~doc) in
+  let mk no_unnest no_fuse no_cache no_partition no_inline =
+    {
+      Pipeline.inline = not no_inline;
+      fuse = not no_fuse;
+      unnest = not no_unnest;
+      cache = not no_cache;
+      partition = not no_partition;
+    }
+  in
+  Term.(
+    const mk
+    $ flag "no-unnest" "Disable exists-unnesting (semi-join extraction)."
+    $ flag "no-fusion" "Disable fold-group fusion."
+    $ flag "no-cache" "Disable the caching heuristic."
+    $ flag "no-partition" "Disable partition pulling."
+    $ flag "no-inline" "Disable statement inlining.")
+
+let engine_term =
+  let doc = "Engine profile: $(b,spark) or $(b,flink)." in
+  Arg.(value & opt (enum [ ("spark", `Spark); ("flink", `Flink) ]) `Spark & info [ "engine" ] ~doc)
+
+let scale_term =
+  let doc = "Logical data scale (logical bytes per physical byte)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~doc)
+
+let dop_term =
+  let doc = "Degree of parallelism of the simulated cluster." in
+  Arg.(value & opt int 320 & info [ "dop" ] ~doc)
+
+let tables_dir_term =
+  let doc = "Load input tables from CSV files in $(docv) instead of generating them." in
+  Arg.(value & opt (some dir) None & info [ "tables" ] ~docv:"DIR" ~doc)
+
+let load_tables (e : Registry.entry) = function
+  | None -> e.Registry.tables ()
+  | Some dir -> Emma_io.Csv.read_tables ~dir
+
+let with_entry name f =
+  match Registry.find name with
+  | Some e -> f e
+  | None ->
+      Printf.eprintf "unknown program %S; try `emma list`\n" name;
+      exit 1
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Registry.entry) -> Printf.printf "%-10s %s\n" e.Registry.name e.Registry.describe)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in programs") Term.(const run $ const ())
+
+(* ---- show ---- *)
+
+let show_cmd =
+  let run name =
+    with_entry name (fun e ->
+        print_endline (Emma.Pretty.program_to_string e.Registry.program))
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a program's Emma source") Term.(const run $ program_arg)
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let run name opts dot =
+    with_entry name (fun e ->
+        let algo = Emma.parallelize ~opts e.Registry.program in
+        if dot then
+          Emma.Cprog.iter_plans
+            (fun p -> print_endline (Emma.Plan.to_dot ~name:e.Registry.name p))
+            algo.Emma.compiled
+        else print_endline (Emma.Cprog.to_string algo.Emma.compiled);
+        let r = algo.Emma.report in
+        Printf.printf
+          "\n\
+           report: unnesting=%b fusion=%b (groups=%d folds=%d) caching=%b [%s] partition \
+           pulling=%b [%s]\n"
+          (Pipeline.applied_unnesting r)
+          (Pipeline.applied_group_fusion r)
+          r.Pipeline.fusion.Emma_compiler.Fusion.fused_groups
+          r.Pipeline.fusion.Emma_compiler.Fusion.fused_folds
+          (Pipeline.applied_caching r)
+          (String.concat ", " r.Pipeline.cached_vars)
+          (Pipeline.applied_partition_pulling r)
+          (String.concat ", " r.Pipeline.partitioned_vars))
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a program and print its dataflows")
+    Term.(
+      const run $ program_arg $ opts_term
+      $ Arg.(value & flag & info [ "dot" ] ~doc:"Emit GraphViz instead of plain text."))
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let run name opts engine scale dop tables_dir show_trace =
+    with_entry name (fun e ->
+        let algo = Emma.parallelize ~opts e.Registry.program in
+        let cluster =
+          Emma.Cluster.paper_cluster ~dop ~data_scale:scale
+            ~table_scales:e.Registry.table_scales ()
+        in
+        let profile =
+          match engine with
+          | `Spark -> Emma_engine.Cluster.spark_like
+          | `Flink -> Emma_engine.Cluster.flink_like
+        in
+        (* drive the engine directly so the execution trace is available *)
+        let ctx = Emma.Eval.create_ctx () in
+        List.iter (fun (n, rows) -> Emma.Eval.register_table ctx n rows)
+          (load_tables e tables_dir);
+        let eng = Emma.Engine.create ~timeout_s:3600.0 ~cluster ~profile ctx in
+        let print_trace () =
+          if show_trace then begin
+            print_endline "\ntrace (operator, logical records in, logical bytes in, clock):";
+            List.iter
+              (fun ev ->
+                Printf.printf "  %8.1fs  %-10s %12.0f recs %14.0f B\n"
+                  ev.Emma.Engine.ev_clock ev.Emma.Engine.ev_op ev.Emma.Engine.ev_records
+                  ev.Emma.Engine.ev_bytes)
+              (Emma.Engine.trace eng)
+          end
+        in
+        match Emma.Engine.run eng algo.Emma.compiled with
+        | value ->
+            Format.printf "result: %a@.@.%a@." Emma.Value.pp value Emma.Metrics.pp
+              (Emma.Engine.metrics eng);
+            print_trace ()
+        | exception Emma.Engine.Engine_failure reason ->
+            Format.printf "FAILED: %s@.@.%a@." reason Emma.Metrics.pp (Emma.Engine.metrics eng);
+            print_trace ();
+            exit 2
+        | exception Emma.Engine.Engine_timeout at_s ->
+            Format.printf "TIMEOUT at %.0f simulated s@.@.%a@." at_s Emma.Metrics.pp
+              (Emma.Engine.metrics eng);
+            print_trace ();
+            exit 3)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a program on the simulated distributed engine")
+    Term.(
+      const run $ program_arg $ opts_term $ engine_term $ scale_term $ dop_term
+      $ tables_dir_term
+      $ Arg.(value & flag & info [ "trace" ] ~doc:"Print the per-operator execution trace."))
+
+(* ---- typecheck ---- *)
+
+let typecheck_cmd =
+  let run name =
+    with_entry name (fun e ->
+        let schemas =
+          List.map
+            (fun (t, rows) -> (t, Emma_types.Infer.schema_of_rows rows))
+            (e.Registry.tables ())
+        in
+        match Emma_types.Infer.check_program ~schemas e.Registry.program with
+        | Ok t -> Printf.printf "well-typed; result: %s\n" (Emma_types.Infer.ty_to_string t)
+        | Error m ->
+            Printf.printf "type error: %s\n" m;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "typecheck" ~doc:"Infer the program's types against its default schemas")
+    Term.(const run $ program_arg)
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let run name dir =
+    with_entry name (fun e ->
+        let tables = e.Registry.tables () in
+        Emma_io.Csv.write_tables ~dir tables;
+        List.iter
+          (fun (t, rows) -> Printf.printf "wrote %s/%s.csv (%d rows)\n" dir t (List.length rows))
+          tables)
+  in
+  let dir_arg =
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a program's default workload as CSV files")
+    Term.(const run $ program_arg $ dir_arg)
+
+(* ---- native ---- *)
+
+let native_cmd =
+  let run name tables_dir =
+    with_entry name (fun e ->
+        let algo = Emma.parallelize e.Registry.program in
+        let value, _ = Emma.run_native algo ~tables:(load_tables e tables_dir) in
+        Format.printf "result: %a@." Emma.Value.pp value)
+  in
+  Cmd.v
+    (Cmd.info "native" ~doc:"Run a program natively on the host-language DataBag")
+    Term.(const run $ program_arg $ tables_dir_term)
+
+let () =
+  let info = Cmd.info "emma" ~doc:"Emma: implicit parallelism through deep language embedding" in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; show_cmd; compile_cmd; run_cmd; native_cmd; gen_cmd; typecheck_cmd ]))

@@ -1,0 +1,123 @@
+(* Built-in example programs with default workloads, shared by the CLI. *)
+
+module W = Emma_workloads
+module Pr = Emma_programs
+module Value = Emma.Value
+
+type entry = {
+  name : string;
+  describe : string;
+  program : Emma.Expr.program;
+  tables : unit -> (string * Value.t list) list;
+  table_scales : (string * float) list;
+}
+
+let kmeans =
+  let cfg = W.Points_gen.default ~n_points:2_000 ~k:3 in
+  {
+    name = "kmeans";
+    describe = "Lloyd's k-means clustering (paper Listing 4)";
+    program = Pr.Kmeans.program Pr.Kmeans.default_params;
+    tables =
+      (fun () ->
+        [ ("points", W.Points_gen.points ~seed:1 cfg);
+          ("centroids0", W.Points_gen.initial_centroids ~seed:1 cfg) ]);
+    table_scales = [ ("centroids0", 1.0) ];
+  }
+
+let pagerank =
+  let cfg = W.Graph_gen.default ~n_vertices:500 in
+  {
+    name = "pagerank";
+    describe = "PageRank over a StatefulBag (paper Listing 6)";
+    program = Pr.Pagerank.program (Pr.Pagerank.default_params ~n_pages:500);
+    tables = (fun () -> [ ("vertices", W.Graph_gen.adjacency ~seed:1 cfg) ]);
+    table_scales = [];
+  }
+
+let connected_components =
+  let cfg = W.Graph_gen.default ~n_vertices:500 in
+  {
+    name = "cc";
+    describe = "Connected Components, semi-naive (paper Listing 7)";
+    program = Pr.Connected_components.program Pr.Connected_components.default_params;
+    tables = (fun () -> [ ("vertices", W.Graph_gen.undirected_adjacency ~seed:1 cfg) ]);
+    table_scales = [];
+  }
+
+let spam =
+  let cfg =
+    { (W.Email_gen.paper_config ~physical_emails:400) with
+      body_bytes_avg = 10_000;
+      server_info_bytes = 2_000 }
+  in
+  {
+    name = "spam";
+    describe = "Spam-classifier selection workflow (paper Listing 5)";
+    program = Pr.Spam_workflow.program Pr.Spam_workflow.default_params;
+    tables =
+      (fun () ->
+        [ ("emails_raw", W.Email_gen.emails ~seed:1 cfg);
+          ("blacklist_raw", W.Email_gen.blacklist ~seed:1 cfg) ]);
+    table_scales = [];
+  }
+
+let tpch_tables () =
+  let cfg = W.Tpch_gen.of_scale_factor 0.001 in
+  [ ("lineitem", W.Tpch_gen.lineitem ~seed:1 cfg);
+    ("orders", W.Tpch_gen.orders ~seed:1 cfg);
+    ("customer", W.Tpch_gen.customer ~seed:1 cfg) ]
+
+let q1 =
+  {
+    name = "q1";
+    describe = "TPC-H Query 1 (paper Listing 8)";
+    program = Pr.Tpch_q1.program Pr.Tpch_q1.default_params;
+    tables = tpch_tables;
+    table_scales = [];
+  }
+
+let q3 =
+  {
+    name = "q3";
+    describe = "TPC-H Query 3: three-way join (extension)";
+    program = Pr.Tpch_q3.program Pr.Tpch_q3.default_params;
+    tables = tpch_tables;
+    table_scales = [];
+  }
+
+let q4 =
+  {
+    name = "q4";
+    describe = "TPC-H Query 4 (paper Listing 9)";
+    program = Pr.Tpch_q4.program Pr.Tpch_q4.default_params;
+    tables = tpch_tables;
+    table_scales = [];
+  }
+
+let group_min =
+  let cfg = W.Keyed_gen.paper_config ~n_tuples:10_000 (W.Keyed_gen.pareto ~n_keys:100) in
+  {
+    name = "group-min";
+    describe = "Group aggregation under key skew (paper Appendix B)";
+    program = Pr.Group_min.program Pr.Group_min.default_params;
+    tables = (fun () -> [ ("dataset", W.Keyed_gen.tuples ~seed:1 cfg) ]);
+    table_scales = [];
+  }
+
+let wordcount =
+  let texts =
+    [ "to be or not to be"; "that is the question"; "to parallelize or not";
+      "the question is implicit" ]
+  in
+  {
+    name = "wordcount";
+    describe = "Word count: the MapReduce classic as an Emma comprehension";
+    program = Pr.Wordcount.program Pr.Wordcount.default_params;
+    tables = (fun () -> [ ("docs", Pr.Wordcount.docs_of_strings texts) ]);
+    table_scales = [];
+  }
+
+let all = [ wordcount; kmeans; pagerank; connected_components; spam; q1; q3; q4; group_min ]
+
+let find name = List.find_opt (fun e -> String.equal e.name name) all

@@ -1,0 +1,50 @@
+(** Comprehension normalization (paper §4.1) and expression-level inlining.
+
+    The three normalization rules:
+
+    {v
+    flatten [[ [[ e | qs' ]] | qs ]]^T      ⟹  [[ e | qs, qs' ]]^T
+    [[ t | qs, x <- [[ t'| qs' ]], qs'' ]]^T ⟹  [[ t[t'/x] | qs, qs', qs''[t'/x] ]]^T
+    [[ e | qs, [[ p | qs'' ]]^exists, qs' ]]^T — exists guards
+    v}
+
+    The second rule performs {e fusion} at compile time: map and fold chains
+    collapse into one comprehension (one pipelined task downstream).
+
+    Exists guards (third rule) are {e canonicalized} rather than spliced
+    into the qualifier list: splicing `[[ p | y <- ys ]]^exists` as a plain
+    generator would change result multiplicities when several [y] witness
+    the predicate (the classic caveat of Kim's type-N unnesting), so we
+    normalize the guard to the canonical form [[ p | qs'' ]]^exists and let
+    the combinator translation turn it into a {e semi-join} — the logical
+    join the paper's §4.2.1 asks for, with multiset semantics preserved.
+    This deviation is recorded in DESIGN.md.
+
+    Additional administrative rules: conjunctive guards are split, [Flatten]
+    over a non-comprehension head becomes a dependent generator, and
+    let-bindings that are referenced at most once (and are effect-free) are
+    inlined so bigger comprehensions can form. *)
+
+val inline_lets : Emma_lang.Expr.expr -> Emma_lang.Expr.expr
+(** Expression-level inlining: substitutes [Let]-bound values referenced at
+    most once, provided the bound expression is free of stateful effects. *)
+
+val normalize_expr : Emma_lang.Expr.expr -> Emma_lang.Expr.expr
+(** Applies the normalization rules to a fixpoint. The input is expected to
+    be in comprehension-view form (output of {!Resugar.expr}). *)
+
+val normalize : Emma_lang.Expr.expr -> Emma_lang.Expr.expr
+(** [inline_lets] followed by {!Resugar.expr} followed by
+    [normalize_expr]: the complete step (i) of the pipeline for a single
+    expression. *)
+
+val program : Emma_lang.Expr.program -> Emma_lang.Expr.program
+
+val has_stateful_effect : Emma_lang.Expr.expr -> bool
+(** True if evaluating the expression interacts with mutable stateful-bag
+    state — updates (must run exactly once) or reads ([Stateful_bag],
+    whose observation must not move across updates). Such expressions must
+    not be duplicated, eliminated, or reordered by inlining. *)
+
+val occurrences : string -> Emma_lang.Expr.expr -> int
+(** Number of free occurrences of a variable, respecting shadowing. *)

@@ -1,0 +1,28 @@
+open Emma_lang.Expr
+
+(* Eta-expand a UDF argument that is not a syntactic lambda, so the MC⁻¹
+   rules below always see a binder. *)
+let as_lam = function
+  | Lam (x, b) -> (x, b)
+  | f ->
+      let x = fresh "x" in
+      (x, App (f, Var x))
+
+let rule e =
+  match e with
+  | Map (f, xs) ->
+      let x, body = as_lam f in
+      Some (Comp { head = body; quals = [ QGen (x, xs) ]; alg = Alg_bag })
+  | Filter (p, xs) ->
+      let x, body = as_lam p in
+      Some (Comp { head = Var x; quals = [ QGen (x, xs); QGuard body ]; alg = Alg_bag })
+  | FlatMap (f, xs) ->
+      let x, body = as_lam f in
+      Some (Flatten (Comp { head = body; quals = [ QGen (x, xs) ]; alg = Alg_bag }))
+  | Fold (fns, xs) ->
+      let x = fresh "x" in
+      Some (Comp { head = Var x; quals = [ QGen (x, xs) ]; alg = Alg_fold fns })
+  | _ -> None
+
+let expr e = rewrite_fixpoint rule e
+let program p = map_program_exprs expr p

@@ -1,0 +1,23 @@
+(** Comprehension recovery, step (i) of the [parallelize] pipeline
+    (paper §4.1): finds maximal comprehendable terms in the desugared AST
+    and "re-sugars" them into monad-comprehension views using the MC⁻¹
+    translation scheme:
+
+    {v
+    t0.map(x => t)        ⟹  [[ t | x <- MC⁻¹(t0) ]]^Bag
+    t0.withFilter(x => t) ⟹  [[ x | x <- MC⁻¹(t0), t ]]^Bag
+    t0.flatMap(x => t)    ⟹  flatten [[ t | x <- MC⁻¹(t0) ]]^Bag
+    t0.fold(e, s, u)      ⟹  [[ x | x <- MC⁻¹(t0) ]]^fold(e,s,u)
+    v}
+
+    Non-comprehended operators ([groupBy], [aggBy], [plus], [minus],
+    [distinct], [read], bag literals, stateful operations) remain as
+    generator sources and are translated directly to combinators later
+    (§4.3.1). UDFs that are not syntactic lambdas are eta-expanded first, so
+    every operator argument is comprehendable. *)
+
+val expr : Emma_lang.Expr.expr -> Emma_lang.Expr.expr
+(** Rewrites every [Map]/[FlatMap]/[Filter]/[Fold] node in the tree into its
+    comprehension view, bottom-up. *)
+
+val program : Emma_lang.Expr.program -> Emma_lang.Expr.program

@@ -1,0 +1,32 @@
+(** Fold-group fusion (paper §4.2.2).
+
+    Candidates are comprehension generators binding to a [groupBy] whose
+    group values are consumed {e exclusively} by fold comprehensions. The
+    rewrite is the composition of two algebraic laws:
+
+    {ul
+    {- {b Banana split}: the tuple of the n candidate folds is one fold over
+       n-tuples, built by pairwise application of the original [(e, s, u)]
+       triples;}
+    {- {b Fold-build fusion} (deforestation): constructing group values with
+       the bag constructors and immediately consuming them with the fused
+       fold cancels out, turning [groupBy] into [aggBy] — the paper's
+       equivalent of replacing [groupBy]+folds with [reduceByKey].}}
+
+    Following the paper, no user annotations are needed: any fold in union
+    representation fuses, and folds over {e guarded} group values
+    ([[ h | y <- g.values, p ]]^fold) fuse too, by mapping non-matching
+    elements to the fold's unit.
+
+    The rewrite fires only when every occurrence of the group variable is
+    either [g.key] or one of the candidate folds — otherwise the group must
+    genuinely be materialized and the [groupBy] is kept. *)
+
+type stats = { mutable fused_groups : int; mutable fused_folds : int }
+
+val fresh_stats : unit -> stats
+
+val expr : ?stats:stats -> Emma_lang.Expr.expr -> Emma_lang.Expr.expr
+(** Applies the rewrite everywhere in a normalized expression. *)
+
+val program : ?stats:stats -> Emma_lang.Expr.program -> Emma_lang.Expr.program

@@ -1,0 +1,46 @@
+type opts = {
+  inline : bool;
+  fuse : bool;
+  unnest : bool;
+  cache : bool;
+  partition : bool;
+}
+
+let default_opts = { inline = true; fuse = true; unnest = true; cache = true; partition = true }
+let no_opts = { inline = true; fuse = false; unnest = false; cache = false; partition = false }
+
+let with_ ?(inline = true) ?(fuse = true) ?(unnest = true) ?(cache = true) ?(partition = true)
+    () =
+  { inline; fuse; unnest; cache; partition }
+
+type report = {
+  fusion : Fusion.stats;
+  translation : Translate.stats;
+  cached_vars : string list;
+  partitioned_vars : string list;
+}
+
+let applied_group_fusion r = r.fusion.Fusion.fused_groups > 0
+let applied_unnesting r = r.translation.Translate.semi_joins > 0
+let applied_caching r = r.cached_vars <> []
+let applied_partition_pulling r = r.partitioned_vars <> []
+
+let front_end opts fusion_stats p =
+  let p = if opts.inline then Sinline.program p else p in
+  let p = Emma_comp.Normalize.program p in
+  let p = if opts.fuse then Fusion.program ~stats:fusion_stats p else p in
+  p
+
+let normalized ?(opts = default_opts) p = front_end opts (Fusion.fresh_stats ()) p
+
+let compile ?(opts = default_opts) p =
+  let fusion_stats = Fusion.fresh_stats () in
+  let translation = Translate.fresh_stats () in
+  let p = front_end opts fusion_stats p in
+  let c = Translate.program ~unnest:opts.unnest ~stats:translation p in
+  let c, cached_vars = if opts.cache then Physical.insert_caching c else (c, []) in
+  let c, partitioned_vars =
+    if opts.partition then Physical.partition_pulling c else (c, [])
+  in
+  let c = Physical.annotate_broadcasts c in
+  (c, { fusion = fusion_stats; translation; cached_vars; partitioned_vars })

@@ -1,0 +1,49 @@
+(** The complete [parallelize] pipeline (paper Fig. 1):
+
+    (i) statement inlining → comprehension recovery → normalization;
+    (ii) logical optimization (fold-group fusion; unnesting is realized
+    during translation as semi-join extraction);
+    (iii) translation to abstract dataflows + physical optimization
+    (broadcast insertion, caching, partition pulling).
+
+    Every phase can be toggled for ablation studies; the compilation report
+    records which optimizations actually fired, which regenerates the
+    paper's Table 1. *)
+
+type opts = {
+  inline : bool;
+  fuse : bool;  (** fold-group fusion *)
+  unnest : bool;  (** exists → semi-join *)
+  cache : bool;
+  partition : bool;  (** partition pulling *)
+}
+
+val default_opts : opts
+(** Everything on. *)
+
+val no_opts : opts
+(** Only the mandatory phases (recovery, normalization, translation). *)
+
+val with_ : ?inline:bool -> ?fuse:bool -> ?unnest:bool -> ?cache:bool -> ?partition:bool
+  -> unit -> opts
+(** [default_opts] with selected switches overridden. *)
+
+type report = {
+  fusion : Fusion.stats;
+  translation : Translate.stats;
+  cached_vars : string list;
+  partitioned_vars : string list;
+}
+
+val applied_group_fusion : report -> bool
+val applied_unnesting : report -> bool
+val applied_caching : report -> bool
+val applied_partition_pulling : report -> bool
+
+val compile : ?opts:opts -> Emma_lang.Expr.program -> Emma_dataflow.Cprog.t * report
+(** Runs the pipeline. The result is executable by [Emma_engine] and by the
+    compiled-program interpreter used in tests. *)
+
+val normalized : ?opts:opts -> Emma_lang.Expr.program -> Emma_lang.Expr.program
+(** The program after the front-end phases only (inline + recover +
+    normalize + fuse); exposed for inspection and tests. *)

@@ -1,0 +1,169 @@
+open Emma_lang.Expr
+module Normalize = Emma_comp.Normalize
+
+(* Occurrence counting over statements, distinguishing same-block uses from
+   uses nested inside while/if bodies. Counting stops if [x] is shadowed by
+   a later definition with the same name. *)
+
+type usage = { same_block : int; nested : int; assigned : bool }
+
+let no_usage = { same_block = 0; nested = 0; assigned = false }
+
+let add a b =
+  { same_block = a.same_block + b.same_block;
+    nested = a.nested + b.nested;
+    assigned = a.assigned || b.assigned }
+
+(* Free occurrences outside any lambda body. Occurrences inside a lambda
+   are UDF captures: inlining there would turn a broadcast variable into
+   worker-side recomputation, so they must block inlining. *)
+let rec occ_no_lam x e =
+  match e with
+  | Var y -> if String.equal x y then 1 else 0
+  | Const _ | Read _ | Lam _ -> 0
+  | Let (y, a, b) -> occ_no_lam x a + if String.equal y x then 0 else occ_no_lam x b
+  | Comp { head; quals; alg } ->
+      let rec go = function
+        | [] -> (
+            occ_no_lam x head
+            +
+            match alg with
+            | Alg_bag -> 0
+            | Alg_fold fns ->
+                occ_no_lam x fns.f_empty + occ_no_lam x fns.f_single + occ_no_lam x fns.f_union)
+        | QGen (y, src) :: rest -> occ_no_lam x src + if String.equal y x then 0 else go rest
+        | QGuard p :: rest -> occ_no_lam x p + go rest
+      in
+      go quals
+  | e ->
+      let n = ref 0 in
+      ignore
+        (map_children
+           (fun c ->
+             n := !n + occ_no_lam x c;
+             c)
+           e);
+      !n
+
+let stmt_exprs_usage x e =
+  let total = Normalize.occurrences x e in
+  let outside = occ_no_lam x e in
+  { same_block = outside; nested = total - outside; assigned = false }
+
+let usage_in_stmts_no_lam x stmts =
+  (* like usage_in_stmts but counting only occurrences outside lambdas
+     (the lambda-enclosed ones were accounted as nested above) *)
+  let rec go = function
+    | [] -> no_usage
+    | s :: rest -> begin
+        match s with
+        | SLet (y, e) | SVar (y, e) ->
+            let here = { no_usage with same_block = occ_no_lam x e } in
+            if String.equal y x then here else add here (go rest)
+        | SAssign (y, e) ->
+            let here =
+              { no_usage with same_block = occ_no_lam x e; assigned = String.equal y x }
+            in
+            add here (go rest)
+        | SWhile (c, body) ->
+            let inner = go body in
+            let here =
+              { same_block = occ_no_lam x c;
+                nested = inner.same_block + inner.nested;
+                assigned = inner.assigned }
+            in
+            add here (go rest)
+        | SIf (c, t, e) ->
+            let it = go t and ie = go e in
+            let here =
+              { same_block = occ_no_lam x c;
+                nested = it.same_block + it.nested + ie.same_block + ie.nested;
+                assigned = it.assigned || ie.assigned }
+            in
+            add here (go rest)
+        | SWrite (_, e) -> add { no_usage with same_block = occ_no_lam x e } (go rest)
+      end
+  in
+  go stmts
+
+let usage_in x stmts ret =
+  (* lambda-enclosed occurrences in any statement count as nested *)
+  let lam_usage =
+    let acc = ref no_usage in
+    let rec scan = function
+      | SLet (_, e) | SVar (_, e) | SAssign (_, e) | SWrite (_, e) ->
+          acc := add !acc { no_usage with nested = (stmt_exprs_usage x e).nested }
+      | SWhile (c, body) ->
+          acc := add !acc { no_usage with nested = (stmt_exprs_usage x c).nested };
+          List.iter scan body
+      | SIf (c, t, e) ->
+          acc := add !acc { no_usage with nested = (stmt_exprs_usage x c).nested };
+          List.iter scan t;
+          List.iter scan e
+    in
+    List.iter scan stmts;
+    !acc
+  in
+  add lam_usage
+    (add (usage_in_stmts_no_lam x stmts) (stmt_exprs_usage x ret))
+
+(* Substitute x := e in statements until x is shadowed. *)
+let rec subst_stmts x e = function
+  | [] -> []
+  | s :: rest -> begin
+      match s with
+      | SLet (y, rhs) ->
+          let s' = SLet (y, subst x e rhs) in
+          if String.equal y x then s' :: rest else s' :: subst_stmts x e rest
+      | SVar (y, rhs) ->
+          let s' = SVar (y, subst x e rhs) in
+          if String.equal y x then s' :: rest else s' :: subst_stmts x e rest
+      | SAssign (y, rhs) -> SAssign (y, subst x e rhs) :: subst_stmts x e rest
+      | SWhile (c, body) -> SWhile (subst x e c, subst_stmts x e body) :: subst_stmts x e rest
+      | SIf (c, t, el) ->
+          SIf (subst x e c, subst_stmts x e t, subst_stmts x e el) :: subst_stmts x e rest
+      | SWrite (snk, rhs) -> SWrite (snk, subst x e rhs) :: subst_stmts x e rest
+    end
+
+let inlinable e =
+  (is_bag_op e
+  ||
+  match e with
+  | Fold _ | Comp { alg = Alg_fold _; _ } -> true
+  | _ -> false)
+  && not (Normalize.has_stateful_effect e)
+
+(* One inlining pass over a block; [ret] is the expression evaluated after
+   the block — the program result for the top-level block, Const Unit for
+   nested blocks (their bindings are iteration-scoped and cannot escape).
+   Inlining a definition whose single use sits in [ret] must substitute
+   into [ret] too, so the pass threads it through. *)
+let rec pass_block stmts ret =
+  match stmts with
+  | [] -> ([], ret, false)
+  | SLet (x, e) :: rest when inlinable e ->
+      let u = usage_in x rest ret in
+      if u.same_block = 1 && u.nested = 0 && not u.assigned then
+        (subst_stmts x e rest, subst x e ret, true)
+      else
+        let rest', ret', changed = pass_block rest ret in
+        (SLet (x, e) :: rest', ret', changed)
+  | SWhile (c, body) :: rest ->
+      let body', _, ch1 = pass_block body (Const Emma_value.Value.Unit) in
+      let rest', ret', ch2 = pass_block rest ret in
+      (SWhile (c, body') :: rest', ret', ch1 || ch2)
+  | SIf (c, t, e) :: rest ->
+      let t', _, ch1 = pass_block t (Const Emma_value.Value.Unit) in
+      let e', _, ch2 = pass_block e (Const Emma_value.Value.Unit) in
+      let rest', ret', ch3 = pass_block rest ret in
+      (SIf (c, t', e') :: rest', ret', ch1 || ch2 || ch3)
+  | s :: rest ->
+      let rest', ret', changed = pass_block rest ret in
+      (s :: rest', ret', changed)
+
+let program { body; ret } =
+  let rec fix body ret =
+    let body', ret', changed = pass_block body ret in
+    if changed then fix body' ret' else { body = body'; ret = ret' }
+  in
+  fix body ret

@@ -1,0 +1,17 @@
+(** Statement-level inlining (paper §4.1, "Inlining"): a [val] definition
+    whose right-hand side is comprehended (bag- or fold-valued) and that is
+    referenced exactly once in the {e following statements of the same
+    block} is substituted into its use site, producing bigger
+    comprehensions for the normalizer to work on.
+
+    The pass refuses to inline when the definition:
+    {ul
+    {- is referenced more than once (caching, not inlining, is the right
+       optimization there);}
+    {- is referenced from inside a nested loop or branch (inlining would
+       move the computation across a control-flow barrier and potentially
+       into a loop);}
+    {- is reassigned later ([var] semantics);}
+    {- has stateful effects (updates must run exactly once).}} *)
+
+val program : Emma_lang.Expr.program -> Emma_lang.Expr.program

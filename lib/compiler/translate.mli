@@ -1,0 +1,40 @@
+(** Code generation, step (iii): from comprehension views to abstract
+    dataflows (paper §4.3.1, Fig. 2 and Fig. 3a).
+
+    The rewrite is the paper's heuristic state machine: selections are
+    pushed into generator sources first ([Filter]), then exists guards
+    become {e semi-joins} (the logical joins of §4.2.1, strategy chosen by
+    the engine just-in-time), then equality guards become [EqJoin]s, then
+    remaining independent generator pairs become [Cross]es, and the residue
+    — the head plus any {e dependent} generators and unresolvable guards —
+    becomes a trailing [Map]/[FlatMap] whose UDF evaluates locally on each
+    element (broadcasting captured driver bags).
+
+    Non-comprehended operators ([groupBy], [aggBy], set operations, I/O,
+    stateful bags) are substituted with their combinator directly.
+
+    [program] also splits every statement into driver expression + thunked
+    plans (paper §4.3.2): maximal DataBag expressions become plans; scalar
+    folds are plans whose results are collected back into driver terms. *)
+
+type stats = {
+  mutable semi_joins : int;
+  mutable anti_joins : int;
+      (** negated-exists (and, via ¬∃¬, forall) guards turned into
+          anti-joins *)
+  mutable eq_joins : int;
+  mutable crosses : int;
+  mutable filters : int;
+  mutable broadcast_filters : int;
+      (** quantifier guards that could not be unnested (or unnesting was
+          disabled) and stayed as UDF predicates over a captured bag *)
+}
+
+val fresh_stats : unit -> stats
+
+val to_plan : ?unnest:bool -> ?stats:stats -> Emma_lang.Expr.expr -> Emma_dataflow.Plan.t
+(** Translates a normalized bag- or fold-valued expression. [unnest]
+    (default true) controls whether exists guards become semi-joins. *)
+
+val program :
+  ?unnest:bool -> ?stats:stats -> Emma_lang.Expr.program -> Emma_dataflow.Cprog.t

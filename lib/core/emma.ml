@@ -1,0 +1,69 @@
+module Value = Emma_value.Value
+module Databag = Emma_databag.Databag
+module Stateful_bag = Emma_databag.Stateful_bag
+module Expr = Emma_lang.Expr
+module Surface = Emma_lang.Surface
+module Pretty = Emma_lang.Pretty
+module Eval = Emma_lang.Eval
+module Plan = Emma_dataflow.Plan
+module Cprog = Emma_dataflow.Cprog
+module Pipeline = Emma_compiler.Pipeline
+module Cluster = Emma_engine.Cluster
+module Metrics = Emma_engine.Metrics
+module Engine = Emma_engine.Exec
+
+type algorithm = {
+  source : Expr.program;
+  compiled : Cprog.t;
+  report : Pipeline.report;
+  opts : Pipeline.opts;
+}
+
+let parallelize ?(opts = Pipeline.default_opts) source =
+  let compiled, report = Pipeline.compile ~opts source in
+  { source; compiled; report; opts }
+
+type runtime = {
+  cluster : Cluster.t;
+  profile : Cluster.profile;
+  timeout_s : float option;
+}
+
+let spark ?(cluster = Cluster.laptop ()) ?timeout_s () =
+  { cluster; profile = Cluster.spark_like; timeout_s }
+
+let flink ?(cluster = Cluster.laptop ()) ?timeout_s () =
+  { cluster; profile = Cluster.flink_like; timeout_s }
+
+type run_result = { value : Value.t; metrics : Metrics.t; ctx : Eval.ctx }
+
+type outcome =
+  | Finished of run_result
+  | Failed of { reason : string; metrics : Metrics.t }
+  | Timed_out of { at_s : float; metrics : Metrics.t }
+
+let make_ctx tables =
+  let ctx = Eval.create_ctx () in
+  List.iter (fun (name, rows) -> Eval.register_table ctx name rows) tables;
+  ctx
+
+let run_native algo ~tables =
+  let ctx = make_ctx tables in
+  let value = Eval.eval_program ctx algo.source in
+  (value, ctx)
+
+let run_on rt algo ~tables =
+  let ctx = make_ctx tables in
+  let engine =
+    Engine.create ?timeout_s:rt.timeout_s ~cluster:rt.cluster ~profile:rt.profile ctx
+  in
+  match Engine.run engine algo.compiled with
+  | value -> Finished { value; metrics = Engine.metrics engine; ctx }
+  | exception Engine.Engine_failure reason -> Failed { reason; metrics = Engine.metrics engine }
+  | exception Engine.Engine_timeout at_s -> Timed_out { at_s; metrics = Engine.metrics engine }
+
+let run_on_exn rt algo ~tables =
+  match run_on rt algo ~tables with
+  | Finished r -> r
+  | Failed { reason; _ } -> failwith ("engine failure: " ^ reason)
+  | Timed_out { at_s; _ } -> failwith (Printf.sprintf "engine timeout at %.0f s" at_s)

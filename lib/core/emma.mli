@@ -1,0 +1,74 @@
+(** Emma: implicit parallelism through deep language embedding.
+
+    This is the library façade. Write a driver program against
+    {!Surface} (the comprehension syntax that desugars like Scala's), then
+    either run it natively on the host-language DataBag implementation —
+    for development and debugging, exactly as §3.1 prescribes — or
+    [parallelize] it: the compiler pipeline recovers monad comprehensions,
+    normalizes and optimizes them, and emits abstract dataflows that the
+    simulated distributed engine executes under a Spark-like or Flink-like
+    cost profile.
+
+    {[
+      let program = Surface.(program ~ret:(sum (read "xs")) []) in
+      let algorithm = Emma.parallelize program in
+      let result = Emma.run_on (Emma.spark ()) algorithm ~tables:[ "xs", rows ] in
+      ...
+    ]} *)
+
+module Value = Emma_value.Value
+module Databag = Emma_databag.Databag
+module Stateful_bag = Emma_databag.Stateful_bag
+module Expr = Emma_lang.Expr
+module Surface = Emma_lang.Surface
+module Pretty = Emma_lang.Pretty
+module Eval = Emma_lang.Eval
+module Plan = Emma_dataflow.Plan
+module Cprog = Emma_dataflow.Cprog
+module Pipeline = Emma_compiler.Pipeline
+module Cluster = Emma_engine.Cluster
+module Metrics = Emma_engine.Metrics
+module Engine = Emma_engine.Exec
+
+type algorithm = {
+  source : Expr.program;
+  compiled : Cprog.t;
+  report : Pipeline.report;
+  opts : Pipeline.opts;
+}
+
+val parallelize : ?opts:Pipeline.opts -> Expr.program -> algorithm
+(** Compiles the bracketed program (paper §3.2, line 6). *)
+
+(** A runtime target: cluster configuration plus engine profile. *)
+type runtime = {
+  cluster : Cluster.t;
+  profile : Cluster.profile;
+  timeout_s : float option;
+}
+
+val spark : ?cluster:Cluster.t -> ?timeout_s:float -> unit -> runtime
+val flink : ?cluster:Cluster.t -> ?timeout_s:float -> unit -> runtime
+
+type run_result = {
+  value : Value.t;
+  metrics : Metrics.t;
+  ctx : Eval.ctx;  (** holds the sink tables the program wrote *)
+}
+
+type outcome =
+  | Finished of run_result
+  | Failed of { reason : string; metrics : Metrics.t }
+  | Timed_out of { at_s : float; metrics : Metrics.t }
+
+val run_native : algorithm -> tables:(string * Value.t list) list -> Value.t * Eval.ctx
+(** Host-language execution of the {e source} program on the native
+    DataBag — the semantic reference. *)
+
+val run_on :
+  runtime -> algorithm -> tables:(string * Value.t list) list -> outcome
+(** Executes the compiled program on the simulated engine. *)
+
+val run_on_exn :
+  runtime -> algorithm -> tables:(string * Value.t list) list -> run_result
+(** Like {!run_on} but raises [Failure] on engine failure or timeout. *)

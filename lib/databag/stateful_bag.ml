@@ -1,0 +1,78 @@
+(* State is a sorted array of (key, element ref): lookups are binary
+   searches, updates mutate in place — the point of a StatefulBag is to
+   avoid rebuilding the full bag each iteration. *)
+
+type ('a, 'k) t = {
+  key_of : 'a -> 'k;
+  cmp : 'k -> 'k -> int;
+  entries : ('k * 'a ref) array;
+}
+
+let create ~key ?(cmp = Stdlib.compare) bag =
+  let entries =
+    Databag.to_list bag
+    |> List.map (fun x -> (key x, ref x))
+    |> List.sort (fun (k1, _) (k2, _) -> cmp k1 k2)
+    |> Array.of_list
+  in
+  Array.iteri
+    (fun i (k, _) ->
+      if i > 0 then
+        let k', _ = entries.(i - 1) in
+        if cmp k k' = 0 then invalid_arg "Stateful_bag.create: duplicate key")
+    entries;
+  { key_of = key; cmp; entries }
+
+let bag t = Databag.of_list (Array.to_list t.entries |> List.map (fun (_, r) -> !r))
+
+let size t = Array.length t.entries
+
+let find_ref t k =
+  let rec go lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let k', r = t.entries.(mid) in
+      let c = t.cmp k k' in
+      if c = 0 then Some r else if c < 0 then go lo mid else go (mid + 1) hi
+  in
+  go 0 (Array.length t.entries)
+
+let find t k = Option.map (fun r -> !r) (find_ref t k)
+
+let update t u =
+  let delta = ref [] in
+  Array.iter
+    (fun (k, r) ->
+      match u !r with
+      | None -> ()
+      | Some x' ->
+          if t.cmp (t.key_of x') k <> 0 then
+            invalid_arg "Stateful_bag.update: UDF changed the element key";
+          r := x';
+          delta := x' :: !delta)
+    t.entries;
+  Databag.of_list (List.rev !delta)
+
+let update_with_messages t ~msg_key msgs u =
+  let changed : ('k, unit) Hashtbl.t = Hashtbl.create 16 in
+  let delta = ref [] in
+  List.iter
+    (fun m ->
+      let k = msg_key m in
+      match find_ref t k with
+      | None -> ()
+      | Some r -> begin
+          match u !r m with
+          | None -> ()
+          | Some x' ->
+              if t.cmp (t.key_of x') k <> 0 then
+                invalid_arg "Stateful_bag.update_with_messages: UDF changed the element key";
+              r := x';
+              if not (Hashtbl.mem changed k) then begin
+                Hashtbl.add changed k ();
+                delta := r :: !delta
+              end
+        end)
+    (Databag.to_list msgs);
+  Databag.of_list (List.rev_map (fun r -> !r) !delta)

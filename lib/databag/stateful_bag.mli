@@ -1,0 +1,38 @@
+(** Stateful bags (paper §3.1, [StatefulBag]): iterative point-wise
+    refinement of a keyed bag. The element key is fixed at creation; updates
+    mutate the state in place and return the {e delta} — a stateless
+    [Databag] of the elements whose value actually changed — enabling both
+    naive and semi-naive iterative dataflows (PageRank, Connected
+    Components in Appendix A). *)
+
+type ('a, 'k) t
+
+val create : key:('a -> 'k) -> ?cmp:('k -> 'k -> int) -> 'a Databag.t -> ('a, 'k) t
+(** [create ~key bag] converts a stateless bag into a stateful one.
+    Raises [Invalid_argument] if two elements share a key — state elements
+    must be uniquely keyed, like the paper's [A <: Key[K]] bound implies. *)
+
+val bag : ('a, 'k) t -> 'a Databag.t
+(** Current state as a stateless [DataBag] (the [bag()] conversion). *)
+
+val size : ('a, 'k) t -> int
+
+val find : ('a, 'k) t -> 'k -> 'a option
+
+val update : ('a, 'k) t -> ('a -> 'a option) -> 'a Databag.t
+(** Point-wise update without messages (Listing 3, line 28): the UDF
+    inspects each element and returns [Some updated] to replace it or
+    [None] to keep it. Returns the delta of changed elements (their new
+    versions). *)
+
+val update_with_messages :
+  ('a, 'k) t ->
+  msg_key:('b -> 'k) ->
+  'b Databag.t ->
+  ('a -> 'b -> 'a option) ->
+  'a Databag.t
+(** Point-wise update with update messages (Listing 3, line 29): each
+    message is routed to the state element sharing its key (messages whose
+    key matches no element are dropped); the UDF is applied once per
+    message, threading updated versions when several messages target the
+    same element. Returns the delta of changed elements. *)

@@ -1,0 +1,76 @@
+module Expr = Emma_lang.Expr
+
+type rhs = { expr : Expr.expr; thunks : (string * Plan.t) list }
+
+type stmt =
+  | CLet of string * rhs
+  | CVar of string * rhs
+  | CAssign of string * rhs
+  | CWhile of rhs * stmt list
+  | CIf of rhs * stmt list * stmt list
+  | CWrite of string * rhs
+
+type t = { cbody : stmt list; cret : rhs }
+
+let rhs_of_expr e = { expr = e; thunks = [] }
+
+let rhs_of_plan p =
+  let name = Expr.fresh "$t" in
+  { expr = Expr.Var name; thunks = [ (name, p) ] }
+
+let plan_of_rhs r =
+  match (r.expr, r.thunks) with
+  | Expr.Var n, [ (n', p) ] when String.equal n n' -> Some p
+  | _ -> None
+
+let map_rhs f { cbody; cret } =
+  let rec go_stmt = function
+    | CLet (x, r) -> CLet (x, f r)
+    | CVar (x, r) -> CVar (x, f r)
+    | CAssign (x, r) -> CAssign (x, f r)
+    | CWhile (c, body) -> CWhile (f c, List.map go_stmt body)
+    | CIf (c, t, e) -> CIf (f c, List.map go_stmt t, List.map go_stmt e)
+    | CWrite (snk, r) -> CWrite (snk, f r)
+  in
+  { cbody = List.map go_stmt cbody; cret = f cret }
+
+let iter_plans visit prog =
+  ignore
+    (map_rhs
+       (fun r ->
+         List.iter (fun (_, p) -> visit p) r.thunks;
+         r)
+       prog)
+
+let iter_stmts_with_depth visit { cbody; cret = _ } =
+  let rec go depth s =
+    visit depth s;
+    match s with
+    | CWhile (_, body) -> List.iter (go (depth + 1)) body
+    | CIf (_, t, e) ->
+        List.iter (go depth) t;
+        List.iter (go depth) e
+    | CLet _ | CVar _ | CAssign _ | CWrite _ -> ()
+  in
+  List.iter (go 0) cbody
+
+let pp_rhs ppf r =
+  Emma_lang.Pretty.pp_expr ppf r.expr;
+  List.iter (fun (n, p) -> Fmt.pf ppf "@   where %s =@   @[<v>%a@]" n Plan.pp p) r.thunks
+
+let rec pp_stmt ppf = function
+  | CLet (x, r) -> Fmt.pf ppf "@[<v 2>val %s = %a@]" x pp_rhs r
+  | CVar (x, r) -> Fmt.pf ppf "@[<v 2>var %s = %a@]" x pp_rhs r
+  | CAssign (x, r) -> Fmt.pf ppf "@[<v 2>%s = %a@]" x pp_rhs r
+  | CWhile (c, body) ->
+      Fmt.pf ppf "@[<v 2>while (%a) {@ %a@]@ }" pp_rhs c (Fmt.list ~sep:Fmt.cut pp_stmt) body
+  | CIf (c, t, e) ->
+      Fmt.pf ppf "@[<v 2>if (%a) {@ %a@]@ @[<v 2>} else {@ %a@]@ }" pp_rhs c
+        (Fmt.list ~sep:Fmt.cut pp_stmt) t
+        (Fmt.list ~sep:Fmt.cut pp_stmt) e
+  | CWrite (snk, r) -> Fmt.pf ppf "@[<v 2>write(%S, %a)@]" snk pp_rhs r
+
+let pp ppf { cbody; cret } =
+  Fmt.pf ppf "@[<v>%a@ return %a@]" (Fmt.list ~sep:Fmt.cut pp_stmt) cbody pp_rhs cret
+
+let to_string p = Fmt.str "%a" pp p

@@ -1,0 +1,49 @@
+(** Compiled driver programs: the output of the full [parallelize] pipeline.
+
+    Each statement's right-hand side is a driver-level expression in which
+    every maximal DataBag expression has been replaced by a reference to a
+    {e thunk} wrapping an abstract dataflow (paper §4.3.2): the expression
+    mentions the thunk by name ([Var "$t0"], …) and the side table maps
+    names to plans. The driver interpreter in the engine forces a thunk when
+    its name is evaluated — scalar (fold) results are collected to the
+    driver, bag results stay distributed. *)
+
+module Expr = Emma_lang.Expr
+
+type rhs = { expr : Expr.expr; thunks : (string * Plan.t) list }
+(** Invariant: every thunk name occurs in [expr] (usually [expr] is just
+    [Var name]); thunk names start with ['$'] so they cannot collide with
+    program variables. *)
+
+type stmt =
+  | CLet of string * rhs
+  | CVar of string * rhs
+  | CAssign of string * rhs
+  | CWhile of rhs * stmt list
+  | CIf of rhs * stmt list * stmt list
+  | CWrite of string * rhs
+
+type t = { cbody : stmt list; cret : rhs }
+
+val rhs_of_expr : Expr.expr -> rhs
+(** A pure driver expression with no dataflows. *)
+
+val rhs_of_plan : Plan.t -> rhs
+(** An RHS that is exactly one dataflow. *)
+
+val plan_of_rhs : rhs -> Plan.t option
+(** The single plan when the RHS is exactly one thunk reference. *)
+
+val map_rhs : (rhs -> rhs) -> t -> t
+(** Applies a transformation to every statement RHS (including loop and
+    branch conditions), preserving program structure. *)
+
+val iter_plans : (Plan.t -> unit) -> t -> unit
+
+val iter_stmts_with_depth : (int -> stmt -> unit) -> t -> unit
+(** Visits every statement with its loop-nesting depth (0 = top level;
+    entering a [CWhile] body increments the depth — [CIf] branches do
+    not). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,94 @@
+type join_strategy = Jit | Force_broadcast | Force_repartition
+
+type t = {
+  nodes : int;
+  slots_per_node : int;
+  net_bw : float;
+  disk_bw : float;
+  cpu_bw : float;
+  per_record_cpu : float;
+  mem_per_slot : float;
+  data_scale : float;
+  broadcast_threshold : float;
+  pair_scan_cost : float;
+  group_overhead : float;
+  table_scales : (string * float) list;
+  join_strategy : join_strategy;
+}
+
+let dop c = c.nodes * c.slots_per_node
+
+let table_scale c name =
+  match List.assoc_opt name c.table_scales with
+  | Some s -> s
+  | None -> c.data_scale
+
+let paper_cluster ?(dop = 320) ?(data_scale = 1.0) ?(table_scales = []) () =
+  let nodes = 40 in
+  {
+    nodes;
+    slots_per_node = max 1 (dop / nodes);
+    net_bw = 120e6;
+    disk_bw = 100e6;
+    cpu_bw = 80e6;
+    per_record_cpu = 0.5e-6;
+    mem_per_slot = 1.0e9;
+    data_scale;
+    broadcast_threshold = 64e6;
+    pair_scan_cost = 2e-9;
+    group_overhead = 4.0;
+    table_scales;
+    join_strategy = Jit;
+  }
+
+let laptop () =
+  {
+    nodes = 4;
+    slots_per_node = 2;
+    net_bw = 100e6;
+    disk_bw = 100e6;
+    cpu_bw = 100e6;
+    per_record_cpu = 1e-6;
+    mem_per_slot = 64e6;
+    data_scale = 1.0;
+    broadcast_threshold = 1e6;
+    pair_scan_cost = 2e-9;
+    group_overhead = 4.0;
+    table_scales = [];
+    join_strategy = Jit;
+  }
+
+type profile = {
+  profile_name : string;
+  broadcast_factor : float;
+  memory_cache : bool;
+  job_overhead_s : float;
+  sched_linear_s : float;
+  sched_quad_s : float;
+  groupby_spills : bool;
+  native_iterations : bool;
+}
+
+let spark_like =
+  {
+    profile_name = "Spark";
+    broadcast_factor = 1.0;
+    memory_cache = true;
+    job_overhead_s = 1.0;
+    sched_linear_s = 0.006;
+    sched_quad_s = 6e-6;
+    groupby_spills = false;
+    native_iterations = false;
+  }
+
+let flink_like =
+  {
+    profile_name = "Flink";
+    broadcast_factor = 5.0;
+    memory_cache = false;
+    job_overhead_s = 0.2;
+    sched_linear_s = 0.003;
+    sched_quad_s = 0.0;
+    groupby_spills = true;
+    native_iterations = true;
+  }

@@ -1,0 +1,1039 @@
+module Value = Emma_value.Value
+module Plan = Emma_dataflow.Plan
+module Cprog = Emma_dataflow.Cprog
+module Eval = Emma_lang.Eval
+module Expr = Emma_lang.Expr
+module Strset = Emma_util.Strset
+
+exception Engine_failure of string
+exception Engine_timeout of float
+
+type location = Mem | Dfs
+
+type t = {
+  cluster : Cluster.t;
+  profile : Cluster.profile;
+  metrics : Metrics.t;
+  eval_ctx : Eval.ctx;
+  timeout_s : float option;
+  mutable job_depth : int;
+      (* > 0 while a dataflow is executing: nested lineage recomputations
+         belong to the enclosing job and are not separate submissions *)
+  mutable iteration_rerun : bool;
+      (* inside the second or later iteration of a driver loop on an
+         engine with native iteration support: job submissions reuse the
+         deployed dataflow and pay a reduced overhead *)
+  cache_loss_at : int list;
+      (* fault injection: 1-based cache-hit indices at which the cached
+         result is "lost" (executor failure) and must be transparently
+         recovered through its lineage *)
+  mutable cache_hit_counter : int;
+  mutable trace : trace_event list;
+      (* chronological record of executed operators, most recent first *)
+}
+
+and trace_event = {
+  ev_op : string;
+  ev_records : float;  (* logical input records *)
+  ev_bytes : float;  (* logical input bytes *)
+  ev_clock : float;  (* simulated clock when the operator started *)
+}
+
+type dval =
+  | Dscalar of Eval.rvalue
+  | Dbag of handle
+  | Dstateful of state_handle
+
+and handle = {
+  h_plan : Plan.t;
+  h_env : env;  (* lineage snapshot: the bindings visible at creation *)
+  h_cache : location option;
+      (* compiled with a Cache root: materialize on first use, like
+         Spark's lazy .cache() *)
+  mutable h_mat : (Pdata.t * location) option;
+  mutable h_collected : (Value.t list * float * float) option;
+      (* once a bag has been collected, the driver owns the value: further
+         driver-side uses (e.g. re-broadcasting it next iteration) do not
+         re-run the dataflow — this is what cuts Spark's lineage at the
+         collect/broadcast boundary of iterative programs *)
+}
+
+and state_handle = {
+  s_key : Plan.udf;
+  s_keyfn : Value.t -> Value.t;
+  s_parts : (Value.t, Value.t ref) Hashtbl.t array;
+  s_rmult : float;
+  s_bmult : float;
+}
+
+and env = (string * dval) list
+
+type out = Obag of Pdata.t | Oscalar of Value.t | Ostateful of state_handle
+
+let create ?timeout_s ?(cache_loss_at = []) ~cluster ~profile eval_ctx =
+  { cluster;
+    profile;
+    metrics = Metrics.create ();
+    eval_ctx;
+    timeout_s;
+    job_depth = 0;
+    iteration_rerun = false;
+    cache_loss_at;
+    cache_hit_counter = 0;
+    trace = [] }
+
+let metrics t = t.metrics
+let trace t = List.rev t.trace
+
+let note_op t op pd =
+  t.trace <-
+    { ev_op = op;
+      ev_records = Pdata.logical_records pd;
+      ev_bytes = Pdata.logical_bytes pd;
+      ev_clock = t.metrics.Metrics.sim_time_s }
+    :: t.trace
+
+(* ------------------------------------------------------------------ *)
+(* Cost charging                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let charge t secs =
+  Metrics.add_time t.metrics secs;
+  match t.timeout_s with
+  | Some limit when t.metrics.Metrics.sim_time_s > limit ->
+      raise (Engine_timeout t.metrics.Metrics.sim_time_s)
+  | _ -> ()
+
+let dop t = Cluster.dop t.cluster
+
+let charge_stage t =
+  let d = float_of_int (dop t) in
+  t.metrics.Metrics.stages <- t.metrics.Metrics.stages + 1;
+  charge t
+    ((t.profile.Cluster.sched_linear_s *. d) +. (t.profile.Cluster.sched_quad_s *. d *. d))
+
+let list_bytes vs =
+  List.fold_left (fun acc v -> acc +. float_of_int (Value.byte_size v)) 0.0 vs
+
+(* CPU time for narrow work: partitions run in parallel, one slot each.
+   The charge is the average partition cost, floored by the cost of the
+   single largest record: physical sampling noise in partition placement
+   must not look like skew, but a genuinely huge record (e.g. a hot group
+   materialized by groupBy under a Pareto key) pins one slot for its full
+   processing time. *)
+let charge_local_cpu t (pd : Pdata.t) =
+  let cost_of ~recs ~bytes =
+    (recs *. t.cluster.Cluster.per_record_cpu) +. (bytes /. t.cluster.Cluster.cpu_bw)
+  in
+  let avg =
+    cost_of ~recs:(Pdata.logical_records pd) ~bytes:(Pdata.logical_bytes pd)
+    /. float_of_int (Pdata.nparts pd)
+  in
+  let largest_record =
+    Array.fold_left
+      (fun acc part ->
+        List.fold_left (fun acc v -> max acc (float_of_int (Value.byte_size v))) acc part)
+      0.0 pd.Pdata.parts
+  in
+  charge t (Float.max avg (cost_of ~recs:pd.Pdata.rmult ~bytes:(largest_record *. pd.Pdata.bmult)))
+
+(* All charge_* helpers below take LOGICAL byte quantities: callers apply
+   the provenance multipliers carried by the data (Pdata.logical_bytes). *)
+let charge_shuffle t bytes =
+  t.metrics.Metrics.shuffle_bytes <- t.metrics.Metrics.shuffle_bytes +. bytes;
+  charge t (bytes /. (float_of_int t.cluster.Cluster.nodes *. t.cluster.Cluster.net_bw))
+
+let charge_broadcast t logical =
+  let total = logical *. float_of_int t.cluster.Cluster.nodes in
+  t.metrics.Metrics.broadcast_bytes <- t.metrics.Metrics.broadcast_bytes +. total;
+  charge t (logical *. t.profile.Cluster.broadcast_factor /. t.cluster.Cluster.net_bw *. 2.0)
+
+let charge_dfs_read t bytes =
+  t.metrics.Metrics.dfs_read_bytes <- t.metrics.Metrics.dfs_read_bytes +. bytes;
+  charge t (bytes /. (float_of_int t.cluster.Cluster.nodes *. t.cluster.Cluster.disk_bw))
+
+let charge_dfs_write t bytes =
+  t.metrics.Metrics.dfs_write_bytes <- t.metrics.Metrics.dfs_write_bytes +. bytes;
+  charge t (bytes /. (float_of_int t.cluster.Cluster.nodes *. t.cluster.Cluster.disk_bw))
+
+let charge_collect t bytes =
+  t.metrics.Metrics.collect_bytes <- t.metrics.Metrics.collect_bytes +. bytes;
+  charge t (bytes /. t.cluster.Cluster.net_bw)
+
+let charge_parallelize t bytes =
+  t.metrics.Metrics.parallelize_bytes <- t.metrics.Metrics.parallelize_bytes +. bytes;
+  charge t (bytes /. t.cluster.Cluster.net_bw)
+
+let charge_spill t bytes =
+  t.metrics.Metrics.spilled_bytes <- t.metrics.Metrics.spilled_bytes +. bytes;
+  charge t (2.0 *. bytes /. t.cluster.Cluster.disk_bw)
+
+let in_job t f =
+  if t.job_depth > 0 then f ()
+  else begin
+    t.metrics.Metrics.jobs <- t.metrics.Metrics.jobs + 1;
+    let discount = if t.iteration_rerun then 0.1 else 1.0 in
+    charge t (t.profile.Cluster.job_overhead_s *. discount);
+    t.job_depth <- t.job_depth + 1;
+    Fun.protect ~finally:(fun () -> t.job_depth <- t.job_depth - 1) f
+  end
+
+let lookup_env env x =
+  match List.assoc_opt x env with
+  | Some v -> v
+  | None -> raise (Engine_failure (Printf.sprintf "unbound driver variable %s" x))
+
+(* ------------------------------------------------------------------ *)
+(* Plan execution                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec collect_bag t (h : handle) : Value.t list * float * float =
+  (* returns (rows, logical bytes, logical records) *)
+  match h.h_collected with
+  | Some c -> c
+  | None ->
+      let pd = materialize t h in
+      let vs = Pdata.to_list pd in
+      let lbytes = Pdata.logical_bytes pd and lrecs = Pdata.logical_records pd in
+      charge_collect t lbytes;
+      h.h_collected <- Some (vs, lbytes, lrecs);
+      vs, lbytes, lrecs
+
+and force_bag t (h : handle) : Value.t list =
+  let vs, _, _ = collect_bag t h in
+  vs
+
+and materialize t (h : handle) : Pdata.t =
+  match h.h_mat with
+  | Some (pd, loc) ->
+      t.cache_hit_counter <- t.cache_hit_counter + 1;
+      if List.mem t.cache_hit_counter t.cache_loss_at then begin
+        (* injected executor failure: the cached copy is gone; recover it
+           transparently through the lineage (the R in RDD) *)
+        t.metrics.Metrics.cache_losses <- t.metrics.Metrics.cache_losses + 1;
+        h.h_mat <- None;
+        materialize t h
+      end
+      else begin
+        t.metrics.Metrics.cache_hits <- t.metrics.Metrics.cache_hits + 1;
+        if loc = Dfs then charge_dfs_read t (Pdata.logical_bytes pd);
+        pd
+      end
+  | None -> begin
+      t.metrics.Metrics.recomputes <- t.metrics.Metrics.recomputes + 1;
+      match in_job t (fun () -> exec_plan t h.h_env h.h_plan) with
+      | Obag pd ->
+          (match h.h_cache with
+          | Some Dfs ->
+              charge_dfs_write t (Pdata.logical_bytes pd);
+              h.h_mat <- Some (pd, Dfs)
+          | Some Mem -> h.h_mat <- Some (pd, Mem)
+          | None -> ());
+          pd
+      | Oscalar _ | Ostateful _ -> raise (Engine_failure "expected a bag-valued dataflow")
+    end
+
+(* Resolve a driver binding to an interpreter value, charging the DRV→UDF
+   broadcast motion. *)
+and resolve_for_udf t env x : Eval.rvalue =
+  match lookup_env env x with
+  | Dscalar rv -> begin
+      (match rv with
+      | Eval.V v -> charge_broadcast t (float_of_int (Value.byte_size v))
+      | Eval.Clo _ | Eval.St _ -> ());
+      rv
+    end
+  | Dbag h ->
+      let vs, lbytes, _ = collect_bag t h in
+      charge_broadcast t lbytes;
+      Eval.V (Value.bag vs)
+  | Dstateful _ -> raise (Engine_failure "cannot broadcast a stateful bag")
+
+(* Evaluation environment for worker-side code: every driver variable the
+   body captures is shipped (the compiler's broadcast annotation names
+   them; free-variable analysis is the safety net). *)
+and worker_env t env ~params body_exprs =
+  (* Returns the evaluation environment for worker-side code together with
+     the total (physical) record count of the collections it captures —
+     tables read inside the body and bag-valued broadcast variables — which
+     prices per-element linear scans (an un-unnested exists). A [Read]
+     inside worker-side code also means the whole table is shipped to every
+     worker, charged as a broadcast (the §4.2.1 baseline). *)
+  let inner_records = ref 0.0 in
+  let seen_tables = ref [] in
+  List.iter
+    (fun e ->
+      Expr.iter_exprs
+        (function
+          | Expr.Read (Expr.Src_table name) when not (List.mem name !seen_tables) ->
+              seen_tables := name :: !seen_tables;
+              let rows = try Eval.read_table t.eval_ctx name with Eval.Eval_error _ -> [] in
+              let sc = Cluster.table_scale t.cluster name in
+              inner_records := !inner_records +. (float_of_int (List.length rows) *. sc);
+              charge_broadcast t (list_bytes rows *. sc)
+          | _ -> ())
+        e)
+    body_exprs;
+  let fv =
+    List.fold_left (fun acc e -> Strset.union acc (Expr.free_vars e)) Strset.empty body_exprs
+  in
+  let fv = List.fold_left (fun s p -> Strset.remove p s) fv params in
+  let eval_env =
+    Strset.fold
+      (fun x acc ->
+        match List.assoc_opt x env with
+        | None -> acc (* unbound: let Eval report it if the UDF really uses it *)
+        | Some binding ->
+            let rv = resolve_for_udf t env x in
+            (match (rv, binding) with
+            | Eval.V (Value.Bag _), Dbag h ->
+                let _, _, lrecs = collect_bag t h in
+                inner_records := !inner_records +. lrecs
+            | Eval.V (Value.Bag vs), _ ->
+                inner_records := !inner_records +. float_of_int (List.length vs)
+            | _ -> ());
+            Eval.bind x rv acc)
+      fv Eval.empty_env
+  in
+  (eval_env, !inner_records)
+
+(* Per-input-element cost of a UDF that scans its captured collections. *)
+and udf_scan_cost t ~inner_records (pd : Pdata.t) =
+  if inner_records > 0.0 then begin
+    let pairs = Pdata.logical_records pd *. inner_records in
+    charge t (pairs *. t.cluster.Cluster.pair_scan_cost /. float_of_int (dop t))
+  end
+
+and udf_fn_ex t env (u : Plan.udf) : (Value.t -> Value.t) * float =
+  let base, inner = worker_env t env ~params:[ u.Plan.param ] [ u.Plan.body ] in
+  ( (fun v ->
+      t.metrics.Metrics.udf_invocations <- t.metrics.Metrics.udf_invocations + 1;
+      Eval.eval_value t.eval_ctx (Eval.bind u.Plan.param (Eval.V v) base) u.Plan.body),
+    inner )
+
+and udf_fn t env u = fst (udf_fn_ex t env u)
+
+and udf2_fn t env (u : Plan.udf2) : Value.t -> Value.t -> Value.t =
+  let base, _ =
+    worker_env t env ~params:[ u.Plan.param1; u.Plan.param2 ] [ u.Plan.body2 ]
+  in
+  fun a b ->
+    t.metrics.Metrics.udf_invocations <- t.metrics.Metrics.udf_invocations + 1;
+    let e = Eval.bind u.Plan.param1 (Eval.V a) base in
+    let e = Eval.bind u.Plan.param2 (Eval.V b) e in
+    Eval.eval_value t.eval_ctx e u.Plan.body2
+
+(* Runtime form of a fold algebra: (empty, single, union). *)
+and fold_runtime t env (fns : Expr.fold_fns) =
+  let base, _ =
+    worker_env t env ~params:[] [ fns.Expr.f_empty; fns.Expr.f_single; fns.Expr.f_union ]
+  in
+  let empty = Eval.eval_value t.eval_ctx base fns.Expr.f_empty in
+  let single_rv = Eval.eval t.eval_ctx base fns.Expr.f_single in
+  let union_rv = Eval.eval t.eval_ctx base fns.Expr.f_union in
+  let single v = Eval.apply_rv t.eval_ctx single_rv v in
+  let union a b = Eval.apply2_rv t.eval_ctx union_rv a b in
+  (empty, single, union)
+
+and exec_to_bag t env p =
+  match exec_plan t env p with
+  | Obag pd -> pd
+  | Oscalar _ | Ostateful _ -> raise (Engine_failure "expected a bag-valued operator input")
+
+and exec_plan t env (p : Plan.t) : out =
+  match p with
+  | Plan.Read name ->
+      let rows =
+        try Eval.read_table t.eval_ctx name
+        with Eval.Eval_error m -> raise (Engine_failure m)
+      in
+      let sc = Cluster.table_scale t.cluster name in
+      let pd = Pdata.of_list ~rmult:sc ~bmult:sc ~nparts:(dop t) rows in
+      charge_stage t;
+      charge_dfs_read t (Pdata.logical_bytes pd);
+      Obag pd
+  | Plan.Scan x -> begin
+      match lookup_env env x with
+      | Dbag h -> Obag (materialize t h)
+      | Dscalar (Eval.V (Value.Bag vs)) ->
+          (* DRV → DFL: parallelize a driver-local bag. *)
+          charge_parallelize t (list_bytes vs);
+          Obag (Pdata.of_list ~nparts:(dop t) vs)
+      | Dscalar _ -> raise (Engine_failure (Printf.sprintf "scan %s: not a bag" x))
+      | Dstateful _ ->
+          raise (Engine_failure (Printf.sprintf "scan %s: use statefulRead" x))
+    end
+  | Plan.Local e ->
+      let vs = Value.to_bag (eval_driver_expr t env e) in
+      charge_parallelize t (list_bytes vs);
+      Obag (Pdata.of_list ~nparts:(dop t) vs)
+  | Plan.Map (u, q) ->
+      let pd = exec_to_bag t env q in
+      note_op t "map" pd;
+      charge_stage t;
+      charge_local_cpu t pd;
+      let f, inner_records = udf_fn_ex t env u in
+      udf_scan_cost t ~inner_records pd;
+      Obag (Pdata.map_parts (List.map f) pd)
+  | Plan.Flat_map (u, q) ->
+      let pd = exec_to_bag t env q in
+      note_op t "flatMap" pd;
+      charge_stage t;
+      charge_local_cpu t pd;
+      let f, inner_records = udf_fn_ex t env u in
+      udf_scan_cost t ~inner_records pd;
+      Obag (Pdata.map_parts (List.concat_map (fun v -> Value.to_bag (f v))) pd)
+  | Plan.Filter (u, q) ->
+      let pd = exec_to_bag t env q in
+      note_op t "filter" pd;
+      charge_stage t;
+      charge_local_cpu t pd;
+      let f, inner_records = udf_fn_ex t env u in
+      udf_scan_cost t ~inner_records pd;
+      Obag (Pdata.map_parts_preserving (List.filter (fun v -> Value.to_bool (f v))) pd)
+  | Plan.Eq_join { lkey; rkey; left; right } ->
+      let lpd = exec_to_bag t env left in
+      let rpd = exec_to_bag t env right in
+      note_op t "join" (Pdata.union lpd rpd);
+      exec_join t env ~semi:false ~lkey ~rkey lpd rpd
+  | Plan.Semi_join { lkey; rkey; left; right } ->
+      let lpd = exec_to_bag t env left in
+      let rpd = exec_to_bag t env right in
+      note_op t "semijoin" (Pdata.union lpd rpd);
+      exec_join t env ~semi:true ~lkey ~rkey lpd rpd
+  | Plan.Anti_join { lkey; rkey; left; right } ->
+      let lpd = exec_to_bag t env left in
+      let rpd = exec_to_bag t env right in
+      note_op t "antijoin" (Pdata.union lpd rpd);
+      exec_anti_join t env ~lkey ~rkey lpd rpd
+  | Plan.Cross (a, b) ->
+      let apd = exec_to_bag t env a in
+      let bpd = exec_to_bag t env b in
+      charge_stage t;
+      (* the smaller side is broadcast; every pair is produced locally *)
+      let abytes = Pdata.logical_bytes apd and bbytes = Pdata.logical_bytes bpd in
+      let small, big, flip =
+        if abytes <= bbytes then (apd, bpd, false) else (bpd, apd, true)
+      in
+      charge_broadcast t (Pdata.logical_bytes small);
+      let small_list = Pdata.to_list small in
+      let pairs v w = if flip then Value.tuple [ w; v ] else Value.tuple [ v; w ] in
+      let result =
+        Pdata.map_parts
+          (fun part -> List.concat_map (fun v -> List.map (fun w -> pairs v w) small_list) part)
+          big
+      in
+      let result =
+        Pdata.with_mult
+          ~rmult:(Float.max apd.Pdata.rmult bpd.Pdata.rmult)
+          ~bmult:(Float.max apd.Pdata.bmult bpd.Pdata.bmult)
+          result
+      in
+      charge_local_cpu t result;
+      Obag result
+  | Plan.Group_by (key, q) ->
+      let pd = exec_to_bag t env q in
+      note_op t "groupBy" pd;
+      charge_stage t;
+      charge_local_cpu t pd;
+      let keyfn = udf_fn t env key in
+      exec_group_by t key keyfn pd
+  | Plan.Agg_by { key; fold; input } ->
+      let pd = exec_to_bag t env input in
+      note_op t "aggBy" pd;
+      charge_stage t;
+      charge_local_cpu t pd;
+      let keyfn = udf_fn t env key in
+      let empty, single, union = fold_runtime t env fold in
+      exec_agg_by t key keyfn ~empty ~single ~union pd
+  | Plan.Fold (fns, q) ->
+      let pd = exec_to_bag t env q in
+      note_op t "fold" pd;
+      charge_stage t;
+      charge_local_cpu t pd;
+      let empty, single, union = fold_runtime t env fns in
+      (* partial fold per partition, then combine the partials at the
+         driver — the data-parallel fold of §2.2.2 *)
+      let partials =
+        Array.to_list
+          (Array.map
+             (fun part -> List.fold_left (fun acc v -> union acc (single v)) empty part)
+             pd.Pdata.parts)
+      in
+      charge_collect t (list_bytes partials);
+      Oscalar (List.fold_left union empty partials)
+  | Plan.Union (a, b) ->
+      let apd = exec_to_bag t env a in
+      let bpd = exec_to_bag t env b in
+      charge_stage t;
+      Obag (Pdata.union apd bpd)
+  | Plan.Minus (a, b) ->
+      let apd = exec_to_bag t env a in
+      let bpd = exec_to_bag t env b in
+      charge_stage t;
+      let idkey = Plan.udf_of_expr (Expr.Lam ("x", Expr.Var "x")) in
+      let apd = shuffle_by t idkey Fun.id apd in
+      let bpd = shuffle_by t idkey Fun.id bpd in
+      let parts =
+        Array.init (Pdata.nparts apd) (fun i ->
+            let da = Emma_databag.Databag.of_list apd.Pdata.parts.(i) in
+            let db = Emma_databag.Databag.of_list bpd.Pdata.parts.(i) in
+            Emma_databag.Databag.to_list
+              (Emma_databag.Databag.minus ~cmp:Value.compare da db))
+      in
+      charge_local_cpu t apd;
+      Obag { Pdata.parts; part_key = Some idkey; rmult = apd.Pdata.rmult; bmult = apd.Pdata.bmult }
+  | Plan.Distinct a ->
+      let pd = exec_to_bag t env a in
+      charge_stage t;
+      let idkey = Plan.udf_of_expr (Expr.Lam ("x", Expr.Var "x")) in
+      let pd = shuffle_by t idkey Fun.id pd in
+      charge_local_cpu t pd;
+      Obag
+        (Pdata.map_parts_preserving
+           (fun part ->
+             Emma_databag.Databag.to_list
+               (Emma_databag.Databag.distinct ~cmp:Value.compare
+                  (Emma_databag.Databag.of_list part)))
+           pd)
+  | Plan.Cache q -> begin
+      (* Transparent here; eager materialization is handled at the handle
+         level by the driver (see force_plan). *)
+      exec_plan t env q
+    end
+  | Plan.Partition_by (key, q) ->
+      (* no stage charge: enforcing a partitioning is the map-side of the
+         shuffle a downstream consumer would otherwise perform itself *)
+      let pd = exec_to_bag t env q in
+      let keyfn = udf_fn t env key in
+      Obag (shuffle_by t key keyfn pd)
+  | Plan.Stateful_create { key; init } ->
+      let pd = exec_to_bag t env init in
+      charge_stage t;
+      let keyfn = udf_fn t env key in
+      let pd = shuffle_by t key keyfn pd in
+      let parts =
+        Array.map
+          (fun part ->
+            let h = Hashtbl.create (List.length part) in
+            List.iter
+              (fun v ->
+                let k = keyfn v in
+                if Hashtbl.mem h k then
+                  raise (Engine_failure "stateful bag: duplicate key")
+                else Hashtbl.add h k (ref v))
+              part;
+            h)
+          pd.Pdata.parts
+      in
+      Ostateful
+        { s_key = key;
+          s_keyfn = keyfn;
+          s_parts = parts;
+          s_rmult = pd.Pdata.rmult;
+          s_bmult = pd.Pdata.bmult }
+  | Plan.Stateful_read x -> begin
+      match lookup_env env x with
+      | Dstateful sh ->
+          charge_stage t;
+          let parts =
+            Array.map
+              (fun h -> Hashtbl.fold (fun _ r acc -> !r :: acc) h [])
+              sh.s_parts
+          in
+          Obag { Pdata.parts; part_key = Some sh.s_key; rmult = sh.s_rmult; bmult = sh.s_bmult }
+      | _ -> raise (Engine_failure (Printf.sprintf "%s is not a stateful bag" x))
+    end
+  | Plan.Stateful_update { state; udf } -> begin
+      match lookup_env env state with
+      | Dstateful sh ->
+          charge_stage t;
+          let f = udf_fn t env udf in
+          let delta_parts =
+            Array.map
+              (fun h ->
+                let delta = ref [] in
+                Hashtbl.iter
+                  (fun _ r ->
+                    match Value.to_option (f !r) with
+                    | Some v' ->
+                        r := v';
+                        delta := v' :: !delta
+                    | None -> ())
+                  h;
+                !delta)
+              sh.s_parts
+          in
+          let pd =
+            { Pdata.parts = delta_parts;
+              part_key = Some sh.s_key;
+              rmult = sh.s_rmult;
+              bmult = sh.s_bmult }
+          in
+          charge_local_cpu t pd;
+          Obag pd
+      | _ -> raise (Engine_failure (Printf.sprintf "%s is not a stateful bag" state))
+    end
+  | Plan.Stateful_update_msgs { state; msg_key; messages; udf } -> begin
+      match lookup_env env state with
+      | Dstateful sh ->
+          let msgs = exec_to_bag t env messages in
+          charge_stage t;
+          let mkeyfn = udf_fn t env msg_key in
+          (* route messages to the state's partitions (free when the
+             producing aggregation already partitioned them by key) *)
+          let msgs = shuffle_by t sh.s_key mkeyfn msgs in
+          charge_local_cpu t msgs;
+          let f = udf2_fn t env udf in
+          let delta_parts =
+            Array.init (Array.length sh.s_parts) (fun i ->
+                let h = sh.s_parts.(i) in
+                let changed = Hashtbl.create 16 in
+                let mpart = if i < Pdata.nparts msgs then msgs.Pdata.parts.(i) else [] in
+                List.iter
+                  (fun m ->
+                    let k = mkeyfn m in
+                    match Hashtbl.find_opt h k with
+                    | None -> ()
+                    | Some r -> begin
+                        match Value.to_option (f !r m) with
+                        | Some v' ->
+                            r := v';
+                            Hashtbl.replace changed k r
+                        | None -> ()
+                      end)
+                  mpart;
+                Hashtbl.fold (fun _ r acc -> !r :: acc) changed [])
+          in
+          Obag
+            { Pdata.parts = delta_parts;
+              part_key = Some sh.s_key;
+              rmult = sh.s_rmult;
+              bmult = sh.s_bmult }
+      | _ -> raise (Engine_failure (Printf.sprintf "%s is not a stateful bag" state))
+    end
+
+(* Shuffle to a hash partitioning by [key] unless already co-partitioned. *)
+and shuffle_by t key keyfn (pd : Pdata.t) : Pdata.t =
+  if Pdata.co_partitioned pd key then pd
+  else begin
+    charge_shuffle t (Pdata.logical_bytes pd);
+    Pdata.repartition ~nparts:(dop t) ~key keyfn pd
+  end
+
+and exec_group_by t key keyfn (pd : Pdata.t) : out =
+  let pd = shuffle_by t key keyfn pd in
+  (* group within each partition *)
+  let groups_of part =
+    let h : (Value.t, Value.t list ref) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun v ->
+        let k = keyfn v in
+        match Hashtbl.find_opt h k with
+        | Some l -> l := v :: !l
+        | None -> Hashtbl.add h k (ref [ v ]))
+      part;
+    Hashtbl.fold
+      (fun k l acc -> Value.record [ ("key", k); ("values", Value.bag (List.rev !l)) ] :: acc)
+      h []
+  in
+  let parts = Array.map groups_of pd.Pdata.parts in
+  let overhead = t.cluster.Cluster.group_overhead in
+  let out_rmult = 1.0 and out_bmult = pd.Pdata.bmult *. overhead in
+  (* memory check: the largest materialized group must fit in one slot *)
+  let max_group_bytes =
+    Array.fold_left
+      (fun acc part ->
+        List.fold_left
+          (fun acc g -> max acc (float_of_int (Value.byte_size (Value.field g "values"))))
+          acc part)
+      0.0 parts
+  in
+  let max_group_logical = max_group_bytes *. pd.Pdata.bmult *. overhead in
+  if max_group_logical > t.cluster.Cluster.mem_per_slot then begin
+    if t.profile.Cluster.groupby_spills then charge_spill t max_group_bytes
+    else
+      raise
+        (Engine_failure
+           (Printf.sprintf "out of memory: a single group of %.0f MB exceeds the %.0f MB slot budget"
+              (max_group_logical /. 1e6)
+              (t.cluster.Cluster.mem_per_slot /. 1e6)))
+  end;
+  let out =
+    { Pdata.parts; part_key = Some (group_key_udf ()); rmult = out_rmult; bmult = out_bmult }
+  in
+  charge_local_cpu t out;
+  Obag out
+
+and exec_agg_by t key keyfn ~empty ~single ~union (pd : Pdata.t) : out =
+  (* map-side combine: one (key, acc) pair per distinct key per partition *)
+  let combine part =
+    let h : (Value.t, Value.t ref) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun v ->
+        let k = keyfn v in
+        match Hashtbl.find_opt h k with
+        | Some acc -> acc := union !acc (single v)
+        | None -> Hashtbl.add h k (ref (union empty (single v))))
+      part;
+    Hashtbl.fold (fun k acc l -> Value.tuple [ k; !acc ] :: l) h []
+  in
+  let combined =
+    { Pdata.parts = Array.map combine pd.Pdata.parts;
+      part_key = None;
+      rmult = 1.0;
+      bmult = 1.0 }
+  in
+  (* shuffle only the combined aggregates *)
+  let pair_key = Plan.udf_of_expr (Expr.Lam ("p", Expr.Proj (Expr.Var "p", 0))) in
+  let shuffled =
+    if Pdata.co_partitioned pd key then
+      (* input was already partitioned by key: aggregates stay local *)
+      combined
+    else begin
+      charge_shuffle t (Pdata.logical_bytes combined);
+      Pdata.repartition ~nparts:(dop t) ~key:pair_key (fun p -> Value.proj p 0) combined
+    end
+  in
+  (* reduce side: merge partials per key *)
+  let reduce part =
+    let h : (Value.t, Value.t ref) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun pair ->
+        let k = Value.proj pair 0 and a = Value.proj pair 1 in
+        match Hashtbl.find_opt h k with
+        | Some acc -> acc := union !acc a
+        | None -> Hashtbl.add h k (ref a))
+      part;
+    Hashtbl.fold (fun k acc l -> Value.record [ ("key", k); ("agg", !acc) ] :: l) h []
+  in
+  let out =
+    { Pdata.parts = Array.map reduce shuffled.Pdata.parts;
+      part_key = Some (group_key_udf ());
+      rmult = 1.0;
+      bmult = 1.0 }
+  in
+  charge_local_cpu t out;
+  Obag out
+
+and group_key_udf () = Plan.udf_of_expr (Expr.Lam ("g", Expr.Field (Expr.Var "g", "key")))
+
+and exec_join t env ~semi ~lkey ~rkey (lpd : Pdata.t) (rpd : Pdata.t) : out =
+  ignore env;
+  charge_stage t;
+  let lfn = udf_fn t env lkey and rfn = udf_fn t env rkey in
+  let rbytes = Pdata.logical_bytes rpd in
+  let lbytes = Pdata.logical_bytes lpd in
+  let threshold = t.cluster.Cluster.broadcast_threshold in
+  (* JIT strategy selection: under the threshold a side is always
+     broadcast; above it the estimated costs decide — the cost-based
+     decision the paper's §4/§7 defers to runtime, where both input sizes
+     are known. Repartitioning only pays for sides not already
+     co-partitioned on their join key. *)
+  let broadcast_cost bytes =
+    bytes *. t.profile.Cluster.broadcast_factor /. t.cluster.Cluster.net_bw *. 2.0
+  in
+  let repartition_cost =
+    let side pd key = if Pdata.co_partitioned pd key then 0.0 else Pdata.logical_bytes pd in
+    (side lpd lkey +. side rpd rkey)
+    /. (float_of_int t.cluster.Cluster.nodes *. t.cluster.Cluster.net_bw)
+  in
+  let small_bytes = if semi then rbytes else Float.min lbytes rbytes in
+  let broadcastable =
+    match t.cluster.Cluster.join_strategy with
+    | Cluster.Force_broadcast -> true
+    | Cluster.Force_repartition -> false
+    | Cluster.Jit ->
+        small_bytes <= threshold || broadcast_cost small_bytes < repartition_cost
+  in
+  if broadcastable then begin
+    if semi then begin
+      (* broadcast the right side as a key set; left stays in place *)
+      charge_broadcast t (Pdata.logical_bytes rpd);
+      let keyset = Hashtbl.create 1024 in
+      List.iter (fun v -> Hashtbl.replace keyset (rfn v) ()) (Pdata.to_list rpd);
+      charge_local_cpu t lpd;
+      Obag
+        (Pdata.map_parts_preserving
+           (List.filter (fun v -> Hashtbl.mem keyset (lfn v)))
+           lpd)
+    end
+    else begin
+      (* broadcast the smaller side; build a hash map on it *)
+      let small, big, small_fn, big_fn, small_left =
+        if lbytes <= rbytes then (lpd, rpd, lfn, rfn, true) else (rpd, lpd, rfn, lfn, false)
+      in
+      charge_broadcast t (Pdata.logical_bytes small);
+      let index : (Value.t, Value.t list ref) Hashtbl.t = Hashtbl.create 1024 in
+      List.iter
+        (fun v ->
+          let k = small_fn v in
+          match Hashtbl.find_opt index k with
+          | Some l -> l := v :: !l
+          | None -> Hashtbl.add index k (ref [ v ]))
+        (Pdata.to_list small);
+      charge_local_cpu t big;
+      let out_rmult = Float.max lpd.Pdata.rmult rpd.Pdata.rmult in
+      let out_bmult = Float.max lpd.Pdata.bmult rpd.Pdata.bmult in
+      let join_one v =
+        match Hashtbl.find_opt index (big_fn v) with
+        | None -> []
+        | Some l ->
+            List.map
+              (fun w -> if small_left then Value.tuple [ w; v ] else Value.tuple [ v; w ])
+              !l
+      in
+      Obag (Pdata.with_mult ~rmult:out_rmult ~bmult:out_bmult
+              (Pdata.map_parts (List.concat_map join_one) big))
+    end
+  end
+  else begin
+    (* repartition join: shuffle both sides by their keys (skipping
+       co-partitioned inputs) *)
+    let l = shuffle_by t lkey lfn lpd in
+    let r = shuffle_by t rkey rfn rpd in
+    charge_local_cpu t l;
+    charge_local_cpu t r;
+    let parts =
+      Array.init (Pdata.nparts l) (fun i ->
+          let rpart = if i < Pdata.nparts r then r.Pdata.parts.(i) else [] in
+          let index : (Value.t, Value.t list ref) Hashtbl.t =
+            Hashtbl.create (List.length rpart)
+          in
+          List.iter
+            (fun v ->
+              let k = rfn v in
+              match Hashtbl.find_opt index k with
+              | Some acc -> acc := v :: !acc
+              | None -> Hashtbl.add index k (ref [ v ]))
+            rpart;
+          if semi then
+            List.filter (fun v -> Hashtbl.mem index (lfn v)) l.Pdata.parts.(i)
+          else
+            List.concat_map
+              (fun v ->
+                match Hashtbl.find_opt index (lfn v) with
+                | None -> []
+                | Some ws -> List.map (fun w -> Value.tuple [ v; w ]) !ws)
+              l.Pdata.parts.(i))
+    in
+    let part_key = if semi then Some lkey else None in
+    let rmult, bmult =
+      if semi then (lpd.Pdata.rmult, lpd.Pdata.bmult)
+      else (Float.max lpd.Pdata.rmult rpd.Pdata.rmult, Float.max lpd.Pdata.bmult rpd.Pdata.bmult)
+    in
+    Obag { Pdata.parts; part_key; rmult; bmult }
+  end
+
+(* Anti-join: left elements with NO right match. The right side only
+   contributes its key set, so the cheap strategy is almost always to
+   broadcast the (pre-projected) keys; when the key set is too large it is
+   repartitioned like a regular join. *)
+and exec_anti_join t env ~lkey ~rkey (lpd : Pdata.t) (rpd : Pdata.t) : out =
+  charge_stage t;
+  let lfn = udf_fn t env lkey and rfn = udf_fn t env rkey in
+  let rbytes = Pdata.logical_bytes rpd in
+  let broadcastable =
+    match t.cluster.Cluster.join_strategy with
+    | Cluster.Force_broadcast -> true
+    | Cluster.Force_repartition -> false
+    | Cluster.Jit ->
+        rbytes <= t.cluster.Cluster.broadcast_threshold
+        || rbytes *. t.profile.Cluster.broadcast_factor /. t.cluster.Cluster.net_bw *. 2.0
+           < (Pdata.logical_bytes lpd +. rbytes)
+             /. (float_of_int t.cluster.Cluster.nodes *. t.cluster.Cluster.net_bw)
+  in
+  if broadcastable then begin
+    charge_broadcast t rbytes;
+    let keyset = Hashtbl.create 1024 in
+    List.iter (fun v -> Hashtbl.replace keyset (rfn v) ()) (Pdata.to_list rpd);
+    charge_local_cpu t lpd;
+    Obag
+      (Pdata.map_parts_preserving
+         (List.filter (fun v -> not (Hashtbl.mem keyset (lfn v))))
+         lpd)
+  end
+  else begin
+    let l = shuffle_by t lkey lfn lpd in
+    let r = shuffle_by t rkey rfn rpd in
+    charge_local_cpu t l;
+    charge_local_cpu t r;
+    let parts =
+      Array.init (Pdata.nparts l) (fun i ->
+          let rpart = if i < Pdata.nparts r then r.Pdata.parts.(i) else [] in
+          let keyset = Hashtbl.create (List.length rpart) in
+          List.iter (fun v -> Hashtbl.replace keyset (rfn v) ()) rpart;
+          List.filter (fun v -> not (Hashtbl.mem keyset (lfn v))) l.Pdata.parts.(i))
+    in
+    Obag
+      { Pdata.parts;
+        part_key = Some lkey;
+        rmult = lpd.Pdata.rmult;
+        bmult = lpd.Pdata.bmult }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Driver interpretation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Evaluate a pure driver expression: its free variables are resolved from
+   the driver environment (collecting distributed bags — DFL→DRV). *)
+and eval_driver_expr t env (e : Expr.expr) : Value.t =
+  let fv = Expr.free_vars e in
+  let eval_env =
+    Strset.fold
+      (fun x acc ->
+        match List.assoc_opt x env with
+        | None -> acc
+        | Some (Dscalar rv) -> Eval.bind x rv acc
+        | Some (Dbag h) -> Eval.bind x (Eval.V (Value.bag (force_bag t h))) acc
+        | Some (Dstateful _) -> acc)
+      fv Eval.empty_env
+  in
+  Eval.eval_value t.eval_ctx eval_env e
+
+let snapshot (env : (string * dval ref) list) : env = List.map (fun (n, r) -> (n, !r)) env
+
+let has_cache_root p =
+  let rec go = function
+    | Plan.Cache _ -> true
+    | Plan.Partition_by (_, q) -> go q
+    | _ -> false
+  in
+  go p
+
+let force_plan t (env : (string * dval ref) list) (p : Plan.t) : dval =
+  let snap = snapshot env in
+  match Plan.result_kind p with
+  | Plan.Rscalar -> begin
+      match in_job t (fun () -> exec_plan t snap p) with
+      | Oscalar v -> Dscalar (Eval.V v)
+      | _ -> raise (Engine_failure "expected a scalar dataflow result")
+    end
+  | Plan.Rstateful -> begin
+      match in_job t (fun () -> exec_plan t snap p) with
+      | Ostateful sh -> Dstateful sh
+      | _ -> raise (Engine_failure "expected a stateful dataflow result")
+    end
+  | Plan.Rbag ->
+      let cache_loc =
+        if has_cache_root p then
+          Some (if t.profile.Cluster.memory_cache then Mem else Dfs)
+        else None
+      in
+      let h = { h_plan = p; h_env = snap; h_cache = cache_loc; h_mat = None; h_collected = None } in
+      let needs_eager =
+        Plan.fold_plan
+          (fun acc n ->
+            acc
+            ||
+            match n with
+            | Plan.Stateful_update _ | Plan.Stateful_update_msgs _
+            (* reads of mutable state must be snapshotted at binding time,
+               like the native evaluator's eager [bag()] *)
+            | Plan.Stateful_read _ ->
+                true
+            | _ -> false)
+          false p
+      in
+      (* stateful updates have side effects and must run exactly once, now;
+         their result is pinned so consumers never re-run the update (and
+         state reads are pinned so later mutations stay invisible) *)
+      if needs_eager then begin
+        let pd =
+          match in_job t (fun () -> exec_plan t snap p) with
+          | Obag pd -> pd
+          | _ -> raise (Engine_failure "expected a bag-valued dataflow")
+        in
+        h.h_mat <- Some (pd, Mem)
+      end;
+      Dbag h
+
+let exec_rhs t (env : (string * dval ref) list) (r : Cprog.rhs) : dval =
+  match Cprog.plan_of_rhs r with
+  | Some p -> force_plan t env p
+  | None ->
+      (* general driver expression: force each thunk, then evaluate *)
+      let env_with_thunks =
+        List.fold_left
+          (fun acc (n, p) ->
+            let snap = snapshot env in
+            match Plan.result_kind p with
+            | Plan.Rscalar -> begin
+                match in_job t (fun () -> exec_plan t snap p) with
+                | Oscalar v -> (n, ref (Dscalar (Eval.V v))) :: acc
+                | _ -> raise (Engine_failure "expected scalar")
+              end
+            | Plan.Rbag -> begin
+                match in_job t (fun () -> exec_plan t snap p) with
+                | Obag pd ->
+                    let vs = Pdata.to_list pd in
+                    charge_collect t (Pdata.logical_bytes pd);
+                    (n, ref (Dscalar (Eval.V (Value.bag vs)))) :: acc
+                | _ -> raise (Engine_failure "expected bag")
+              end
+            | Plan.Rstateful -> begin
+                match in_job t (fun () -> exec_plan t snap p) with
+                | Ostateful sh -> (n, ref (Dstateful sh)) :: acc
+                | _ -> raise (Engine_failure "expected stateful")
+              end)
+          env r.Cprog.thunks
+      in
+      Dscalar (Eval.V (eval_driver_expr t (snapshot env_with_thunks) r.Cprog.expr))
+
+let as_bool = function
+  | Dscalar (Eval.V (Value.Bool b)) -> b
+  | _ -> raise (Engine_failure "expected a boolean driver value")
+
+let run t (prog : Cprog.t) : Value.t =
+  let rec exec_block env stmts = List.fold_left exec_stmt env stmts
+  and exec_stmt env s =
+    match s with
+    | Cprog.CLet (x, r) | Cprog.CVar (x, r) -> (x, ref (exec_rhs t env r)) :: env
+    | Cprog.CAssign (x, r) -> begin
+        match List.assoc_opt x env with
+        | Some cell ->
+            cell := exec_rhs t env r;
+            env
+        | None -> raise (Engine_failure (Printf.sprintf "assignment to unbound %s" x))
+      end
+    | Cprog.CWhile (c, body) ->
+        (* With native iteration support, the loop's dataflows are deployed
+           once and re-driven through feedback edges: iterations after the
+           first pay a reduced submission overhead. *)
+        let saved = t.iteration_rerun in
+        let rec loop first =
+          if as_bool (exec_rhs t env c) then begin
+            if (not first) && t.profile.Cluster.native_iterations then
+              t.iteration_rerun <- true;
+            ignore (exec_block env body);
+            loop false
+          end
+        in
+        loop true;
+        t.iteration_rerun <- saved;
+        env
+    | Cprog.CIf (c, th, el) ->
+        ignore (exec_block env (if as_bool (exec_rhs t env c) then th else el));
+        env
+    | Cprog.CWrite (name, r) -> begin
+        match exec_rhs t env r with
+        | Dbag h ->
+            let pd = materialize t h in
+            charge_dfs_write t (Pdata.logical_bytes pd);
+            Eval.register_table t.eval_ctx name (Pdata.to_list pd);
+            env
+        | Dscalar (Eval.V (Value.Bag vs)) ->
+            charge_dfs_write t (list_bytes vs);
+            Eval.register_table t.eval_ctx name vs;
+            env
+        | _ -> raise (Engine_failure "write: expected a bag")
+      end
+  in
+  let env = exec_block [] prog.Cprog.cbody in
+  match exec_rhs t env prog.Cprog.cret with
+  | Dscalar (Eval.V v) -> v
+  | Dbag h -> Value.bag (force_bag t h)
+  | Dscalar (Eval.Clo _) -> raise (Engine_failure "program returned a function")
+  | Dscalar (Eval.St _) | Dstateful _ ->
+      raise (Engine_failure "program returned a stateful bag")

@@ -1,0 +1,81 @@
+(** The simulated distributed runtime: executes abstract dataflow plans over
+    partitioned data and interprets compiled driver programs (thunks,
+    broadcast variables, loops — the data-motion model of Fig. 3b).
+
+    Semantics are exact — every operator computes the same bag the native
+    {!Emma_lang.Eval} interpreter would — while costs are charged to a
+    BSP-style model parameterized by {!Cluster.t} and an engine
+    {!Cluster.profile}:
+
+    {ul
+    {- {b lineage}: binding a bag-valued dataflow is lazy; each consumer
+       re-executes the plan (counted in [recomputes]) unless the plan was
+       compiled with a [Cache] root, which materializes eagerly — in memory
+       for Spark-like profiles, on the simulated DFS (paying I/O per reuse)
+       for Flink-like ones;}
+    {- {b joins} pick broadcast vs. repartition just-in-time from actual
+       input sizes, and skip shuffles for co-partitioned inputs;}
+    {- {b aggBy} performs map-side partial aggregation, shuffling one
+       aggregate per key per partition, while [groupBy] shuffles everything
+       and fails (Spark) or spills (Flink) when a single group exceeds the
+       per-slot memory budget;}
+    {- {b UDF captures} are shipped as broadcast variables, collecting
+       distributed operands first.}} *)
+
+module Value = Emma_value.Value
+module Plan = Emma_dataflow.Plan
+module Cprog = Emma_dataflow.Cprog
+module Eval = Emma_lang.Eval
+
+exception Engine_failure of string
+(** Unrecoverable job failure (e.g. an oversized reduce group on a
+    non-spilling engine). *)
+
+exception Engine_timeout of float
+(** Raised as soon as the simulated clock exceeds the configured timeout;
+    carries the clock value. *)
+
+type t
+(** An engine instance: cluster + profile + metrics + table storage. *)
+
+val create :
+  ?timeout_s:float ->
+  ?cache_loss_at:int list ->
+  cluster:Cluster.t ->
+  profile:Cluster.profile ->
+  Eval.ctx ->
+  t
+(** The [Eval.ctx] provides the named input tables and receives written
+    sinks, so engine runs and native runs are directly comparable.
+    [cache_loss_at] injects executor failures: at each listed (1-based)
+    cache-hit index the cached result is lost and silently recovered by
+    re-running its lineage — results must be unaffected, only costs. *)
+
+val metrics : t -> Metrics.t
+
+type dval =
+  | Dscalar of Eval.rvalue
+  | Dbag of handle  (** distributed bag (lazy lineage or materialized) *)
+  | Dstateful of state_handle
+
+and handle
+and state_handle
+
+val run : t -> Cprog.t -> Value.t
+(** Executes a compiled driver program and returns its result value
+    (distributed results are collected). Raises [Engine_failure] /
+    [Engine_timeout]. *)
+
+val force_bag : t -> handle -> Value.t list
+(** Collects a distributed bag to the driver (charging the motion). *)
+
+type trace_event = {
+  ev_op : string;
+  ev_records : float;  (** logical input records *)
+  ev_bytes : float;  (** logical input bytes *)
+  ev_clock : float;  (** simulated clock when the operator started *)
+}
+
+val trace : t -> trace_event list
+(** Chronological record of the executed operators with their input sizes
+    — the engine's observability hook (surfaced by the CLI's [--trace]). *)

@@ -1,0 +1,65 @@
+type t = {
+  mutable sim_time_s : float;
+  mutable shuffle_bytes : float;
+  mutable broadcast_bytes : float;
+  mutable dfs_read_bytes : float;
+  mutable dfs_write_bytes : float;
+  mutable collect_bytes : float;
+  mutable parallelize_bytes : float;
+  mutable spilled_bytes : float;
+  mutable jobs : int;
+  mutable stages : int;
+  mutable recomputes : int;
+  mutable cache_hits : int;
+  mutable cache_losses : int;
+  mutable udf_invocations : int;
+}
+
+let create () =
+  {
+    sim_time_s = 0.0;
+    shuffle_bytes = 0.0;
+    broadcast_bytes = 0.0;
+    dfs_read_bytes = 0.0;
+    dfs_write_bytes = 0.0;
+    collect_bytes = 0.0;
+    parallelize_bytes = 0.0;
+    spilled_bytes = 0.0;
+    jobs = 0;
+    stages = 0;
+    recomputes = 0;
+    cache_hits = 0;
+    cache_losses = 0;
+    udf_invocations = 0;
+  }
+
+let add_time m s = m.sim_time_s <- m.sim_time_s +. s
+
+let human_bytes b =
+  if b >= 1e12 then Printf.sprintf "%.2f TB" (b /. 1e12)
+  else if b >= 1e9 then Printf.sprintf "%.2f GB" (b /. 1e9)
+  else if b >= 1e6 then Printf.sprintf "%.2f MB" (b /. 1e6)
+  else if b >= 1e3 then Printf.sprintf "%.2f KB" (b /. 1e3)
+  else Printf.sprintf "%.0f B" b
+
+let to_rows m =
+  [
+    ("sim time", Printf.sprintf "%.1f s" m.sim_time_s);
+    ("shuffled", human_bytes m.shuffle_bytes);
+    ("broadcast", human_bytes m.broadcast_bytes);
+    ("dfs read", human_bytes m.dfs_read_bytes);
+    ("dfs write", human_bytes m.dfs_write_bytes);
+    ("collected", human_bytes m.collect_bytes);
+    ("parallelized", human_bytes m.parallelize_bytes);
+    ("spilled", human_bytes m.spilled_bytes);
+    ("jobs", string_of_int m.jobs);
+    ("stages", string_of_int m.stages);
+    ("recomputes", string_of_int m.recomputes);
+    ("cache hits", string_of_int m.cache_hits);
+    ("cache losses", string_of_int m.cache_losses);
+  ]
+
+let pp ppf m =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf (k, v) -> Fmt.pf ppf "%-14s %s" k v))
+    (to_rows m)

@@ -1,0 +1,27 @@
+(** Cost accounting for a simulated run. All byte quantities are logical
+    (physical × [data_scale]); [sim_time_s] is the simulated wall-clock the
+    cost model produces, which the experiment harness reports in place of
+    the paper's measured runtimes. *)
+
+type t = {
+  mutable sim_time_s : float;
+  mutable shuffle_bytes : float;
+  mutable broadcast_bytes : float;  (** total bytes shipped to workers *)
+  mutable dfs_read_bytes : float;
+  mutable dfs_write_bytes : float;
+  mutable collect_bytes : float;  (** DFL → DRV motion *)
+  mutable parallelize_bytes : float;  (** DRV → DFL motion *)
+  mutable spilled_bytes : float;
+  mutable jobs : int;  (** dataflows submitted *)
+  mutable stages : int;  (** operators executed *)
+  mutable recomputes : int;  (** lineage re-executions of a bound dataflow *)
+  mutable cache_hits : int;
+  mutable cache_losses : int;  (** injected failures recovered via lineage *)
+  mutable udf_invocations : int;  (** physical count, not scaled *)
+}
+
+val create : unit -> t
+val add_time : t -> float -> unit
+val pp : Format.formatter -> t -> unit
+val to_rows : t -> (string * string) list
+(** Key/value rendering for benchmark tables. *)

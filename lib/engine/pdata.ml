@@ -1,0 +1,63 @@
+module Value = Emma_value.Value
+module Plan = Emma_dataflow.Plan
+
+type t = {
+  parts : Value.t list array;
+  part_key : Plan.udf option;
+  rmult : float;
+  bmult : float;
+}
+
+let nparts t = Array.length t.parts
+
+let of_list ?(rmult = 1.0) ?(bmult = 1.0) ~nparts vs =
+  let parts = Array.make (max 1 nparts) [] in
+  List.iteri
+    (fun i v -> parts.(i mod Array.length parts) <- v :: parts.(i mod Array.length parts))
+    vs;
+  { parts = Array.map List.rev parts; part_key = None; rmult; bmult }
+
+let with_mult ~rmult ~bmult t = { t with rmult; bmult }
+
+let to_list t = List.concat (Array.to_list t.parts)
+
+let records t = Array.fold_left (fun acc p -> acc + List.length p) 0 t.parts
+let logical_records t = float_of_int (records t) *. t.rmult
+
+let part_bytes t =
+  Array.map
+    (fun p -> List.fold_left (fun acc v -> acc +. float_of_int (Value.byte_size v)) 0.0 p)
+    t.parts
+
+let bytes t = Array.fold_left ( +. ) 0.0 (part_bytes t)
+let logical_bytes t = bytes t *. t.bmult
+
+let repartition ~nparts ~key keyfn t =
+  let parts = Array.make (max 1 nparts) [] in
+  Array.iter
+    (List.iter (fun v ->
+         let i = abs (Value.hash (keyfn v)) mod Array.length parts in
+         parts.(i) <- v :: parts.(i)))
+    t.parts;
+  { t with parts = Array.map List.rev parts; part_key = Some key }
+
+let co_partitioned t key =
+  match t.part_key with
+  | Some k -> Plan.udf_alpha_equal k key
+  | None -> false
+
+let map_parts f t = { t with parts = Array.map f t.parts; part_key = None }
+let map_parts_preserving f t = { t with parts = Array.map f t.parts }
+
+let union a b =
+  let n = max (nparts a) (nparts b) in
+  let parts =
+    Array.init n (fun i ->
+        let pa = if i < nparts a then a.parts.(i) else [] in
+        let pb = if i < nparts b then b.parts.(i) else [] in
+        pa @ pb)
+  in
+  { parts;
+    part_key = None;
+    rmult = Float.max a.rmult b.rmult;
+    bmult = Float.max a.bmult b.bmult }

@@ -1,0 +1,62 @@
+(** Partitioned distributed collections: the engine's runtime representation
+    of a DataBag. Partition count equals the cluster DOP; [part_key] records
+    an established hash partitioning (the plan property joins and
+    aggregations test to skip shuffles).
+
+    {b Logical scaling.} Experiments run the cost model at the paper's data
+    volumes while materializing laptop-scale physical rows. Each collection
+    carries two multipliers set by provenance: [rmult] (logical records per
+    physical record) and [bmult] (logical bytes per physical byte). A
+    [Read] of a scaled table introduces the cluster's scale; element-wise
+    operators preserve it; aggregations collapse it — an [aggBy] output has
+    one record per key whether the input was scaled or not, which is
+    exactly why map-side combining wins. *)
+
+module Value = Emma_value.Value
+module Plan = Emma_dataflow.Plan
+
+type t = {
+  parts : Value.t list array;
+  part_key : Plan.udf option;
+      (** when set, every element [v] of partition [i] satisfies
+          [hash (key v) mod nparts = i] for this key UDF *)
+  rmult : float;  (** logical records per physical record *)
+  bmult : float;  (** logical bytes per physical byte *)
+}
+
+val nparts : t -> int
+
+val of_list : ?rmult:float -> ?bmult:float -> nparts:int -> Value.t list -> t
+(** Round-robin partitioning (no key property); multipliers default to 1. *)
+
+val with_mult : rmult:float -> bmult:float -> t -> t
+
+val to_list : t -> Value.t list
+val records : t -> int
+(** Physical record count. *)
+
+val logical_records : t -> float
+val bytes : t -> float
+(** Physical bytes. *)
+
+val logical_bytes : t -> float
+val part_bytes : t -> float array
+
+val repartition : nparts:int -> key:Plan.udf -> (Value.t -> Value.t) -> t -> t
+(** Hash-partitions by the evaluated key and records the partitioning
+    property; multipliers are preserved. *)
+
+val co_partitioned : t -> Plan.udf -> bool
+(** Whether the data is already hash-partitioned by an alpha-equal key. *)
+
+val map_parts : (Value.t list -> Value.t list) -> t -> t
+(** Narrow (partition-local) transformation; clears the key property,
+    preserves multipliers. *)
+
+val map_parts_preserving : (Value.t list -> Value.t list) -> t -> t
+(** Narrow transformation that cannot change element identity w.r.t. the
+    partitioning key (e.g. a filter); keeps the key property. *)
+
+val union : t -> t -> t
+(** Zips partitions pairwise; clears the key property; multipliers are the
+    pairwise maxima. *)

@@ -1,0 +1,161 @@
+(** Abstract syntax of the deeply embedded Emma language.
+
+    This plays the role of the Scala AST in the paper: programs are built
+    against the desugared monad-operator form ([Map]/[FlatMap]/[Filter]
+    chains — see {!Surface} for the comprehension syntax that desugars into
+    them), and the compiler pipeline rewrites these trees. The [Comp] node
+    is the {e comprehension view} the pipeline's first step superimposes on
+    maximal DataBag expressions (paper §4.1); user programs never contain it
+    directly.
+
+    Expressions are untyped; shape errors surface as
+    [Emma_value.Value.Type_error] at evaluation time, and every compiler
+    rewrite is semantics-preserving by construction (and by the qcheck
+    suites that evaluate both sides). *)
+
+type source =
+  | Src_table of string  (** named dataset registered with the runtime context *)
+
+type sink = Snk_table of string
+
+(** Well-known fold algebras. [Tag_generic] carries no structural knowledge;
+    the tags let rewrite rules recognize folds the paper treats specially
+    (notably [Tag_exists] for exists-unnesting, §4.2.1) without requiring
+    user annotations. *)
+type fold_tag =
+  | Tag_generic
+  | Tag_sum
+  | Tag_count
+  | Tag_exists
+  | Tag_forall
+  | Tag_min_by
+  | Tag_max_by
+  | Tag_is_empty
+
+type expr =
+  | Const of Emma_value.Value.t
+  | Var of string
+  | Lam of string * expr
+  | App of expr * expr
+  | Tuple of expr list
+  | Proj of expr * int
+  | Record of (string * expr) list
+  | Field of expr * string
+  | Prim of Prim.t * expr list
+  | If of expr * expr * expr
+  | Let of string * expr * expr
+  (* -- DataBag expressions ------------------------------------------- *)
+  | BagOf of expr list  (** bag literal: [DataBag(Seq(e1, ..., en))] *)
+  | Range of expr * expr  (** [DataBag(lo to hi)]: bag of ints, inclusive *)
+  | Read of source
+  | Map of expr * expr  (** [Map (f, xs)] where [f] is a [Lam] *)
+  | FlatMap of expr * expr
+  | Filter of expr * expr  (** [withFilter] *)
+  | GroupBy of expr * expr
+      (** [GroupBy (k, xs)] yields records [{key; values}] with [values] a
+          nested bag — the paper's [Grp] type. *)
+  | Fold of fold_fns * expr  (** scalar-valued structural recursion *)
+  | AggBy of expr * fold_fns * expr
+      (** [AggBy (k, f, xs)]: fused group-and-fold (the paper's [aggBy],
+          §4.2.2), yielding records [{key; agg}]. Introduced by the
+          fold-group-fusion rewrite; expressible directly too. *)
+  | Union of expr * expr  (** [plus] *)
+  | Minus of expr * expr
+  | Distinct of expr
+  (* -- comprehension views (inserted by resugaring) ------------------- *)
+  | Comp of comp
+  | Flatten of expr  (** flatten of a bag-of-bags-valued comprehension *)
+  (* -- stateful bags --------------------------------------------------- *)
+  | Stateful_create of { key : expr; init : expr }
+      (** converts a DataBag into a StatefulBag keyed by [key] *)
+  | Stateful_bag of expr  (** reads the current state as a DataBag *)
+  | Stateful_update of { state : expr; udf : expr }
+      (** point-wise update; evaluates to the delta bag *)
+  | Stateful_update_msgs of { state : expr; msg_key : expr; messages : expr; udf : expr }
+      (** update with messages; evaluates to the delta bag *)
+
+and comp = { head : expr; quals : qual list; alg : alg }
+
+and qual =
+  | QGen of string * expr  (** generator [x <- xs] *)
+  | QGuard of expr  (** filter [p x1 ... xn] *)
+
+and alg =
+  | Alg_bag  (** construct a result bag *)
+  | Alg_fold of fold_fns  (** evaluate under a fold algebra *)
+
+and fold_fns = {
+  f_empty : expr;  (** value substituted for [emp] *)
+  f_single : expr;  (** unary [Lam] substituted for [sng] *)
+  f_union : expr;  (** binary ([Lam] of [Lam]) substituted for [uni] *)
+  f_tag : fold_tag;
+}
+
+type stmt =
+  | SLet of string * expr  (** [val x = e] *)
+  | SVar of string * expr  (** [var x = e] *)
+  | SAssign of string * expr
+  | SWhile of expr * stmt list
+  | SIf of expr * stmt list * stmt list
+  | SWrite of sink * expr
+
+type program = { body : stmt list; ret : expr }
+(** A driver program: statements followed by a result expression (used by
+    tests and the CLI to observe the outcome; [ret] may be [Const Unit]). *)
+
+(** {1 Generic traversal} *)
+
+val map_children : (expr -> expr) -> expr -> expr
+(** Applies [f] to every immediate subexpression (not recursively). *)
+
+val rewrite_bottom_up : (expr -> expr) -> expr -> expr
+(** Rebuilds the tree bottom-up, applying [f] at every node after its
+    children have been rewritten. *)
+
+val rewrite_fixpoint : (expr -> expr option) -> expr -> expr
+(** Repeatedly applies the partial rewrite [f] anywhere in the tree
+    (innermost-first) until no rule fires anywhere. *)
+
+val iter_exprs : (expr -> unit) -> expr -> unit
+(** Pre-order visit of every node. *)
+
+val exists_expr : (expr -> bool) -> expr -> bool
+
+val map_program_exprs : (expr -> expr) -> program -> program
+(** Applies [f] to every top-level statement expression (not recursively
+    inside them). *)
+
+val iter_program_exprs : (expr -> unit) -> program -> unit
+
+(** {1 Variables} *)
+
+val free_vars : expr -> Emma_util.Strset.t
+val comp_bound_vars : qual list -> Emma_util.Strset.t
+
+val fresh : string -> string
+(** [fresh hint] generates a globally fresh variable name based on [hint]. *)
+
+val subst : string -> expr -> expr -> expr
+(** [subst x e body] capture-avoidingly substitutes [e] for free
+    occurrences of [x] in [body], alpha-renaming binders as needed. *)
+
+val rename_avoiding : Emma_util.Strset.t -> qual list -> expr -> qual list * expr
+(** Alpha-renames the generators of a qualifier list (and the dependent
+    head/qualifier occurrences) so none of the bound names clashes with the
+    given set. *)
+
+val beta_reduce : expr -> expr
+(** Normalizes administrative redexes: [App (Lam (x, b), a)] becomes
+    [subst x a b], recursively. Used to keep rewritten terms readable. *)
+
+(** {1 Predicates} *)
+
+val is_bag_op : expr -> bool
+(** True for nodes whose result is collection-typed (DataBag operators,
+    bag literals, comprehensions with a Bag algebra, stateful deltas). *)
+
+val equal : expr -> expr -> bool
+(** Structural (alpha-sensitive) equality. *)
+
+val size : expr -> int
+(** Number of AST nodes; used by tests and the inliner's size heuristics. *)

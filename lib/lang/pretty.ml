@@ -1,0 +1,112 @@
+open Expr
+module Value = Emma_value.Value
+
+let fold_tag_name = function
+  | Tag_generic -> "fold"
+  | Tag_sum -> "sum"
+  | Tag_count -> "count"
+  | Tag_exists -> "exists"
+  | Tag_forall -> "forall"
+  | Tag_min_by -> "minBy"
+  | Tag_max_by -> "maxBy"
+  | Tag_is_empty -> "isEmpty"
+
+let rec pp_expr ppf e =
+  match e with
+  | Const v -> Value.pp ppf v
+  | Var x -> Fmt.string ppf x
+  | Lam (x, b) -> Fmt.pf ppf "(%s => %a)" x pp_expr b
+  | App (f, a) -> Fmt.pf ppf "%a(%a)" pp_expr f pp_expr a
+  | Tuple es -> Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") pp_expr) es
+  | Proj (a, i) -> Fmt.pf ppf "%a._%d" pp_expr a (i + 1)
+  | Record fields ->
+      Fmt.pf ppf "{%a}"
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (n, v) -> Fmt.pf ppf "%s = %a" n pp_expr v))
+        fields
+  | Field (a, n) -> Fmt.pf ppf "%a.%s" pp_expr a n
+  | Prim (p, [ a; b ]) when Prim.arity p = 2 ->
+      Fmt.pf ppf "(%a %s %a)" pp_expr a (prim_symbol p) pp_expr b
+  | Prim (p, args) ->
+      Fmt.pf ppf "%s(%a)" (Prim.name p) (Fmt.list ~sep:(Fmt.any ", ") pp_expr) args
+  | If (c, t, e) -> Fmt.pf ppf "(if %a then %a else %a)" pp_expr c pp_expr t pp_expr e
+  | Let (x, a, b) -> Fmt.pf ppf "@[<v>let %s = %a in@ %a@]" x pp_expr a pp_expr b
+  | BagOf es -> Fmt.pf ppf "DataBag(%a)" (Fmt.list ~sep:(Fmt.any ", ") pp_expr) es
+  | Range (a, b) -> Fmt.pf ppf "DataBag(%a to %a)" pp_expr a pp_expr b
+  | Read (Src_table t) -> Fmt.pf ppf "read(%S)" t
+  | Map (f, xs) -> Fmt.pf ppf "%a@,.map(%a)" pp_expr xs pp_expr f
+  | FlatMap (f, xs) -> Fmt.pf ppf "%a@,.flatMap(%a)" pp_expr xs pp_expr f
+  | Filter (p, xs) -> Fmt.pf ppf "%a@,.withFilter(%a)" pp_expr xs pp_expr p
+  | GroupBy (k, xs) -> Fmt.pf ppf "%a@,.groupBy(%a)" pp_expr xs pp_expr k
+  | Fold (fns, xs) -> Fmt.pf ppf "%a@,.%a" pp_expr xs pp_fold fns
+  | AggBy (k, fns, xs) ->
+      Fmt.pf ppf "%a@,.aggBy(%a, %a)" pp_expr xs pp_expr k pp_fold fns
+  | Union (a, b) -> Fmt.pf ppf "%a.plus(%a)" pp_expr a pp_expr b
+  | Minus (a, b) -> Fmt.pf ppf "%a.minus(%a)" pp_expr a pp_expr b
+  | Distinct a -> Fmt.pf ppf "%a.distinct()" pp_expr a
+  | Comp c -> pp_comp ppf c
+  | Flatten a -> Fmt.pf ppf "flatten %a" pp_expr a
+  | Stateful_create { key; init } ->
+      Fmt.pf ppf "stateful(key = %a, %a)" pp_expr key pp_expr init
+  | Stateful_bag a -> Fmt.pf ppf "%a.bag()" pp_expr a
+  | Stateful_update { state; udf } -> Fmt.pf ppf "%a.update(%a)" pp_expr state pp_expr udf
+  | Stateful_update_msgs { state; msg_key; messages; udf } ->
+      Fmt.pf ppf "%a.update(%a by %a)(%a)" pp_expr state pp_expr messages pp_expr msg_key
+        pp_expr udf
+
+and prim_symbol p =
+  match p with
+  | Prim.Add -> "+"
+  | Prim.Sub -> "-"
+  | Prim.Mul -> "*"
+  | Prim.Div -> "/"
+  | Prim.Mod -> "%"
+  | Prim.Eq -> "=="
+  | Prim.Ne -> "!="
+  | Prim.Lt -> "<"
+  | Prim.Le -> "<="
+  | Prim.Gt -> ">"
+  | Prim.Ge -> ">="
+  | Prim.And -> "&&"
+  | Prim.Or -> "||"
+  | p -> Prim.name p
+
+and pp_fold ppf fns =
+  match fns.f_tag with
+  | Tag_generic ->
+      Fmt.pf ppf "fold(%a, %a, %a)" pp_expr fns.f_empty pp_expr fns.f_single pp_expr
+        fns.f_union
+  | tag -> Fmt.pf ppf "%s(%a)" (fold_tag_name tag) pp_expr fns.f_single
+
+and pp_comp ppf { head; quals; alg } =
+  Fmt.pf ppf "[[ %a | %a ]]^%a" pp_expr head
+    (Fmt.list ~sep:(Fmt.any ", ") pp_qual)
+    quals pp_alg alg
+
+and pp_qual ppf = function
+  | QGen (x, src) -> Fmt.pf ppf "%s <- %a" x pp_expr src
+  | QGuard p -> pp_expr ppf p
+
+and pp_alg ppf = function
+  | Alg_bag -> Fmt.string ppf "Bag"
+  | Alg_fold fns -> pp_fold ppf fns
+
+let rec pp_stmt ppf = function
+  | SLet (x, e) -> Fmt.pf ppf "@[<hov 2>val %s =@ %a@]" x pp_expr e
+  | SVar (x, e) -> Fmt.pf ppf "@[<hov 2>var %s =@ %a@]" x pp_expr e
+  | SAssign (x, e) -> Fmt.pf ppf "@[<hov 2>%s =@ %a@]" x pp_expr e
+  | SWhile (c, body) ->
+      Fmt.pf ppf "@[<v 2>while (%a) {@ %a@]@ }" pp_expr c
+        (Fmt.list ~sep:Fmt.cut pp_stmt) body
+  | SIf (c, t, []) ->
+      Fmt.pf ppf "@[<v 2>if (%a) {@ %a@]@ }" pp_expr c (Fmt.list ~sep:Fmt.cut pp_stmt) t
+  | SIf (c, t, e) ->
+      Fmt.pf ppf "@[<v 2>if (%a) {@ %a@]@ @[<v 2>} else {@ %a@]@ }" pp_expr c
+        (Fmt.list ~sep:Fmt.cut pp_stmt) t
+        (Fmt.list ~sep:Fmt.cut pp_stmt) e
+  | SWrite (Snk_table t, e) -> Fmt.pf ppf "@[<hov 2>write(%S,@ %a)@]" t pp_expr e
+
+let pp_program ppf { body; ret } =
+  Fmt.pf ppf "@[<v>%a@ return %a@]" (Fmt.list ~sep:Fmt.cut pp_stmt) body pp_expr ret
+
+let expr_to_string e = Fmt.str "%a" pp_expr e
+let program_to_string p = Fmt.str "%a" pp_program p

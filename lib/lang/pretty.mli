@@ -1,0 +1,11 @@
+(** Pretty-printing of embedded-language terms, comprehensions and programs.
+    The output uses the paper's notation where it exists: comprehensions
+    print as [[[ head | q1, q2, ... ]]^alg], folds as [fold(e, s, u)]. *)
+
+val pp_expr : Format.formatter -> Expr.expr -> unit
+val pp_qual : Format.formatter -> Expr.qual -> unit
+val pp_stmt : Format.formatter -> Expr.stmt -> unit
+val pp_program : Format.formatter -> Expr.program -> unit
+val expr_to_string : Expr.expr -> string
+val program_to_string : Expr.program -> string
+val fold_tag_name : Expr.fold_tag -> string

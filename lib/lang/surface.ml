@@ -1,0 +1,202 @@
+open Expr
+module Value = Emma_value.Value
+
+let unit_ = Const Value.Unit
+let bool_ b = Const (Value.Bool b)
+let int_ n = Const (Value.Int n)
+let float_ f = Const (Value.Float f)
+let str s = Const (Value.String s)
+let vec fs = Const (Value.Vector (Array.of_list fs))
+let var x = Var x
+let lam x f = Lam (x, f (Var x))
+let lam2 x y f = Lam (x, Lam (y, f (Var x) (Var y)))
+let app f a = App (f, a)
+let let_ x e f = Let (x, e, f (Var x))
+
+let tup es = Tuple es
+let proj e i = Proj (e, i)
+let record fields = Record fields
+let field e n = Field (e, n)
+let some_ e = Prim (Prim.Mk_some, [ e ])
+let none_ = Prim (Prim.Mk_none, [])
+let opt_get e = Prim (Prim.Opt_get, [ e ])
+let is_some e = Prim (Prim.Is_some, [ e ])
+
+let ( + ) a b = Prim (Prim.Add, [ a; b ])
+let ( - ) a b = Prim (Prim.Sub, [ a; b ])
+let ( * ) a b = Prim (Prim.Mul, [ a; b ])
+let ( / ) a b = Prim (Prim.Div, [ a; b ])
+let ( mod ) a b = Prim (Prim.Mod, [ a; b ])
+let ( = ) a b = Prim (Prim.Eq, [ a; b ])
+let ( <> ) a b = Prim (Prim.Ne, [ a; b ])
+let ( < ) a b = Prim (Prim.Lt, [ a; b ])
+let ( <= ) a b = Prim (Prim.Le, [ a; b ])
+let ( > ) a b = Prim (Prim.Gt, [ a; b ])
+let ( >= ) a b = Prim (Prim.Ge, [ a; b ])
+let ( && ) a b = Prim (Prim.And, [ a; b ])
+let ( || ) a b = Prim (Prim.Or, [ a; b ])
+let not_ a = Prim (Prim.Not, [ a ])
+let if_ c t e = If (c, t, e)
+let to_float a = Prim (Prim.To_float, [ a ])
+let min2 a b = Prim (Prim.Min2, [ a; b ])
+let max2 a b = Prim (Prim.Max2, [ a; b ])
+
+let mk_blob bytes tag = Prim (Prim.Mk_blob, [ bytes; tag ])
+let blob_bytes b = Prim (Prim.Blob_bytes, [ b ])
+let vadd a b = Prim (Prim.Vadd, [ a; b ])
+let vdiv a b = Prim (Prim.Vdiv_scalar, [ a; b ])
+let vdist a b = Prim (Prim.Vdist, [ a; b ])
+let vzeros n = Prim (Prim.Vzeros, [ n ])
+
+let bag_of es = BagOf es
+let range lo hi = Range (lo, hi)
+let read t = Read (Src_table t)
+let write t e = SWrite (Snk_table t, e)
+let map f xs = Map (f, xs)
+let flat_map f xs = FlatMap (f, xs)
+let with_filter p xs = Filter (p, xs)
+let group_by k xs = GroupBy (k, xs)
+let union a b = Union (a, b)
+let minus a b = Minus (a, b)
+let distinct a = Distinct a
+
+(* -- folds ----------------------------------------------------------- *)
+
+let fold ~empty ~single ~union xs =
+  Fold ({ f_empty = empty; f_single = single; f_union = union; f_tag = Tag_generic }, xs)
+
+let id_lam = lam "x" Fun.id
+
+let sum xs =
+  Fold
+    ( { f_empty = int_ 0;
+        f_single = id_lam;
+        f_union = lam2 "a" "b" ( + );
+        f_tag = Tag_sum },
+      xs )
+
+let vsum ~dim xs =
+  Fold
+    ( { f_empty = vzeros (int_ dim);
+        f_single = id_lam;
+        f_union = lam2 "a" "b" vadd;
+        f_tag = Tag_sum },
+      xs )
+
+let count xs =
+  Fold
+    ( { f_empty = int_ 0;
+        f_single = lam "x" (fun _ -> int_ 1);
+        f_union = lam2 "a" "b" ( + );
+        f_tag = Tag_count },
+      xs )
+
+let exists p xs =
+  Fold
+    ( { f_empty = bool_ false;
+        f_single = p;
+        f_union = lam2 "a" "b" ( || );
+        f_tag = Tag_exists },
+      xs )
+
+let forall p xs =
+  Fold
+    ( { f_empty = bool_ true;
+        f_single = p;
+        f_union = lam2 "a" "b" ( && );
+        f_tag = Tag_forall },
+      xs )
+
+let product xs =
+  Fold
+    ( { f_empty = float_ 1.0;
+        f_single = id_lam;
+        f_union = lam2 "a" "b" ( * );
+        f_tag = Tag_generic },
+      xs )
+
+let is_empty xs =
+  Fold
+    ( { f_empty = bool_ true;
+        f_single = lam "x" (fun _ -> bool_ false);
+        f_union = lam2 "a" "b" ( && );
+        f_tag = Tag_is_empty },
+      xs )
+
+(* minBy/maxBy carry their measure inside the union function and wrap
+   candidates in Option, like the DataBag API's minBy alias. *)
+let extremum_by tag better f xs =
+  let pick =
+    lam2 "a" "b" (fun a b ->
+        if_ (is_some a)
+          (if_ (is_some b)
+             (if_ (better (app f (opt_get a)) (app f (opt_get b))) a b)
+             a)
+          b)
+  in
+  Fold
+    ({ f_empty = none_; f_single = lam "x" (fun x -> some_ x); f_union = pick; f_tag = tag }, xs)
+
+let min_by f xs = extremum_by Tag_min_by ( <= ) f xs
+let max_by f xs = extremum_by Tag_max_by ( >= ) f xs
+
+(* plain min/max on comparable elements (Option-valued, like minBy) *)
+let extremum tag pick xs =
+  let merge =
+    lam2 "a" "b" (fun a b ->
+        if_ (is_some a) (if_ (is_some b) (some_ (pick (opt_get a) (opt_get b))) a) b)
+  in
+  Fold
+    ({ f_empty = none_; f_single = lam "x" (fun x -> some_ x); f_union = merge; f_tag = tag }, xs)
+
+let min_ xs = extremum Tag_min_by min2 xs
+let max_ xs = extremum Tag_max_by max2 xs
+
+(* average as a single pair-fold: banana split keeps it one aggBy slot
+   when it occurs over group values *)
+let avg xs =
+  let pair_fold =
+    Fold
+      ( { f_empty = tup [ float_ 0.0; int_ 0 ];
+          f_single = lam "x" (fun x -> tup [ to_float x; int_ 1 ]);
+          f_union =
+            lam2 "a" "b" (fun a b -> tup [ proj a 0 + proj b 0; proj a 1 + proj b 1 ]);
+          f_tag = Tag_generic },
+        xs )
+  in
+  Let ("$avg", pair_fold, proj (Var "$avg") 0 / to_float (proj (Var "$avg") 1))
+
+(* -- comprehensions --------------------------------------------------- *)
+
+type squal = SGen of string * expr | SGuard of expr
+
+let gen x xs = SGen (x, xs)
+let when_ p = SGuard p
+
+let rec for_ quals ~yield =
+  match quals with
+  | [] -> invalid_arg "for_: empty qualifier list"
+  | SGuard _ :: _ -> invalid_arg "for_: a guard cannot precede every generator"
+  | [ SGen (x, xs) ] -> Map (Lam (x, yield), xs)
+  | SGen (x, xs) :: SGuard p :: rest ->
+      (* for (x <- xs; if p; rest) == for (x <- xs.withFilter(x => p); rest) *)
+      for_ (SGen (x, Filter (Lam (x, p), xs)) :: rest) ~yield
+  | SGen (x, xs) :: rest -> FlatMap (Lam (x, for_ rest ~yield), xs)
+
+(* -- stateful bags ----------------------------------------------------- *)
+
+let stateful ~key init = Stateful_create { key; init }
+let state_bag s = Stateful_bag s
+let update s udf = Stateful_update { state = s; udf }
+
+let update_msgs s ~msg_key ~messages udf =
+  Stateful_update_msgs { state = s; msg_key; messages; udf }
+
+(* -- statements -------------------------------------------------------- *)
+
+let s_let x e = SLet (x, e)
+let s_var x e = SVar (x, e)
+let assign x e = SAssign (x, e)
+let while_ c body = SWhile (c, body)
+let s_if c t e = SIf (c, t, e)
+let program ?(ret = unit_) body = { body; ret }

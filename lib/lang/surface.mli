@@ -1,0 +1,152 @@
+(** Surface syntax: smart constructors for writing embedded Emma programs in
+    OCaml, including a [for_] comprehension form that desugars into
+    [map]/[flatMap]/[withFilter] chains {e exactly} like the Scala compiler
+    does (§6.19 of the Scala spec) — so the compiler pipeline's
+    comprehension-recovery step receives the same post-desugar trees the
+    paper's macro sees. *)
+
+open Expr
+
+(** {1 Literals and variables} *)
+
+val unit_ : expr
+val bool_ : bool -> expr
+val int_ : int -> expr
+val float_ : float -> expr
+val str : string -> expr
+val vec : float list -> expr
+val var : string -> expr
+val lam : string -> (expr -> expr) -> expr
+(** [lam "x" (fun x -> body)] builds [Lam] with a hygiene-free name; the
+    callback receives [Var "x"]. *)
+
+val lam2 : string -> string -> (expr -> expr -> expr) -> expr
+val app : expr -> expr -> expr
+val let_ : string -> expr -> (expr -> expr) -> expr
+
+(** {1 Tuples, records, options} *)
+
+val tup : expr list -> expr
+val proj : expr -> int -> expr
+val record : (string * expr) list -> expr
+val field : expr -> string -> expr
+val some_ : expr -> expr
+val none_ : expr
+val opt_get : expr -> expr
+val is_some : expr -> expr
+
+(** {1 Operators} *)
+
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val ( mod ) : expr -> expr -> expr
+val ( = ) : expr -> expr -> expr
+val ( <> ) : expr -> expr -> expr
+val ( < ) : expr -> expr -> expr
+val ( <= ) : expr -> expr -> expr
+val ( > ) : expr -> expr -> expr
+val ( >= ) : expr -> expr -> expr
+val ( && ) : expr -> expr -> expr
+val ( || ) : expr -> expr -> expr
+val not_ : expr -> expr
+val if_ : expr -> expr -> expr -> expr
+val to_float : expr -> expr
+val min2 : expr -> expr -> expr
+val max2 : expr -> expr -> expr
+
+val mk_blob : expr -> expr -> expr
+(** [mk_blob bytes tag]: an opaque payload of the given logical size. *)
+
+val blob_bytes : expr -> expr
+(** Logical size of a blob. *)
+
+(** {1 Vector operations} *)
+
+val vadd : expr -> expr -> expr
+val vdiv : expr -> expr -> expr
+val vdist : expr -> expr -> expr
+val vzeros : expr -> expr
+
+(** {1 DataBag operators (desugared form)} *)
+
+val bag_of : expr list -> expr
+val range : expr -> expr -> expr
+val read : string -> expr
+val write : string -> expr -> stmt
+val map : expr -> expr -> expr
+val flat_map : expr -> expr -> expr
+val with_filter : expr -> expr -> expr
+val group_by : expr -> expr -> expr
+val union : expr -> expr -> expr
+val minus : expr -> expr -> expr
+val distinct : expr -> expr
+
+(** {1 Folds and aliases} *)
+
+val fold : empty:expr -> single:expr -> union:expr -> expr -> expr
+val sum : expr -> expr
+(** Numeric sum; works uniformly on int/float bags (and vectors via
+    [vsum]). *)
+
+val vsum : dim:int -> expr -> expr
+(** Sum of a bag of vectors of the given dimension. *)
+
+val product : expr -> expr
+(** Numeric product (float). *)
+
+val count : expr -> expr
+val exists : expr -> expr -> expr
+val forall : expr -> expr -> expr
+val is_empty : expr -> expr
+val min_by : expr -> expr -> expr
+(** [min_by f xs]: [Option]-valued minimum by a numeric measure [f]. *)
+
+val max_by : expr -> expr -> expr
+
+val min_ : expr -> expr
+(** [Option]-valued minimum under the structural order. *)
+
+val max_ : expr -> expr
+
+val avg : expr -> expr
+(** Numeric mean, computed as a single (sum, count) pair fold — one
+    banana-split slot when used over group values. Division by zero on an
+    empty bag surfaces as a [Type_error], like [opt_get] on [minBy]. *)
+
+(** {1 Comprehension syntax} *)
+
+type squal
+val gen : string -> expr -> squal
+(** [gen "x" xs] is the generator [x <- xs]. *)
+
+val when_ : expr -> squal
+(** A guard. Must follow at least one generator, as in Scala. *)
+
+val for_ : squal list -> yield:expr -> expr
+(** Desugars to monad-operator chains following the Scala scheme:
+    {ul
+    {- [for (x <- xs) yield e] ⟹ [xs.map(x => e)]}
+    {- [for (x <- xs; if p; ...) yield e] ⟹
+       [for (x <- xs.withFilter(x => p); ...) yield e]}
+    {- [for (x <- xs; y <- ys; ...) yield e] ⟹
+       [xs.flatMap(x => for (y <- ys; ...) yield e)]}}
+    Raises [Invalid_argument] on an empty qualifier list or a leading
+    guard. *)
+
+(** {1 Stateful bags} *)
+
+val stateful : key:expr -> expr -> expr
+val state_bag : expr -> expr
+val update : expr -> expr -> expr
+val update_msgs : expr -> msg_key:expr -> messages:expr -> expr -> expr
+
+(** {1 Statements} *)
+
+val s_let : string -> expr -> stmt
+val s_var : string -> expr -> stmt
+val assign : string -> expr -> stmt
+val while_ : expr -> stmt list -> stmt
+val s_if : expr -> stmt list -> stmt list -> stmt
+val program : ?ret:expr -> stmt list -> program

@@ -1,0 +1,137 @@
+module Value = Emma_value.Value
+module Expr = Emma_lang.Expr
+module S = Emma_lang.Surface
+
+(* ------------------------------------------------------------------ *)
+(* Value-level constructors                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cell i j v =
+  Value.record [ ("i", Value.Int i); ("j", Value.Int j); ("v", Value.Float v) ]
+
+let cells_of_dense m =
+  List.concat
+    (Array.to_list
+       (Array.mapi
+          (fun i row ->
+            Array.to_list row
+            |> List.mapi (fun j v -> (j, v))
+            |> List.filter_map (fun (j, v) -> if v = 0.0 then None else Some (cell i j v)))
+          m))
+
+let dense_of_cells ~rows ~cols cells =
+  let m = Array.make_matrix rows cols 0.0 in
+  List.iter
+    (fun c ->
+      let i = Value.to_int (Value.field c "i") in
+      let j = Value.to_int (Value.field c "j") in
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg "Matrix.dense_of_cells: coordinate out of range";
+      m.(i).(j) <- m.(i).(j) +. Value.to_float (Value.field c "v"))
+    cells;
+  m
+
+let vector_cells x =
+  Array.to_list x
+  |> List.mapi (fun i v -> (i, v))
+  |> List.filter_map (fun (i, v) ->
+         if v = 0.0 then None
+         else Some (Value.record [ ("i", Value.Int i); ("v", Value.Float v) ]))
+
+let dense_of_vector_cells ~dim cells =
+  let x = Array.make dim 0.0 in
+  List.iter
+    (fun c ->
+      let i = Value.to_int (Value.field c "i") in
+      if i < 0 || i >= dim then invalid_arg "Matrix.dense_of_vector_cells: index out of range";
+      x.(i) <- x.(i) +. Value.to_float (Value.field c "v"))
+    cells;
+  x
+
+(* ------------------------------------------------------------------ *)
+(* Expression-level operations                                          *)
+(* ------------------------------------------------------------------ *)
+
+let scale k m =
+  S.(
+    for_
+      [ gen "c" m ]
+      ~yield:
+        (record
+           [ ("i", field (var "c") "i");
+             ("j", field (var "c") "j");
+             ("v", float_ k * field (var "c") "v") ]))
+
+let transpose m =
+  S.(
+    for_
+      [ gen "c" m ]
+      ~yield:
+        (record
+           [ ("i", field (var "c") "j");
+             ("j", field (var "c") "i");
+             ("v", field (var "c") "v") ]))
+
+(* sum the "v" fields of a cell group keyed by coordinate *)
+let summed_by group_key cells yield_coords =
+  S.(
+    for_
+      [ gen "g" (group_by group_key cells) ]
+      ~yield:
+        (record
+           (yield_coords (field (var "g") "key")
+           @ [ ("v", sum (map (lam "c" (fun c -> field c "v")) (field (var "g") "values"))) ])))
+
+let add a b =
+  summed_by
+    (S.lam "c" (fun c -> S.tup [ S.field c "i"; S.field c "j" ]))
+    (S.union a b)
+    (fun key -> [ ("i", S.proj key 0); ("j", S.proj key 1) ])
+
+let multiply a b =
+  let products =
+    S.(
+      for_
+        [ gen "x" a;
+          gen "y" b;
+          when_ (field (var "x") "j" = field (var "y") "i") ]
+        ~yield:
+          (record
+             [ ("i", field (var "x") "i");
+               ("j", field (var "y") "j");
+               ("v", field (var "x") "v" * field (var "y") "v") ]))
+  in
+  summed_by
+    (S.lam "c" (fun c -> S.tup [ S.field c "i"; S.field c "j" ]))
+    products
+    (fun key -> [ ("i", S.proj key 0); ("j", S.proj key 1) ])
+
+let matvec a x =
+  let products =
+    S.(
+      for_
+        [ gen "c" a;
+          gen "e" x;
+          when_ (field (var "c") "j" = field (var "e") "i") ]
+        ~yield:
+          (record
+             [ ("i", field (var "c") "i");
+               ("v", field (var "c") "v" * field (var "e") "v") ]))
+  in
+  S.(
+    for_
+      [ gen "g" (group_by (lam "c" (fun c -> field c "i")) products) ]
+      ~yield:
+        (record
+           [ ("i", field (var "g") "key");
+             ("v", sum (map (lam "c" (fun c -> field c "v")) (field (var "g") "values"))) ]))
+
+let frobenius_norm2 m =
+  S.(sum (map (lam "c" (fun c -> field c "v" * field c "v")) m))
+
+let trace m =
+  S.(
+    sum
+      (map
+         (lam "c" (fun c -> field c "v"))
+         (with_filter (lam "c" (fun c -> field c "i" = field c "j")) m)))

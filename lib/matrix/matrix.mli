@@ -1,0 +1,56 @@
+(** Distributed linear algebra on top of the DataBag API — the paper's §7
+    names this as the intended way to grow Emma: domain abstractions are
+    {e libraries of comprehensions}, so they inherit every optimization of
+    the core pipeline instead of needing dedicated runtime operators.
+
+    A matrix is a DataBag of coordinate cells [{i; j; v}] (sparse: absent
+    cells are zero); a vector is a DataBag of [{i; v}]. All operations
+    below build ordinary Emma expressions: matrix multiplication is an
+    equi-join ([a.j == b.i]) followed by a grouped sum — the compiler turns
+    the join into a repartition/broadcast join and the grouped sum into a
+    map-side-combining [aggBy], with no linear-algebra-specific code
+    anywhere in the stack. *)
+
+module Expr = Emma_lang.Expr
+
+(** {1 Value-level constructors (for feeding tables)} *)
+
+val cells_of_dense : float array array -> Emma_value.Value.t list
+(** Coordinate cells of a dense matrix; zero entries are skipped. *)
+
+val dense_of_cells : rows:int -> cols:int -> Emma_value.Value.t list -> float array array
+(** Rebuild a dense matrix from (possibly unordered) cells; absent cells
+    are 0. Raises [Invalid_argument] on out-of-range coordinates. *)
+
+val vector_cells : float array -> Emma_value.Value.t list
+(** Coordinate cells [{i; v}] of a vector; zeros are skipped. *)
+
+val dense_of_vector_cells : dim:int -> Emma_value.Value.t list -> float array
+
+(** {1 Expression-level operations}
+
+    Each takes and returns bag-valued expressions over cell records. *)
+
+val scale : float -> Expr.expr -> Expr.expr
+(** Scalar multiple (element-wise map). *)
+
+val transpose : Expr.expr -> Expr.expr
+(** Swap coordinates (element-wise map). *)
+
+val add : Expr.expr -> Expr.expr -> Expr.expr
+(** Element-wise sum: union of the cell bags, grouped by coordinate and
+    summed (fused into an [aggBy]). *)
+
+val multiply : Expr.expr -> Expr.expr -> Expr.expr
+(** Matrix product: join on [a.j == b.i], multiply, group by [(a.i, b.j)],
+    sum. *)
+
+val matvec : Expr.expr -> Expr.expr -> Expr.expr
+(** Matrix-vector product: matrix cells joined with vector cells on
+    [a.j == x.i], grouped by row, summed; yields vector cells. *)
+
+val frobenius_norm2 : Expr.expr -> Expr.expr
+(** Scalar expression: the squared Frobenius norm (a fold). *)
+
+val trace : Expr.expr -> Expr.expr
+(** Scalar expression: sum of diagonal cells. *)

@@ -1,0 +1,106 @@
+(** Connected Components in Emma — the paper's Listing 7 (Appendix A.1.2):
+    semi-naive label propagation over a [StatefulBag]. Each vertex starts
+    with its own id as component label; the changed delta seeds the next
+    round's messages, and the loop runs until the delta is empty. *)
+
+module S = Emma_lang.Surface
+
+type params = { vertices_table : string; output_table : string }
+
+let default_params = { vertices_table = "vertices"; output_table = "components" }
+
+let program params =
+  let open S in
+  let initial_state =
+    (* State(v.id, v.neighbors, component = v.id) *)
+    for_
+      [ gen "v" (var "vertices") ]
+      ~yield:
+        (record
+           [ ("id", field (var "v") "id");
+             ("neighbors", field (var "v") "neighbors");
+             ("component", field (var "v") "id") ])
+  in
+  let messages =
+    (* for (s <- delta; n <- s.neighbors) yield Message(n, s.component) *)
+    for_
+      [ gen "s" (var "delta"); gen "n" (field (var "s") "neighbors") ]
+      ~yield:(record [ ("receiver", var "n"); ("component", field (var "s") "component") ])
+  in
+  let updates =
+    for_
+      [ gen "g" (group_by (lam "m" (fun m -> field m "receiver")) (var "msgs")) ]
+      ~yield:
+        (record
+           [ ("id", field (var "g") "key");
+             ("component",
+              opt_get
+                (max_by (lam "c" (fun c -> to_float c))
+                   (map (lam "m" (fun m -> field m "component")) (field (var "g") "values"))))
+           ])
+  in
+  program
+    ~ret:(state_bag (var "state"))
+    [ s_let "vertices" (read params.vertices_table);
+      s_let "state" (stateful ~key:(lam "s" (fun s -> field s "id")) initial_state);
+      s_var "delta" (state_bag (var "state"));
+      while_
+        (not_ (is_empty (var "delta")))
+        [ s_let "msgs" messages;
+          s_let "updates" updates;
+          assign "delta"
+            (update_msgs (var "state")
+               ~msg_key:(lam "u" (fun u -> field u "id"))
+               ~messages:(var "updates")
+               (lam2 "s" "u" (fun s u ->
+                    if_
+                      (field u "component" > field s "component")
+                      (some_
+                         (record
+                            [ ("id", field s "id");
+                              ("neighbors", field s "neighbors");
+                              ("component", field u "component") ]))
+                      none_))) ];
+      write params.output_table
+        (for_
+           [ gen "s" (state_bag (var "state")) ]
+           ~yield:
+             (record
+                [ ("id", field (var "s") "id"); ("component", field (var "s") "component") ]))
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Independent oracle: union-find                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Value = Emma_value.Value
+
+let reference ~vertices =
+  let ids = List.map (fun v -> Value.to_int (Value.field v "id")) vertices in
+  let parent = Hashtbl.create (List.length ids) in
+  List.iter (fun i -> Hashtbl.replace parent i i) ids;
+  let rec find i =
+    let p = Hashtbl.find parent i in
+    if p = i then i
+    else begin
+      let r = find p in
+      Hashtbl.replace parent i r;
+      r
+    end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent (min ra rb) (max ra rb)
+  in
+  List.iter
+    (fun v ->
+      let id = Value.to_int (Value.field v "id") in
+      List.iter
+        (fun n -> union id (Value.to_int n))
+        (Value.to_bag (Value.field v "neighbors")))
+    vertices;
+  List.map
+    (fun v ->
+      let id = Value.to_int (Value.field v "id") in
+      Value.record [ ("id", Value.Int id); ("component", Value.Int (find id)) ])
+    vertices

@@ -1,0 +1,17 @@
+(** Connected Components in Emma — the paper's Listing 7 (Appendix A.1.2):
+    semi-naive max-label propagation over a [StatefulBag], iterating while
+    the changed delta is non-empty. The input graph must be symmetric. *)
+
+type params = { vertices_table : string; output_table : string }
+
+val default_params : params
+(** Tables ["vertices"] / ["components"]. *)
+
+val program : params -> Emma_lang.Expr.program
+(** Input: [vertices_table] with records [{id; neighbors : bag of int}]
+    (symmetric). Writes [{id; component}] to [output_table]; the program's
+    value is the final state. *)
+
+val reference : vertices:Emma_value.Value.t list -> Emma_value.Value.t list
+(** Union-find oracle labelling each vertex with the maximum id of its
+    component. *)

@@ -1,0 +1,49 @@
+(** The group-aggregation query of the paper's Appendix B (Fig. 5):
+
+    {[ for (g <- dataset.groupBy(_.key))
+       yield (g.key, g.values.map(_.value).min()) ]}
+
+    With fold-group fusion the minimum is computed by map-side combiners;
+    without it the full groups are shuffled and materialized — which is
+    what makes the Pareto-skewed variant fail on a non-spilling engine. *)
+
+module S = Emma_lang.Surface
+
+type params = { dataset_table : string }
+
+let default_params = { dataset_table = "dataset" }
+
+let program params =
+  let open S in
+  let result =
+    for_
+      [ gen "g" (group_by (lam "x" (fun x -> field x "key")) (read params.dataset_table)) ]
+      ~yield:
+        (record
+           [ ("key", field (var "g") "key");
+             ("min",
+              opt_get
+                (min_by
+                   (lam "v" (fun v -> to_float v))
+                   (map (lam "x" (fun x -> field x "value")) (field (var "g") "values")))) ])
+  in
+  program ~ret:(var "r") [ s_let "r" result; write "group_min_out" (var "r") ]
+
+(* ------------------------------------------------------------------ *)
+
+module Value = Emma_value.Value
+
+let reference rows =
+  let mins : (int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let k = Value.to_int (Value.field r "key") in
+      let v = Value.to_int (Value.field r "value") in
+      match Hashtbl.find_opt mins k with
+      | Some m -> if v < !m then m := v
+      | None -> Hashtbl.add mins k (ref v))
+    rows;
+  Hashtbl.fold
+    (fun k m acc ->
+      Value.record [ ("key", Value.Int k); ("min", Value.Int !m) ] :: acc)
+    mins []

@@ -1,0 +1,16 @@
+(** The group-aggregation query of the paper's Appendix B (Figure 5):
+    minimum value per key. With fold-group fusion the minimum is computed
+    by map-side combiners; without it the full groups are shuffled and
+    materialized, which is what breaks the Pareto-skewed variant on a
+    non-spilling engine. *)
+
+type params = { dataset_table : string }
+
+val default_params : params
+(** Table ["dataset"] with records [{key; value; payload}]. *)
+
+val program : params -> Emma_lang.Expr.program
+(** Writes [{key; min}] rows to ["group_min_out"] and returns them. *)
+
+val reference : Emma_value.Value.t list -> Emma_value.Value.t list
+(** Plain-OCaml oracle. *)

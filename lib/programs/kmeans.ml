@@ -1,0 +1,133 @@
+(** Lloyd's k-means in Emma — the paper's Listing 4.
+
+    Nothing in the algorithm body mentions parallelism: the nearest-centroid
+    search is an ordinary [minBy] over the [ctrds] driver variable (which
+    the compiler turns into a broadcast variable), the new centroids are a
+    plain group-then-fold (which fold-group fusion turns into [aggBy]), and
+    the convergence test is a join between the old and new centroids. *)
+
+module S = Emma_lang.Surface
+module Expr = Emma_lang.Expr
+
+type params = {
+  dim : int;  (** point dimensionality, needed for the vector-sum unit *)
+  epsilon : float;  (** convergence threshold on total centroid movement *)
+  max_iters : int;  (** safety bound on iterations *)
+  points_table : string;
+  centroids_table : string;  (** initial centroids *)
+  output_table : string;
+}
+
+let default_params =
+  {
+    dim = 2;
+    epsilon = 0.001;
+    max_iters = 20;
+    points_table = "points";
+    centroids_table = "centroids0";
+    output_table = "solutions";
+  }
+
+(* nearest centroid for point [p], searching the [ctrds] driver variable *)
+let nearest_cid p =
+  S.(
+    field
+      (opt_get
+         (min_by (lam "c" (fun c -> vdist (field c "pos") (field p "pos"))) (var "ctrds")))
+      "cid")
+
+let assign_clusters =
+  (* for (p <- points) yield Solution(nearest.cid, p) *)
+  S.(
+    for_
+      [ gen "p" (var "points") ]
+      ~yield:(record [ ("cid", nearest_cid (var "p")); ("p", var "p") ]))
+
+let program params =
+  let open S in
+  let new_centroids =
+    (* for (clr <- clusters) yield Point(clr.key, sum/cnt) *)
+    for_
+      [ gen "clr" (group_by (lam "s" (fun s -> field s "cid")) assign_clusters) ]
+      ~yield:
+        (let_ "sum"
+           (vsum ~dim:params.dim
+              (map (lam "x" (fun x -> field (field x "p") "pos")) (field (var "clr") "values")))
+           (fun sum_ ->
+             let_ "cnt" (count (field (var "clr") "values")) (fun cnt ->
+                 record
+                   [ ("cid", field (var "clr") "key"); ("pos", vdiv sum_ (to_float cnt)) ])))
+  in
+  let total_change =
+    (* sum of distances between same-id old and new centroids *)
+    sum
+      (for_
+         [ gen "x" (var "ctrds");
+           gen "y" (var "newCtrds");
+           when_ (field (var "x") "cid" = field (var "y") "cid") ]
+         ~yield:(vdist (field (var "x") "pos") (field (var "y") "pos")))
+  in
+  program
+    ~ret:(var "ctrds")
+    [ s_let "points" (read params.points_table);
+      s_var "ctrds" (read params.centroids_table);
+      s_var "change" (float_ infinity);
+      s_var "iters" (int_ 0);
+      while_
+        ((var "change" > float_ params.epsilon) && (var "iters" < int_ params.max_iters))
+        [ s_let "newCtrds" new_centroids;
+          assign "change" total_change;
+          assign "ctrds" (var "newCtrds");
+          assign "iters" (var "iters" + int_ 1) ];
+      write params.output_table assign_clusters ]
+
+(* ------------------------------------------------------------------ *)
+(* Independent oracle: plain-OCaml Lloyd iterations                      *)
+(* ------------------------------------------------------------------ *)
+
+module Value = Emma_value.Value
+module Vec = Emma_util.Vec
+
+let reference ~params ~points ~centroids0 =
+  let pos r = Value.to_vector (Value.field r "pos") in
+  let cid r = Value.to_int (Value.field r "cid") in
+  let step ctrds =
+    let assign p =
+      List.fold_left
+        (fun (best_c, best_d) c ->
+          let d = Vec.dist (pos c) (pos p) in
+          if d < best_d then (Some c, d) else (best_c, best_d))
+        (None, infinity) ctrds
+      |> fst |> Option.get
+    in
+    let sums = Hashtbl.create 8 in
+    List.iter
+      (fun p ->
+        let c = cid (assign p) in
+        let s, n =
+          Option.value (Hashtbl.find_opt sums c) ~default:(Vec.zeros params.dim, 0)
+        in
+        Hashtbl.replace sums c (Vec.add s (pos p), n + 1))
+      points;
+    Hashtbl.fold
+      (fun c (s, n) acc ->
+        Value.record
+          [ ("cid", Value.Int c); ("pos", Value.Vector (Vec.div_scalar s (float_of_int n))) ]
+        :: acc)
+      sums []
+  in
+  let rec loop ctrds change iters =
+    if change <= params.epsilon || iters >= params.max_iters then ctrds
+    else
+      let next = step ctrds in
+      let change =
+        List.fold_left
+          (fun acc x ->
+            match List.find_opt (fun y -> cid y = cid x) next with
+            | Some y -> acc +. Vec.dist (pos x) (pos y)
+            | None -> acc)
+          0.0 ctrds
+      in
+      loop next change (iters + 1)
+  in
+  loop centroids0 infinity 0

@@ -1,0 +1,33 @@
+(** Lloyd's k-means clustering in Emma — the paper's Listing 4.
+
+    The program text contains no parallelism primitives: the
+    nearest-centroid search is a [minBy] over the [ctrds] driver variable
+    (compiled into a broadcast variable), the new centroids are a plain
+    group-then-fold (fold-group fusion turns it into an [aggBy]), and
+    convergence is tested with a join between old and new centroids. *)
+
+type params = {
+  dim : int;
+  epsilon : float;
+  max_iters : int;
+  points_table : string;
+  centroids_table : string;
+  output_table : string;
+}
+
+val default_params : params
+(** 2-D points, epsilon 0.001, at most 20 iterations, tables
+    ["points"] / ["centroids0"] / ["solutions"]. *)
+
+val program : params -> Emma_lang.Expr.program
+(** Inputs: [points_table] with records [{id; pos : vector}];
+    [centroids_table] with records [{cid; pos}]. Writes the final cluster
+    assignments to [output_table]; the program's value is the bag of final
+    centroids. *)
+
+val reference :
+  params:params ->
+  points:Emma_value.Value.t list ->
+  centroids0:Emma_value.Value.t list ->
+  Emma_value.Value.t list
+(** Independent plain-OCaml Lloyd iteration used as a test oracle. *)

@@ -1,0 +1,34 @@
+(** PageRank in Emma — the paper's Listing 6 (Appendix A.1.1).
+
+    Ranks live in a [StatefulBag] keyed by vertex id; each iteration joins
+    ranks with the adjacency lists, fans rank messages out to neighbors
+    (a dependent generator compiled to a flatMap), sums messages per
+    receiver (fused to [aggBy]) and updates the state with the damped
+    formula. Vertices that receive no messages keep their rank — the
+    message-driven semantics of the listing. *)
+
+type params = {
+  damping : float;
+  iterations : int;
+  n_pages : int;
+  vertices_table : string;
+  output_table : string;
+}
+
+val default_params : n_pages:int -> params
+(** Damping 0.85, 10 iterations, tables ["vertices"] / ["ranks"]. *)
+
+val program : params -> Emma_lang.Expr.program
+(** Input: [vertices_table] with records [{id; neighbors : bag of int}].
+    Writes final ranks [{id; rank}] to [output_table] and returns them. *)
+
+val program_with_epsilon :
+  ?epsilon:float -> ?max_iters:int -> params -> Emma_lang.Expr.program
+(** Convergence-driven variant (the appendix's suggested termination
+    criterion): iterates until the summed absolute rank change falls below
+    [epsilon], joining each round's updates against the current state to
+    observe the change. The [iterations] field of [params] is ignored. *)
+
+val reference :
+  params:params -> vertices:Emma_value.Value.t list -> Emma_value.Value.t list
+(** Independent plain-OCaml PageRank with the same message semantics. *)

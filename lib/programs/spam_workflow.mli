@@ -1,0 +1,38 @@
+(** The data-parallel workflow of the paper's §5.1 (Listing 5): select the
+    spam classifier minimizing the number of non-spam emails originating
+    from blacklisted servers.
+
+    This is the Figure-4 program: the [exists] predicate exercises
+    unnesting (broadcast filter vs. repartition semi-join), [emails] and
+    [blacklist] are loop-invariant (caching), both join sides key on [ip]
+    (partition pulling), and the count is evaluated twice per iteration
+    exactly as in the listing. *)
+
+type params = {
+  n_classifiers : int;
+  emails_table : string;
+  blacklist_table : string;
+}
+
+val default_params : params
+(** 8 classifiers, tables ["emails_raw"] / ["blacklist_raw"]. *)
+
+val is_spam : Emma_lang.Expr.expr -> Emma_lang.Expr.expr -> Emma_lang.Expr.expr
+(** [is_spam email c]: classifier [c]'s spam predicate (a score
+    threshold derived from the classifier index). *)
+
+val extract_features : Emma_lang.Expr.expr
+(** The feature-extraction UDF: reads the full email body and keeps
+    [{id; ip; score; features}] with a feature payload of ~1/5 the body. *)
+
+val program : params -> Emma_lang.Expr.program
+(** Inputs: [emails_table] with [{id; ip; score; body}], [blacklist_table]
+    with [{ip; info}]. The program's value is the pair
+    [(best classifier index, its hit count)]. *)
+
+val reference :
+  params:params ->
+  emails:Emma_value.Value.t list ->
+  blacklist:Emma_value.Value.t list ->
+  int * int
+(** Independent oracle computing the same selection. *)

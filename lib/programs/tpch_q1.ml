@@ -1,0 +1,67 @@
+(** TPC-H Query 1 in Emma — the paper's Listing 8 (Appendix A.2.1).
+
+    The six base aggregates are written as independent folds over the group
+    values; fold-group fusion (banana split) collapses them into a single
+    [aggBy], which is what other dataflow APIs force the programmer to
+    build by hand. *)
+
+module S = Emma_lang.Surface
+
+type params = { lineitem_table : string; cutoff : int }
+
+let default_params =
+  { lineitem_table = "lineitem"; cutoff = Emma_workloads.Tpch_gen.date 1996 12 1 }
+
+let program params =
+  let open S in
+  let filtered =
+    for_
+      [ gen "l" (read params.lineitem_table);
+        when_ (field (var "l") "shipDate" <= int_ params.cutoff) ]
+      ~yield:(var "l")
+  in
+  let values = field (var "g") "values" in
+  let result =
+    for_
+      [ gen "g"
+          (group_by
+             (lam "l" (fun l -> tup [ field l "returnFlag"; field l "lineStatus" ]))
+             filtered) ]
+      ~yield:
+        (let_ "sumQty" (sum (map (lam "l" (fun l -> field l "quantity")) values))
+           (fun sum_qty ->
+             let_ "sumBasePrice" (sum (map (lam "l" (fun l -> field l "extendedPrice")) values))
+               (fun sum_base ->
+                 let_ "sumDiscPrice"
+                   (sum
+                      (map
+                         (lam "l" (fun l ->
+                              field l "extendedPrice" * (float_ 1.0 - field l "discount")))
+                         values))
+                   (fun sum_disc_price ->
+                     let_ "sumCharge"
+                       (sum
+                          (map
+                             (lam "l" (fun l ->
+                                  field l "extendedPrice"
+                                  * (float_ 1.0 - field l "discount")
+                                  * (float_ 1.0 + field l "tax")))
+                             values))
+                       (fun sum_charge ->
+                         let_ "countOrder" (count values) (fun count_order ->
+                             let_ "sumDiscount"
+                               (sum (map (lam "l" (fun l -> field l "discount")) values))
+                               (fun sum_discount ->
+                                 record
+                                   [ ("returnFlag", proj (field (var "g") "key") 0);
+                                     ("lineStatus", proj (field (var "g") "key") 1);
+                                     ("sumQty", sum_qty);
+                                     ("sumBasePrice", sum_base);
+                                     ("sumDiscPrice", sum_disc_price);
+                                     ("sumCharge", sum_charge);
+                                     ("avgQty", sum_qty / to_float count_order);
+                                     ("avgPrice", sum_base / to_float count_order);
+                                     ("avgDisc", sum_discount / to_float count_order);
+                                     ("countOrder", count_order) ])))))))
+  in
+  program ~ret:(var "result") [ s_let "result" result; write "q1_out" (var "result") ]

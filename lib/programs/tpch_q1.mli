@@ -1,0 +1,14 @@
+(** TPC-H Query 1 in Emma — the paper's Listing 8 (Appendix A.2.1). The six
+    base aggregates are written as independent folds over the group values;
+    banana-split fuses them into a single [aggBy], which other dataflow
+    APIs force the programmer to assemble by hand. *)
+
+type params = { lineitem_table : string; cutoff : int }
+
+val default_params : params
+(** Table ["lineitem"], shipDate cutoff 1996-12-01 (the paper's
+    predicate). *)
+
+val program : params -> Emma_lang.Expr.program
+(** Writes the aggregate rows to ["q1_out"] and returns them: one record
+    per (returnFlag, lineStatus) with sums, averages and the count. *)

@@ -1,0 +1,99 @@
+module S = Emma_lang.Surface
+module Value = Emma_value.Value
+
+type params = {
+  customer_table : string;
+  orders_table : string;
+  lineitem_table : string;
+  segment : string;
+  cutoff : int;
+}
+
+let default_params =
+  {
+    customer_table = "customer";
+    orders_table = "orders";
+    lineitem_table = "lineitem";
+    segment = "BUILDING";
+    cutoff = Emma_workloads.Tpch_gen.date 1995 3 15;
+  }
+
+let program params =
+  let open S in
+  let joined =
+    for_
+      [ gen "c" (read params.customer_table);
+        when_ (field (var "c") "mktSegment" = str params.segment);
+        gen "o" (read params.orders_table);
+        when_ (field (var "c") "custKey" = field (var "o") "custKey");
+        when_ (field (var "o") "orderDate" < int_ params.cutoff);
+        gen "l" (read params.lineitem_table);
+        when_ (field (var "l") "orderKey" = field (var "o") "orderKey");
+        when_ (field (var "l") "shipDate" > int_ params.cutoff) ]
+      ~yield:
+        (record
+           [ ("orderKey", field (var "o") "orderKey");
+             ("orderDate", field (var "o") "orderDate");
+             ("shipPriority", field (var "o") "shipPriority");
+             ("rev",
+              field (var "l") "extendedPrice" * (float_ 1.0 - field (var "l") "discount")) ])
+  in
+  let result =
+    for_
+      [ gen "g"
+          (group_by
+             (lam "x" (fun x ->
+                  tup [ field x "orderKey"; field x "orderDate"; field x "shipPriority" ]))
+             joined) ]
+      ~yield:
+        (record
+           [ ("orderKey", proj (field (var "g") "key") 0);
+             ("revenue", sum (map (lam "x" (fun x -> field x "rev")) (field (var "g") "values")));
+             ("orderDate", proj (field (var "g") "key") 1);
+             ("shipPriority", proj (field (var "g") "key") 2) ])
+  in
+  program ~ret:(var "result") [ s_let "result" result; write "q3_out" (var "result") ]
+
+let reference ~customer ~orders ~lineitem params =
+  let building = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      if String.equal (Value.to_string_exn (Value.field c "mktSegment")) params.segment then
+        Hashtbl.replace building (Value.to_int (Value.field c "custKey")) ())
+    customer;
+  let order_info = Hashtbl.create 256 in
+  List.iter
+    (fun o ->
+      if
+        Hashtbl.mem building (Value.to_int (Value.field o "custKey"))
+        && Value.to_int (Value.field o "orderDate") < params.cutoff
+      then
+        Hashtbl.replace order_info
+          (Value.to_int (Value.field o "orderKey"))
+          ( Value.to_int (Value.field o "orderDate"),
+            Value.to_int (Value.field o "shipPriority") ))
+    orders;
+  let revenue = Hashtbl.create 256 in
+  List.iter
+    (fun l ->
+      let ok = Value.to_int (Value.field l "orderKey") in
+      if Value.to_int (Value.field l "shipDate") > params.cutoff && Hashtbl.mem order_info ok
+      then begin
+        let r =
+          Value.to_float (Value.field l "extendedPrice")
+          *. (1.0 -. Value.to_float (Value.field l "discount"))
+        in
+        let cur = Option.value (Hashtbl.find_opt revenue ok) ~default:0.0 in
+        Hashtbl.replace revenue ok (cur +. r)
+      end)
+    lineitem;
+  Hashtbl.fold
+    (fun ok rev acc ->
+      let date, prio = Hashtbl.find order_info ok in
+      Value.record
+        [ ("orderKey", Value.Int ok);
+          ("revenue", Value.Float rev);
+          ("orderDate", Value.Int date);
+          ("shipPriority", Value.Int prio) ]
+      :: acc)
+    revenue []

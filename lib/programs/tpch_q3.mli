@@ -1,0 +1,28 @@
+(** TPC-H Query 3 ("shipping priority") in Emma — an extension beyond the
+    paper's evaluation set, exercising the multi-join translation path: the
+    customer–orders–lineitem three-way comprehension becomes a chain of two
+    repartition equi-joins, and the revenue sum fuses into an [aggBy] keyed
+    by (orderKey, orderDate, shipPriority). *)
+
+type params = {
+  customer_table : string;
+  orders_table : string;
+  lineitem_table : string;
+  segment : string;
+  cutoff : int;  (** orderDate < cutoff and shipDate > cutoff *)
+}
+
+val default_params : params
+(** Segment BUILDING, cutoff 1995-03-15 (the TPC-H specification). *)
+
+val program : params -> Emma_lang.Expr.program
+(** Writes [{orderKey; revenue; orderDate; shipPriority}] rows to
+    ["q3_out"] and returns them. *)
+
+val reference :
+  customer:Emma_value.Value.t list ->
+  orders:Emma_value.Value.t list ->
+  lineitem:Emma_value.Value.t list ->
+  params ->
+  Emma_value.Value.t list
+(** Hand-written oracle. *)

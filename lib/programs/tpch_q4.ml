@@ -1,0 +1,49 @@
+(** TPC-H Query 4 in Emma — the paper's Listing 9 (Appendix A.2.2).
+
+    The [exists] subquery keeps the SQL level of declarativity; the
+    unnesting rule turns it into a logical semi-join whose execution
+    strategy (broadcast vs. repartition) the engine picks just-in-time.
+    The final count per priority goes through fold-group fusion. *)
+
+module S = Emma_lang.Surface
+
+type params = {
+  orders_table : string;
+  lineitem_table : string;
+  date_min : int;
+  date_max : int;
+}
+
+let default_params =
+  {
+    orders_table = "orders";
+    lineitem_table = "lineitem";
+    date_min = Emma_workloads.Tpch_gen.date 1993 7 1;
+    date_max = Emma_workloads.Tpch_gen.date 1993 10 1;
+  }
+
+let program params =
+  let open S in
+  let join =
+    for_
+      [ gen "o" (read params.orders_table);
+        when_
+          ((field (var "o") "orderDate" >= int_ params.date_min)
+          && (field (var "o") "orderDate" < int_ params.date_max));
+        when_
+          (exists
+             (lam "li" (fun li ->
+                  (field li "orderKey" = field (var "o") "orderKey")
+                  && (field li "commitDate" < field li "receiptDate")))
+             (read params.lineitem_table)) ]
+      ~yield:(record [ ("orderPriority", field (var "o") "orderPriority") ])
+  in
+  let result =
+    for_
+      [ gen "g" (group_by (lam "x" (fun x -> field x "orderPriority")) join) ]
+      ~yield:
+        (record
+           [ ("orderPriority", field (var "g") "key");
+             ("orderCount", count (field (var "g") "values")) ])
+  in
+  program ~ret:(var "result") [ s_let "result" result; write "q4_out" (var "result") ]

@@ -1,0 +1,20 @@
+(** TPC-H Query 4 in Emma — the paper's Listing 9 (Appendix A.2.2). The
+    [exists] subquery retains SQL-level declarativity; unnesting turns it
+    into a logical semi-join whose broadcast/repartition strategy the
+    engine picks just-in-time, and the final per-priority count goes
+    through fold-group fusion. *)
+
+type params = {
+  orders_table : string;
+  lineitem_table : string;
+  date_min : int;
+  date_max : int;
+}
+
+val default_params : params
+(** Tables ["orders"] / ["lineitem"], order-date window
+    1993-07-01 to 1993-10-01 (TPC-H's specification of Q4). *)
+
+val program : params -> Emma_lang.Expr.program
+(** Writes [{orderPriority; orderCount}] rows to ["q4_out"] and returns
+    them. *)

@@ -1,0 +1,48 @@
+module S = Emma_lang.Surface
+module Value = Emma_value.Value
+
+type params = { docs_table : string; output_table : string }
+
+let default_params = { docs_table = "docs"; output_table = "wordcounts" }
+
+let program params =
+  let open S in
+  let result =
+    for_
+      [ gen "g"
+          (group_by
+             (lam "w" (fun w -> w))
+             (* flatten documents into words: a dependent generator *)
+             (for_
+                [ gen "d" (read params.docs_table); gen "w" (field (var "d") "words") ]
+                ~yield:(var "w"))) ]
+      ~yield:
+        (record
+           [ ("word", field (var "g") "key"); ("n", count (field (var "g") "values")) ])
+  in
+  program ~ret:(var "result") [ s_let "result" result; write params.output_table (var "result") ]
+
+let docs_of_strings texts =
+  List.mapi
+    (fun i text ->
+      let words =
+        String.split_on_char ' ' text
+        |> List.filter (fun w -> not (String.equal w ""))
+        |> List.map (fun w -> Value.String w)
+      in
+      Value.record [ ("id", Value.Int i); ("words", Value.bag words) ])
+    texts
+
+let reference docs =
+  let counts : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun w ->
+          let w = Value.to_string_exn w in
+          match Hashtbl.find_opt counts w with
+          | Some r -> incr r
+          | None -> Hashtbl.add counts w (ref 1))
+        (Value.to_bag (Value.field d "words")))
+    docs;
+  Hashtbl.fold (fun w r acc -> (w, !r) :: acc) counts [] |> List.sort compare

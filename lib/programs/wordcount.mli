@@ -1,0 +1,19 @@
+(** Word count — the paper's §1 point of departure ("vanilla MapReduce is a
+    perfect fit for generalized processing and aggregation of a single
+    collection"). Documents are records [{id; words : bag of string}]; the
+    program flattens them with a dependent generator and counts occurrences
+    per word, which fold-group fusion compiles to the map-side-combining
+    shape hand-written MapReduce programs use. *)
+
+type params = { docs_table : string; output_table : string }
+
+val default_params : params
+
+val program : params -> Emma_lang.Expr.program
+(** Writes [{word; n}] rows to [output_table] and returns them. *)
+
+val docs_of_strings : string list -> Emma_value.Value.t list
+(** Split whitespace-separated strings into document records. *)
+
+val reference : Emma_value.Value.t list -> (string * int) list
+(** Plain-OCaml oracle, sorted by word. *)

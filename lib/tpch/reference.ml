@@ -1,0 +1,94 @@
+module Value = Emma_value.Value
+module Tpch_gen = Emma_workloads.Tpch_gen
+
+let q1_cutoff = Tpch_gen.date 1996 12 1
+
+type q1_acc = {
+  mutable sum_qty : float;
+  mutable sum_base : float;
+  mutable sum_disc_price : float;
+  mutable sum_charge : float;
+  mutable sum_disc : float;
+  mutable n : int;
+}
+
+let q1 lineitem =
+  let groups : (string * string, q1_acc) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      if Value.to_int (Value.field l "shipDate") <= q1_cutoff then begin
+        let key =
+          ( Value.to_string_exn (Value.field l "returnFlag"),
+            Value.to_string_exn (Value.field l "lineStatus") )
+        in
+        let acc =
+          match Hashtbl.find_opt groups key with
+          | Some a -> a
+          | None ->
+              let a =
+                { sum_qty = 0.0; sum_base = 0.0; sum_disc_price = 0.0; sum_charge = 0.0;
+                  sum_disc = 0.0; n = 0 }
+              in
+              Hashtbl.add groups key a;
+              a
+        in
+        let qty = Value.to_float (Value.field l "quantity") in
+        let price = Value.to_float (Value.field l "extendedPrice") in
+        let disc = Value.to_float (Value.field l "discount") in
+        let tax = Value.to_float (Value.field l "tax") in
+        acc.sum_qty <- acc.sum_qty +. qty;
+        acc.sum_base <- acc.sum_base +. price;
+        acc.sum_disc_price <- acc.sum_disc_price +. (price *. (1.0 -. disc));
+        acc.sum_charge <- acc.sum_charge +. (price *. (1.0 -. disc) *. (1.0 +. tax));
+        acc.sum_disc <- acc.sum_disc +. disc;
+        acc.n <- acc.n + 1
+      end)
+    lineitem;
+  Hashtbl.fold
+    (fun (rf, ls) a rows ->
+      let nf = float_of_int a.n in
+      Value.record
+        [ ("returnFlag", Value.String rf);
+          ("lineStatus", Value.String ls);
+          ("sumQty", Value.Float a.sum_qty);
+          ("sumBasePrice", Value.Float a.sum_base);
+          ("sumDiscPrice", Value.Float a.sum_disc_price);
+          ("sumCharge", Value.Float a.sum_charge);
+          ("avgQty", Value.Float (a.sum_qty /. nf));
+          ("avgPrice", Value.Float (a.sum_base /. nf));
+          ("avgDisc", Value.Float (a.sum_disc /. nf));
+          ("countOrder", Value.Int a.n) ]
+      :: rows)
+    groups []
+
+let q4_date_min = Tpch_gen.date 1993 7 1
+let q4_date_max = Tpch_gen.date 1993 10 1
+
+let q4 ~orders ~lineitem =
+  (* order keys having at least one late lineitem *)
+  let late = Hashtbl.create 1024 in
+  List.iter
+    (fun l ->
+      if Value.to_int (Value.field l "commitDate") < Value.to_int (Value.field l "receiptDate")
+      then Hashtbl.replace late (Value.to_int (Value.field l "orderKey")) ())
+    lineitem;
+  let counts : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun o ->
+      let d = Value.to_int (Value.field o "orderDate") in
+      if d >= q4_date_min && d < q4_date_max
+         && Hashtbl.mem late (Value.to_int (Value.field o "orderKey"))
+      then begin
+        let p = Value.to_string_exn (Value.field o "orderPriority") in
+        match Hashtbl.find_opt counts p with
+        | Some r -> incr r
+        | None -> Hashtbl.add counts p (ref 1)
+      end)
+    orders;
+  Hashtbl.fold
+    (fun p r rows ->
+      Value.record [ ("orderPriority", Value.String p); ("orderCount", Value.Int !r) ] :: rows)
+    counts []
+
+let q3 ~customer ~orders ~lineitem params =
+  Emma_programs.Tpch_q3.reference ~customer ~orders ~lineitem params

@@ -1,0 +1,32 @@
+(** Hand-written reference implementations of TPC-H Q1 and Q4 over the
+    generated row values — the independent oracle against which the
+    Emma-compiled queries (Appendix A, Listings 8 and 9) are checked. *)
+
+module Value = Emma_value.Value
+
+val q1_cutoff : int
+(** The paper's Q1 predicate date: shipDate <= 1996-12-01. *)
+
+val q1 : Value.t list -> Value.t list
+(** [q1 lineitem]: one record per (returnFlag, lineStatus) group with the
+    eight aggregate columns of the query: [{returnFlag; lineStatus;
+    sumQty; sumBasePrice; sumDiscPrice; sumCharge; avgQty; avgPrice;
+    avgDisc; countOrder}]. *)
+
+val q4_date_min : int
+val q4_date_max : int
+(** A three-month order-date window (1993-07-01 to 1993-10-01), per the
+    TPC-H specification of Q4. *)
+
+val q4 : orders:Value.t list -> lineitem:Value.t list -> Value.t list
+(** [{orderPriority; orderCount}] per priority, counting orders in the date
+    window having at least one lineitem with commitDate < receiptDate. *)
+
+val q3 :
+  customer:Value.t list ->
+  orders:Value.t list ->
+  lineitem:Value.t list ->
+  Emma_programs.Tpch_q3.params ->
+  Value.t list
+(** Oracle for the Q3 extension (delegates to
+    {!Emma_programs.Tpch_q3.reference}). *)

@@ -1,0 +1,494 @@
+module Expr = Emma_lang.Expr
+module Prim = Emma_lang.Prim
+module Value = Emma_value.Value
+
+type ty =
+  | Tunit
+  | Tbool
+  | Tint
+  | Tfloat
+  | Tnum
+  | Tstring
+  | Tblob
+  | Tvector
+  | Ttuple of ty list
+  | Trecord of row
+  | Toption of ty
+  | Tbag of ty
+  | Tstateful of ty
+  | Tfun of ty * ty
+  | Tvar of tv ref
+
+and tv = Unbound of int | Link of ty
+
+and row = { fields : (string * ty) list; more : rv ref option }
+
+and rv = Runbound of int | Rlink of row
+
+exception Type_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Type_error m)) fmt
+
+let counter = ref 0
+
+let fresh_var () =
+  incr counter;
+  Tvar (ref (Unbound !counter))
+
+let fresh_row_var () =
+  incr counter;
+  ref (Runbound !counter)
+
+let rec resolve ty =
+  match ty with
+  | Tvar ({ contents = Link t } as r) ->
+      let t = resolve t in
+      r := Link t;
+      t
+  | ty -> ty
+
+(* Flatten a row's link chain into (all fields, terminal row variable). *)
+let rec resolve_row (r : row) : (string * ty) list * rv ref option =
+  match r.more with
+  | Some { contents = Rlink inner } ->
+      let inner_fields, rest = resolve_row inner in
+      (r.fields @ inner_fields, rest)
+  | other -> (r.fields, other)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp_ty ppf ty =
+  match resolve ty with
+  | Tunit -> Fmt.string ppf "unit"
+  | Tbool -> Fmt.string ppf "bool"
+  | Tint -> Fmt.string ppf "int"
+  | Tfloat -> Fmt.string ppf "float"
+  | Tnum -> Fmt.string ppf "num"
+  | Tstring -> Fmt.string ppf "string"
+  | Tblob -> Fmt.string ppf "blob"
+  | Tvector -> Fmt.string ppf "vector"
+  | Ttuple ts -> Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any " * ") pp_ty) ts
+  | Trecord r ->
+      let fields, rest = resolve_row r in
+      Fmt.pf ppf "{%a%s}"
+        (Fmt.list ~sep:(Fmt.any "; ") (fun ppf (n, t) -> Fmt.pf ppf "%s : %a" n pp_ty t))
+        (List.sort compare fields)
+        (match rest with Some { contents = Runbound _ } -> "; ..." | _ -> "")
+  | Toption t -> Fmt.pf ppf "%a option" pp_ty t
+  | Tbag t -> Fmt.pf ppf "%a bag" pp_ty t
+  | Tstateful t -> Fmt.pf ppf "%a stateful" pp_ty t
+  | Tfun (a, b) -> Fmt.pf ppf "(%a -> %a)" pp_ty a pp_ty b
+  | Tvar { contents = Unbound n } -> Fmt.pf ppf "'a%d" n
+  | Tvar { contents = Link _ } -> assert false
+
+let ty_to_string t = Fmt.str "%a" pp_ty t
+
+(* ------------------------------------------------------------------ *)
+(* Unification                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_numeric = function Tint | Tfloat | Tnum -> true | _ -> false
+
+let rec occurs (v : tv ref) ty =
+  match resolve ty with
+  | Tvar r -> r == v
+  | Ttuple ts -> List.exists (occurs v) ts
+  | Trecord r ->
+      let fields, _ = resolve_row r in
+      List.exists (fun (_, t) -> occurs v t) fields
+  | Toption t | Tbag t | Tstateful t -> occurs v t
+  | Tfun (a, b) -> occurs v a || occurs v b
+  | Tunit | Tbool | Tint | Tfloat | Tnum | Tstring | Tblob | Tvector -> false
+
+let rec unify t1 t2 =
+  let t1 = resolve t1 and t2 = resolve t2 in
+  match (t1, t2) with
+  | Tvar r1, Tvar r2 when r1 == r2 -> ()
+  | Tvar r, t | t, Tvar r ->
+      if occurs r t then fail "cannot construct the infinite type %s" (ty_to_string t);
+      r := Link t
+  | a, b when is_numeric a && is_numeric b ->
+      (* numeric widening: int and float are interchangeable, as in the
+         interpreter's arithmetic promotion *)
+      ()
+  | Tunit, Tunit | Tbool, Tbool | Tstring, Tstring | Tblob, Tblob | Tvector, Tvector -> ()
+  | Ttuple a, Ttuple b ->
+      if List.length a <> List.length b then
+        fail "tuple arity mismatch: %s vs %s" (ty_to_string t1) (ty_to_string t2);
+      List.iter2 unify a b
+  | Trecord r1, Trecord r2 -> unify_rows r1 r2
+  | Toption a, Toption b -> unify a b
+  | Tbag a, Tbag b -> unify a b
+  | Tstateful a, Tstateful b -> unify a b
+  | Tfun (a1, b1), Tfun (a2, b2) ->
+      unify a1 a2;
+      unify b1 b2
+  | a, b -> fail "type mismatch: %s vs %s" (ty_to_string a) (ty_to_string b)
+
+and unify_rows r1 r2 =
+  let f1, rest1 = resolve_row r1 in
+  let f2, rest2 = resolve_row r2 in
+  (match (rest1, rest2) with
+  | Some v1, Some v2 when v1 == v2 ->
+      if
+        List.exists (fun (n, _) -> not (List.mem_assoc n f2)) f1
+        || List.exists (fun (n, _) -> not (List.mem_assoc n f1)) f2
+      then fail "recursive row"
+  | _ -> ());
+  (* fields present on both sides unify *)
+  List.iter
+    (fun (n, t1) ->
+      match List.assoc_opt n f2 with
+      | Some t2 -> begin
+          try unify t1 t2
+          with Type_error m -> fail "field %s: %s" n m
+        end
+      | None -> ())
+    f1;
+  let only1 = List.filter (fun (n, _) -> not (List.mem_assoc n f2)) f1 in
+  let only2 = List.filter (fun (n, _) -> not (List.mem_assoc n f1)) f2 in
+  (* fields present on one side only must be absorbable by the other
+     side's row variable; a closed row rejects them *)
+  let missing rest closed_fields extra =
+    match (rest, extra) with
+    | _, [] -> ()
+    | None, (n, _) :: _ ->
+        fail "record %s has no field %S"
+          (ty_to_string (Trecord { fields = closed_fields; more = None }))
+          n
+    | Some _, _ -> ()
+  in
+  missing rest2 f2 only1;
+  missing rest1 f1 only2;
+  (* rebind the row variables so both rows share the union of fields *)
+  match (rest1, rest2) with
+  | Some v1, Some v2 when v1 == v2 -> ()
+  | _ ->
+      let shared = fresh_row_var () in
+      (match rest1 with
+      | Some v -> v := Rlink { fields = only2; more = Some shared }
+      | None -> ());
+      (match rest2 with
+      | Some v -> v := Rlink { fields = only1; more = Some shared }
+      | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Types of values and schemas                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec ty_of_value (v : Value.t) =
+  match v with
+  | Value.Unit -> Tunit
+  | Value.Bool _ -> Tbool
+  | Value.Int _ -> Tint
+  | Value.Float _ -> Tfloat
+  | Value.String _ -> Tstring
+  | Value.Blob _ -> Tblob
+  | Value.Vector _ -> Tvector
+  | Value.Tuple vs -> Ttuple (List.map ty_of_value (Array.to_list vs))
+  | Value.Record fields ->
+      Trecord
+        { fields = List.map (fun (n, v) -> (n, ty_of_value v)) (Array.to_list fields);
+          more = None }
+  | Value.Option (Some v) -> Toption (ty_of_value v)
+  | Value.Option None -> Toption (fresh_var ())
+  | Value.Bag [] -> Tbag (fresh_var ())
+  | Value.Bag (v :: _) -> Tbag (ty_of_value v)
+
+let schema_of_rows rows =
+  match rows with [] -> Tbag (fresh_var ()) | v :: _ -> Tbag (ty_of_value v)
+
+(* ------------------------------------------------------------------ *)
+(* Primitive signatures                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Returns (argument types, result type); fresh per application. *)
+let prim_signature (p : Prim.t) : ty list * ty =
+  match p with
+  | Prim.Add | Prim.Sub | Prim.Mul | Prim.Div | Prim.Mod -> ([ Tnum; Tnum ], Tnum)
+  | Prim.Neg | Prim.Abs -> ([ Tnum ], Tnum)
+  | Prim.Sqrt | Prim.Floor | Prim.To_float -> ([ Tnum ], Tfloat)
+  | Prim.To_int -> ([ Tnum ], Tint)
+  | Prim.Min2 | Prim.Max2 ->
+      let a = fresh_var () in
+      ([ a; a ], a)
+  | Prim.Eq | Prim.Ne | Prim.Lt | Prim.Le | Prim.Gt | Prim.Ge ->
+      let a = fresh_var () in
+      ([ a; a ], Tbool)
+  | Prim.And | Prim.Or -> ([ Tbool; Tbool ], Tbool)
+  | Prim.Not -> ([ Tbool ], Tbool)
+  | Prim.Vadd | Prim.Vsub -> ([ Tvector; Tvector ], Tvector)
+  | Prim.Vscale -> ([ Tnum; Tvector ], Tvector)
+  | Prim.Vdiv_scalar -> ([ Tvector; Tnum ], Tvector)
+  | Prim.Vdist | Prim.Vdot -> ([ Tvector; Tvector ], Tfloat)
+  | Prim.Vzeros -> ([ Tnum ], Tvector)
+  | Prim.Str_concat -> ([ Tstring; Tstring ], Tstring)
+  | Prim.Str_len -> ([ Tstring ], Tint)
+  | Prim.Str_contains -> ([ Tstring; Tstring ], Tbool)
+  | Prim.Is_some -> ([ Toption (fresh_var ()) ], Tbool)
+  | Prim.Opt_get ->
+      let a = fresh_var () in
+      ([ Toption a ], a)
+  | Prim.Opt_get_or ->
+      let a = fresh_var () in
+      ([ Toption a; a ], a)
+  | Prim.Mk_some ->
+      let a = fresh_var () in
+      ([ a ], Toption a)
+  | Prim.Mk_none -> ([], Toption (fresh_var ()))
+  | Prim.Mk_blob -> ([ Tnum; Tnum ], Tblob)
+  | Prim.Blob_bytes -> ([ Tblob ], Tint)
+  | Prim.Hash_value -> ([ fresh_var () ], Tint)
+
+(* ------------------------------------------------------------------ *)
+(* Expression inference                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  mutable vars : (string * ty) list;
+  mutable tables : (string * ty) list;  (* element types of read/written tables *)
+}
+
+let table_elem_ty ctx name =
+  match List.assoc_opt name ctx.tables with
+  | Some t -> t
+  | None ->
+      let t = fresh_var () in
+      ctx.tables <- (name, t) :: ctx.tables;
+      t
+
+let with_context what f =
+  try f ()
+  with Type_error m -> fail "%s: %s" what m
+
+let rec infer ctx env (e : Expr.expr) : ty =
+  match e with
+  | Expr.Const v -> ty_of_value v
+  | Expr.Var x -> begin
+      match List.assoc_opt x env with
+      | Some t -> t
+      | None -> fail "unbound variable %s" x
+    end
+  | Expr.Lam (x, body) ->
+      let a = fresh_var () in
+      Tfun (a, infer ctx ((x, a) :: env) body)
+  | Expr.App (f, a) ->
+      let tf = infer ctx env f in
+      let ta = infer ctx env a in
+      let result = fresh_var () in
+      with_context "application" (fun () -> unify tf (Tfun (ta, result)));
+      result
+  | Expr.Tuple es -> Ttuple (List.map (infer ctx env) es)
+  | Expr.Proj (e, i) -> begin
+      let t = resolve (infer ctx env e) in
+      match t with
+      | Ttuple ts when i < List.length ts -> List.nth ts i
+      | Ttuple ts -> fail "projection ._%d out of a %d-tuple" (i + 1) (List.length ts)
+      | Tvar _ ->
+          (* cannot guess the arity: give up gracefully with a fresh type *)
+          fresh_var ()
+      | t -> fail "projection from a non-tuple (%s)" (ty_to_string t)
+    end
+  | Expr.Record fields ->
+      Trecord { fields = List.map (fun (n, e) -> (n, infer ctx env e)) fields; more = None }
+  | Expr.Field (e, name) ->
+      let t = infer ctx env e in
+      let a = fresh_var () in
+      with_context (Printf.sprintf "field .%s" name) (fun () ->
+          unify t (Trecord { fields = [ (name, a) ]; more = Some (fresh_row_var ()) }));
+      a
+  | Expr.Prim (p, args) ->
+      let arg_tys, result = prim_signature p in
+      if List.length arg_tys <> List.length args then
+        fail "primitive %s expects %d arguments" (Prim.name p) (List.length arg_tys);
+      List.iter2
+        (fun want arg ->
+          with_context (Printf.sprintf "argument of %s" (Prim.name p)) (fun () ->
+              unify want (infer ctx env arg)))
+        arg_tys args;
+      result
+  | Expr.If (c, t, e) ->
+      with_context "if condition" (fun () -> unify (infer ctx env c) Tbool);
+      let tt = infer ctx env t in
+      let te = infer ctx env e in
+      with_context "if branches" (fun () -> unify tt te);
+      tt
+  | Expr.Let (x, a, b) ->
+      let ta = infer ctx env a in
+      infer ctx ((x, ta) :: env) b
+  | Expr.BagOf es ->
+      let elem = fresh_var () in
+      List.iter
+        (fun e -> with_context "bag literal" (fun () -> unify elem (infer ctx env e)))
+        es;
+      Tbag elem
+  | Expr.Range (lo, hi) ->
+      with_context "range" (fun () ->
+          unify (infer ctx env lo) Tnum;
+          unify (infer ctx env hi) Tnum);
+      Tbag Tint
+  | Expr.Read (Expr.Src_table name) -> Tbag (table_elem_ty ctx name)
+  | Expr.Map (f, xs) ->
+      let elem = bag_elem ctx env xs in
+      Tbag (with_context "map" (fun () -> infer_fn1 ctx env f elem))
+  | Expr.FlatMap (f, xs) ->
+      let elem = bag_elem ctx env xs in
+      let out = fresh_var () in
+      with_context "flatMap" (fun () -> unify (infer_fn1 ctx env f elem) (Tbag out));
+      Tbag out
+  | Expr.Filter (p, xs) ->
+      let elem = bag_elem ctx env xs in
+      with_context "withFilter" (fun () -> unify (infer_fn1 ctx env p elem) Tbool);
+      Tbag elem
+  | Expr.GroupBy (k, xs) ->
+      let elem = bag_elem ctx env xs in
+      let key = with_context "groupBy" (fun () -> infer_fn1 ctx env k elem) in
+      Tbag (Trecord { fields = [ ("key", key); ("values", Tbag elem) ]; more = None })
+  | Expr.Fold (fns, xs) ->
+      let elem = bag_elem ctx env xs in
+      infer_fold ctx env fns elem
+  | Expr.AggBy (k, fns, xs) ->
+      let elem = bag_elem ctx env xs in
+      let key = with_context "aggBy key" (fun () -> infer_fn1 ctx env k elem) in
+      let agg = infer_fold ctx env fns elem in
+      Tbag (Trecord { fields = [ ("key", key); ("agg", agg) ]; more = None })
+  | Expr.Union (a, b) | Expr.Minus (a, b) ->
+      let ta = infer ctx env a and tb = infer ctx env b in
+      with_context "bag union/minus" (fun () ->
+          unify ta (Tbag (fresh_var ()));
+          unify ta tb);
+      ta
+  | Expr.Distinct a ->
+      let t = infer ctx env a in
+      with_context "distinct" (fun () -> unify t (Tbag (fresh_var ())));
+      t
+  | Expr.Comp c -> infer_comp ctx env c
+  | Expr.Flatten e ->
+      let inner = fresh_var () in
+      with_context "flatten" (fun () -> unify (infer ctx env e) (Tbag (Tbag inner)));
+      Tbag inner
+  | Expr.Stateful_create { key; init } ->
+      let elem = bag_elem ctx env init in
+      ignore (with_context "stateful key" (fun () -> infer_fn1 ctx env key elem));
+      Tstateful elem
+  | Expr.Stateful_bag s ->
+      let elem = fresh_var () in
+      with_context "bag()" (fun () -> unify (infer ctx env s) (Tstateful elem));
+      Tbag elem
+  | Expr.Stateful_update { state; udf } ->
+      let elem = fresh_var () in
+      with_context "update" (fun () ->
+          unify (infer ctx env state) (Tstateful elem);
+          unify (infer_fn1 ctx env udf elem) (Toption elem));
+      Tbag elem
+  | Expr.Stateful_update_msgs { state; msg_key; messages; udf } ->
+      let elem = fresh_var () in
+      let msg = bag_elem ctx env messages in
+      with_context "update with messages" (fun () ->
+          unify (infer ctx env state) (Tstateful elem);
+          ignore (infer_fn1 ctx env msg_key msg);
+          unify (infer_fn2 ctx env udf elem msg) (Toption elem));
+      Tbag elem
+
+(* Infer a unary UDF applied at a known argument type. Binding the
+   parameter BEFORE inferring the body lets shape-directed constructs
+   (tuple projection) see concrete types. *)
+and infer_fn1 ctx env f arg_ty =
+  match f with
+  | Expr.Lam (x, body) -> infer ctx ((x, arg_ty) :: env) body
+  | f ->
+      let result = fresh_var () in
+      with_context "function operand" (fun () ->
+          unify (infer ctx env f) (Tfun (arg_ty, result)));
+      result
+
+and infer_fn2 ctx env f a_ty b_ty =
+  match f with
+  | Expr.Lam (x, Expr.Lam (y, body)) -> infer ctx ((y, b_ty) :: (x, a_ty) :: env) body
+  | f ->
+      let result = fresh_var () in
+      with_context "function operand" (fun () ->
+          unify (infer ctx env f) (Tfun (a_ty, Tfun (b_ty, result))));
+      result
+
+and bag_elem ctx env xs =
+  let elem = fresh_var () in
+  with_context "collection operand" (fun () -> unify (infer ctx env xs) (Tbag elem));
+  elem
+
+and infer_fold ctx env (fns : Expr.fold_fns) elem =
+  let acc = fresh_var () in
+  with_context "fold unit" (fun () -> unify (infer ctx env fns.Expr.f_empty) acc);
+  with_context "fold single" (fun () -> unify (infer_fn1 ctx env fns.Expr.f_single elem) acc);
+  with_context "fold union" (fun () -> unify (infer_fn2 ctx env fns.Expr.f_union acc acc) acc);
+  acc
+
+and infer_comp ctx env { Expr.head; quals; alg } =
+  let rec go env = function
+    | [] -> env
+    | Expr.QGen (x, src) :: rest ->
+        let elem = bag_elem ctx env src in
+        go ((x, elem) :: env) rest
+    | Expr.QGuard p :: rest ->
+        with_context "comprehension guard" (fun () -> unify (infer ctx env p) Tbool);
+        go env rest
+  in
+  let env = go env quals in
+  let head_ty = infer ctx env head in
+  match alg with
+  | Expr.Alg_bag -> Tbag head_ty
+  | Expr.Alg_fold fns -> infer_fold ctx env fns head_ty
+
+let infer_expr env e =
+  infer { vars = []; tables = [] } env e
+
+(* ------------------------------------------------------------------ *)
+(* Programs                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let infer_program ?(schemas = []) ({ Expr.body; ret } : Expr.program) =
+  let ctx =
+    { vars = [];
+      tables =
+        List.map
+          (fun (name, ty) ->
+            match resolve ty with
+            | Tbag elem -> (name, elem)
+            | t -> (name, t))
+          schemas }
+  in
+  let rec exec_block env stmts = List.fold_left exec_stmt env stmts
+  and exec_stmt env = function
+    | Expr.SLet (x, e) | Expr.SVar (x, e) -> (x, infer ctx env e) :: env
+    | Expr.SAssign (x, e) -> begin
+        match List.assoc_opt x env with
+        | None -> fail "assignment to unbound variable %s" x
+        | Some t ->
+            with_context (Printf.sprintf "assignment to %s" x) (fun () ->
+                unify t (infer ctx env e));
+            env
+      end
+    | Expr.SWhile (c, body) ->
+        with_context "while condition" (fun () -> unify (infer ctx env c) Tbool);
+        ignore (exec_block env body);
+        env
+    | Expr.SIf (c, t, e) ->
+        with_context "if condition" (fun () -> unify (infer ctx env c) Tbool);
+        ignore (exec_block env t);
+        ignore (exec_block env e);
+        env
+    | Expr.SWrite (Expr.Snk_table name, e) ->
+        let elem = table_elem_ty ctx name in
+        with_context (Printf.sprintf "write to %S" name) (fun () ->
+            unify (infer ctx env e) (Tbag elem));
+        env
+  in
+  let env = exec_block [] body in
+  infer ctx env ret
+
+let check_program ?schemas p =
+  match infer_program ?schemas p with
+  | t -> Ok t
+  | exception Type_error m -> Error m

@@ -1,0 +1,76 @@
+(** Static type inference for the embedded language.
+
+    In the paper, Emma programs are ordinary Scala and scalac rejects shape
+    errors before the macro ever runs. Our deep embedding is untyped, so
+    this module recovers that safety: a unification-based inference pass
+    over programs that catches unknown record fields, collection/scalar
+    confusions, non-function applications, fold algebra shape mismatches
+    and join-key type clashes at [parallelize] time, instead of a runtime
+    [Type_error] deep inside a simulated dataflow.
+
+    Two deliberate accommodations of the dynamic semantics:
+    {ul
+    {- {b numeric widening}: [Int] and [Float] unify to the supertype
+       [Num], mirroring the interpreter's arithmetic promotion ([1 + 0.5]
+       is legal and is a float);}
+    {- {b row-polymorphic records}: a lambda using [x.ip] gets an open
+       record type [{ip : α; ...}] that later unifies with the concrete
+       rows flowing into it.}} *)
+
+type ty =
+  | Tunit
+  | Tbool
+  | Tint
+  | Tfloat
+  | Tnum  (** int or float (numeric widening) *)
+  | Tstring
+  | Tblob
+  | Tvector
+  | Ttuple of ty list
+  | Trecord of row
+  | Toption of ty
+  | Tbag of ty
+  | Tstateful of ty  (** a stateful bag of elements of the given type *)
+  | Tfun of ty * ty
+  | Tvar of tv ref  (** unification variable *)
+
+and tv = Unbound of int | Link of ty
+
+and row = { fields : (string * ty) list; more : rv ref option }
+(** [more = Some _] marks an open row that may acquire further fields. *)
+
+and rv = Runbound of int | Rlink of row
+
+exception Type_error of string
+(** Inference failure, with a human-readable message naming the conflict. *)
+
+val fresh_var : unit -> ty
+val resolve : ty -> ty
+(** Follows links; the result is never a bound [Tvar]/[Rlink] at the root. *)
+
+val pp_ty : Format.formatter -> ty -> unit
+val ty_to_string : ty -> string
+
+val ty_of_value : Emma_value.Value.t -> ty
+(** The (closed) type of a runtime value; bags take the type of their
+    first element (an empty bag is [Tbag α]). *)
+
+val schema_of_rows : Emma_value.Value.t list -> ty
+(** [Tbag] of the first row's type — convenience for table schemas. *)
+
+val unify : ty -> ty -> unit
+(** Raises [Type_error] on a mismatch. *)
+
+val infer_expr : (string * ty) list -> Emma_lang.Expr.expr -> ty
+(** [infer_expr env e] under the given variable typings. *)
+
+val infer_program :
+  ?schemas:(string * ty) list -> Emma_lang.Expr.program -> ty
+(** Infers the program's result type. [schemas] types the [read] tables
+    (missing tables get fresh bag types, so inference stays total);
+    writing a non-bag, reassigning at a different type, or any expression
+    shape error raises [Type_error]. *)
+
+val check_program :
+  ?schemas:(string * ty) list -> Emma_lang.Expr.program -> (ty, string) result
+(** Exception-free wrapper. *)

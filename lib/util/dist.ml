@@ -1,0 +1,48 @@
+type t =
+  | Uniform of { n_keys : int }
+  | Gaussian of { n_keys : int; stddev_frac : float }
+  | Pareto of { n_keys : int; hot_frac : float }
+
+let name = function
+  | Uniform _ -> "uniform"
+  | Gaussian _ -> "gaussian"
+  | Pareto _ -> "pareto"
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let draw d rng =
+  match d with
+  | Uniform { n_keys } -> Prng.int rng n_keys
+  | Gaussian { n_keys; stddev_frac } ->
+      (* rejection-sample into range: clamping would pile the tail mass
+         onto the two edge keys and create artificial hot keys *)
+      let mean = float_of_int n_keys /. 2.0 in
+      let stddev = stddev_frac *. float_of_int n_keys in
+      let rec draw_in_range attempts =
+        let x = int_of_float (Prng.gaussian rng ~mean ~stddev) in
+        if x >= 0 && x < n_keys then x
+        else if attempts <= 0 then clamp 0 (n_keys - 1) x
+        else draw_in_range (attempts - 1)
+      in
+      draw_in_range 50
+  | Pareto { n_keys; hot_frac } ->
+      if Prng.unit_float rng < hot_frac then 0
+      else begin
+        (* Zipf-ish tail: inverse-CDF of a power law over [1, n_keys). *)
+        let u = max (Prng.unit_float rng) 1e-12 in
+        let span = float_of_int (n_keys - 1) in
+        let k = 1 + int_of_float (span *. (u ** 3.0)) in
+        clamp 1 (n_keys - 1) k
+      end
+
+let histogram d rng ~samples =
+  let n_keys =
+    match d with
+    | Uniform { n_keys } | Gaussian { n_keys; _ } | Pareto { n_keys; _ } -> n_keys
+  in
+  let counts = Array.make n_keys 0 in
+  for _ = 1 to samples do
+    let k = draw d rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  counts

@@ -1,0 +1,23 @@
+(** Key distributions for skewed workload generation (paper, Appendix B:
+    uniform / Gaussian / Pareto key assignment for the fold-group fusion
+    scalability experiment). *)
+
+type t =
+  | Uniform of { n_keys : int }
+      (** Keys drawn uniformly from [0, n_keys). *)
+  | Gaussian of { n_keys : int; stddev_frac : float }
+      (** Keys concentrated around [n_keys/2] with standard deviation
+          [stddev_frac * n_keys], clamped into range. *)
+  | Pareto of { n_keys : int; hot_frac : float }
+      (** Heavy-tailed: approximately [hot_frac] of all draws land on key 0
+          (the paper assigns ~35% of tuples to one key); the rest follow a
+          Zipf-like tail over the remaining keys. *)
+
+val name : t -> string
+
+val draw : t -> Prng.t -> int
+(** [draw d rng] samples one key. The result is always in [0, n_keys). *)
+
+val histogram : t -> Prng.t -> samples:int -> int array
+(** Sample [samples] keys and count occurrences per key; used by tests to
+    check distribution shape. *)

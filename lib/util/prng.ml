@@ -1,0 +1,71 @@
+(* SplitMix64: fast, high-quality, splittable; reference constants from
+   Steele, Lea & Flood, "Fast Splittable Pseudorandom Number Generators". *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = mix64 seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* keep 62 bits so the result fits OCaml's 63-bit native int *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let unit_float t =
+  (* 53 significant bits, uniform in [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound = unit_float t *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let gaussian t ~mean ~stddev =
+  (* Box-Muller; guard against log 0. *)
+  let u1 = max (unit_float t) 1e-300 in
+  let u2 = unit_float t in
+  let r = sqrt (-2.0 *. log u1) in
+  mean +. (stddev *. r *. cos (2.0 *. Float.pi *. u2))
+
+let pareto t ~alpha ~x_min =
+  let u = max (1.0 -. unit_float t) 1e-300 in
+  x_min /. (u ** (1.0 /. alpha))
+
+let exponential t ~rate =
+  let u = max (1.0 -. unit_float t) 1e-300 in
+  -.log u /. rate
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int t (Array.length a))
+
+let string t ~len = String.init len (fun _ -> Char.chr (Char.code 'a' + int t 26))

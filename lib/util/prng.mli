@@ -1,0 +1,61 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    Implements SplitMix64 (Steele, Lea & Flood, OOPSLA 2013). All workload
+    generators and the engine's placement decisions draw from this generator
+    so that every experiment in the repository is reproducible from a seed.
+
+    The generator is a mutable single-stream state; [split] derives an
+    independent stream, which the generators use to make per-partition data
+    generation independent of partition evaluation order. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator stream. Two generators created
+    from the same seed produce identical streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state of [t]; the copy evolves
+    independently. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent stream
+    derived from it. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output of the stream. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound). Raises
+    [Invalid_argument] if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] draws uniformly from the inclusive range [lo, hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val unit_float : t -> float
+(** Uniform draw from [0, 1). *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Normal deviate via the Box-Muller transform. *)
+
+val pareto : t -> alpha:float -> x_min:float -> float
+(** Pareto(alpha, x_min) deviate via inverse-CDF sampling. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential deviate with the given rate. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform draw from a non-empty array. Raises [Invalid_argument] on an
+    empty array. *)
+
+val string : t -> len:int -> string
+(** Random lowercase ASCII string of length [len]. *)

@@ -1,0 +1,2 @@
+(** String sets, used pervasively for free-variable computations. *)
+include module type of Set.Make (String)

@@ -1,0 +1,41 @@
+let render ~title ~header rows =
+  let ncols = List.length header in
+  let pad_row r =
+    let len = List.length r in
+    if len >= ncols then r else r @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map pad_row rows in
+  let all = header :: rows in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let buf = Buffer.create 256 in
+  let line ch =
+    Array.iter (fun w -> Buffer.add_string buf (String.make (w + 2) ch); Buffer.add_char buf '+') widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then begin
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf cell;
+          Buffer.add_string buf (String.make (widths.(i) - String.length cell + 1) ' ');
+          Buffer.add_char buf '|'
+        end)
+      row;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf ("== " ^ title ^ " ==\n");
+  line '-';
+  emit_row header;
+  line '-';
+  List.iter emit_row rows;
+  line '-';
+  Buffer.contents buf
+
+let print ~title ~header rows = print_string (render ~title ~header rows)

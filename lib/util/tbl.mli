@@ -1,0 +1,11 @@
+(** Plain-text table rendering for the benchmark harness: every experiment
+    prints its results as an aligned ASCII table with a caption, matching the
+    rows/series the paper reports. *)
+
+val render : title:string -> header:string list -> string list list -> string
+(** [render ~title ~header rows] lays out [rows] under [header] with columns
+    padded to the widest cell. Rows shorter than the header are padded with
+    empty cells. *)
+
+val print : title:string -> header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)

@@ -1,0 +1,40 @@
+type t = float array
+
+let zeros n = Array.make n 0.0
+let of_list = Array.of_list
+let dim = Array.length
+
+let check_dim a b name =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name (Array.length a) (Array.length b))
+
+let add a b =
+  check_dim a b "add";
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_dim a b "sub";
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale c a = Array.map (fun x -> c *. x) a
+let div_scalar a c = Array.map (fun x -> x /. c) a
+
+let dot a b =
+  check_dim a b "dot";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let dist a b = norm2 (sub a b)
+
+let equal ?(eps = 1e-9) a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a b
+
+let pp ppf a =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%g") a)))

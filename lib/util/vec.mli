@@ -1,0 +1,27 @@
+(** Small dense float vectors, used by the k-means workloads and the linear
+    algebra example layer. All operations allocate fresh arrays and check
+    dimensions. *)
+
+type t = float array
+
+val zeros : int -> t
+val of_list : float list -> t
+val dim : t -> int
+
+val add : t -> t -> t
+(** Component-wise sum. Raises [Invalid_argument] on dimension mismatch. *)
+
+val sub : t -> t -> t
+val scale : float -> t -> t
+val div_scalar : t -> float -> t
+val dot : t -> t -> float
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val dist : t -> t -> float
+(** Euclidean distance. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Component-wise comparison within [eps] (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+module Value = Emma_value.Value
+module Prng = Emma_util.Prng
+
+type config = {
+  n_emails : int;
+  n_blacklist : int;
+  ip_space : int;
+  body_bytes_avg : int;
+  server_info_bytes : int;
+  blacklist_hit_rate : float;
+}
+
+let paper_config ~physical_emails =
+  {
+    n_emails = physical_emails;
+    n_blacklist = max 1 (physical_emails / 10);
+    ip_space = max 4 (physical_emails / 4);
+    body_bytes_avg = 100_000;
+    server_info_bytes = 20_000;
+    blacklist_hit_rate = 0.5;
+  }
+
+let emails ~seed cfg =
+  let rng = Prng.create seed in
+  List.init cfg.n_emails (fun i ->
+      let ip = Prng.int rng cfg.ip_space in
+      let score = Prng.float rng 100.0 in
+      (* body sizes vary ±50% around the average *)
+      let body_bytes =
+        max 1 (cfg.body_bytes_avg / 2) + Prng.int rng (max 1 cfg.body_bytes_avg)
+      in
+      Value.record
+        [ ("id", Value.Int i);
+          ("ip", Value.Int ip);
+          ("score", Value.Float score);
+          ("body", Value.blob ~bytes:body_bytes ~tag:i) ])
+
+let blacklist ~seed cfg =
+  let rng = Prng.create (seed + 7919) in
+  List.init cfg.n_blacklist (fun i ->
+      let ip =
+        if Prng.unit_float rng < cfg.blacklist_hit_rate then Prng.int rng cfg.ip_space
+        else cfg.ip_space + i (* disjoint from the corpus IPs *)
+      in
+      Value.record
+        [ ("ip", Value.Int ip); ("info", Value.blob ~bytes:cfg.server_info_bytes ~tag:(1_000_000 + i)) ])

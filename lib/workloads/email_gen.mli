@@ -1,0 +1,29 @@
+(** Synthetic email corpus and mail-server blacklist for the Fig. 4
+    data-parallel workflow (paper §5.1): 1 M emails averaging 100 KB
+    (100 GB total) and 100 K blacklisted IPs with ~20 KB of server metadata
+    each (2 GB total). Bodies and metadata are {!Emma_value.Value.Blob}s,
+    so the byte sizes are faithful without materializing the payloads. *)
+
+type config = {
+  n_emails : int;
+  n_blacklist : int;
+  ip_space : int;  (** number of distinct mail-server IPs in the corpus *)
+  body_bytes_avg : int;
+  server_info_bytes : int;
+  blacklist_hit_rate : float;
+      (** fraction of corpus IPs that appear in the blacklist *)
+}
+
+val paper_config : physical_emails:int -> config
+(** Paper-shaped configuration scaled down to [physical_emails] physical
+    rows: blacklist sized at 10% of the emails, 100 KB bodies, 20 KB server
+    records. Combine with an engine [data_scale] of
+    [1_000_000 / physical_emails] to reach the paper's logical volumes. *)
+
+val emails : seed:int -> config -> Emma_value.Value.t list
+(** Email records: [{id; ip; score; body}] where [score] in [0, 100) is the
+    spam-classifier feature hook and [body] is an opaque blob. *)
+
+val blacklist : seed:int -> config -> Emma_value.Value.t list
+(** Blacklist records: [{ip; info}]. A [blacklist_hit_rate] fraction of its
+    IPs are drawn from the email IP space (the rest are disjoint). *)

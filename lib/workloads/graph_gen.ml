@@ -1,0 +1,69 @@
+module Value = Emma_value.Value
+module Prng = Emma_util.Prng
+
+type config = { n_vertices : int; avg_degree : int; alpha : float }
+
+let default ~n_vertices = { n_vertices; avg_degree = 8; alpha = 1.8 }
+
+(* Target weights w_i ~ Pareto(alpha); endpoints drawn proportional to the
+   weights, which yields skewed in-degrees (hubs). *)
+let neighbor_lists ~seed cfg =
+  let rng = Prng.create seed in
+  let weights =
+    Array.init cfg.n_vertices (fun _ -> Prng.pareto rng ~alpha:cfg.alpha ~x_min:1.0)
+  in
+  let total_w = Array.fold_left ( +. ) 0.0 weights in
+  (* cumulative table for weighted endpoint sampling *)
+  let cumulative = Array.make cfg.n_vertices 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cumulative.(i) <- !acc)
+    weights;
+  let sample_endpoint () =
+    let x = Prng.float rng total_w in
+    (* binary search for the first cumulative >= x *)
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cumulative.(mid) < x then go (mid + 1) hi else go lo mid
+    in
+    go 0 (cfg.n_vertices - 1)
+  in
+  Array.init cfg.n_vertices (fun i ->
+      let d =
+        let raw = Prng.pareto rng ~alpha:cfg.alpha ~x_min:(float_of_int cfg.avg_degree /. 2.0) in
+        min (cfg.n_vertices - 1) (int_of_float raw)
+      in
+      let targets = Hashtbl.create (max 4 d) in
+      let attempts = ref 0 in
+      while Hashtbl.length targets < d && !attempts < 4 * (d + 1) do
+        incr attempts;
+        let v = sample_endpoint () in
+        if v <> i then Hashtbl.replace targets v ()
+      done;
+      Hashtbl.fold (fun v () acc -> v :: acc) targets [])
+
+let to_records lists =
+  Array.to_list
+    (Array.mapi
+       (fun i ns ->
+         Value.record
+           [ ("id", Value.Int i);
+             ("neighbors", Value.bag (List.map (fun v -> Value.Int v) (List.sort_uniq Int.compare ns))) ])
+       lists)
+
+let adjacency ~seed cfg = to_records (neighbor_lists ~seed cfg)
+
+let edge_count rows =
+  List.fold_left
+    (fun acc r -> acc + List.length (Value.to_bag (Value.field r "neighbors")))
+    0 rows
+
+let undirected_adjacency ~seed cfg =
+  let lists = neighbor_lists ~seed cfg in
+  let sym = Array.map (fun l -> ref l) lists in
+  Array.iteri (fun i l -> List.iter (fun v -> sym.(v) := i :: !(sym.(v))) l) lists;
+  to_records (Array.map (fun r -> !r) sym)

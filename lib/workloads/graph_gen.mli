@@ -1,0 +1,24 @@
+(** Power-law directed graphs standing in for the Twitter follower graph
+    of §5.2 (Cha et al. dataset, ~2 B edges). Out-degrees follow a
+    Pareto-like law (many low-degree vertices, a few hubs), generated with
+    a Chung–Lu style attachment so in-degrees are skewed too. *)
+
+type config = {
+  n_vertices : int;
+  avg_degree : int;
+  alpha : float;  (** Pareto shape for the degree distribution *)
+}
+
+val default : n_vertices:int -> config
+
+val adjacency : seed:int -> config -> Emma_value.Value.t list
+(** Vertex records [{id; neighbors}] where [neighbors] is a bag of vertex
+    ids (the vertex-centric representation used by the PageRank and
+    Connected Components programs). Every vertex appears exactly once;
+    vertices may have empty neighbor bags. *)
+
+val edge_count : Emma_value.Value.t list -> int
+(** Total number of directed edges in an adjacency list. *)
+
+val undirected_adjacency : seed:int -> config -> Emma_value.Value.t list
+(** Symmetric closure of [adjacency] — used by Connected Components. *)

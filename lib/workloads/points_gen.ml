@@ -1,0 +1,32 @@
+module Value = Emma_value.Value
+module Prng = Emma_util.Prng
+
+type config = { n_points : int; k : int; dim : int; spread : float; box : float }
+
+let default ~n_points ~k = { n_points; k; dim = 2; spread = 1.0; box = 100.0 }
+
+let centers ~seed cfg =
+  let rng = Prng.create (seed * 31 + 5) in
+  List.init cfg.k (fun _ ->
+      Array.init cfg.dim (fun _ -> Prng.float rng cfg.box))
+
+let points ~seed cfg =
+  let cs = Array.of_list (centers ~seed cfg) in
+  let rng = Prng.create seed in
+  List.init cfg.n_points (fun i ->
+      let c = cs.(Prng.int rng cfg.k) in
+      let pos =
+        Array.map (fun x -> Prng.gaussian rng ~mean:x ~stddev:cfg.spread) c
+      in
+      Value.record [ ("id", Value.Int i); ("pos", Value.Vector pos) ])
+
+let initial_centroids ~seed cfg =
+  let cs = centers ~seed cfg in
+  let rng = Prng.create (seed + 101) in
+  List.mapi
+    (fun i c ->
+      let pos =
+        Array.map (fun x -> x +. Prng.gaussian rng ~mean:0.0 ~stddev:(3.0 *. cfg.spread)) c
+      in
+      Value.record [ ("cid", Value.Int i); ("pos", Value.Vector pos) ])
+    cs

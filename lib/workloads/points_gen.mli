@@ -1,0 +1,18 @@
+(** Clustered points for k-means (paper §5.2: 1.6 B points around 3 fixed
+    random centers). Points are Gaussian clouds around [k] true centers in
+    [dim] dimensions, so Lloyd's algorithm converges quickly and its
+    cluster assignments can be checked against the generating truth. *)
+
+type config = { n_points : int; k : int; dim : int; spread : float; box : float }
+
+val default : n_points:int -> k:int -> config
+
+val centers : seed:int -> config -> Emma_util.Vec.t list
+(** The true generating centers (deterministic in the seed). *)
+
+val points : seed:int -> config -> Emma_value.Value.t list
+(** Point records [{id; pos}] with [pos] a vector. *)
+
+val initial_centroids : seed:int -> config -> Emma_value.Value.t list
+(** [k] starting centroids [{cid; pos}] perturbed from the true centers —
+    deterministic and distinct from them. *)

@@ -1,0 +1,78 @@
+module Value = Emma_value.Value
+module Prng = Emma_util.Prng
+
+(* Day-number arithmetic: days since 1992-01-01, valid through 1998. *)
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0 then 29 else 28
+  | _ -> invalid_arg "days_in_month"
+
+let date y m d =
+  if y < 1992 || y > 1999 then invalid_arg "Tpch_gen.date: year out of range";
+  let days = ref 0 in
+  for yy = 1992 to y - 1 do
+    days := !days + if (yy mod 4 = 0 && yy mod 100 <> 0) || yy mod 400 = 0 then 366 else 365
+  done;
+  for mm = 1 to m - 1 do
+    days := !days + days_in_month y mm
+  done;
+  !days + d - 1
+
+let date_add_days d n = d + n
+
+type config = { n_lineitem : int; n_orders : int; n_customer : int }
+
+let of_scale_factor sf =
+  {
+    n_lineitem = max 1 (int_of_float (6_000_000.0 *. sf));
+    n_orders = max 1 (int_of_float (1_500_000.0 *. sf));
+    n_customer = max 1 (int_of_float (150_000.0 *. sf));
+  }
+
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+let return_flags = [| "R"; "A"; "N" |]
+let line_statuses = [| "O"; "F" |]
+
+let start_date = date 1992 1 1
+let end_date = date 1998 12 1
+
+let orders ~seed cfg =
+  let rng = Prng.create seed in
+  List.init cfg.n_orders (fun i ->
+      Value.record
+        [ ("orderKey", Value.Int i);
+          ("custKey", Value.Int (Prng.int rng (max 1 cfg.n_customer)));
+          ("orderDate", Value.Int (Prng.int_in rng start_date end_date));
+          ("orderPriority", Value.String (Prng.pick rng priorities));
+          ("shipPriority", Value.Int 0) ])
+
+let customer ~seed cfg =
+  let rng = Prng.create (seed + 29) in
+  List.init cfg.n_customer (fun i ->
+      Value.record
+        [ ("custKey", Value.Int i); ("mktSegment", Value.String (Prng.pick rng segments)) ])
+
+let lineitem ~seed cfg =
+  let rng = Prng.create (seed + 13) in
+  List.init cfg.n_lineitem (fun i ->
+      let order_key = Prng.int rng (max 1 cfg.n_orders) in
+      let ship = Prng.int_in rng start_date end_date in
+      let commit = date_add_days ship (Prng.int_in rng (-30) 60) in
+      let receipt = date_add_days ship (Prng.int_in rng 1 30) in
+      let quantity = float_of_int (Prng.int_in rng 1 50) in
+      let extended_price = quantity *. Prng.float rng 2000.0 in
+      Value.record
+        [ ("orderKey", Value.Int order_key);
+          ("lineNumber", Value.Int i);
+          ("quantity", Value.Float quantity);
+          ("extendedPrice", Value.Float extended_price);
+          ("discount", Value.Float (0.01 *. float_of_int (Prng.int_in rng 0 10)));
+          ("tax", Value.Float (0.01 *. float_of_int (Prng.int_in rng 0 8)));
+          ("returnFlag", Value.String (Prng.pick rng return_flags));
+          ("lineStatus", Value.String (Prng.pick rng line_statuses));
+          ("shipDate", Value.Int ship);
+          ("commitDate", Value.Int commit);
+          ("receiptDate", Value.Int receipt) ])

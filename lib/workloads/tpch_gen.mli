@@ -1,0 +1,31 @@
+(** TPC-H style data generator (dbgen substitute) for queries Q1 and Q4.
+
+    Only the columns those queries touch are generated, with the value
+    domains of the TPC-H specification (return flags, line statuses, order
+    priorities, discount/tax ranges, date ranges). Dates are integer day
+    numbers; see {!date}. Row counts follow the spec's cardinality per
+    scale factor (6 M lineitems, 1.5 M orders at SF 1), scaled by
+    [physical_sf]; run the engine with [data_scale] to reach the paper's
+    SF 50/100. *)
+
+val date : int -> int -> int -> int
+(** [date y m d] as a day number (years 1992-1998 per the spec). *)
+
+val date_add_days : int -> int -> int
+
+type config = { n_lineitem : int; n_orders : int; n_customer : int }
+
+val of_scale_factor : float -> config
+(** [of_scale_factor sf]: 6,000,000×sf lineitems, 1,500,000×sf orders and
+    150,000×sf customers. *)
+
+val lineitem : seed:int -> config -> Emma_value.Value.t list
+(** Records [{orderKey; quantity; extendedPrice; discount; tax; returnFlag;
+    lineStatus; shipDate; commitDate; receiptDate}]. *)
+
+val orders : seed:int -> config -> Emma_value.Value.t list
+(** Records [{orderKey; custKey; orderDate; orderPriority; shipPriority}].
+    Lineitems reference these order keys. *)
+
+val customer : seed:int -> config -> Emma_value.Value.t list
+(** Records [{custKey; mktSegment}] with the five TPC-H market segments. *)

@@ -1,0 +1,81 @@
+(* Shared test utilities: value testables, semantic-equivalence checks, and
+   qcheck generators for random pipelines over a base table. *)
+
+module Value = Emma_value.Value
+module Expr = Emma_lang.Expr
+module Eval = Emma_lang.Eval
+module S = Emma_lang.Surface
+
+let value_testable : Value.t Alcotest.testable =
+  Alcotest.testable Value.pp Value.equal
+
+let check_value = Alcotest.check value_testable
+
+(* Bags compare order-insensitively through Value.compare already. *)
+let check_bag msg expected actual =
+  Alcotest.check value_testable msg (Value.bag expected) (Value.bag actual)
+
+let ctx_with tables =
+  let ctx = Eval.create_ctx () in
+  List.iter (fun (name, rows) -> Eval.register_table ctx name rows) tables;
+  ctx
+
+let eval_expr ?(tables = []) e = Eval.eval_value (ctx_with tables) Eval.empty_env e
+
+let run_program ?(tables = []) p = Eval.eval_program (ctx_with tables) p
+
+(* Check that a rewrite preserved semantics on the given tables. *)
+let assert_equiv ?(tables = []) msg e1 e2 =
+  check_value msg (eval_expr ~tables e1) (eval_expr ~tables e2)
+
+(* ------------------------------------------------------------------ *)
+(* Random pipelines for property tests                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Rows of shape {a : int; b : int}. *)
+let row a b = Value.record [ ("a", Value.Int a); ("b", Value.Int b) ]
+
+let rows_gen =
+  QCheck2.Gen.(
+    list_size (int_bound 12)
+      (map2 (fun a b -> row a b) (int_range (-20) 20) (int_range 0 5)))
+
+(* A random chain of DataBag operators over the "rows" table, written
+   against the desugared surface (exactly what user code looks like). *)
+let pipeline_gen =
+  let open QCheck2.Gen in
+  let base = pure (S.read "rows") in
+  let step e_gen =
+    e_gen >>= fun e ->
+    oneof
+      [ (* map: project/transform the record *)
+        pure
+          (S.map
+             (S.lam "x" (fun x ->
+                  S.record [ ("a", S.(field x "a" + int_ 1)); ("b", S.field x "b") ]))
+             e);
+        (* filter on a *)
+        (int_range (-10) 10 >|= fun k ->
+         S.with_filter (S.lam "x" (fun x -> S.(field x "a" > int_ k))) e);
+        (* flatMap duplicating the element *)
+        pure (S.flat_map (S.lam "x" (fun x -> S.bag_of [ x; x ])) e);
+        (* union with itself filtered *)
+        pure (S.union e (S.with_filter (S.lam "x" (fun x -> S.(field x "b" = int_ 0))) e))
+      ]
+  in
+  int_bound 4 >>= fun depth ->
+  let rec build n acc = if n = 0 then acc else build (n - 1) (step acc) in
+  build depth base
+
+(* Optionally terminate the pipeline with an aggregate. *)
+let terminated_pipeline_gen =
+  let open QCheck2.Gen in
+  pipeline_gen >>= fun e ->
+  oneofl
+    [ e;
+      S.sum (S.map (S.lam "x" (fun x -> S.field x "a")) e);
+      S.count e;
+      S.exists (S.lam "x" (fun x -> S.(field x "a" > int_ 5))) e ]
+
+let qcheck_case ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)

@@ -1,0 +1,117 @@
+(* The extended DataBag fold aliases (Listing 3's full set) and the native
+   iteration cost behaviour. *)
+
+module Value = Emma_value.Value
+module S = Emma_lang.Surface
+module Pipeline = Emma_compiler.Pipeline
+open Helpers
+
+let ints xs = S.bag_of (List.map S.int_ xs)
+
+let test_product () =
+  check_value "product" (Value.float 24.0)
+    (eval_expr (S.product (S.map (S.lam "x" (fun x -> S.to_float x)) (ints [ 1; 2; 3; 4 ]))));
+  check_value "empty product" (Value.float 1.0) (eval_expr (S.product (ints [])))
+
+let test_plain_min_max () =
+  check_value "min_" (Value.some (Value.int 1)) (eval_expr (S.min_ (ints [ 3; 1; 2 ])));
+  check_value "max_" (Value.some (Value.int 3)) (eval_expr (S.max_ (ints [ 3; 1; 2 ])));
+  check_value "min_ empty" Value.none (eval_expr (S.min_ (ints [])));
+  check_value "min_ on strings" (Value.some (Value.string "a"))
+    (eval_expr (S.min_ (S.bag_of [ S.str "b"; S.str "a" ])))
+
+let test_avg () =
+  check_value "avg" (Value.float 2.0) (eval_expr (S.avg (ints [ 1; 2; 3 ])));
+  check_value "avg floats" (Value.float 0.5)
+    (eval_expr (S.avg (S.bag_of [ S.float_ 0.0; S.float_ 1.0 ])))
+
+let test_avg_fuses () =
+  (* avg over group values fuses into one aggBy slot *)
+  let q =
+    S.(
+      for_
+        [ gen "g" (group_by (lam "x" (fun x -> field x "b")) (read "rows")) ]
+        ~yield:
+          (record
+             [ ("key", field (var "g") "key");
+               ("mean", avg (map (lam "x" (fun x -> field x "a")) (field (var "g") "values")))
+             ]))
+  in
+  let stats = Emma_compiler.Fusion.fresh_stats () in
+  let fused = Emma_compiler.Fusion.expr ~stats (Emma_comp.Normalize.normalize q) in
+  Alcotest.(check int) "one fold slot" 1 stats.Emma_compiler.Fusion.fused_folds;
+  Alcotest.(check bool) "aggBy present" true
+    (Emma_lang.Expr.exists_expr (function Emma_lang.Expr.AggBy _ -> true | _ -> false) fused);
+  (* and the fused query is still correct *)
+  let rows = [ Helpers.row 2 0; Helpers.row 4 0; Helpers.row 9 1 ] in
+  assert_equiv ~tables:[ ("rows", rows) ] "avg fusion semantics"
+    (Emma_comp.Normalize.normalize q) fused
+
+let prop_avg_matches_reference =
+  Helpers.qcheck_case "avg = sum/count" ~count:60
+    QCheck2.Gen.(list_size (int_range 1 15) (int_range (-50) 50))
+    (fun xs ->
+      let v = eval_expr (S.avg (ints xs)) in
+      let expected =
+        float_of_int (List.fold_left ( + ) 0 xs) /. float_of_int (List.length xs)
+      in
+      Float.abs (Value.to_float v -. expected) < 1e-9)
+
+let prop_min_is_list_min =
+  Helpers.qcheck_case "min_ = List minimum" ~count:60
+    QCheck2.Gen.(list_size (int_bound 15) (int_range (-100) 100))
+    (fun xs ->
+      let v = eval_expr (S.min_ (ints xs)) in
+      match (xs, Value.to_option v) with
+      | [], None -> true
+      | xs, Some m -> Value.to_int m = List.fold_left min max_int xs
+      | _ -> false)
+
+(* ---- native iterations ------------------------------------------------ *)
+
+let loop_prog iters =
+  S.program
+    ~ret:S.(var "acc")
+    [ S.s_var "acc" (S.int_ 0);
+      S.s_var "i" (S.int_ 0);
+      S.while_
+        S.(var "i" < int_ iters)
+        [ S.assign "acc" S.(var "acc" + count (read "t"));
+          S.assign "i" S.(var "i" + int_ 1) ] ]
+
+let test_native_iterations_cheaper () =
+  let tables = [ ("t", List.init 10 Value.int) ] in
+  let overheads profile =
+    (* same cluster, same program; isolate the per-job submission cost by
+       comparing 1 vs 9 iterations under each profile *)
+    let run iters =
+      let algo = Emma.parallelize ~opts:Pipeline.no_opts (loop_prog iters) in
+      match
+        Emma.run_on
+          Emma.{ cluster = Emma_engine.Cluster.laptop (); profile; timeout_s = None }
+          algo ~tables
+      with
+      | Emma.Finished { metrics; _ } -> metrics.Emma.Metrics.sim_time_s
+      | _ -> Alcotest.fail "run failed"
+    in
+    (run 9 -. run 1) /. 8.0 (* marginal cost per extra iteration *)
+  in
+  let spark_marginal = overheads Emma_engine.Cluster.spark_like in
+  let flink_marginal = overheads Emma_engine.Cluster.flink_like in
+  let spark_job = Emma_engine.Cluster.spark_like.Emma_engine.Cluster.job_overhead_s in
+  let flink_job = Emma_engine.Cluster.flink_like.Emma_engine.Cluster.job_overhead_s in
+  Alcotest.(check bool) "spark pays the full job overhead per iteration" true
+    (spark_marginal >= spark_job);
+  Alcotest.(check bool) "flink's native iterations pay a fraction" true
+    (flink_marginal < 0.5 *. flink_job)
+
+let suite =
+  [ ( "fold_aliases",
+      [ Alcotest.test_case "product" `Quick test_product;
+        Alcotest.test_case "plain min/max" `Quick test_plain_min_max;
+        Alcotest.test_case "avg" `Quick test_avg;
+        Alcotest.test_case "avg fuses to one slot" `Quick test_avg_fuses;
+        prop_avg_matches_reference;
+        prop_min_is_list_min;
+        Alcotest.test_case "native iterations cheaper" `Quick test_native_iterations_cheaper ] )
+  ]

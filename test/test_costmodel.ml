@@ -1,0 +1,206 @@
+(* Cost-model behaviour of the simulated engine: the qualitative effects
+   the paper's figures rely on must hold by construction. *)
+
+module Value = Emma_value.Value
+module S = Emma_lang.Surface
+module Pipeline = Emma_compiler.Pipeline
+module Cluster = Emma_engine.Cluster
+module Metrics = Emma_engine.Metrics
+
+let run ?(profile = Cluster.spark_like) ?(cluster = Cluster.laptop ()) ?opts prog tables =
+  let algo = Emma.parallelize ?opts prog in
+  match Emma.run_on Emma.{ cluster; profile; timeout_s = None } algo ~tables with
+  | Emma.Finished { metrics; value; _ } -> (metrics, value)
+  | Emma.Failed { reason; _ } -> Alcotest.failf "engine failed: %s" reason
+  | Emma.Timed_out _ -> Alcotest.fail "timed out"
+
+let keyed_rows n =
+  List.init n (fun i ->
+      Value.record
+        [ ("key", Value.Int (i mod 13));
+          ("value", Value.Int i);
+          ("payload", Value.blob ~bytes:100 ~tag:i) ])
+
+let group_min_prog = Emma_programs.Group_min.program Emma_programs.Group_min.default_params
+
+let test_fusion_cuts_shuffle () =
+  let tables = [ ("dataset", keyed_rows 500) ] in
+  let fused, v1 = run group_min_prog tables in
+  let unfused, v2 = run ~opts:(Pipeline.with_ ~fuse:false ()) group_min_prog tables in
+  Helpers.check_value "same answer" v1 v2;
+  Alcotest.(check bool) "aggBy shuffles far less than groupBy" true
+    (fused.Metrics.shuffle_bytes *. 5.0 < unfused.Metrics.shuffle_bytes);
+  Alcotest.(check bool) "and is not slower" true
+    (fused.Metrics.sim_time_s <= unfused.Metrics.sim_time_s +. 1e-9)
+
+let join_prog =
+  S.program
+    ~ret:
+      S.(
+        count
+          (for_
+             [ gen "x" (read "big");
+               gen "y" (read "small");
+               when_ (field (var "x") "key" = field (var "y") "key") ]
+             ~yield:(tup [ var "x"; var "y" ])))
+    []
+
+let test_join_strategy_by_size () =
+  (* small build side under the threshold: broadcast join, no shuffle *)
+  let small = keyed_rows 5 in
+  let big = keyed_rows 400 in
+  let m_bc, _ = run join_prog [ ("big", big); ("small", small) ] in
+  Alcotest.(check bool) "broadcast join avoids shuffling the big side" true
+    (m_bc.Metrics.shuffle_bytes = 0.0 && m_bc.Metrics.broadcast_bytes > 0.0);
+  (* forced repartition join *)
+  let cluster = { (Cluster.laptop ()) with join_strategy = Cluster.Force_repartition } in
+  let m_rp, _ = run ~cluster join_prog [ ("big", big); ("small", small) ] in
+  Alcotest.(check bool) "repartition join shuffles" true (m_rp.Metrics.shuffle_bytes > 0.0)
+
+let test_jit_cost_based_choice () =
+  (* above the threshold the strategy is cost-based: a side much smaller
+     than the other is still broadcast when that is cheaper *)
+  let cluster = { (Cluster.laptop ()) with broadcast_threshold = 1.0 } in
+  let small = keyed_rows 10 in
+  let big = keyed_rows 800 in
+  let m, _ = run ~cluster join_prog [ ("big", big); ("small", small) ] in
+  Alcotest.(check bool) "cost model picks broadcast above the threshold" true
+    (m.Metrics.shuffle_bytes = 0.0 && m.Metrics.broadcast_bytes > 0.0)
+
+let test_copartitioned_join_skips_shuffle () =
+  (* two aggBy outputs keyed the same way: joining them needs no shuffle *)
+  let prog =
+    S.program
+      ~ret:
+        S.(
+          count
+            (for_
+               [ gen "a"
+                   (group_by (lam "x" (fun x -> field x "key")) (read "t1"));
+                 gen "b"
+                   (group_by (lam "x" (fun x -> field x "key")) (read "t2"));
+                 when_ (field (var "a") "key" = field (var "b") "key") ]
+               ~yield:(tup [ var "a"; var "b" ])))
+      []
+  in
+  let cluster = { (Cluster.laptop ()) with join_strategy = Cluster.Force_repartition } in
+  let m, _ = run ~cluster prog [ ("t1", keyed_rows 100); ("t2", keyed_rows 80) ] in
+  (* the groupBys shuffle; the join on their outputs must not add more *)
+  let m2, _ =
+    run ~cluster
+      (S.program
+         ~ret:
+           S.(
+             count (group_by (lam "x" (fun x -> field x "key")) (read "t1"))
+             + count (group_by (lam "x" (fun x -> field x "key")) (read "t2")))
+         [])
+      [ ("t1", keyed_rows 100); ("t2", keyed_rows 80) ]
+  in
+  Alcotest.(check bool) "join after groupBy adds no shuffle" true
+    (m.Metrics.shuffle_bytes <= m2.Metrics.shuffle_bytes +. 1e-9)
+
+let test_flink_broadcast_pricier () =
+  (* same program without unnesting: the exists broadcast costs more on
+     the Flink profile (its broadcast_factor), as in Fig. 4 *)
+  let prog =
+    S.program
+      ~ret:
+        S.(
+          count
+            (for_
+               [ gen "x" (read "big");
+                 when_
+                   (exists
+                      (lam "y" (fun y -> field y "key" = field (var "x") "key"))
+                      (var "bl")) ]
+               ~yield:(var "x")))
+      [ S.s_let "bl" (S.read "small") ]
+  in
+  let opts = Pipeline.with_ ~unnest:false () in
+  let tables = [ ("big", keyed_rows 200); ("small", keyed_rows 150) ] in
+  let m_spark, _ = run ~opts prog tables in
+  let m_flink, _ = run ~profile:Cluster.flink_like ~opts prog tables in
+  Alcotest.(check bool) "flink pays more for broadcast" true
+    (m_flink.Metrics.broadcast_bytes >= m_spark.Metrics.broadcast_bytes
+    && m_flink.Metrics.sim_time_s > 0.0)
+
+let loop_prog =
+  S.program
+    ~ret:S.(var "acc")
+    [ S.s_let "xs" S.(map (lam "x" (fun x -> x)) (read "t"));
+      S.s_var "acc" (S.int_ 0);
+      S.s_var "i" (S.int_ 0);
+      S.while_
+        S.(var "i" < int_ 5)
+        [ S.assign "acc" S.(var "acc" + count (var "xs"));
+          S.assign "i" S.(var "i" + int_ 1) ] ]
+
+let test_flink_cache_pays_io () =
+  let tables = [ ("t", keyed_rows 300) ] in
+  let m_spark, _ = run loop_prog tables in
+  let m_flink, _ = run ~profile:Cluster.flink_like loop_prog tables in
+  (* both cache xs; Spark's cache is free to reuse, Flink's costs DFS I/O *)
+  Alcotest.(check bool) "spark cache hits" true (m_spark.Metrics.cache_hits >= 4);
+  Alcotest.(check bool) "flink cache writes to DFS" true (m_flink.Metrics.dfs_write_bytes > 0.0);
+  Alcotest.(check bool) "flink cache reads from DFS on reuse" true
+    (m_flink.Metrics.dfs_read_bytes > m_spark.Metrics.dfs_read_bytes)
+
+let test_timeout_enforced () =
+  let algo = Emma.parallelize loop_prog in
+  let rt =
+    Emma.
+      { cluster = Cluster.paper_cluster ~data_scale:1e6 ();
+        profile = Cluster.spark_like;
+        timeout_s = Some 0.5 }
+  in
+  match Emma.run_on rt algo ~tables:[ ("t", keyed_rows 300) ] with
+  | Emma.Timed_out { at_s; _ } -> Alcotest.(check bool) "clock past limit" true (at_s > 0.5)
+  | _ -> Alcotest.fail "expected a timeout"
+
+let test_data_scale_scales_costs () =
+  let prog = S.program ~ret:S.(count (read "t")) [] in
+  let tables = [ ("t", keyed_rows 100) ] in
+  let m1, _ = run ~cluster:(Cluster.laptop ()) prog tables in
+  let m2, _ =
+    run ~cluster:{ (Cluster.laptop ()) with data_scale = 1000.0 } prog tables
+  in
+  Alcotest.(check bool) "dfs read scales linearly" true
+    (Float.abs ((m2.Metrics.dfs_read_bytes /. m1.Metrics.dfs_read_bytes) -. 1000.0) < 1.0)
+
+let test_table_scale_override () =
+  let prog = S.program ~ret:S.(count (read "t")) [] in
+  let tables = [ ("t", keyed_rows 100) ] in
+  let cluster =
+    { (Cluster.laptop ()) with data_scale = 1000.0; table_scales = [ ("t", 1.0) ] }
+  in
+  let m1, _ = run ~cluster:(Cluster.laptop ()) prog tables in
+  let m_override, _ = run ~cluster prog tables in
+  Alcotest.(check (float 1.0)) "override wins over data_scale"
+    m1.Metrics.dfs_read_bytes m_override.Metrics.dfs_read_bytes
+
+let test_aggregation_collapses_scale () =
+  (* the aggBy output is per-key: collecting it must cost the same no
+     matter the input scale *)
+  let tables = [ ("dataset", keyed_rows 200) ] in
+  let m1, v1 = run group_min_prog tables in
+  let m2, v2 =
+    run ~cluster:{ (Cluster.laptop ()) with data_scale = 500.0 } group_min_prog tables
+  in
+  Helpers.check_value "same answer at any scale" v1 v2;
+  Alcotest.(check (float 1.0)) "collected bytes identical" m1.Metrics.collect_bytes
+    m2.Metrics.collect_bytes
+
+let suite =
+  [ ( "cost_model",
+      [ Alcotest.test_case "fusion cuts shuffle" `Quick test_fusion_cuts_shuffle;
+        Alcotest.test_case "join strategy by size" `Quick test_join_strategy_by_size;
+        Alcotest.test_case "JIT cost-based choice" `Quick test_jit_cost_based_choice;
+        Alcotest.test_case "co-partitioned join skips shuffle" `Quick
+          test_copartitioned_join_skips_shuffle;
+        Alcotest.test_case "flink broadcast pricier" `Quick test_flink_broadcast_pricier;
+        Alcotest.test_case "flink cache pays IO" `Quick test_flink_cache_pays_io;
+        Alcotest.test_case "timeout enforced" `Quick test_timeout_enforced;
+        Alcotest.test_case "data_scale scales costs" `Quick test_data_scale_scales_costs;
+        Alcotest.test_case "table scale override" `Quick test_table_scale_override;
+        Alcotest.test_case "aggregation collapses scale" `Quick test_aggregation_collapses_scale
+      ] ) ]

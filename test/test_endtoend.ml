@@ -1,0 +1,135 @@
+(* End-to-end property: random *driver programs* (loops, assignments,
+   joins, groupings, exists) must produce identical results under
+   - native host-language evaluation,
+   - the engine with every optimization enabled,
+   - the engine with every optimization disabled,
+   on both engine profiles. This is the repository's strongest invariant:
+   the whole compiler pipeline and the distributed runtime are
+   semantics-preserving. *)
+
+module Value = Emma_value.Value
+module S = Emma_lang.Surface
+module Pipeline = Emma_compiler.Pipeline
+open Helpers
+
+(* --- random program generator ----------------------------------------- *)
+
+(* integer-valued aggregate over a pipeline; programs accumulate these in
+   a loop variable so results are scalars (no float-order sensitivity) *)
+let agg_gen pipeline =
+  QCheck2.Gen.oneofl
+    [ S.count pipeline;
+      S.sum (S.map (S.lam "x" (fun x -> S.field x "a")) pipeline);
+      S.(if_ (exists (lam "x" (fun x -> field x "a" > int_ 3)) pipeline) (int_ 1) (int_ 0)) ]
+
+let joinish_gen =
+  let open QCheck2.Gen in
+  oneofl
+    [ (* join t1 x t2 on b *)
+      S.(
+        for_
+          [ gen "x" (read "t1");
+            gen "y" (read "t2");
+            when_ (field (var "x") "b" = field (var "y") "b") ]
+          ~yield:(record [ ("a", field (var "x") "a" + field (var "y") "a"); ("b", field (var "x") "b") ]));
+      (* semijoin via exists *)
+      S.(
+        for_
+          [ gen "x" (read "t1");
+            when_ (exists (lam "y" (fun y -> field y "b" = field (var "x") "b")) (read "t2")) ]
+          ~yield:(var "x"));
+      (* group + fold *)
+      S.(
+        for_
+          [ gen "g" (group_by (lam "x" (fun x -> field x "b")) (read "t1")) ]
+          ~yield:
+            (record
+               [ ("a", sum (map (lam "x" (fun x -> field x "a")) (field (var "g") "values")));
+                 ("b", field (var "g") "key") ]));
+      (* plain pipeline *)
+      S.(with_filter (lam "x" (fun x -> field x "a" > int_ 0)) (read "t1"));
+      (* union & distinct *)
+      S.(distinct (union (read "t1") (read "t2"))) ]
+
+let program_gen =
+  let open QCheck2.Gen in
+  joinish_gen >>= fun bag1 ->
+  joinish_gen >>= fun bag2 ->
+  agg_gen (S.var "data") >>= fun agg ->
+  int_range 1 3 >|= fun iters ->
+  S.program
+    ~ret:S.(var "acc")
+    [ S.s_let "data" bag1;
+      S.s_let "other" bag2;
+      S.s_var "acc" S.(count (var "other"));
+      S.s_var "i" (S.int_ 0);
+      S.while_
+        S.(var "i" < int_ iters)
+        [ S.assign "acc" S.(var "acc" + agg);
+          S.s_if
+            S.(var "acc" > int_ 100)
+            [ S.assign "acc" S.(var "acc" - int_ 7) ]
+            [ S.assign "acc" S.(var "acc" + int_ 1) ];
+          S.assign "i" S.(var "i" + int_ 1) ] ]
+
+let tables_gen =
+  QCheck2.Gen.(pair Helpers.rows_gen Helpers.rows_gen)
+  |> QCheck2.Gen.map (fun (r1, r2) -> [ ("t1", r1); ("t2", r2) ])
+
+let run_engine ~profile ~opts prog tables =
+  let algo = Emma.parallelize ~opts prog in
+  let rt =
+    Emma.{ cluster = Emma_engine.Cluster.laptop (); profile; timeout_s = None }
+  in
+  match Emma.run_on rt algo ~tables with
+  | Emma.Finished { value; _ } -> Ok value
+  | Emma.Failed { reason; _ } -> Error reason
+  | Emma.Timed_out _ -> Error "timeout"
+
+let agree prog tables =
+  let algo = Emma.parallelize prog in
+  let native, _ = Emma.run_native algo ~tables in
+  let runs =
+    [ run_engine ~profile:Emma_engine.Cluster.spark_like ~opts:Pipeline.default_opts prog tables;
+      run_engine ~profile:Emma_engine.Cluster.spark_like ~opts:Pipeline.no_opts prog tables;
+      run_engine ~profile:Emma_engine.Cluster.flink_like ~opts:Pipeline.default_opts prog tables;
+      run_engine ~profile:Emma_engine.Cluster.flink_like
+        ~opts:(Pipeline.with_ ~cache:false ~partition:false ()) prog tables ]
+  in
+  List.for_all
+    (function Ok v -> Value.equal native v | Error _ -> false)
+    runs
+
+let prop_full_agreement =
+  Helpers.qcheck_case "native = engine(all opts) = engine(no opts), both profiles" ~count:40
+    QCheck2.Gen.(pair program_gen tables_gen)
+    (fun (prog, tables) -> agree prog tables)
+
+(* deterministic regression corpus: one program per generator branch *)
+let test_corpus () =
+  let tables = [ ("t1", List.init 9 (fun i -> Helpers.row (i - 4) (i mod 3)));
+                 ("t2", List.init 7 (fun i -> Helpers.row i (i mod 2))) ] in
+  let progs =
+    let mk bag =
+      S.program ~ret:S.(count (var "d") + sum (map (lam "x" (fun x -> field x "a")) (var "d")))
+        [ S.s_let "d" bag ]
+    in
+    [ mk S.(for_
+              [ gen "x" (read "t1"); gen "y" (read "t2");
+                when_ (field (var "x") "b" = field (var "y") "b") ]
+              ~yield:(record [ ("a", field (var "x") "a"); ("b", field (var "y") "b") ]));
+      mk S.(for_
+              [ gen "x" (read "t1");
+                when_ (exists (lam "y" (fun y -> field y "b" = field (var "x") "b")) (read "t2")) ]
+              ~yield:(var "x"));
+      mk S.(distinct (union (read "t1") (read "t2")));
+      mk S.(minus (read "t1") (read "t2")) ]
+  in
+  List.iteri
+    (fun i prog ->
+      if not (agree prog tables) then Alcotest.failf "corpus program %d disagreed" i)
+    progs
+
+let suite =
+  [ ( "end_to_end",
+      [ prop_full_agreement; Alcotest.test_case "regression corpus" `Quick test_corpus ] ) ]

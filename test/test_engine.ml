@@ -1,0 +1,258 @@
+module Value = Emma_value.Value
+module S = Emma_lang.Surface
+module Pipeline = Emma_compiler.Pipeline
+open Helpers
+
+let laptop_rt ?(profile = Emma_engine.Cluster.spark_like) () =
+  Emma.{ cluster = Emma_engine.Cluster.laptop (); profile; timeout_s = None }
+
+(* Compile with the given opts, run on the engine, and compare against
+   native evaluation of the source program. *)
+let check_agreement ?(opts = Pipeline.default_opts) ?(profile = Emma_engine.Cluster.spark_like)
+    msg tables prog =
+  let algo = Emma.parallelize ~opts prog in
+  let native, _ = Emma.run_native algo ~tables in
+  match Emma.run_on (laptop_rt ~profile ()) algo ~tables with
+  | Emma.Finished { value; _ } -> check_value msg native value
+  | Emma.Failed { reason; _ } -> Alcotest.failf "%s: engine failed: %s" msg reason
+  | Emma.Timed_out _ -> Alcotest.failf "%s: engine timed out" msg
+
+let rows_table n =
+  List.init n (fun i -> Helpers.row (i mod 7) (i mod 3))
+
+let test_simple_map () =
+  let prog =
+    S.program
+      ~ret:S.(sum (map (lam "x" (fun x -> field x "a")) (read "rows")))
+      []
+  in
+  check_agreement "sum of map" [ ("rows", rows_table 20) ] prog
+
+let test_join_program () =
+  let prog =
+    S.program
+      ~ret:
+        S.(
+          count
+            (for_
+               [ gen "x" (read "t1");
+                 gen "y" (read "t2");
+                 when_ (field (var "x") "a" = field (var "y") "a") ]
+               ~yield:(tup [ var "x"; var "y" ])))
+      []
+  in
+  check_agreement "join count" [ ("t1", rows_table 15); ("t2", rows_table 9) ] prog
+
+let test_semijoin_program () =
+  let prog =
+    S.program
+      ~ret:
+        S.(
+          count
+            (for_
+               [ gen "x" (read "t1");
+                 when_
+                   (exists
+                      (lam "y" (fun y -> field y "a" = field (var "x") "a"))
+                      (read "t2")) ]
+               ~yield:(var "x")))
+      []
+  in
+  let tables = [ ("t1", rows_table 20); ("t2", rows_table 4) ] in
+  check_agreement "semijoin count" tables prog;
+  (* multiplicity check: several matches on the right must not duplicate
+     left elements — compare against unnesting disabled too *)
+  check_agreement ~opts:(Pipeline.with_ ~unnest:false ()) "broadcast filter count" tables prog
+
+let test_groupby_program () =
+  let prog =
+    S.program
+      ~ret:
+        S.(
+          for_
+            [ gen "g" (group_by (lam "x" (fun x -> field x "b")) (read "rows")) ]
+            ~yield:
+              (record
+                 [ ("key", field (var "g") "key");
+                   ("total", sum (map (lam "x" (fun x -> field x "a")) (field (var "g") "values")));
+                   ("n", count (field (var "g") "values")) ]))
+      []
+  in
+  let tables = [ ("rows", rows_table 25) ] in
+  check_agreement "fused group aggregation" tables prog;
+  check_agreement ~opts:(Pipeline.with_ ~fuse:false ()) "unfused group aggregation" tables prog
+
+let test_cross_and_cache () =
+  let prog =
+    S.program
+      ~ret:S.(var "total")
+      [ S.s_let "xs" S.(map (lam "x" (fun x -> field x "a")) (read "rows"));
+        S.s_var "total" (S.int_ 0);
+        S.s_var "i" (S.int_ 0);
+        S.while_
+          S.(var "i" < int_ 3)
+          [ S.assign "total" S.(var "total" + sum (var "xs") + count (var "xs"));
+            S.assign "i" S.(var "i" + int_ 1) ] ]
+  in
+  let tables = [ ("rows", rows_table 12) ] in
+  check_agreement "loop with cached binding" tables prog;
+  check_agreement ~opts:(Pipeline.with_ ~cache:false ()) "loop without caching" tables prog
+
+let test_write_sink () =
+  let prog =
+    S.program
+      [ S.s_let "out" S.(map (lam "x" (fun x -> field x "a")) (read "rows"));
+        S.write "sink" (S.var "out") ]
+  in
+  let tables = [ ("rows", rows_table 8) ] in
+  let algo = Emma.parallelize prog in
+  let _, native_ctx = Emma.run_native algo ~tables in
+  match Emma.run_on (laptop_rt ()) algo ~tables with
+  | Emma.Finished { ctx; _ } ->
+      check_value "sink contents agree"
+        (Value.bag (Emma.Eval.read_table native_ctx "sink"))
+        (Value.bag (Emma.Eval.read_table ctx "sink"))
+  | _ -> Alcotest.fail "engine run failed"
+
+let test_stateful_program () =
+  (* connected-components-like point updates through the engine *)
+  let prog =
+    S.program
+      ~ret:S.(state_bag (var "st"))
+      [ S.s_let "st"
+          (S.stateful
+             ~key:(S.lam "x" (fun x -> S.field x "id"))
+             (S.read "cells"));
+        S.s_var "i" (S.int_ 0);
+        S.while_
+          S.(var "i" < int_ 2)
+          [ S.s_let "delta"
+              (S.update_msgs (S.var "st")
+                 ~msg_key:(S.lam "m" (fun m -> S.proj m 0))
+                 ~messages:
+                   S.(
+                     for_
+                       [ gen "c" (state_bag (var "st")) ]
+                       ~yield:(tup [ field (var "c") "id"; field (var "c") "v" ]))
+                 (S.lam2 "s" "m" (fun s m ->
+                      S.some_
+                        (S.record
+                           [ ("id", S.field s "id"); ("v", S.(field s "v" + proj m 1)) ]))));
+            S.assign "i" S.(var "i" + int_ 1) ] ]
+  in
+  let cells =
+    [ Value.record [ ("id", Value.int 1); ("v", Value.int 1) ];
+      Value.record [ ("id", Value.int 2); ("v", Value.int 10) ] ]
+  in
+  check_agreement "stateful loop" [ ("cells", cells) ] prog
+
+let test_metrics_sane () =
+  let prog =
+    S.program ~ret:S.(sum (map (lam "x" (fun x -> field x "a")) (read "rows"))) []
+  in
+  let algo = Emma.parallelize prog in
+  match Emma.run_on (laptop_rt ()) algo ~tables:[ ("rows", rows_table 50) ] with
+  | Emma.Finished { metrics; _ } ->
+      Alcotest.(check bool) "time advanced" true (metrics.Emma.Metrics.sim_time_s > 0.0);
+      Alcotest.(check bool) "one job" true (metrics.Emma.Metrics.jobs >= 1);
+      Alcotest.(check bool) "dfs read charged" true (metrics.Emma.Metrics.dfs_read_bytes > 0.0)
+  | _ -> Alcotest.fail "run failed"
+
+let test_caching_reduces_recomputes () =
+  let prog =
+    S.program
+      ~ret:S.(var "acc")
+      [ S.s_let "xs" S.(map (lam "x" (fun x -> field x "a")) (read "rows"));
+        S.s_var "acc" (S.int_ 0);
+        S.s_var "i" (S.int_ 0);
+        S.while_
+          S.(var "i" < int_ 4)
+          [ S.assign "acc" S.(var "acc" + sum (var "xs"));
+            S.assign "i" S.(var "i" + int_ 1) ] ]
+  in
+  let tables = [ ("rows", rows_table 30) ] in
+  let run opts =
+    let algo = Emma.parallelize ~opts prog in
+    match Emma.run_on (laptop_rt ()) algo ~tables with
+    | Emma.Finished { metrics; _ } -> metrics
+    | _ -> Alcotest.fail "run failed"
+  in
+  let with_cache = run Pipeline.default_opts in
+  let without = run (Pipeline.with_ ~cache:false ~partition:false ()) in
+  Alcotest.(check bool) "cache hits occur" true (with_cache.Emma.Metrics.cache_hits >= 3);
+  Alcotest.(check bool) "uncached recomputes more" true
+    (without.Emma.Metrics.recomputes > with_cache.Emma.Metrics.recomputes);
+  Alcotest.(check bool) "cached run is faster" true
+    (with_cache.Emma.Metrics.sim_time_s < without.Emma.Metrics.sim_time_s)
+
+let test_groupby_oom () =
+  (* a single huge group: Spark-like fails, Flink-like spills *)
+  let rows =
+    List.init 64 (fun i ->
+        Value.record
+          [ ("k", Value.int 0); ("payload", Value.blob ~bytes:20_000_000 ~tag:i) ])
+  in
+  let prog =
+    S.program
+      ~ret:
+        S.(
+          count
+            (group_by (lam "x" (fun x -> field x "k")) (read "rows")))
+      []
+  in
+  let contains_sub hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let algo = Emma.parallelize ~opts:(Pipeline.with_ ~fuse:false ()) prog in
+  (match Emma.run_on (laptop_rt ()) algo ~tables:[ ("rows", rows) ] with
+  | Emma.Failed { reason; _ } ->
+      Alcotest.(check bool) "OOM reported" true (contains_sub reason "memory")
+  | _ -> Alcotest.fail "spark-like should fail on a huge group");
+  match
+    Emma.run_on (laptop_rt ~profile:Emma_engine.Cluster.flink_like ()) algo
+      ~tables:[ ("rows", rows) ]
+  with
+  | Emma.Finished { metrics; _ } ->
+      Alcotest.(check bool) "flink-like spilled" true (metrics.Emma.Metrics.spilled_bytes > 0.0)
+  | _ -> Alcotest.fail "flink-like should spill and finish"
+
+let prop_engine_matches_native =
+  Helpers.qcheck_case "engine = native on random pipelines" ~count:60
+    QCheck2.Gen.(pair Helpers.rows_gen Helpers.terminated_pipeline_gen)
+    (fun (rows, e) ->
+      let prog = S.program ~ret:e [] in
+      let tables = [ ("rows", rows) ] in
+      let algo = Emma.parallelize prog in
+      let native, _ = Emma.run_native algo ~tables in
+      match Emma.run_on (laptop_rt ()) algo ~tables with
+      | Emma.Finished { value; _ } -> Value.equal native value
+      | _ -> false)
+
+let prop_engine_matches_native_noopt =
+  Helpers.qcheck_case "engine = native with optimizations off" ~count:40
+    QCheck2.Gen.(pair Helpers.rows_gen Helpers.terminated_pipeline_gen)
+    (fun (rows, e) ->
+      let prog = S.program ~ret:e [] in
+      let tables = [ ("rows", rows) ] in
+      let algo = Emma.parallelize ~opts:Pipeline.no_opts prog in
+      let native, _ = Emma.run_native algo ~tables in
+      match Emma.run_on (laptop_rt ()) algo ~tables with
+      | Emma.Finished { value; _ } -> Value.equal native value
+      | _ -> false)
+
+let suite =
+  [ ( "engine",
+      [ Alcotest.test_case "simple map+fold" `Quick test_simple_map;
+        Alcotest.test_case "join" `Quick test_join_program;
+        Alcotest.test_case "semijoin multiplicity" `Quick test_semijoin_program;
+        Alcotest.test_case "group by (fused and not)" `Quick test_groupby_program;
+        Alcotest.test_case "loop + cache" `Quick test_cross_and_cache;
+        Alcotest.test_case "write sink" `Quick test_write_sink;
+        Alcotest.test_case "stateful loop" `Quick test_stateful_program;
+        Alcotest.test_case "metrics sane" `Quick test_metrics_sane;
+        Alcotest.test_case "caching reduces recomputes" `Quick test_caching_reduces_recomputes;
+        Alcotest.test_case "groupby OOM vs spill" `Quick test_groupby_oom;
+        prop_engine_matches_native;
+        prop_engine_matches_native_noopt ] ) ]

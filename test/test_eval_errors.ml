@@ -1,0 +1,105 @@
+(* Interpreter error paths: failures must be clean [Eval_error]/[Type_error]
+   exceptions with informative messages, never assertion failures. *)
+
+module Value = Emma_value.Value
+module Eval = Emma_lang.Eval
+module S = Emma_lang.Surface
+open Helpers
+
+let expect_eval_error e =
+  match eval_expr e with
+  | exception Eval.Eval_error _ -> ()
+  | exception Value.Type_error _ -> ()
+  | v -> Alcotest.failf "expected an error, got %s" (Value.to_display v)
+
+let test_unbound_variable () = expect_eval_error (S.var "nope")
+
+let test_unknown_table () =
+  match eval_expr (S.read "missing") with
+  | exception Eval.Eval_error m ->
+      Alcotest.(check bool) "names the table" true
+        (String.length m > 0
+        && String.split_on_char '"' m |> List.exists (String.equal "missing"))
+  | _ -> Alcotest.fail "expected Eval_error"
+
+let test_apply_non_function () = expect_eval_error (S.app (S.int_ 1) (S.int_ 2))
+
+let test_fold_over_non_bag () = expect_eval_error (S.count (S.int_ 1))
+
+let test_guard_non_bool () =
+  expect_eval_error
+    S.(for_ [ gen "x" (bag_of [ int_ 1 ]); when_ (int_ 5) ] ~yield:(var "x"))
+
+let test_range_empty () =
+  check_value "inverted range is empty" (Value.bag [])
+    (eval_expr (S.range (S.int_ 5) (S.int_ 1)))
+
+let test_stateful_key_change_rejected () =
+  let p =
+    S.program ~ret:S.unit_
+      [ S.s_let "st"
+          (S.stateful ~key:(S.lam "x" (fun x -> S.field x "id"))
+             (S.bag_of [ S.record [ ("id", S.int_ 1) ] ]));
+        S.s_let "_d"
+          (S.update (S.var "st")
+             (S.lam "x" (fun _ -> S.some_ (S.record [ ("id", S.int_ 99) ])))) ]
+  in
+  match run_program p with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "changing the element key must be rejected"
+
+let test_stateful_duplicate_keys_rejected () =
+  let p =
+    S.program ~ret:S.unit_
+      [ S.s_let "st"
+          (S.stateful ~key:(S.lam "x" (fun x -> S.field x "id"))
+             (S.bag_of
+                [ S.record [ ("id", S.int_ 1) ]; S.record [ ("id", S.int_ 1) ] ])) ]
+  in
+  match run_program p with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate state keys must be rejected"
+
+let test_assign_unbound () =
+  let p = S.program [ S.assign "ghost" (S.int_ 1) ] in
+  match run_program p with
+  | exception Eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "assignment to unbound variable must fail"
+
+let test_closures_in_driver () =
+  (* functions can be let-bound at driver level and applied in UDFs *)
+  let p =
+    S.program
+      ~ret:S.(sum (map (var "double") (bag_of [ int_ 1; int_ 2 ])))
+      [ S.s_let "double" (S.lam "x" (fun x -> S.(x * int_ 2))) ]
+  in
+  check_value "driver-bound UDF" (Value.int 6) (run_program p)
+
+let test_shadowing_in_comprehension () =
+  (* an inner generator shadows an outer one of the same name *)
+  let e =
+    Emma_lang.Expr.Comp
+      { head = S.var "x";
+        quals =
+          [ Emma_lang.Expr.QGen ("x", S.bag_of [ S.int_ 1 ]);
+            Emma_lang.Expr.QGen ("x", S.bag_of [ S.int_ 10; S.int_ 20 ]) ];
+        alg = Emma_lang.Expr.Alg_bag }
+  in
+  check_value "inner shadows outer"
+    (Value.bag [ Value.int 10; Value.int 20 ])
+    (eval_expr e)
+
+let suite =
+  [ ( "eval_errors",
+      [ Alcotest.test_case "unbound variable" `Quick test_unbound_variable;
+        Alcotest.test_case "unknown table" `Quick test_unknown_table;
+        Alcotest.test_case "apply non-function" `Quick test_apply_non_function;
+        Alcotest.test_case "fold over non-bag" `Quick test_fold_over_non_bag;
+        Alcotest.test_case "guard non-bool" `Quick test_guard_non_bool;
+        Alcotest.test_case "inverted range" `Quick test_range_empty;
+        Alcotest.test_case "stateful key change" `Quick test_stateful_key_change_rejected;
+        Alcotest.test_case "stateful duplicate keys" `Quick test_stateful_duplicate_keys_rejected;
+        Alcotest.test_case "assign unbound" `Quick test_assign_unbound;
+        Alcotest.test_case "driver-bound closures" `Quick test_closures_in_driver;
+        Alcotest.test_case "comprehension shadowing" `Quick test_shadowing_in_comprehension ] )
+  ]

@@ -1,0 +1,77 @@
+(* Failure injection: losing cached results mid-run must be invisible to
+   program semantics — the engine recovers them through lineage, paying
+   only recomputation cost. *)
+
+module Value = Emma_value.Value
+module S = Emma_lang.Surface
+module Cluster = Emma_engine.Cluster
+module Engine = Emma_engine.Exec
+open Helpers
+
+let loop_prog iters =
+  S.program
+    ~ret:(S.var "acc")
+    [ S.s_let "xs" S.(map (lam "x" (fun x -> field x "a")) (read "t"));
+      S.s_var "acc" (S.int_ 0);
+      S.s_var "i" (S.int_ 0);
+      S.while_
+        S.(var "i" < int_ iters)
+        [ S.assign "acc" S.(var "acc" + sum (var "xs"));
+          S.assign "i" S.(var "i" + int_ 1) ] ]
+
+let run_with ?(cache_loss_at = []) prog tables =
+  let ctx = Emma.Eval.create_ctx () in
+  List.iter (fun (n, rows) -> Emma.Eval.register_table ctx n rows) tables;
+  let eng =
+    Engine.create ~cache_loss_at ~cluster:(Cluster.laptop ()) ~profile:Cluster.spark_like ctx
+  in
+  let v = Engine.run eng (Emma.parallelize prog).Emma.compiled in
+  (v, Engine.metrics eng)
+
+let tables = [ ("t", List.init 20 (fun i -> Helpers.row i (i mod 3))) ]
+
+let test_result_unchanged () =
+  let clean, m_clean = run_with (loop_prog 5) tables in
+  let faulty, m_faulty = run_with ~cache_loss_at:[ 2; 4 ] (loop_prog 5) tables in
+  check_value "results identical under failures" clean faulty;
+  Alcotest.(check int) "two losses recovered" 2 m_faulty.Emma.Metrics.cache_losses;
+  Alcotest.(check int) "no losses in the clean run" 0 m_clean.Emma.Metrics.cache_losses
+
+let test_recovery_costs_time () =
+  let _, m_clean = run_with (loop_prog 5) tables in
+  let _, m_faulty = run_with ~cache_loss_at:[ 1 ] (loop_prog 5) tables in
+  Alcotest.(check bool) "recovery re-executes lineage" true
+    (m_faulty.Emma.Metrics.recomputes > m_clean.Emma.Metrics.recomputes);
+  Alcotest.(check bool) "recovery costs simulated time" true
+    (m_faulty.Emma.Metrics.sim_time_s > m_clean.Emma.Metrics.sim_time_s)
+
+let test_recovered_copy_is_reused () =
+  (* after recovery the re-materialized cache serves later hits *)
+  let _, m = run_with ~cache_loss_at:[ 1 ] (loop_prog 6) tables in
+  Alcotest.(check bool) "later iterations hit the recovered cache" true
+    (m.Emma.Metrics.cache_hits >= 4)
+
+let test_every_hit_lost () =
+  (* worst case: every single cache access fails — still correct *)
+  let clean, _ = run_with (loop_prog 4) tables in
+  let faulty, m = run_with ~cache_loss_at:(List.init 50 (fun i -> i + 1)) (loop_prog 4) tables in
+  check_value "correct under total cache loss" clean faulty;
+  Alcotest.(check int) "no surviving hits" 0 m.Emma.Metrics.cache_hits
+
+let prop_faults_never_change_results =
+  Helpers.qcheck_case "random fault schedules never change results" ~count:40
+    QCheck2.Gen.(pair Helpers.rows_gen (list_size (int_bound 6) (int_range 1 10)))
+    (fun (rows, losses) ->
+      let prog = loop_prog 3 in
+      let tables = [ ("t", rows) ] in
+      let clean, _ = run_with prog tables in
+      let faulty, _ = run_with ~cache_loss_at:losses prog tables in
+      Value.equal clean faulty)
+
+let suite =
+  [ ( "fault_injection",
+      [ Alcotest.test_case "results unchanged" `Quick test_result_unchanged;
+        Alcotest.test_case "recovery costs time" `Quick test_recovery_costs_time;
+        Alcotest.test_case "recovered copy reused" `Quick test_recovered_copy_is_reused;
+        Alcotest.test_case "total cache loss" `Quick test_every_hit_lost;
+        prop_faults_never_change_results ] ) ]

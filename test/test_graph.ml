@@ -1,0 +1,122 @@
+module Value = Emma_value.Value
+module G = Emma_graph.Graph
+module S = Emma_lang.Surface
+module P = Emma_dataflow.Plan
+open Helpers
+
+let eval_cells ~tables e = Value.to_bag (eval_expr ~tables e)
+
+let triangle_graph =
+  (* two directed triangles sharing the edge 1->2, plus noise *)
+  [ (1, 2); (2, 3); (3, 1); (2, 4); (4, 1); (5, 6) ]
+
+let test_reverse_undirect () =
+  let tables = [ ("edges", G.edges_of_list [ (1, 2); (2, 3) ]) ] in
+  check_bag "reverse"
+    (G.edges_of_list [ (2, 1); (3, 2) ])
+    (eval_cells ~tables (G.reverse (S.read "edges")));
+  check_bag "undirect"
+    (G.edges_of_list [ (1, 2); (2, 1); (2, 3); (3, 2) ])
+    (eval_cells ~tables (G.undirect (S.read "edges")))
+
+let test_degrees () =
+  let tables = [ ("edges", G.edges_of_list triangle_graph) ] in
+  let got =
+    eval_cells ~tables (G.out_degrees (S.read "edges"))
+    |> List.map (fun r ->
+           (Value.to_int (Value.field r "id"), Value.to_int (Value.field r "degree")))
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair int int))) "out degrees"
+    (G.out_degrees_reference triangle_graph) got
+
+let test_vertices_and_count () =
+  let tables = [ ("edges", G.edges_of_list triangle_graph) ] in
+  Alcotest.(check int) "vertices" 6
+    (List.length (eval_cells ~tables (G.vertices (S.read "edges"))));
+  check_value "edge count" (Value.int 6) (eval_expr ~tables (G.edge_count (S.read "edges")))
+
+let test_triangles () =
+  let tables = [ ("edges", G.edges_of_list triangle_graph) ] in
+  let expected = G.triangle_count_reference triangle_graph in
+  check_value "triangle count (native)" (Value.int expected)
+    (eval_expr ~tables (G.triangle_count (S.read "edges")));
+  (* each directed 3-cycle contributes 3 rotations *)
+  Alcotest.(check int) "two triangles, three rotations each" 6 expected
+
+let test_triangles_compile_to_composite_semijoin () =
+  let prog = S.program ~ret:(G.triangle_count (S.read "edges")) [] in
+  let algo = Emma.parallelize prog in
+  Alcotest.(check int) "one eq-join" 1
+    algo.Emma.report.Emma.Pipeline.translation.Emma_compiler.Translate.eq_joins;
+  Alcotest.(check int) "one semi-join (composite key, post-join)" 1
+    algo.Emma.report.Emma.Pipeline.translation.Emma_compiler.Translate.semi_joins;
+  Alcotest.(check int) "no broadcast-filter fallback" 0
+    algo.Emma.report.Emma.Pipeline.translation.Emma_compiler.Translate.broadcast_filters
+
+let test_triangles_on_engine () =
+  let tables = [ ("edges", G.edges_of_list triangle_graph) ] in
+  let prog = S.program ~ret:(G.triangle_count (S.read "edges")) [] in
+  let algo = Emma.parallelize prog in
+  let native, _ = Emma.run_native algo ~tables in
+  match
+    Emma.run_on
+      Emma.
+        { cluster = Emma_engine.Cluster.laptop ();
+          profile = Emma_engine.Cluster.spark_like;
+          timeout_s = None }
+      algo ~tables
+  with
+  | Emma.Finished { value; _ } -> check_value "engine = native" native value
+  | _ -> Alcotest.fail "engine run failed"
+
+let test_two_hop () =
+  let tables = [ ("edges", G.edges_of_list [ (1, 2); (2, 3); (2, 4); (3, 1) ]) ] in
+  check_bag "two-hop pairs"
+    [ Value.record [ ("src", Value.Int 1); ("dst", Value.Int 3) ];
+      Value.record [ ("src", Value.Int 1); ("dst", Value.Int 4) ];
+      Value.record [ ("src", Value.Int 2); ("dst", Value.Int 1) ];
+      Value.record [ ("src", Value.Int 3); ("dst", Value.Int 2) ] ]
+    (eval_cells ~tables (G.two_hop_neighbors (S.read "edges")))
+
+let prop_triangles_match_oracle =
+  Helpers.qcheck_case "triangle count = oracle on random graphs" ~count:30
+    QCheck2.Gen.(list_size (int_bound 20) (pair (int_range 0 6) (int_range 0 6)))
+    (fun pairs ->
+      let pairs = List.filter (fun (a, b) -> a <> b) pairs in
+      let tables = [ ("edges", G.edges_of_list pairs) ] in
+      let v = eval_expr ~tables (G.triangle_count (S.read "edges")) in
+      Value.to_int v = G.triangle_count_reference pairs)
+
+let prop_degrees_sum_to_edges =
+  Helpers.qcheck_case "Σ out-degrees = edge count" ~count:30
+    QCheck2.Gen.(list_size (int_bound 25) (pair (int_range 0 8) (int_range 0 8)))
+    (fun pairs ->
+      let tables = [ ("edges", G.edges_of_list pairs) ] in
+      let degs = eval_cells ~tables (G.out_degrees (S.read "edges")) in
+      let total =
+        List.fold_left (fun acc r -> acc + Value.to_int (Value.field r "degree")) 0 degs
+      in
+      total = List.length pairs)
+
+let test_adjacency_conversion () =
+  let cfg = Emma_workloads.Graph_gen.default ~n_vertices:40 in
+  let adj = Emma_workloads.Graph_gen.adjacency ~seed:21 cfg in
+  let edges = G.edges_of_adjacency adj in
+  Alcotest.(check int) "edge count preserved"
+    (Emma_workloads.Graph_gen.edge_count adj)
+    (List.length edges)
+
+let suite =
+  [ ( "graph",
+      [ Alcotest.test_case "reverse + undirect" `Quick test_reverse_undirect;
+        Alcotest.test_case "degrees" `Quick test_degrees;
+        Alcotest.test_case "vertices + edge count" `Quick test_vertices_and_count;
+        Alcotest.test_case "triangles (native)" `Quick test_triangles;
+        Alcotest.test_case "triangles compile to join+semijoin" `Quick
+          test_triangles_compile_to_composite_semijoin;
+        Alcotest.test_case "triangles on engine" `Quick test_triangles_on_engine;
+        Alcotest.test_case "two-hop neighbors" `Quick test_two_hop;
+        Alcotest.test_case "adjacency conversion" `Quick test_adjacency_conversion;
+        prop_triangles_match_oracle;
+        prop_degrees_sum_to_edges ] ) ]

@@ -1,0 +1,210 @@
+(* Statement inlining and the physical passes in isolation. *)
+
+module Expr = Emma_lang.Expr
+module S = Emma_lang.Surface
+module P = Emma_dataflow.Plan
+module Cprog = Emma_dataflow.Cprog
+module Sinline = Emma_compiler.Sinline
+module Physical = Emma_compiler.Physical
+module Translate = Emma_compiler.Translate
+module Normalize = Emma_comp.Normalize
+
+(* ---- statement inlining --------------------------------------------- *)
+
+let count_lets prog = List.length (List.filter (function Expr.SLet _ -> true | _ -> false) prog.Expr.body)
+
+let test_single_use_inlined () =
+  let prog =
+    S.program
+      ~ret:S.unit_
+      [ S.s_let "a" S.(map (lam "x" (fun x -> x)) (read "t"));
+        S.s_let "b" S.(count (var "a"));
+        S.write "out" S.(bag_of [ var "b" ]) ]
+  in
+  let inlined = Sinline.program prog in
+  Alcotest.(check int) "both vals inlined" 0 (count_lets inlined)
+
+let test_multi_use_kept () =
+  let prog =
+    S.program
+      ~ret:S.(count (var "a") + count (var "a"))
+      [ S.s_let "a" S.(map (lam "x" (fun x -> x)) (read "t")) ]
+  in
+  Alcotest.(check int) "multi-use binding kept" 1 (count_lets (Sinline.program prog))
+
+let test_use_in_loop_not_inlined () =
+  let prog =
+    S.program
+      ~ret:S.unit_
+      [ S.s_let "a" S.(map (lam "x" (fun x -> x)) (read "t"));
+        S.s_var "i" (S.int_ 0);
+        S.while_
+          S.(var "i" < int_ 2)
+          [ S.s_let "c" S.(count (var "a")); S.assign "i" S.(var "i" + int_ 1) ] ]
+  in
+  (* inlining would move the map into the loop: must not happen *)
+  Alcotest.(check int) "loop-crossing binding kept" 1 (count_lets (Sinline.program prog))
+
+let test_scalar_rhs_not_inlined () =
+  let prog =
+    S.program ~ret:S.(var "k" + var "k") [ S.s_let "k" S.(int_ 1 + int_ 2) ]
+  in
+  (* scalar arithmetic is not a comprehended RHS: left in place *)
+  Alcotest.(check int) "scalar binding kept" 1 (count_lets (Sinline.program prog))
+
+let test_stateful_rhs_never_inlined () =
+  let prog =
+    S.program
+      ~ret:S.unit_
+      [ S.s_let "st" (S.stateful ~key:(S.lam "x" (fun x -> S.field x "id")) (S.read "t"));
+        S.s_let "d" (S.update (S.var "st") (S.lam "x" (fun _ -> S.none_)));
+        S.write "out" (S.var "d") ]
+  in
+  let inlined = Sinline.program prog in
+  Alcotest.(check int) "stateful update binding kept" 2 (count_lets inlined)
+
+(* ---- caching ---------------------------------------------------------- *)
+
+let compile_nophys prog =
+  Translate.program (Normalize.program (Sinline.program prog))
+
+let has_cache prog_c =
+  let found = ref false in
+  Cprog.iter_plans
+    (fun p -> P.fold_plan (fun () -> function P.Cache _ -> found := true | _ -> ()) () p)
+    prog_c;
+  !found
+
+let test_cache_single_use_not_inserted () =
+  let prog =
+    S.program ~ret:S.(count (var "a"))
+      [ S.s_var "a" S.(map (lam "x" (fun x -> x)) (read "t")) ]
+  in
+  let c = compile_nophys prog in
+  let c', cached = Physical.insert_caching c in
+  Alcotest.(check (list string)) "nothing cached" [] cached;
+  Alcotest.(check bool) "no cache node" false (has_cache c')
+
+let test_cache_loop_use_inserted () =
+  let prog =
+    S.program ~ret:S.unit_
+      [ S.s_var "a" S.(map (lam "x" (fun x -> x)) (read "t"));
+        S.s_var "i" (S.int_ 0);
+        S.while_
+          S.(var "i" < int_ 2)
+          [ S.s_var "c" S.(count (var "a")); S.assign "i" S.(var "i" + int_ 1) ] ]
+  in
+  let c = compile_nophys prog in
+  let c', cached = Physical.insert_caching c in
+  Alcotest.(check (list string)) "a cached" [ "a" ] cached;
+  Alcotest.(check bool) "cache node present" true (has_cache c')
+
+let test_cache_broadcast_ref_counts () =
+  (* a bag referenced only from inside UDFs (broadcast) still counts *)
+  let prog =
+    S.program ~ret:S.unit_
+      [ S.s_var "small" S.(map (lam "x" (fun x -> x)) (read "s"));
+        S.s_var "r1"
+          S.(count (map (lam "x" (fun x -> tup [ x; count (var "small") ])) (read "t")));
+        S.s_var "r2"
+          S.(count (map (lam "x" (fun x -> tup [ x; count (var "small") ])) (read "t"))) ]
+  in
+  let _, cached = Physical.insert_caching (compile_nophys prog) in
+  Alcotest.(check bool) "broadcast-only references trigger caching" true
+    (List.mem "small" cached)
+
+(* ---- partition pulling ------------------------------------------------ *)
+
+let test_partition_pull_loop_invariant () =
+  let prog =
+    S.program ~ret:S.unit_
+      [ S.s_let "xs" S.(map (lam "x" (fun x -> x)) (read "t1"));
+        S.s_var "i" (S.int_ 0);
+        S.while_
+          S.(var "i" < int_ 2)
+          [ S.s_let "j"
+              S.(
+                count
+                  (for_
+                     [ gen "a" (var "xs");
+                       gen "b" (read "t2");
+                       when_ (field (var "a") "k" = field (var "b") "k") ]
+                     ~yield:(var "a")));
+            S.assign "i" S.(var "i" + int_ 1) ] ]
+  in
+  let c = compile_nophys prog in
+  let _, pulled = Physical.partition_pulling c in
+  Alcotest.(check (list string)) "xs gets the join partitioning" [ "xs" ] pulled
+
+let test_partition_pull_skips_reassigned () =
+  let prog =
+    S.program ~ret:S.unit_
+      [ S.s_var "xs" S.(map (lam "x" (fun x -> x)) (read "t1"));
+        S.s_var "i" (S.int_ 0);
+        S.while_
+          S.(var "i" < int_ 2)
+          [ S.s_let "j"
+              S.(
+                count
+                  (for_
+                     [ gen "a" (var "xs");
+                       gen "b" (read "t2");
+                       when_ (field (var "a") "k" = field (var "b") "k") ]
+                     ~yield:(var "a")));
+            S.assign "xs" S.(map (lam "x" (fun x -> x)) (read "t1"));
+            S.assign "i" S.(var "i" + int_ 1) ] ]
+  in
+  let _, pulled = Physical.partition_pulling (compile_nophys prog) in
+  Alcotest.(check (list string)) "loop-variant binding not pulled" [] pulled
+
+let test_partition_key_through_filter () =
+  (* the key traces through a filter down to the scan *)
+  let prog =
+    S.program ~ret:S.unit_
+      [ S.s_let "xs" S.(map (lam "x" (fun x -> x)) (read "t1"));
+        S.s_var "i" (S.int_ 0);
+        S.while_
+          S.(var "i" < int_ 2)
+          [ S.s_let "j"
+              S.(
+                count
+                  (for_
+                     [ gen "a" (var "xs");
+                       when_ (field (var "a") "v" > int_ 0);
+                       gen "b" (read "t2");
+                       when_ (field (var "a") "k" = field (var "b") "k") ]
+                     ~yield:(var "a")));
+            S.assign "i" S.(var "i" + int_ 1) ] ]
+  in
+  let _, pulled = Physical.partition_pulling (compile_nophys prog) in
+  Alcotest.(check (list string)) "traced through the filter" [ "xs" ] pulled
+
+(* ---- broadcast annotation --------------------------------------------- *)
+
+let test_broadcast_annotation_on_program () =
+  let prog =
+    S.program ~ret:S.unit_
+      [ S.s_let "c" (S.read "centroids");
+        S.s_var "r" S.(count (map (lam "x" (fun x -> tup [ x; count (var "c") ])) (read "t"))) ]
+  in
+  let c = Physical.annotate_broadcasts (compile_nophys prog) in
+  let bcs = ref [] in
+  Cprog.iter_plans (fun p -> bcs := P.broadcast_vars p @ !bcs) c;
+  Alcotest.(check bool) "c is a broadcast variable" true (List.mem "c" !bcs)
+
+let suite =
+  [ ( "sinline",
+      [ Alcotest.test_case "single use inlined" `Quick test_single_use_inlined;
+        Alcotest.test_case "multi use kept" `Quick test_multi_use_kept;
+        Alcotest.test_case "loop use not inlined" `Quick test_use_in_loop_not_inlined;
+        Alcotest.test_case "scalar rhs kept" `Quick test_scalar_rhs_not_inlined;
+        Alcotest.test_case "stateful rhs kept" `Quick test_stateful_rhs_never_inlined ] );
+    ( "physical",
+      [ Alcotest.test_case "no cache for single use" `Quick test_cache_single_use_not_inserted;
+        Alcotest.test_case "cache for loop use" `Quick test_cache_loop_use_inserted;
+        Alcotest.test_case "broadcast refs count" `Quick test_cache_broadcast_ref_counts;
+        Alcotest.test_case "pull loop-invariant" `Quick test_partition_pull_loop_invariant;
+        Alcotest.test_case "skip reassigned" `Quick test_partition_pull_skips_reassigned;
+        Alcotest.test_case "trace through filter" `Quick test_partition_key_through_filter;
+        Alcotest.test_case "broadcast annotation" `Quick test_broadcast_annotation_on_program
+      ] ) ]

@@ -1,0 +1,156 @@
+module Value = Emma_value.Value
+module Expr = Emma_lang.Expr
+module P = Emma_dataflow.Plan
+module Cprog = Emma_dataflow.Cprog
+module Pdata = Emma_engine.Pdata
+
+(* ---- Plan helpers ---------------------------------------------------- *)
+
+let key_udf field = P.udf_of_expr (Expr.Lam ("x", Expr.Field (Expr.Var "x", field)))
+
+let test_udf_alpha_equal () =
+  let a = P.udf_of_expr (Expr.Lam ("x", Expr.Field (Expr.Var "x", "ip"))) in
+  let b = P.udf_of_expr (Expr.Lam ("y", Expr.Field (Expr.Var "y", "ip"))) in
+  let c = P.udf_of_expr (Expr.Lam ("x", Expr.Field (Expr.Var "x", "id"))) in
+  Alcotest.(check bool) "alpha-equal keys" true (P.udf_alpha_equal a b);
+  Alcotest.(check bool) "different fields differ" false (P.udf_alpha_equal a c)
+
+let test_udf_eta_expansion () =
+  (* a non-lambda UDF argument is eta-expanded *)
+  let u = P.udf_of_expr (Expr.Var "f") in
+  match u.P.body with
+  | Expr.App (Expr.Var "f", Expr.Var p) when p = u.P.param -> ()
+  | _ -> Alcotest.fail "expected eta expansion"
+
+let test_result_kind () =
+  let fold_fns =
+    Expr.
+      { f_empty = Const (Value.Int 0);
+        f_single = Lam ("x", Var "x");
+        f_union = Lam ("a", Lam ("b", Prim (Emma_lang.Prim.Add, [ Var "a"; Var "b" ])));
+        f_tag = Tag_sum }
+  in
+  Alcotest.(check bool) "read is a bag" true (P.result_kind (P.Read "t") = P.Rbag);
+  Alcotest.(check bool) "fold is scalar" true
+    (P.result_kind (P.Fold (fold_fns, P.Read "t")) = P.Rscalar);
+  Alcotest.(check bool) "cache preserves kind" true
+    (P.result_kind (P.Cache (P.Read "t")) = P.Rbag);
+  Alcotest.(check bool) "stateful create" true
+    (P.result_kind (P.Stateful_create { key = key_udf "id"; init = P.Read "t" }) = P.Rstateful)
+
+let test_scanned_and_counts () =
+  let p =
+    P.Union (P.Scan "a", P.Filter (key_udf "f", P.Scan "b"))
+  in
+  Alcotest.(check (list string)) "scans collected" [ "a"; "b" ]
+    (List.sort compare (P.scanned_vars p));
+  Alcotest.(check int) "node count" 4 (P.node_count p)
+
+let test_plan_pp_total () =
+  (* the printer must handle every constructor without raising *)
+  let fns =
+    Expr.
+      { f_empty = Const (Value.Int 0);
+        f_single = Lam ("x", Var "x");
+        f_union = Lam ("a", Lam ("b", Var "a"));
+        f_tag = Tag_generic }
+  in
+  let plans =
+    [ P.Read "t"; P.Scan "x"; P.Local (Expr.BagOf []);
+      P.Map (key_udf "f", P.Read "t");
+      P.Flat_map (key_udf "f", P.Read "t");
+      P.Filter (key_udf "f", P.Read "t");
+      P.Eq_join { lkey = key_udf "k"; rkey = key_udf "k"; left = P.Read "a"; right = P.Read "b" };
+      P.Semi_join { lkey = key_udf "k"; rkey = key_udf "k"; left = P.Read "a"; right = P.Read "b" };
+      P.Cross (P.Read "a", P.Read "b");
+      P.Group_by (key_udf "k", P.Read "t");
+      P.Agg_by { key = key_udf "k"; fold = fns; input = P.Read "t" };
+      P.Fold (fns, P.Read "t");
+      P.Union (P.Read "a", P.Read "b");
+      P.Minus (P.Read "a", P.Read "b");
+      P.Distinct (P.Read "t");
+      P.Cache (P.Read "t");
+      P.Partition_by (key_udf "k", P.Read "t");
+      P.Stateful_create { key = key_udf "id"; init = P.Read "t" };
+      P.Stateful_read "s";
+      P.Stateful_update { state = "s"; udf = key_udf "f" };
+      P.Stateful_update_msgs
+        { state = "s";
+          msg_key = key_udf "id";
+          messages = P.Read "m";
+          udf = P.udf2_of_expr (Expr.Lam ("a", Expr.Lam ("b", Expr.Var "a"))) } ]
+  in
+  List.iter (fun p -> Alcotest.(check bool) "prints" true (String.length (P.to_string p) > 0)) plans
+
+let test_cprog_pp_and_helpers () =
+  let rhs = Cprog.rhs_of_plan (P.Read "t") in
+  Alcotest.(check bool) "plan_of_rhs round trip" true
+    (match Cprog.plan_of_rhs rhs with Some (P.Read "t") -> true | _ -> false);
+  let prog =
+    Cprog.
+      { cbody =
+          [ CLet ("x", rhs);
+            CWhile (rhs_of_expr (Expr.Const (Value.Bool false)), [ CAssign ("x", rhs) ]) ];
+        cret = Cprog.rhs_of_expr (Expr.Var "x") }
+  in
+  Alcotest.(check bool) "cprog prints" true (String.length (Cprog.to_string prog) > 0);
+  let depths = ref [] in
+  Cprog.iter_stmts_with_depth (fun d _ -> depths := d :: !depths) prog;
+  Alcotest.(check (list int)) "loop body depth" [ 0; 0; 1 ] (List.sort compare !depths)
+
+(* ---- Pdata ----------------------------------------------------------- *)
+
+let test_pdata_roundtrip () =
+  let vs = List.init 10 Value.int in
+  let pd = Pdata.of_list ~nparts:4 vs in
+  Alcotest.(check int) "4 partitions" 4 (Pdata.nparts pd);
+  Alcotest.(check int) "records" 10 (Pdata.records pd);
+  Helpers.check_bag "round trip" vs (Pdata.to_list pd)
+
+let test_pdata_repartition () =
+  let vs = List.init 20 Value.int in
+  let key = P.udf_of_expr (Expr.Lam ("x", Expr.Var "x")) in
+  let pd = Pdata.repartition ~nparts:4 ~key Fun.id (Pdata.of_list ~nparts:4 vs) in
+  Alcotest.(check bool) "co-partitioned after repartition" true (Pdata.co_partitioned pd key);
+  (* element placement matches the hash *)
+  Array.iteri
+    (fun part vs ->
+      List.iter
+        (fun v -> Alcotest.(check int) "placement" part (abs (Value.hash v) mod 4))
+        vs)
+    pd.Pdata.parts;
+  Helpers.check_bag "content preserved" vs (Pdata.to_list pd)
+
+let test_pdata_mult_propagation () =
+  let vs = List.init 8 Value.int in
+  let pd = Pdata.of_list ~rmult:10.0 ~bmult:20.0 ~nparts:2 vs in
+  Alcotest.(check (float 1e-9)) "logical records" 80.0 (Pdata.logical_records pd);
+  Alcotest.(check (float 1e-9)) "logical bytes" (20.0 *. Pdata.bytes pd) (Pdata.logical_bytes pd);
+  let filtered = Pdata.map_parts_preserving (List.filter (fun _ -> true)) pd in
+  Alcotest.(check (float 1e-9)) "mult preserved" 10.0 filtered.Pdata.rmult;
+  let u = Pdata.union pd (Pdata.of_list ~nparts:2 vs) in
+  Alcotest.(check (float 1e-9)) "union takes max" 10.0 u.Pdata.rmult
+
+let test_pdata_key_property () =
+  let key = P.udf_of_expr (Expr.Lam ("x", Expr.Var "x")) in
+  let pd = Pdata.repartition ~nparts:2 ~key Fun.id (Pdata.of_list ~nparts:2 [ Value.int 1 ]) in
+  Alcotest.(check bool) "map_parts clears key" false
+    (Pdata.co_partitioned (Pdata.map_parts Fun.id pd) key);
+  Alcotest.(check bool) "preserving keeps key" true
+    (Pdata.co_partitioned (Pdata.map_parts_preserving Fun.id pd) key);
+  Alcotest.(check bool) "union clears key" false
+    (Pdata.co_partitioned (Pdata.union pd pd) key)
+
+let suite =
+  [ ( "plan",
+      [ Alcotest.test_case "udf alpha equality" `Quick test_udf_alpha_equal;
+        Alcotest.test_case "udf eta expansion" `Quick test_udf_eta_expansion;
+        Alcotest.test_case "result kinds" `Quick test_result_kind;
+        Alcotest.test_case "scans and counts" `Quick test_scanned_and_counts;
+        Alcotest.test_case "plan printer total" `Quick test_plan_pp_total;
+        Alcotest.test_case "cprog helpers" `Quick test_cprog_pp_and_helpers ] );
+    ( "pdata",
+      [ Alcotest.test_case "round trip" `Quick test_pdata_roundtrip;
+        Alcotest.test_case "repartition" `Quick test_pdata_repartition;
+        Alcotest.test_case "multiplier propagation" `Quick test_pdata_mult_propagation;
+        Alcotest.test_case "key property" `Quick test_pdata_key_property ] ) ]

@@ -1,0 +1,80 @@
+(* Pretty-printer totality and shape: every program and every plan in the
+   repository must render without raising, and the printed form must carry
+   the constructs a reader needs to see. *)
+
+module Pretty = Emma_lang.Pretty
+module Pr = Emma_programs
+module P = Emma_dataflow.Plan
+module S = Emma_lang.Surface
+
+let all_programs =
+  [ ("kmeans", Pr.Kmeans.(program default_params));
+    ("pagerank", Pr.Pagerank.(program (default_params ~n_pages:10)));
+    ("pagerank-eps", Pr.Pagerank.(program_with_epsilon (default_params ~n_pages:10)));
+    ("cc", Pr.Connected_components.(program default_params));
+    ("spam", Pr.Spam_workflow.(program default_params));
+    ("q1", Pr.Tpch_q1.(program default_params));
+    ("q3", Pr.Tpch_q3.(program default_params));
+    ("q4", Pr.Tpch_q4.(program default_params));
+    ("group-min", Pr.Group_min.(program default_params));
+    ("wordcount", Pr.Wordcount.(program default_params)) ]
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_programs_print () =
+  List.iter
+    (fun (name, prog) ->
+      let s = Pretty.program_to_string prog in
+      if String.length s < 50 then Alcotest.failf "%s prints suspiciously short" name)
+    all_programs
+
+let test_source_shows_constructs () =
+  let s = Pretty.program_to_string Pr.Kmeans.(program default_params) in
+  List.iter
+    (fun needle ->
+      if not (contains s needle) then Alcotest.failf "kmeans source lacks %S" needle)
+    [ "while"; "groupBy"; "minBy"; "read"; "write"; ".map" ]
+
+let test_compiled_plans_print () =
+  List.iter
+    (fun (name, prog) ->
+      let algo = Emma.parallelize prog in
+      let s = Emma.Cprog.to_string algo.Emma.compiled in
+      if String.length s < 50 then Alcotest.failf "%s compiled form too short" name;
+      Emma.Cprog.iter_plans
+        (fun p ->
+          if String.length (P.to_string p) = 0 then Alcotest.failf "%s: empty plan print" name;
+          let dot = P.to_dot p in
+          if not (contains dot "digraph") then Alcotest.failf "%s: bad dot output" name)
+        algo.Emma.compiled)
+    all_programs
+
+let test_comprehension_notation () =
+  (* normalized comprehensions print in the paper's [[ e | qs ]] notation *)
+  let e =
+    Emma_comp.Normalize.normalize
+      S.(
+        for_
+          [ gen "x" (read "t"); when_ (var "x" > int_ 0) ]
+          ~yield:(var "x"))
+  in
+  let s = Pretty.expr_to_string e in
+  Alcotest.(check bool) "uses [[ ... ]] notation" true
+    (contains s "[[" && contains s "]]" && contains s "<-")
+
+let test_dot_quoting () =
+  (* labels containing quotes must be escaped *)
+  let p = P.Read "weird\"table" in
+  let dot = P.to_dot p in
+  Alcotest.(check bool) "escaped quotes" true (contains dot "weird\\\"table")
+
+let suite =
+  [ ( "pretty",
+      [ Alcotest.test_case "programs print" `Quick test_programs_print;
+        Alcotest.test_case "source shows constructs" `Quick test_source_shows_constructs;
+        Alcotest.test_case "compiled plans print" `Quick test_compiled_plans_print;
+        Alcotest.test_case "comprehension notation" `Quick test_comprehension_notation;
+        Alcotest.test_case "dot quoting" `Quick test_dot_quoting ] ) ]

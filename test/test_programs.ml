@@ -1,0 +1,260 @@
+module Value = Emma_value.Value
+module Pipeline = Emma_compiler.Pipeline
+module W = Emma_workloads
+module Pr = Emma_programs
+open Helpers
+
+let laptop_rt ?(profile = Emma_engine.Cluster.spark_like) () =
+  Emma.{ cluster = Emma_engine.Cluster.laptop (); profile; timeout_s = None }
+
+let engine_run ?opts prog tables =
+  let algo = Emma.parallelize ?opts prog in
+  match Emma.run_on (laptop_rt ()) algo ~tables with
+  | Emma.Finished r -> r
+  | Emma.Failed { reason; _ } -> Alcotest.failf "engine failed: %s" reason
+  | Emma.Timed_out _ -> Alcotest.fail "engine timed out"
+
+let sort_values vs = List.sort Value.compare vs
+
+(* ------------------------- k-means --------------------------------- *)
+
+let kmeans_setup () =
+  let params = { Pr.Kmeans.default_params with max_iters = 12 } in
+  let cfg = W.Points_gen.default ~n_points:200 ~k:3 in
+  let points = W.Points_gen.points ~seed:42 cfg in
+  let centroids0 = W.Points_gen.initial_centroids ~seed:42 cfg in
+  (params, cfg, points, centroids0)
+
+let test_kmeans_native_vs_oracle () =
+  let params, _, points, centroids0 = kmeans_setup () in
+  let prog = Pr.Kmeans.program params in
+  let algo = Emma.parallelize prog in
+  let native, _ =
+    Emma.run_native algo ~tables:[ ("points", points); ("centroids0", centroids0) ]
+  in
+  let oracle = Pr.Kmeans.reference ~params ~points ~centroids0 in
+  (* centroids match the plain-OCaml Lloyd oracle up to float noise *)
+  let by_cid vs =
+    List.sort
+      (fun a b -> Value.compare (Value.field a "cid") (Value.field b "cid"))
+      vs
+  in
+  let native_cs = by_cid (Value.to_bag native) and oracle_cs = by_cid oracle in
+  Alcotest.(check int) "same number of centroids" (List.length oracle_cs)
+    (List.length native_cs);
+  List.iter2
+    (fun a b ->
+      let pa = Value.to_vector (Value.field a "pos") in
+      let pb = Value.to_vector (Value.field b "pos") in
+      Alcotest.(check bool) "centroid close" true (Emma_util.Vec.dist pa pb < 1e-6))
+    native_cs oracle_cs
+
+let test_kmeans_engine_matches_native () =
+  let params, _, points, centroids0 = kmeans_setup () in
+  let prog = Pr.Kmeans.program params in
+  let tables = [ ("points", points); ("centroids0", centroids0) ] in
+  let algo = Emma.parallelize prog in
+  let native, _ = Emma.run_native algo ~tables in
+  let r = engine_run prog tables in
+  (* centroid sums combine in different orders on the engine, so compare
+     with a float tolerance *)
+  let by_cid v =
+    Value.to_bag v
+    |> List.sort (fun a b -> Value.compare (Value.field a "cid") (Value.field b "cid"))
+  in
+  let a = by_cid native and b = by_cid r.Emma.value in
+  Alcotest.(check int) "same centroid count" (List.length a) (List.length b);
+  List.iter2
+    (fun x y ->
+      check_value "same cid" (Value.field x "cid") (Value.field y "cid");
+      let px = Value.to_vector (Value.field x "pos") in
+      let py = Value.to_vector (Value.field y "pos") in
+      Alcotest.(check bool) "centroid close" true (Emma_util.Vec.dist px py < 1e-6))
+    a b
+
+let test_kmeans_optimizations_fire () =
+  let params, _, _, _ = kmeans_setup () in
+  let algo = Emma.parallelize (Pr.Kmeans.program params) in
+  Alcotest.(check bool) "fusion" true (Pipeline.applied_group_fusion algo.Emma.report);
+  Alcotest.(check bool) "caching" true (Pipeline.applied_caching algo.Emma.report);
+  Alcotest.(check bool) "points cached" true
+    (List.mem "points" algo.Emma.report.Pipeline.cached_vars)
+
+(* ------------------------- PageRank -------------------------------- *)
+
+let pagerank_setup () =
+  let cfg = W.Graph_gen.default ~n_vertices:40 in
+  let vertices = W.Graph_gen.adjacency ~seed:7 cfg in
+  let params =
+    { (Pr.Pagerank.default_params ~n_pages:40) with iterations = 5 }
+  in
+  (params, vertices)
+
+let ranks_table vs =
+  List.map
+    (fun r -> (Value.to_int (Value.field r "id"), Value.to_float (Value.field r "rank")))
+    vs
+  |> List.sort compare
+
+let test_pagerank_native_vs_oracle () =
+  let params, vertices = pagerank_setup () in
+  let prog = Pr.Pagerank.program params in
+  let algo = Emma.parallelize prog in
+  let native, _ = Emma.run_native algo ~tables:[ ("vertices", vertices) ] in
+  let oracle = Pr.Pagerank.reference ~params ~vertices in
+  let a = ranks_table (Value.to_bag native) and b = ranks_table oracle in
+  Alcotest.(check int) "same vertices" (List.length b) (List.length a);
+  List.iter2
+    (fun (i, r1) (j, r2) ->
+      Alcotest.(check int) "same id" i j;
+      Alcotest.(check bool) "rank close" true (Float.abs (r1 -. r2) < 1e-9))
+    a b
+
+let test_pagerank_engine_matches_native () =
+  let params, vertices = pagerank_setup () in
+  let prog = Pr.Pagerank.program params in
+  let tables = [ ("vertices", vertices) ] in
+  let algo = Emma.parallelize prog in
+  let native, _ = Emma.run_native algo ~tables in
+  let r = engine_run prog tables in
+  (* fold combine order differs between partitions and the native tree, so
+     ranks agree only up to float associativity *)
+  let a = ranks_table (Value.to_bag native) in
+  let b = ranks_table (Value.to_bag r.Emma.value) in
+  Alcotest.(check int) "same vertices" (List.length a) (List.length b);
+  List.iter2
+    (fun (i, r1) (j, r2) ->
+      Alcotest.(check int) "same id" i j;
+      Alcotest.(check bool) "rank close" true (Float.abs (r1 -. r2) < 1e-9))
+    a b
+
+let test_pagerank_rank_conservation () =
+  (* on a graph with no dangling vertices, total rank stays ~1 *)
+  let cfg = { (W.Graph_gen.default ~n_vertices:30) with avg_degree = 6 } in
+  let vertices =
+    W.Graph_gen.undirected_adjacency ~seed:11 cfg
+    |> List.filter (fun v -> Value.to_bag (Value.field v "neighbors") <> [])
+  in
+  let n = List.length vertices in
+  let params = { (Pr.Pagerank.default_params ~n_pages:n) with iterations = 8 } in
+  let prog = Pr.Pagerank.program params in
+  let algo = Emma.parallelize prog in
+  let native, _ = Emma.run_native algo ~tables:[ ("vertices", vertices) ] in
+  let total =
+    List.fold_left
+      (fun acc r -> acc +. Value.to_float (Value.field r "rank"))
+      0.0 (Value.to_bag native)
+  in
+  Alcotest.(check bool) "total rank ≈ 1" true (Float.abs (total -. 1.0) < 0.05)
+
+(* --------------------- Connected Components ------------------------ *)
+
+let test_connected_components () =
+  let cfg = { (W.Graph_gen.default ~n_vertices:30) with avg_degree = 3 } in
+  let vertices = W.Graph_gen.undirected_adjacency ~seed:3 cfg in
+  let prog = Pr.Connected_components.program Pr.Connected_components.default_params in
+  let tables = [ ("vertices", vertices) ] in
+  let algo = Emma.parallelize prog in
+  let native, native_ctx = Emma.run_native algo ~tables in
+  (* oracle comparison on the written output *)
+  let oracle = Pr.Connected_components.reference ~vertices in
+  let written = Emma.Eval.read_table native_ctx "components" in
+  check_value "components match union-find"
+    (Value.bag (sort_values oracle))
+    (Value.bag (sort_values written));
+  (* engine agreement *)
+  let r = engine_run prog tables in
+  check_value "cc engine = native" native r.Emma.value
+
+(* ------------------------- Spam workflow --------------------------- *)
+
+let spam_setup () =
+  let cfg =
+    { (W.Email_gen.paper_config ~physical_emails:60) with
+      body_bytes_avg = 1000;
+      server_info_bytes = 100 }
+  in
+  let emails = W.Email_gen.emails ~seed:5 cfg in
+  let blacklist = W.Email_gen.blacklist ~seed:5 cfg in
+  let params = { Pr.Spam_workflow.default_params with n_classifiers = 4 } in
+  (params, emails, blacklist)
+
+let test_spam_workflow () =
+  let params, emails, blacklist = spam_setup () in
+  let prog = Pr.Spam_workflow.program params in
+  let tables = [ ("emails_raw", emails); ("blacklist_raw", blacklist) ] in
+  let algo = Emma.parallelize prog in
+  let native, _ = Emma.run_native algo ~tables in
+  let best, hits = Pr.Spam_workflow.reference ~params ~emails ~blacklist in
+  check_value "native = oracle" (Value.tuple [ Value.int best; Value.int hits ]) native;
+  let r = engine_run prog tables in
+  check_value "engine = native" native r.Emma.value;
+  (* and with every optimization disabled *)
+  let r0 = engine_run ~opts:Pipeline.no_opts prog tables in
+  check_value "unoptimized engine = native" native r0.Emma.value
+
+let test_spam_workflow_report () =
+  let params, _, _ = spam_setup () in
+  let algo = Emma.parallelize (Pr.Spam_workflow.program params) in
+  let r = algo.Emma.report in
+  Alcotest.(check bool) "unnesting" true (Pipeline.applied_unnesting r);
+  Alcotest.(check bool) "caching" true (Pipeline.applied_caching r);
+  Alcotest.(check bool) "partition pulling" true (Pipeline.applied_partition_pulling r);
+  Alcotest.(check bool) "no fusion" false (Pipeline.applied_group_fusion r)
+
+(* ------------------------- group-min (Fig. 5) ----------------------- *)
+
+let test_group_min () =
+  let cfg = W.Keyed_gen.paper_config ~n_tuples:300 (W.Keyed_gen.pareto ~n_keys:20) in
+  let rows = W.Keyed_gen.tuples ~seed:9 cfg in
+  let prog = Pr.Group_min.program Pr.Group_min.default_params in
+  let tables = [ ("dataset", rows) ] in
+  let algo = Emma.parallelize prog in
+  let native, _ = Emma.run_native algo ~tables in
+  check_value "native = oracle"
+    (Value.bag (sort_values (Pr.Group_min.reference rows)))
+    (Value.bag (sort_values (Value.to_bag native)));
+  let r = engine_run prog tables in
+  check_value "engine = native" native r.Emma.value;
+  Alcotest.(check bool) "fusion applies" true
+    (Pipeline.applied_group_fusion algo.Emma.report)
+
+(* ------------------------- word count ------------------------------ *)
+
+let test_wordcount () =
+  let docs =
+    Pr.Wordcount.docs_of_strings
+      [ "a b a"; "c b"; ""; "a a a" ]
+  in
+  let prog = Pr.Wordcount.program Pr.Wordcount.default_params in
+  let tables = [ ("docs", docs) ] in
+  let algo = Emma.parallelize prog in
+  let native, _ = Emma.run_native algo ~tables in
+  let got =
+    Value.to_bag native
+    |> List.map (fun r ->
+           (Value.to_string_exn (Value.field r "word"), Value.to_int (Value.field r "n")))
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair string int))) "native vs oracle"
+    (Pr.Wordcount.reference docs) got;
+  Alcotest.(check (list (pair string int))) "expected counts"
+    [ ("a", 5); ("b", 2); ("c", 1) ] got;
+  let r = engine_run prog tables in
+  check_value "engine = native" native r.Emma.value;
+  (* the dependent generator compiles to a flatMap, the count fuses *)
+  Alcotest.(check bool) "fusion applied" true (Pipeline.applied_group_fusion algo.Emma.report)
+
+let suite =
+  [ ( "programs",
+      [ Alcotest.test_case "kmeans: native vs oracle" `Quick test_kmeans_native_vs_oracle;
+        Alcotest.test_case "kmeans: engine vs native" `Quick test_kmeans_engine_matches_native;
+        Alcotest.test_case "kmeans: optimizations fire" `Quick test_kmeans_optimizations_fire;
+        Alcotest.test_case "pagerank: native vs oracle" `Quick test_pagerank_native_vs_oracle;
+        Alcotest.test_case "pagerank: engine vs native" `Quick test_pagerank_engine_matches_native;
+        Alcotest.test_case "pagerank: rank conservation" `Quick test_pagerank_rank_conservation;
+        Alcotest.test_case "connected components" `Quick test_connected_components;
+        Alcotest.test_case "spam workflow" `Quick test_spam_workflow;
+        Alcotest.test_case "spam workflow report" `Quick test_spam_workflow_report;
+        Alcotest.test_case "group-min query" `Quick test_group_min;
+        Alcotest.test_case "word count" `Quick test_wordcount ] ) ]

@@ -1,0 +1,187 @@
+(* Compiler robustness: awkward but legal programs must survive the whole
+   pipeline with semantics intact (native = engine, optimized = not). *)
+
+module Value = Emma_value.Value
+module S = Emma_lang.Surface
+module Pipeline = Emma_compiler.Pipeline
+open Helpers
+
+let agree ?(also_no_opts = true) prog tables =
+  let algo = Emma.parallelize prog in
+  let native, _ = Emma.run_native algo ~tables in
+  let engine opts =
+    let rt =
+      Emma.
+        { cluster = Emma_engine.Cluster.laptop ();
+          profile = Emma_engine.Cluster.spark_like;
+          timeout_s = None }
+    in
+    match Emma.run_on rt (Emma.parallelize ~opts prog) ~tables with
+    | Emma.Finished { value; _ } -> value
+    | Emma.Failed { reason; _ } -> Alcotest.failf "engine failed: %s" reason
+    | Emma.Timed_out _ -> Alcotest.fail "timed out"
+  in
+  check_value "engine(default) = native" native (engine Pipeline.default_opts);
+  if also_no_opts then check_value "engine(no opts) = native" native (engine Pipeline.no_opts);
+  native
+
+let rows_ab = List.init 10 (fun i -> Helpers.row (i - 3) (i mod 4))
+
+let test_three_level_nesting () =
+  (* triple nesting with a dependent innermost generator *)
+  let prog =
+    S.program
+      ~ret:
+        S.(
+          sum
+            (for_
+               [ gen "g" (group_by (lam "x" (fun x -> field x "b")) (read "t"));
+                 gen "v" (field (var "g") "values");
+                 gen "w" (bag_of [ field (var "v") "a"; int_ 1 ]) ]
+               ~yield:(var "w")))
+      []
+  in
+  ignore (agree prog [ ("t", rows_ab) ])
+
+let test_computed_join_keys () =
+  (* join keys are arithmetic expressions, not plain field accesses *)
+  let prog =
+    S.program
+      ~ret:
+        S.(
+          count
+            (for_
+               [ gen "x" (read "t1");
+                 gen "y" (read "t2");
+                 when_ (field (var "x") "a" + int_ 1 = field (var "y") "a" - int_ 1) ]
+               ~yield:(tup [ var "x"; var "y" ])))
+      []
+  in
+  let algo = Emma.parallelize prog in
+  Alcotest.(check int) "computed keys still join" 1
+    algo.Emma.report.Pipeline.translation.Emma_compiler.Translate.eq_joins;
+  ignore (agree prog [ ("t1", rows_ab); ("t2", rows_ab) ])
+
+let test_nested_exists () =
+  (* exists whose predicate itself contains an exists: the outer one can
+     never unnest (inner quantifier blocks classification) and must fall
+     back to a broadcast filter, with identical results *)
+  let prog =
+    S.program
+      ~ret:
+        S.(
+          count
+            (for_
+               [ gen "x" (read "t1");
+                 when_
+                   (exists
+                      (lam "y" (fun y ->
+                           (field y "b" = field (var "x") "b")
+                           && exists (lam "z" (fun z -> field z "a" = field y "a")) (read "t3")))
+                      (read "t2")) ]
+               ~yield:(var "x")))
+      []
+  in
+  ignore
+    (agree prog
+       [ ("t1", rows_ab);
+         ("t2", List.filteri (fun i _ -> i mod 2 = 0) rows_ab);
+         ("t3", List.filteri (fun i _ -> i mod 3 = 0) rows_ab) ])
+
+let test_self_join () =
+  let prog =
+    S.program
+      ~ret:
+        S.(
+          count
+            (for_
+               [ gen "x" (read "t");
+                 gen "y" (read "t");
+                 when_ (field (var "x") "b" = field (var "y") "b") ]
+               ~yield:(tup [ var "x"; var "y" ])))
+      []
+  in
+  ignore (agree prog [ ("t", rows_ab) ])
+
+let test_join_then_group_then_filter () =
+  (* a longer chain: join → group → fused count → driver filter *)
+  let prog =
+    S.program
+      ~ret:
+        S.(
+          count
+            (with_filter
+               (lam "r" (fun r -> field r "n" > int_ 2))
+               (for_
+                  [ gen "g"
+                      (group_by
+                         (lam "p" (fun p -> field (proj p 0) "b"))
+                         (for_
+                            [ gen "x" (read "t1");
+                              gen "y" (read "t2");
+                              when_ (field (var "x") "b" = field (var "y") "b") ]
+                            ~yield:(tup [ var "x"; var "y" ]))) ]
+                  ~yield:
+                    (record
+                       [ ("b", field (var "g") "key");
+                         ("n", count (field (var "g") "values")) ]))))
+      []
+  in
+  ignore (agree prog [ ("t1", rows_ab); ("t2", rows_ab) ])
+
+let test_guard_using_both_joined_sides () =
+  (* a residual non-equi guard across the joined pair survives as a filter *)
+  let prog =
+    S.program
+      ~ret:
+        S.(
+          count
+            (for_
+               [ gen "x" (read "t1");
+                 gen "y" (read "t2");
+                 when_ (field (var "x") "b" = field (var "y") "b");
+                 when_ (field (var "x") "a" < field (var "y") "a") ]
+               ~yield:(var "x")))
+      []
+  in
+  ignore (agree prog [ ("t1", rows_ab); ("t2", rows_ab) ])
+
+let test_union_of_comprehensions () =
+  let prog =
+    S.program
+      ~ret:
+        S.(
+          count
+            (union
+               (for_ [ gen "x" (read "t1"); when_ (field (var "x") "a" > int_ 0) ]
+                  ~yield:(var "x"))
+               (for_ [ gen "x" (read "t2"); when_ (field (var "x") "a" < int_ 0) ]
+                  ~yield:(var "x"))))
+      []
+  in
+  ignore (agree prog [ ("t1", rows_ab); ("t2", rows_ab) ])
+
+let test_fold_of_fold () =
+  (* a fold whose input is built from another fold via the driver *)
+  let prog =
+    S.program
+      ~ret:S.(var "total" + count (read "t1"))
+      [ S.s_let "per_group"
+          S.(
+            for_
+              [ gen "g" (group_by (lam "x" (fun x -> field x "b")) (read "t1")) ]
+              ~yield:(count (field (var "g") "values")));
+        S.s_let "total" S.(sum (var "per_group")) ]
+  in
+  ignore (agree prog [ ("t1", rows_ab) ])
+
+let suite =
+  [ ( "robustness",
+      [ Alcotest.test_case "three-level nesting" `Quick test_three_level_nesting;
+        Alcotest.test_case "computed join keys" `Quick test_computed_join_keys;
+        Alcotest.test_case "nested exists" `Quick test_nested_exists;
+        Alcotest.test_case "self join" `Quick test_self_join;
+        Alcotest.test_case "join → group → filter" `Quick test_join_then_group_then_filter;
+        Alcotest.test_case "residual non-equi guard" `Quick test_guard_using_both_joined_sides;
+        Alcotest.test_case "union of comprehensions" `Quick test_union_of_comprehensions;
+        Alcotest.test_case "fold of fold via driver" `Quick test_fold_of_fold ] ) ]

@@ -1,0 +1,152 @@
+module Value = Emma_value.Value
+module Pipeline = Emma_compiler.Pipeline
+module W = Emma_workloads
+module Pr = Emma_programs
+open Helpers
+
+let laptop_rt () =
+  Emma.
+    { cluster = Emma_engine.Cluster.laptop ();
+      profile = Emma_engine.Cluster.spark_like;
+      timeout_s = None }
+
+let sort_values vs = List.sort Value.compare vs
+
+let tpch_tables ~seed sf =
+  let cfg = W.Tpch_gen.of_scale_factor sf in
+  let lineitem = W.Tpch_gen.lineitem ~seed cfg in
+  let orders = W.Tpch_gen.orders ~seed cfg in
+  (lineitem, orders)
+
+(* Q1 results carry floats; compare with tolerance after sorting by key. *)
+let check_q1_rows msg expected actual =
+  let key r =
+    ( Value.to_string_exn (Value.field r "returnFlag"),
+      Value.to_string_exn (Value.field r "lineStatus") )
+  in
+  let sort rs = List.sort (fun a b -> compare (key a) (key b)) rs in
+  let expected = sort expected and actual = sort actual in
+  Alcotest.(check int) (msg ^ ": group count") (List.length expected) (List.length actual);
+  List.iter2
+    (fun e a ->
+      Alcotest.(check (pair string string)) (msg ^ ": keys") (key e) (key a);
+      List.iter
+        (fun col ->
+          let ve = Value.to_number (Value.field e col) in
+          let va = Value.to_number (Value.field a col) in
+          let tol = 1e-6 *. (1.0 +. Float.abs ve) in
+          if Float.abs (ve -. va) > tol then
+            Alcotest.failf "%s: %s differs: %g vs %g" msg col ve va)
+        [ "sumQty"; "sumBasePrice"; "sumDiscPrice"; "sumCharge"; "avgQty"; "avgPrice";
+          "avgDisc" ];
+      Alcotest.(check int) (msg ^ ": countOrder")
+        (Value.to_int (Value.field e "countOrder"))
+        (Value.to_int (Value.field a "countOrder")))
+    expected actual
+
+let test_q1 () =
+  let lineitem, _ = tpch_tables ~seed:21 0.0003 in
+  let prog = Pr.Tpch_q1.program Pr.Tpch_q1.default_params in
+  let tables = [ ("lineitem", lineitem) ] in
+  let algo = Emma.parallelize prog in
+  let native, _ = Emma.run_native algo ~tables in
+  check_q1_rows "native vs reference" (Emma_tpch.Reference.q1 lineitem) (Value.to_bag native);
+  (match Emma.run_on (laptop_rt ()) algo ~tables with
+  | Emma.Finished { value; _ } ->
+      check_q1_rows "engine vs reference" (Emma_tpch.Reference.q1 lineitem) (Value.to_bag value)
+  | _ -> Alcotest.fail "engine run failed");
+  Alcotest.(check bool) "fusion applies to Q1" true
+    (Pipeline.applied_group_fusion algo.Emma.report);
+  Alcotest.(check bool) "no unnesting in Q1" false
+    (Pipeline.applied_unnesting algo.Emma.report)
+
+let test_q1_six_folds_fuse () =
+  let algo = Emma.parallelize (Pr.Tpch_q1.program Pr.Tpch_q1.default_params) in
+  (* six distinct aggregates collapse into one aggBy *)
+  Alcotest.(check int) "one fused group" 1 algo.Emma.report.Pipeline.fusion.Emma_compiler.Fusion.fused_groups;
+  Alcotest.(check int) "six folds" 6 algo.Emma.report.Pipeline.fusion.Emma_compiler.Fusion.fused_folds
+
+let test_q4 () =
+  let lineitem, orders = tpch_tables ~seed:22 0.0005 in
+  let prog = Pr.Tpch_q4.program Pr.Tpch_q4.default_params in
+  let tables = [ ("lineitem", lineitem); ("orders", orders) ] in
+  let algo = Emma.parallelize prog in
+  let native, _ = Emma.run_native algo ~tables in
+  check_value "native vs reference"
+    (Value.bag (sort_values (Emma_tpch.Reference.q4 ~orders ~lineitem)))
+    (Value.bag (sort_values (Value.to_bag native)));
+  (match Emma.run_on (laptop_rt ()) algo ~tables with
+  | Emma.Finished { value; _ } -> check_value "engine = native" native value
+  | _ -> Alcotest.fail "engine run failed");
+  Alcotest.(check bool) "unnesting applies to Q4" true
+    (Pipeline.applied_unnesting algo.Emma.report);
+  Alcotest.(check bool) "fusion applies to Q4" true
+    (Pipeline.applied_group_fusion algo.Emma.report)
+
+let test_q4_no_unnesting_same_result () =
+  let lineitem, orders = tpch_tables ~seed:23 0.0003 in
+  let prog = Pr.Tpch_q4.program Pr.Tpch_q4.default_params in
+  let tables = [ ("lineitem", lineitem); ("orders", orders) ] in
+  let algo = Emma.parallelize ~opts:Pipeline.no_opts prog in
+  let native, _ = Emma.run_native algo ~tables in
+  match Emma.run_on (laptop_rt ()) algo ~tables with
+  | Emma.Finished { value; _ } -> check_value "unoptimized engine = native" native value
+  | _ -> Alcotest.fail "engine run failed"
+
+let test_q3 () =
+  let cfg = W.Tpch_gen.of_scale_factor 0.0005 in
+  let lineitem = W.Tpch_gen.lineitem ~seed:33 cfg in
+  let orders = W.Tpch_gen.orders ~seed:33 cfg in
+  let customer = W.Tpch_gen.customer ~seed:33 cfg in
+  let prog = Pr.Tpch_q3.program Pr.Tpch_q3.default_params in
+  let tables = [ ("lineitem", lineitem); ("orders", orders); ("customer", customer) ] in
+  let algo = Emma.parallelize prog in
+  let native, _ = Emma.run_native algo ~tables in
+  (* revenue is a float sum: compare keyed with tolerance *)
+  let by_key rows =
+    rows
+    |> List.map (fun r ->
+           ( Value.to_int (Value.field r "orderKey"),
+             Value.to_float (Value.field r "revenue") ))
+    |> List.sort compare
+  in
+  let expected =
+    by_key (Emma_tpch.Reference.q3 ~customer ~orders ~lineitem Pr.Tpch_q3.default_params)
+  in
+  let check_rows msg rows =
+    let got = by_key rows in
+    Alcotest.(check int) (msg ^ ": rows") (List.length expected) (List.length got);
+    List.iter2
+      (fun (k1, r1) (k2, r2) ->
+        Alcotest.(check int) (msg ^ ": key") k1 k2;
+        if Float.abs (r1 -. r2) > 1e-6 *. (1.0 +. Float.abs r1) then
+          Alcotest.failf "%s: revenue %g vs %g" msg r1 r2)
+      expected got
+  in
+  check_rows "native vs reference" (Value.to_bag native);
+  (match Emma.run_on (laptop_rt ()) algo ~tables with
+  | Emma.Finished { value; _ } -> check_rows "engine vs reference" (Value.to_bag value)
+  | _ -> Alcotest.fail "engine run failed");
+  (* two chained equi-joins and one fused aggregation *)
+  Alcotest.(check int) "two eq-joins" 2
+    algo.Emma.report.Pipeline.translation.Emma_compiler.Translate.eq_joins;
+  Alcotest.(check bool) "fusion applies" true (Pipeline.applied_group_fusion algo.Emma.report)
+
+let test_date_arith () =
+  let d1 = W.Tpch_gen.date 1992 1 1 and d2 = W.Tpch_gen.date 1992 2 1 in
+  Alcotest.(check int) "january has 31 days" 31 (d2 - d1);
+  Alcotest.(check int) "leap february 1992" 29
+    (W.Tpch_gen.date 1992 3 1 - W.Tpch_gen.date 1992 2 1);
+  Alcotest.(check int) "non-leap february 1993" 28
+    (W.Tpch_gen.date 1993 3 1 - W.Tpch_gen.date 1993 2 1);
+  Alcotest.(check bool) "dates ordered" true
+    (W.Tpch_gen.date 1996 12 1 > W.Tpch_gen.date 1993 10 1)
+
+let suite =
+  [ ( "tpch",
+      [ Alcotest.test_case "date arithmetic" `Quick test_date_arith;
+        Alcotest.test_case "Q1 (native, engine, reference)" `Quick test_q1;
+        Alcotest.test_case "Q1 six folds fuse" `Quick test_q1_six_folds_fuse;
+        Alcotest.test_case "Q4 (native, engine, reference)" `Quick test_q4;
+        Alcotest.test_case "Q3 three-way join" `Quick test_q3;
+        Alcotest.test_case "Q4 without unnesting" `Quick test_q4_no_unnesting_same_result ] ) ]

@@ -1,0 +1,217 @@
+module Infer = Emma_types.Infer
+module S = Emma_lang.Surface
+module Value = Emma_value.Value
+module Pr = Emma_programs
+module W = Emma_workloads
+
+let expect_ok ?schemas name prog =
+  match Infer.check_program ?schemas prog with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "%s should typecheck, got: %s" name m
+
+let expect_error ?schemas name prog =
+  match Infer.check_program ?schemas prog with
+  | Error _ -> ()
+  | Ok t -> Alcotest.failf "%s should be ill-typed, inferred %s" name (Infer.ty_to_string t)
+
+(* ---- basic expressions ----------------------------------------------- *)
+
+let tstr t = Infer.ty_to_string (Infer.infer_expr [] t)
+
+let test_scalars () =
+  Alcotest.(check string) "int literal" "int" (tstr (S.int_ 1));
+  Alcotest.(check string) "arith widens" "num" (tstr S.(int_ 1 + float_ 0.5));
+  Alcotest.(check string) "comparison" "bool" (tstr S.(int_ 1 < int_ 2));
+  Alcotest.(check string) "tuple" "(int * string)" (tstr (S.tup [ S.int_ 1; S.str "x" ]));
+  Alcotest.(check string) "option" "int option" (tstr (S.some_ (S.int_ 1)))
+
+let test_lambda_and_records () =
+  (* λx. x.ip gets an open row *)
+  let t = Infer.infer_expr [] (S.lam "x" (fun x -> S.field x "ip")) in
+  match Infer.resolve t with
+  | Infer.Tfun (arg, _) -> begin
+      match Infer.resolve arg with
+      | Infer.Trecord _ -> ()
+      | t -> Alcotest.failf "expected open record argument, got %s" (Infer.ty_to_string t)
+    end
+  | t -> Alcotest.failf "expected a function, got %s" (Infer.ty_to_string t)
+
+let test_bag_operations () =
+  Alcotest.(check string) "bag of ints" "int bag" (tstr (S.bag_of [ S.int_ 1; S.int_ 2 ]));
+  Alcotest.(check string) "sum of ints stays int" "int"
+    (tstr (S.sum (S.bag_of [ S.int_ 1 ])));
+  Alcotest.(check string) "count" "int" (tstr (S.count (S.bag_of [ S.str "a" ])));
+  Alcotest.(check string) "exists" "bool"
+    (tstr (S.exists (S.lam "x" (fun x -> S.(x > int_ 0))) (S.bag_of [ S.int_ 1 ])))
+
+let test_group_by_shape () =
+  let t =
+    Infer.infer_expr []
+      (S.group_by
+         (S.lam "x" (fun x -> S.field x "k"))
+         (S.bag_of [ S.record [ ("k", S.int_ 1); ("v", S.str "a") ] ]))
+  in
+  Alcotest.(check string) "group record type"
+    "{key : int; values : {k : int; v : string} bag} bag" (Infer.ty_to_string t)
+
+let test_expr_errors () =
+  let ill e =
+    match Infer.infer_expr [] e with
+    | exception Infer.Type_error _ -> ()
+    | t -> Alcotest.failf "expected type error, got %s" (Infer.ty_to_string t)
+  in
+  ill S.(int_ 1 + str "x");
+  ill S.(if_ (int_ 1) (int_ 2) (int_ 3));
+  ill S.(if_ (bool_ true) (int_ 1) (str "x"));
+  ill (S.app (S.int_ 1) (S.int_ 2));
+  ill (S.count (S.int_ 3));
+  ill (S.field (S.record [ ("a", S.int_ 1) ]) "b");
+  ill (S.proj (S.tup [ S.int_ 1 ]) 4);
+  ill S.(union (bag_of [ int_ 1 ]) (bag_of [ str "x" ]));
+  ill S.(not_ (int_ 1))
+
+(* ---- paper programs all typecheck ------------------------------------- *)
+
+let kmeans_schemas =
+  let cfg = W.Points_gen.default ~n_points:3 ~k:2 in
+  [ ("points", Infer.schema_of_rows (W.Points_gen.points ~seed:1 cfg));
+    ("centroids0", Infer.schema_of_rows (W.Points_gen.initial_centroids ~seed:1 cfg)) ]
+
+let test_paper_programs_typecheck () =
+  let graph_schema =
+    [ ("vertices",
+       Infer.schema_of_rows (W.Graph_gen.adjacency ~seed:1 (W.Graph_gen.default ~n_vertices:5)))
+    ]
+  in
+  let tpch =
+    let cfg = W.Tpch_gen.of_scale_factor 0.00001 in
+    [ ("lineitem", Infer.schema_of_rows (W.Tpch_gen.lineitem ~seed:1 cfg));
+      ("orders", Infer.schema_of_rows (W.Tpch_gen.orders ~seed:1 cfg));
+      ("customer", Infer.schema_of_rows (W.Tpch_gen.customer ~seed:1 cfg)) ]
+  in
+  expect_ok ~schemas:kmeans_schemas "kmeans" (Pr.Kmeans.program Pr.Kmeans.default_params);
+  expect_ok ~schemas:graph_schema "pagerank"
+    (Pr.Pagerank.program (Pr.Pagerank.default_params ~n_pages:10));
+  expect_ok ~schemas:graph_schema "pagerank (epsilon)"
+    (Pr.Pagerank.program_with_epsilon (Pr.Pagerank.default_params ~n_pages:10));
+  expect_ok ~schemas:graph_schema "cc"
+    (Pr.Connected_components.program Pr.Connected_components.default_params);
+  expect_ok "spam" (Pr.Spam_workflow.program Pr.Spam_workflow.default_params);
+  expect_ok ~schemas:tpch "q1" (Pr.Tpch_q1.program Pr.Tpch_q1.default_params);
+  expect_ok ~schemas:tpch "q3" (Pr.Tpch_q3.program Pr.Tpch_q3.default_params);
+  expect_ok ~schemas:tpch "q4" (Pr.Tpch_q4.program Pr.Tpch_q4.default_params);
+  expect_ok "group-min" (Pr.Group_min.program Pr.Group_min.default_params);
+  expect_ok "wordcount" (Pr.Wordcount.program Pr.Wordcount.default_params)
+
+let test_inferred_result_types () =
+  (* with concrete schemas, the result type is fully concrete *)
+  match
+    Infer.check_program ~schemas:kmeans_schemas (Pr.Kmeans.program Pr.Kmeans.default_params)
+  with
+  | Ok t ->
+      Alcotest.(check string) "kmeans returns centroids"
+        "{cid : int; pos : vector} bag" (Infer.ty_to_string t)
+  | Error m -> Alcotest.failf "kmeans: %s" m
+
+(* ---- seeded program errors -------------------------------------------- *)
+
+let test_field_typo_caught () =
+  (* same kmeans but reading .poss instead of .pos in the distance UDF *)
+  let bad =
+    S.program
+      ~ret:S.unit_
+      [ S.s_let "nearest"
+          S.(
+            for_
+              [ gen "p" (read "points") ]
+              ~yield:
+                (opt_get
+                   (min_by
+                      (lam "c" (fun c -> vdist (field c "pos") (field (var "p") "poss")))
+                      (read "centroids0")))) ]
+  in
+  expect_error ~schemas:kmeans_schemas "field typo" bad
+
+let test_join_key_type_clash () =
+  let schemas =
+    [ ("a", Infer.schema_of_rows [ Value.record [ ("k", Value.Int 1) ] ]);
+      ("b", Infer.schema_of_rows [ Value.record [ ("k", Value.String "x") ] ]) ]
+  in
+  let prog =
+    S.program ~ret:S.unit_
+      [ S.s_let "j"
+          S.(
+            for_
+              [ gen "x" (read "a");
+                gen "y" (read "b");
+                when_ (field (var "x") "k" = field (var "y") "k") ]
+              ~yield:(var "x")) ]
+  in
+  expect_error ~schemas "join key type clash" prog
+
+let test_assignment_type_change () =
+  let prog =
+    S.program ~ret:S.unit_
+      [ S.s_var "x" (S.int_ 1); S.assign "x" (S.str "nope") ]
+  in
+  expect_error "reassignment at a different type" prog
+
+let test_write_scalar_rejected () =
+  expect_error "writing a scalar" (S.program [ S.write "out" (S.int_ 1) ])
+
+let test_sink_schema_consistency () =
+  (* two writes to the same sink must agree *)
+  let prog =
+    S.program
+      [ S.write "out" (S.bag_of [ S.int_ 1 ]);
+        S.write "out" (S.bag_of [ S.str "x" ]) ]
+  in
+  expect_error "conflicting sink writes" prog
+
+let test_stateful_shapes () =
+  let prog udf =
+    S.program ~ret:S.unit_
+      [ S.s_let "st"
+          (S.stateful ~key:(S.lam "x" (fun x -> S.field x "id")) (S.read "cells"));
+        S.s_let "d" (S.update (S.var "st") udf) ]
+  in
+  let schemas =
+    [ ("cells", Infer.schema_of_rows [ Value.record [ ("id", Value.Int 1) ] ]) ]
+  in
+  expect_ok ~schemas "well-typed stateful update"
+    (prog (S.lam "x" (fun x -> S.some_ x)));
+  (* UDF returning a bare element instead of an option *)
+  expect_error ~schemas "update UDF must return an option" (prog (S.lam "x" (fun x -> x)))
+
+(* soundness direction: random (well-typed by construction) pipelines
+   always typecheck, and with schemas matching the actual tables their
+   native evaluation never raises Type_error *)
+let prop_random_pipelines_typecheck =
+  Helpers.qcheck_case "random pipelines typecheck and run cleanly" ~count:80
+    QCheck2.Gen.(pair Helpers.rows_gen Helpers.terminated_pipeline_gen)
+    (fun (rows, e) ->
+      let prog = S.program ~ret:e [] in
+      let schemas = [ ("rows", Infer.schema_of_rows rows) ] in
+      match Infer.check_program ~schemas prog with
+      | Error _ -> false
+      | Ok _ -> (
+          match Helpers.eval_expr ~tables:[ ("rows", rows) ] e with
+          | _ -> true
+          | exception Value.Type_error _ -> false))
+
+let suite =
+  [ ( "types",
+      [ Alcotest.test_case "scalars" `Quick test_scalars;
+        Alcotest.test_case "lambda + open records" `Quick test_lambda_and_records;
+        Alcotest.test_case "bag operations" `Quick test_bag_operations;
+        Alcotest.test_case "groupBy shape" `Quick test_group_by_shape;
+        Alcotest.test_case "expression errors" `Quick test_expr_errors;
+        Alcotest.test_case "paper programs typecheck" `Quick test_paper_programs_typecheck;
+        Alcotest.test_case "inferred result types" `Quick test_inferred_result_types;
+        Alcotest.test_case "field typo caught" `Quick test_field_typo_caught;
+        Alcotest.test_case "join key clash" `Quick test_join_key_type_clash;
+        Alcotest.test_case "assignment type change" `Quick test_assignment_type_change;
+        Alcotest.test_case "write scalar rejected" `Quick test_write_scalar_rejected;
+        Alcotest.test_case "sink schema consistency" `Quick test_sink_schema_consistency;
+        Alcotest.test_case "stateful shapes" `Quick test_stateful_shapes;
+        prop_random_pipelines_typecheck ] ) ]

@@ -1,0 +1,102 @@
+module Value = Emma_value.Value
+
+let test_accessors () =
+  Alcotest.(check int) "to_int" 42 (Value.to_int (Value.int 42));
+  Alcotest.(check bool) "to_bool" true (Value.to_bool (Value.bool true));
+  Alcotest.(check (float 0.0)) "to_number promotes int" 3.0 (Value.to_number (Value.int 3));
+  Helpers.check_value "proj" (Value.int 2) (Value.proj (Value.tuple [ Value.int 1; Value.int 2 ]) 1);
+  Helpers.check_value "field"
+    (Value.string "x")
+    (Value.field (Value.record [ ("name", Value.string "x") ]) "name")
+
+let test_accessor_errors () =
+  let expect_type_error f =
+    match f () with
+    | exception Value.Type_error _ -> ()
+    | _ -> Alcotest.fail "expected Type_error"
+  in
+  expect_type_error (fun () -> Value.to_int (Value.float 1.0));
+  expect_type_error (fun () -> Value.field (Value.record [ ("a", Value.int 1) ]) "b");
+  expect_type_error (fun () -> Value.proj (Value.tuple [ Value.int 1 ]) 3);
+  expect_type_error (fun () -> Value.to_bag (Value.int 1))
+
+let test_set_field () =
+  let r = Value.record [ ("a", Value.int 1); ("b", Value.int 2) ] in
+  Helpers.check_value "set_field updates"
+    (Value.record [ ("a", Value.int 9); ("b", Value.int 2) ])
+    (Value.set_field r "a" (Value.int 9));
+  match Value.set_field r "zz" Value.unit with
+  | exception Value.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected Type_error for unknown field"
+
+let test_bag_order_insensitive () =
+  let b1 = Value.bag [ Value.int 1; Value.int 2; Value.int 2 ] in
+  let b2 = Value.bag [ Value.int 2; Value.int 1; Value.int 2 ] in
+  let b3 = Value.bag [ Value.int 1; Value.int 2 ] in
+  Alcotest.(check bool) "equal bags" true (Value.equal b1 b2);
+  Alcotest.(check bool) "multiplicity matters" false (Value.equal b1 b3);
+  Alcotest.(check int) "hash agrees" (Value.hash b1) (Value.hash b2)
+
+let test_int_float_distinct () =
+  Alcotest.(check bool) "Int 1 <> Float 1." false
+    (Value.equal (Value.int 1) (Value.float 1.0))
+
+let test_byte_size () =
+  Alcotest.(check int) "int" 8 (Value.byte_size (Value.int 1));
+  Alcotest.(check int) "blob" 100_000 (Value.byte_size (Value.blob ~bytes:100_000 ~tag:1));
+  Alcotest.(check int) "string" (8 + 5) (Value.byte_size (Value.string "hello"));
+  Alcotest.(check int) "tuple" (8 + 16) (Value.byte_size (Value.tuple [ Value.int 1; Value.int 2 ]));
+  Alcotest.(check int) "vector" (8 + 24) (Value.byte_size (Value.vector [| 1.0; 2.0; 3.0 |]))
+
+(* Random value generator for order/hash laws. *)
+let value_gen =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      let scalar =
+        oneof
+          [ pure Value.unit;
+            map Value.bool bool;
+            map Value.int (int_range (-5) 5);
+            map Value.float (oneofl [ 0.0; 1.5; -2.25 ]);
+            map Value.string (string_size ~gen:(char_range 'a' 'c') (int_bound 3)) ]
+      in
+      if n <= 0 then scalar
+      else
+        oneof
+          [ scalar;
+            map Value.tuple (list_size (int_bound 3) (self (n / 2)));
+            map Value.bag (list_size (int_bound 3) (self (n / 2)));
+            map (fun v -> Value.some v) (self (n / 2)) ])
+
+let prop_compare_total =
+  Helpers.qcheck_case "compare is a total order (antisymmetry)"
+    QCheck2.Gen.(pair value_gen value_gen)
+    (fun (a, b) ->
+      let c1 = Value.compare a b and c2 = Value.compare b a in
+      (c1 = 0) = (c2 = 0) && (c1 > 0) = (c2 < 0))
+
+let prop_hash_consistent =
+  Helpers.qcheck_case "equal values hash equally"
+    QCheck2.Gen.(pair value_gen value_gen)
+    (fun (a, b) -> (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+let prop_compare_reflexive =
+  Helpers.qcheck_case "compare is reflexive" value_gen (fun v -> Value.compare v v = 0)
+
+let prop_bag_permutation =
+  Helpers.qcheck_case "bags are permutation-invariant"
+    QCheck2.Gen.(list_size (int_bound 6) value_gen)
+    (fun vs -> Value.equal (Value.bag vs) (Value.bag (List.rev vs)))
+
+let suite =
+  [ ( "value",
+      [ Alcotest.test_case "accessors" `Quick test_accessors;
+        Alcotest.test_case "accessor errors" `Quick test_accessor_errors;
+        Alcotest.test_case "set_field" `Quick test_set_field;
+        Alcotest.test_case "bag order-insensitive" `Quick test_bag_order_insensitive;
+        Alcotest.test_case "int/float distinct" `Quick test_int_float_distinct;
+        Alcotest.test_case "byte_size" `Quick test_byte_size;
+        prop_compare_total;
+        prop_hash_consistent;
+        prop_compare_reflexive;
+        prop_bag_permutation ] ) ]

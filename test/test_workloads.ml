@@ -1,0 +1,161 @@
+module Value = Emma_value.Value
+module W = Emma_workloads
+
+let test_emails_shape () =
+  let cfg = W.Email_gen.paper_config ~physical_emails:100 in
+  let emails = W.Email_gen.emails ~seed:1 cfg in
+  Alcotest.(check int) "count" 100 (List.length emails);
+  List.iter
+    (fun e ->
+      let ip = Value.to_int (Value.field e "ip") in
+      Alcotest.(check bool) "ip in space" true (ip >= 0 && ip < cfg.W.Email_gen.ip_space);
+      let score = Value.to_float (Value.field e "score") in
+      Alcotest.(check bool) "score range" true (score >= 0.0 && score < 100.0);
+      match Value.field e "body" with
+      | Value.Blob { bytes; _ } ->
+          Alcotest.(check bool) "body sized" true
+            (bytes >= cfg.W.Email_gen.body_bytes_avg / 2
+            && bytes <= (cfg.W.Email_gen.body_bytes_avg * 3 / 2) + 1)
+      | _ -> Alcotest.fail "body should be a blob")
+    emails
+
+let test_emails_deterministic () =
+  let cfg = W.Email_gen.paper_config ~physical_emails:50 in
+  Alcotest.(check bool) "same seed, same data" true
+    (W.Email_gen.emails ~seed:9 cfg = W.Email_gen.emails ~seed:9 cfg);
+  Alcotest.(check bool) "different seed, different data" true
+    (W.Email_gen.emails ~seed:9 cfg <> W.Email_gen.emails ~seed:10 cfg)
+
+let test_blacklist_overlap () =
+  let cfg = { (W.Email_gen.paper_config ~physical_emails:400) with blacklist_hit_rate = 0.5 } in
+  let bl = W.Email_gen.blacklist ~seed:1 cfg in
+  Alcotest.(check int) "count" cfg.W.Email_gen.n_blacklist (List.length bl);
+  let in_space =
+    List.length
+      (List.filter (fun b -> Value.to_int (Value.field b "ip") < cfg.W.Email_gen.ip_space) bl)
+  in
+  let frac = float_of_int in_space /. float_of_int (List.length bl) in
+  Alcotest.(check bool) "≈ half the blacklist overlaps the corpus IP space" true
+    (frac > 0.3 && frac < 0.7)
+
+let test_points_clustered () =
+  let cfg = W.Points_gen.default ~n_points:500 ~k:3 in
+  let centers = W.Points_gen.centers ~seed:5 cfg in
+  let points = W.Points_gen.points ~seed:5 cfg in
+  Alcotest.(check int) "count" 500 (List.length points);
+  (* every point lies close to some generating center *)
+  List.iter
+    (fun p ->
+      let pos = Value.to_vector (Value.field p "pos") in
+      let nearest = List.fold_left (fun acc c -> min acc (Emma_util.Vec.dist c pos)) infinity centers in
+      Alcotest.(check bool) "near a center" true (nearest < 6.0 *. cfg.W.Points_gen.spread))
+    points
+
+let test_initial_centroids_distinct () =
+  let cfg = W.Points_gen.default ~n_points:10 ~k:4 in
+  let cs = W.Points_gen.initial_centroids ~seed:5 cfg in
+  Alcotest.(check int) "k centroids" 4 (List.length cs);
+  let cids = List.map (fun c -> Value.to_int (Value.field c "cid")) cs in
+  Alcotest.(check (list int)) "cids 0..k-1" [ 0; 1; 2; 3 ] (List.sort compare cids)
+
+let test_graph_shape () =
+  let cfg = W.Graph_gen.default ~n_vertices:200 in
+  let adj = W.Graph_gen.adjacency ~seed:11 cfg in
+  Alcotest.(check int) "one record per vertex" 200 (List.length adj);
+  List.iter
+    (fun v ->
+      let id = Value.to_int (Value.field v "id") in
+      List.iter
+        (fun n ->
+          let n = Value.to_int n in
+          Alcotest.(check bool) "neighbor in range, no self-loop" true
+            (n >= 0 && n < 200 && n <> id))
+        (Value.to_bag (Value.field v "neighbors")))
+    adj;
+  Alcotest.(check bool) "has edges" true (W.Graph_gen.edge_count adj > 200)
+
+let test_graph_skew () =
+  let cfg = { (W.Graph_gen.default ~n_vertices:400) with alpha = 1.3 } in
+  let adj = W.Graph_gen.adjacency ~seed:12 cfg in
+  (* in-degree distribution should be heavy-tailed: the max in-degree is
+     far above the average *)
+  let indeg = Array.make 400 0 in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun n -> indeg.(Value.to_int n) <- indeg.(Value.to_int n) + 1)
+        (Value.to_bag (Value.field v "neighbors")))
+    adj;
+  let max_d = Array.fold_left max 0 indeg in
+  let avg = float_of_int (Array.fold_left ( + ) 0 indeg) /. 400.0 in
+  Alcotest.(check bool) "hub exists" true (float_of_int max_d > 5.0 *. avg)
+
+let test_undirected_symmetric () =
+  let cfg = W.Graph_gen.default ~n_vertices:100 in
+  let adj = W.Graph_gen.undirected_adjacency ~seed:13 cfg in
+  let neighbors = Hashtbl.create 100 in
+  List.iter
+    (fun v ->
+      Hashtbl.replace neighbors
+        (Value.to_int (Value.field v "id"))
+        (List.map Value.to_int (Value.to_bag (Value.field v "neighbors"))))
+    adj;
+  Hashtbl.iter
+    (fun id ns ->
+      List.iter
+        (fun n ->
+          let back = Option.value (Hashtbl.find_opt neighbors n) ~default:[] in
+          if not (List.mem id back) then Alcotest.failf "edge %d->%d not symmetric" id n)
+        ns)
+    neighbors
+
+let test_keyed_tuples () =
+  let cfg = W.Keyed_gen.paper_config ~n_tuples:1000 (W.Keyed_gen.pareto ~n_keys:50) in
+  let rows = W.Keyed_gen.tuples ~seed:14 cfg in
+  Alcotest.(check int) "count" 1000 (List.length rows);
+  List.iter
+    (fun r ->
+      let k = Value.to_int (Value.field r "key") in
+      Alcotest.(check bool) "key in range" true (k >= 0 && k < 50);
+      let p = Value.to_string_exn (Value.field r "payload") in
+      Alcotest.(check bool) "payload 3-10 chars" true
+        (String.length p >= 3 && String.length p <= 10))
+    rows;
+  (* hot key holds roughly 35% *)
+  let hot = List.length (List.filter (fun r -> Value.to_int (Value.field r "key") = 0) rows) in
+  Alcotest.(check bool) "pareto hot key" true (hot > 250 && hot < 450)
+
+let test_tpch_rows () =
+  let cfg = W.Tpch_gen.of_scale_factor 0.0005 in
+  let lineitem = W.Tpch_gen.lineitem ~seed:15 cfg in
+  let orders = W.Tpch_gen.orders ~seed:15 cfg in
+  Alcotest.(check int) "lineitem cardinality" 3000 (List.length lineitem);
+  Alcotest.(check int) "orders cardinality" 750 (List.length orders);
+  List.iter
+    (fun l ->
+      let ok = Value.to_int (Value.field l "orderKey") in
+      Alcotest.(check bool) "FK into orders" true (ok >= 0 && ok < 750);
+      let d = Value.to_float (Value.field l "discount") in
+      Alcotest.(check bool) "discount range" true (d >= 0.0 && d <= 0.10 +. 1e-9);
+      let ship = Value.to_int (Value.field l "shipDate") in
+      let receipt = Value.to_int (Value.field l "receiptDate") in
+      Alcotest.(check bool) "receipt after ship" true (receipt > ship))
+    lineitem;
+  let priorities =
+    List.sort_uniq compare
+      (List.map (fun o -> Value.to_string_exn (Value.field o "orderPriority")) orders)
+  in
+  Alcotest.(check int) "five priorities" 5 (List.length priorities)
+
+let suite =
+  [ ( "workloads",
+      [ Alcotest.test_case "emails shape" `Quick test_emails_shape;
+        Alcotest.test_case "emails deterministic" `Quick test_emails_deterministic;
+        Alcotest.test_case "blacklist overlap" `Quick test_blacklist_overlap;
+        Alcotest.test_case "points clustered" `Quick test_points_clustered;
+        Alcotest.test_case "initial centroids" `Quick test_initial_centroids_distinct;
+        Alcotest.test_case "graph shape" `Quick test_graph_shape;
+        Alcotest.test_case "graph skew" `Quick test_graph_skew;
+        Alcotest.test_case "undirected symmetric" `Quick test_undirected_symmetric;
+        Alcotest.test_case "keyed tuples" `Quick test_keyed_tuples;
+        Alcotest.test_case "tpch rows" `Quick test_tpch_rows ] ) ]
