@@ -1,0 +1,28 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test test-parallel bench bench-scaleup clean
+
+all: build
+
+build:
+	dune build
+
+# Tier-1 suite. helpers.ml reads EMMA_TEST_DOMAINS (default 2), so this
+# already exercises the multicore execution path.
+test:
+	dune runtest
+
+# Same suite pinned to 4 domains — the configuration the determinism and
+# fault-recovery tests are written against.
+test-parallel:
+	EMMA_TEST_DOMAINS=4 dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+# Multicore wall-clock scale-up experiment (1/2/4/8 domains).
+bench-scaleup:
+	dune build @bench-scaleup --force
+
+clean:
+	dune clean

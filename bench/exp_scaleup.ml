@@ -1,0 +1,127 @@
+(* E9 (extension): multicore scale-up. Unlike every other experiment —
+   which reports the COST MODEL's simulated seconds — this one measures
+   REAL wall-clock time of the engine's multicore execution backend: the
+   same embarrassingly parallel, map-heavy pipeline is run with the
+   partition work scheduled on 1, 2, 4 and 8 OCaml domains.
+
+   Two invariants are checked while measuring:
+   - the input table, generated in parallel from split PRNG streams, is
+     identical whatever the pool size;
+   - every cost-model metric (sim_time_s, shuffle_bytes, stages, even
+     udf_invocations) is bit-identical across domain counts — parallelism
+     changes only wall_time_s. *)
+
+module Value = Emma_value.Value
+module Cluster = Emma_engine.Cluster
+module Metrics = Emma_engine.Metrics
+module Pool = Emma_util.Pool
+module Prng = Emma_util.Prng
+module S = Emma_lang.Surface
+
+let n_rows = 40_000
+let n_chunks = 32
+let domain_counts = [ 1; 2; 4; 8 ]
+
+(* Parallel workload generation: one split PRNG stream per chunk, chunks
+   materialized on the pool. The output is a pure function of the seed —
+   independent of the pool size driving the generation. *)
+let gen_rows ~pool ~seed =
+  let streams = Prng.split_n (Prng.create seed) n_chunks in
+  let per_chunk = n_rows / n_chunks in
+  let chunk ci =
+    let g = streams.(ci) in
+    List.init per_chunk (fun _ ->
+        Value.record
+          [ ("a", Value.Int (Prng.int_in g (-1000) 1000));
+            ("b", Value.Int (Prng.int_in g 0 63)) ])
+  in
+  List.concat (Array.to_list (Pool.parmap pool chunk (Array.init n_chunks Fun.id)))
+
+(* A map-heavy pipeline: a chain of elementwise transforms ending in a
+   data-parallel fold. No shuffles, so partitions never synchronize except
+   at stage barriers — the shape that should scale with the domain count. *)
+let program =
+  let xform e =
+    S.map
+      (S.lam "x" (fun x ->
+           S.record
+             [ ( "a",
+                 S.(
+                   ((field x "a" * int_ 31) + (field x "b" * field x "b") + int_ 7)
+                   mod int_ 10007) );
+               ("b", S.((field x "b" + int_ 1) mod int_ 64)) ]))
+      e
+  in
+  let rec chain n e = if n = 0 then e else chain (n - 1) (xform e) in
+  (* chain length 4: long enough that per-row work dominates scheduling,
+     short enough that fold-fusion's UDF inlining stays small *)
+  S.program
+    ~ret:S.(sum (map (lam "x" (fun x -> field x "a")) (var "out")))
+    [ S.s_let "out"
+        (S.with_filter
+           (S.lam "x" (fun x -> S.(field x "a" mod int_ 97 <> int_ 0)))
+           (chain 4 (S.read "nums"))) ]
+
+(* one physical node with many slots: partitions, no simulated network *)
+let cluster = { (Cluster.laptop ()) with Cluster.nodes = 1; slots_per_node = 32 }
+
+let cost_fields (m : Metrics.t) =
+  ( m.Metrics.sim_time_s,
+    m.Metrics.shuffle_bytes,
+    m.Metrics.broadcast_bytes,
+    m.Metrics.stages,
+    m.Metrics.jobs,
+    m.Metrics.udf_invocations )
+
+let run () =
+  Exp_common.section
+    "E9: multicore scale-up — real wall clock on OCaml domains (extension)";
+  Printf.printf "(map-heavy pipeline over %d rows, %d partitions; host has %d core(s))\n"
+    n_rows cluster.Cluster.slots_per_node
+    (Domain.recommended_domain_count ());
+  let algo = Emma.parallelize program in
+  let reference_rows = ref None in
+  let results =
+    List.map
+      (fun domains ->
+        let pool = Pool.create ~domains in
+        Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+        let rows = gen_rows ~pool ~seed:42 in
+        (match !reference_rows with
+        | None -> reference_rows := Some rows
+        | Some r ->
+            if not (List.for_all2 Value.equal r rows) then
+              failwith "scaleup: parallel generation diverged from reference");
+        let rt =
+          Emma.{ cluster; profile = Cluster.spark_like; timeout_s = None }
+        in
+        let r = Emma.run_on_exn ~pool rt algo ~tables:[ ("nums", rows) ] in
+        (domains, r.Emma.value, r.Emma.metrics))
+      domain_counts
+  in
+  (* cost-model invariance across domain counts *)
+  let _, v1, m1 = List.hd results in
+  List.iter
+    (fun (d, v, m) ->
+      if not (Value.equal v1 v) then
+        failwith (Printf.sprintf "scaleup: result differs at %d domains" d);
+      if cost_fields m1 <> cost_fields m then
+        failwith (Printf.sprintf "scaleup: cost metrics differ at %d domains" d))
+    results;
+  let base_wall =
+    match results with (_, _, m) :: _ -> m.Metrics.wall_time_s | [] -> 1.0
+  in
+  Emma_util.Tbl.print
+    ~title:"wall-clock scale-up (cost model bit-identical at every row)"
+    ~header:[ "domains"; "wall clock"; "speedup"; "sim time"; "par tasks" ]
+    (List.map
+       (fun (d, _, m) ->
+         [ string_of_int d;
+           Printf.sprintf "%.3f s" m.Metrics.wall_time_s;
+           Printf.sprintf "%.2fx" (base_wall /. m.Metrics.wall_time_s);
+           Printf.sprintf "%.1f s" m.Metrics.sim_time_s;
+           string_of_int m.Metrics.par_tasks ])
+       results);
+  print_endline
+    "(speedups are real parallelism: expect ~min(domains, cores) on a multicore host,\n\
+    \ flat on a single-core container)"

@@ -4,7 +4,11 @@
      dune exec bench/main.exe            runs everything
      dune exec bench/main.exe -- fig4    runs one experiment
                                  (fig4 | table1 | iterative | tpch | fig5 |
-                                  ablation | micro) *)
+                                  ablation | micro | scaleup)
+     dune exec bench/main.exe -- --domains 4 tpch
+                                         runs partition work on 4 OCaml
+                                         domains (results and cost metrics
+                                         are identical; wall clock varies) *)
 
 let experiments =
   [ ("table1", Exp_table1.run);
@@ -14,10 +18,26 @@ let experiments =
     ("fig5", Exp_fig5.run);
     ("ablation", Exp_ablation.run);
     ("crossover", Exp_crossover.run);
-    ("micro", Exp_micro.run) ]
+    ("micro", Exp_micro.run);
+    ("scaleup", Exp_scaleup.run) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse acc = function
+    | "--domains" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some d when d >= 1 -> Emma_util.Pool.set_default_domains d
+        | _ ->
+            Printf.eprintf "--domains expects a positive integer, got %S\n" n;
+            exit 1);
+        parse acc rest
+    | [ "--domains" ] ->
+        Printf.eprintf "--domains expects a value\n";
+        exit 1
+    | name :: rest -> parse (name :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = parse [] args in
   let selected =
     match args with
     | [] -> List.map fst experiments

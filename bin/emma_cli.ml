@@ -46,6 +46,14 @@ let dop_term =
   let doc = "Degree of parallelism of the simulated cluster." in
   Arg.(value & opt int 320 & info [ "dop" ] ~doc)
 
+let domains_term =
+  let doc =
+    "Number of OCaml domains (OS-level cores) the engine runs partition work on. \
+     1 executes sequentially; results and every cost-model metric are identical \
+     for any value — only wall-clock time changes."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 let tables_dir_term =
   let doc = "Load input tables from CSV files in $(docv) instead of generating them." in
   Arg.(value & opt (some dir) None & info [ "tables" ] ~docv:"DIR" ~doc)
@@ -114,8 +122,9 @@ let compile_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run name opts engine scale dop tables_dir show_trace =
+  let run name opts engine scale dop domains tables_dir show_trace =
     with_entry name (fun e ->
+        Emma_util.Pool.set_default_domains domains;
         let algo = Emma.parallelize ~opts e.Registry.program in
         let cluster =
           Emma.Cluster.paper_cluster ~dop ~data_scale:scale
@@ -161,7 +170,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a program on the simulated distributed engine")
     Term.(
       const run $ program_arg $ opts_term $ engine_term $ scale_term $ dop_term
-      $ tables_dir_term
+      $ domains_term $ tables_dir_term
       $ Arg.(value & flag & info [ "trace" ] ~doc:"Print the per-operator execution trace."))
 
 (* ---- typecheck ---- *)

@@ -29,6 +29,7 @@ module Pipeline = Emma_compiler.Pipeline
 module Cluster = Emma_engine.Cluster
 module Metrics = Emma_engine.Metrics
 module Engine = Emma_engine.Exec
+module Pool = Emma_util.Pool
 
 type algorithm = {
   source : Expr.program;
@@ -66,9 +67,12 @@ val run_native : algorithm -> tables:(string * Value.t list) list -> Value.t * E
     DataBag — the semantic reference. *)
 
 val run_on :
-  runtime -> algorithm -> tables:(string * Value.t list) list -> outcome
-(** Executes the compiled program on the simulated engine. *)
+  ?pool:Pool.t -> runtime -> algorithm -> tables:(string * Value.t list) list -> outcome
+(** Executes the compiled program on the simulated engine. [pool] selects
+    the domain pool per-partition operator work runs on (default
+    {!Pool.default}); it affects only wall-clock time, never results or
+    cost-model metrics. *)
 
 val run_on_exn :
-  runtime -> algorithm -> tables:(string * Value.t list) list -> run_result
+  ?pool:Pool.t -> runtime -> algorithm -> tables:(string * Value.t list) list -> run_result
 (** Like {!run_on} but raises [Failure] on engine failure or timeout. *)

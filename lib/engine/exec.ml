@@ -4,6 +4,7 @@ module Cprog = Emma_dataflow.Cprog
 module Eval = Emma_lang.Eval
 module Expr = Emma_lang.Expr
 module Strset = Emma_util.Strset
+module Pool = Emma_util.Pool
 
 exception Engine_failure of string
 exception Engine_timeout of float
@@ -15,6 +16,9 @@ type t = {
   profile : Cluster.profile;
   metrics : Metrics.t;
   eval_ctx : Eval.ctx;
+  pool : Pool.t;
+      (* domain pool running per-partition operator work; shuffles, cost
+         charging and the driver stay on the coordinator domain *)
   timeout_s : float option;
   mutable job_depth : int;
       (* > 0 while a dataflow is executing: nested lineage recomputations
@@ -70,11 +74,12 @@ and env = (string * dval) list
 
 type out = Obag of Pdata.t | Oscalar of Value.t | Ostateful of state_handle
 
-let create ?timeout_s ?(cache_loss_at = []) ~cluster ~profile eval_ctx =
+let create ?timeout_s ?(cache_loss_at = []) ?pool ~cluster ~profile eval_ctx =
   { cluster;
     profile;
     metrics = Metrics.create ();
     eval_ctx;
+    pool = (match pool with Some p -> p | None -> Pool.default ());
     timeout_s;
     job_depth = 0;
     iteration_rerun = false;
@@ -182,6 +187,64 @@ let lookup_env env x =
   match List.assoc_opt x env with
   | Some v -> v
   | None -> raise (Engine_failure (Printf.sprintf "unbound driver variable %s" x))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel partition execution                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* UDF invocation tally. Partition tasks run on worker domains, so they
+   must never write [t.metrics] directly (a racy increment would both lose
+   counts and make them domain-count dependent). Instead each task counts
+   into a domain-local cell that the coordinator merges at the barrier;
+   outside any parallel region the cell is absent and counts go straight to
+   the metrics. Nested barriers merge into the enclosing task's cell. *)
+let tally_key : int ref option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let add_udf_count t n =
+  if n > 0 then
+    match Domain.DLS.get tally_key with
+    | Some c -> c := !c + n
+    | None -> t.metrics.Metrics.udf_invocations <- t.metrics.Metrics.udf_invocations + n
+
+let bump_udf t = add_udf_count t 1
+
+(* Run [f 0 .. f (n-1)] — one task per partition — on the domain pool with
+   a barrier. Cost charging stays on the coordinator: tasks must not touch
+   the metrics or the simulated clock, which is exactly why [sim_time_s]
+   and every other cost field are bit-identical whatever the domain count.
+   Exceptions surface deterministically (lowest partition index first). *)
+let par_run t n (f : int -> 'a) : 'a array =
+  if n <= 1 || Pool.size t.pool <= 1 then Pool.parmap t.pool f (Array.init n Fun.id)
+  else begin
+    t.metrics.Metrics.par_stages <- t.metrics.Metrics.par_stages + 1;
+    t.metrics.Metrics.par_tasks <- t.metrics.Metrics.par_tasks + n;
+    let task i =
+      let saved = Domain.DLS.get tally_key in
+      let c = ref 0 in
+      Domain.DLS.set tally_key (Some c);
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set tally_key saved)
+        (fun () ->
+          let r = f i in
+          (r, !c))
+    in
+    let rs = Pool.parmap t.pool task (Array.init n Fun.id) in
+    Array.map
+      (fun (r, c) ->
+        add_udf_count t c;
+        r)
+      rs
+  end
+
+(* Narrow (partition-local) transforms on the pool, mirroring
+   [Pdata.map_parts] / [Pdata.map_parts_preserving]. *)
+let par_map_parts t f (pd : Pdata.t) : Pdata.t =
+  { pd with
+    Pdata.parts = par_run t (Pdata.nparts pd) (fun i -> f pd.Pdata.parts.(i));
+    Pdata.part_key = None }
+
+let par_map_parts_preserving t f (pd : Pdata.t) : Pdata.t =
+  { pd with Pdata.parts = par_run t (Pdata.nparts pd) (fun i -> f pd.Pdata.parts.(i)) }
 
 (* ------------------------------------------------------------------ *)
 (* Plan execution                                                       *)
@@ -307,7 +370,7 @@ and udf_scan_cost t ~inner_records (pd : Pdata.t) =
 and udf_fn_ex t env (u : Plan.udf) : (Value.t -> Value.t) * float =
   let base, inner = worker_env t env ~params:[ u.Plan.param ] [ u.Plan.body ] in
   ( (fun v ->
-      t.metrics.Metrics.udf_invocations <- t.metrics.Metrics.udf_invocations + 1;
+      bump_udf t;
       Eval.eval_value t.eval_ctx (Eval.bind u.Plan.param (Eval.V v) base) u.Plan.body),
     inner )
 
@@ -318,7 +381,7 @@ and udf2_fn t env (u : Plan.udf2) : Value.t -> Value.t -> Value.t =
     worker_env t env ~params:[ u.Plan.param1; u.Plan.param2 ] [ u.Plan.body2 ]
   in
   fun a b ->
-    t.metrics.Metrics.udf_invocations <- t.metrics.Metrics.udf_invocations + 1;
+    bump_udf t;
     let e = Eval.bind u.Plan.param1 (Eval.V a) base in
     let e = Eval.bind u.Plan.param2 (Eval.V b) e in
     Eval.eval_value t.eval_ctx e u.Plan.body2
@@ -348,7 +411,7 @@ and exec_plan t env (p : Plan.t) : out =
         with Eval.Eval_error m -> raise (Engine_failure m)
       in
       let sc = Cluster.table_scale t.cluster name in
-      let pd = Pdata.of_list ~rmult:sc ~bmult:sc ~nparts:(dop t) rows in
+      let pd = Pdata.of_list ~pool:t.pool ~rmult:sc ~bmult:sc ~nparts:(dop t) rows in
       charge_stage t;
       charge_dfs_read t (Pdata.logical_bytes pd);
       Obag pd
@@ -358,7 +421,7 @@ and exec_plan t env (p : Plan.t) : out =
       | Dscalar (Eval.V (Value.Bag vs)) ->
           (* DRV → DFL: parallelize a driver-local bag. *)
           charge_parallelize t (list_bytes vs);
-          Obag (Pdata.of_list ~nparts:(dop t) vs)
+          Obag (Pdata.of_list ~pool:t.pool ~nparts:(dop t) vs)
       | Dscalar _ -> raise (Engine_failure (Printf.sprintf "scan %s: not a bag" x))
       | Dstateful _ ->
           raise (Engine_failure (Printf.sprintf "scan %s: use statefulRead" x))
@@ -366,7 +429,7 @@ and exec_plan t env (p : Plan.t) : out =
   | Plan.Local e ->
       let vs = Value.to_bag (eval_driver_expr t env e) in
       charge_parallelize t (list_bytes vs);
-      Obag (Pdata.of_list ~nparts:(dop t) vs)
+      Obag (Pdata.of_list ~pool:t.pool ~nparts:(dop t) vs)
   | Plan.Map (u, q) ->
       let pd = exec_to_bag t env q in
       note_op t "map" pd;
@@ -374,7 +437,7 @@ and exec_plan t env (p : Plan.t) : out =
       charge_local_cpu t pd;
       let f, inner_records = udf_fn_ex t env u in
       udf_scan_cost t ~inner_records pd;
-      Obag (Pdata.map_parts (List.map f) pd)
+      Obag (par_map_parts t (List.map f) pd)
   | Plan.Flat_map (u, q) ->
       let pd = exec_to_bag t env q in
       note_op t "flatMap" pd;
@@ -382,7 +445,7 @@ and exec_plan t env (p : Plan.t) : out =
       charge_local_cpu t pd;
       let f, inner_records = udf_fn_ex t env u in
       udf_scan_cost t ~inner_records pd;
-      Obag (Pdata.map_parts (List.concat_map (fun v -> Value.to_bag (f v))) pd)
+      Obag (par_map_parts t (List.concat_map (fun v -> Value.to_bag (f v))) pd)
   | Plan.Filter (u, q) ->
       let pd = exec_to_bag t env q in
       note_op t "filter" pd;
@@ -390,7 +453,7 @@ and exec_plan t env (p : Plan.t) : out =
       charge_local_cpu t pd;
       let f, inner_records = udf_fn_ex t env u in
       udf_scan_cost t ~inner_records pd;
-      Obag (Pdata.map_parts_preserving (List.filter (fun v -> Value.to_bool (f v))) pd)
+      Obag (par_map_parts_preserving t (List.filter (fun v -> Value.to_bool (f v))) pd)
   | Plan.Eq_join { lkey; rkey; left; right } ->
       let lpd = exec_to_bag t env left in
       let rpd = exec_to_bag t env right in
@@ -419,7 +482,7 @@ and exec_plan t env (p : Plan.t) : out =
       let small_list = Pdata.to_list small in
       let pairs v w = if flip then Value.tuple [ w; v ] else Value.tuple [ v; w ] in
       let result =
-        Pdata.map_parts
+        par_map_parts t
           (fun part -> List.concat_map (fun v -> List.map (fun w -> pairs v w) small_list) part)
           big
       in
@@ -452,13 +515,14 @@ and exec_plan t env (p : Plan.t) : out =
       charge_stage t;
       charge_local_cpu t pd;
       let empty, single, union = fold_runtime t env fns in
-      (* partial fold per partition, then combine the partials at the
-         driver — the data-parallel fold of §2.2.2 *)
+      (* partial fold per partition (the parallel leaves), then combine the
+         partials at the driver — the data-parallel fold of §2.2.2 *)
       let partials =
         Array.to_list
-          (Array.map
-             (fun part -> List.fold_left (fun acc v -> union acc (single v)) empty part)
-             pd.Pdata.parts)
+          (par_run t (Pdata.nparts pd) (fun i ->
+               List.fold_left
+                 (fun acc v -> union acc (single v))
+                 empty pd.Pdata.parts.(i)))
       in
       charge_collect t (list_bytes partials);
       Oscalar (List.fold_left union empty partials)
@@ -475,7 +539,7 @@ and exec_plan t env (p : Plan.t) : out =
       let apd = shuffle_by t idkey Fun.id apd in
       let bpd = shuffle_by t idkey Fun.id bpd in
       let parts =
-        Array.init (Pdata.nparts apd) (fun i ->
+        par_run t (Pdata.nparts apd) (fun i ->
             let da = Emma_databag.Databag.of_list apd.Pdata.parts.(i) in
             let db = Emma_databag.Databag.of_list bpd.Pdata.parts.(i) in
             Emma_databag.Databag.to_list
@@ -490,7 +554,7 @@ and exec_plan t env (p : Plan.t) : out =
       let pd = shuffle_by t idkey Fun.id pd in
       charge_local_cpu t pd;
       Obag
-        (Pdata.map_parts_preserving
+        (par_map_parts_preserving t
            (fun part ->
              Emma_databag.Databag.to_list
                (Emma_databag.Databag.distinct ~cmp:Value.compare
@@ -513,8 +577,8 @@ and exec_plan t env (p : Plan.t) : out =
       let keyfn = udf_fn t env key in
       let pd = shuffle_by t key keyfn pd in
       let parts =
-        Array.map
-          (fun part ->
+        par_run t (Pdata.nparts pd) (fun i ->
+            let part = pd.Pdata.parts.(i) in
             let h = Hashtbl.create (List.length part) in
             List.iter
               (fun v ->
@@ -524,7 +588,6 @@ and exec_plan t env (p : Plan.t) : out =
                 else Hashtbl.add h k (ref v))
               part;
             h)
-          pd.Pdata.parts
       in
       Ostateful
         { s_key = key;
@@ -549,9 +612,10 @@ and exec_plan t env (p : Plan.t) : out =
       | Dstateful sh ->
           charge_stage t;
           let f = udf_fn t env udf in
+          (* each task mutates only its own partition's state cells *)
           let delta_parts =
-            Array.map
-              (fun h ->
+            par_run t (Array.length sh.s_parts) (fun i ->
+                let h = sh.s_parts.(i) in
                 let delta = ref [] in
                 Hashtbl.iter
                   (fun _ r ->
@@ -562,7 +626,6 @@ and exec_plan t env (p : Plan.t) : out =
                     | None -> ())
                   h;
                 !delta)
-              sh.s_parts
           in
           let pd =
             { Pdata.parts = delta_parts;
@@ -586,7 +649,7 @@ and exec_plan t env (p : Plan.t) : out =
           charge_local_cpu t msgs;
           let f = udf2_fn t env udf in
           let delta_parts =
-            Array.init (Array.length sh.s_parts) (fun i ->
+            par_run t (Array.length sh.s_parts) (fun i ->
                 let h = sh.s_parts.(i) in
                 let changed = Hashtbl.create 16 in
                 let mpart = if i < Pdata.nparts msgs then msgs.Pdata.parts.(i) else [] in
@@ -613,12 +676,24 @@ and exec_plan t env (p : Plan.t) : out =
       | _ -> raise (Engine_failure (Printf.sprintf "%s is not a stateful bag" state))
     end
 
-(* Shuffle to a hash partitioning by [key] unless already co-partitioned. *)
+(* Shuffle to a hash partitioning by [key] unless already co-partitioned.
+   The map side — evaluating the key UDF and routing every element — runs
+   per partition on the pool; the scatter itself is coordinator-side list
+   surgery, reproducing [Pdata.repartition]'s layout exactly. *)
 and shuffle_by t key keyfn (pd : Pdata.t) : Pdata.t =
   if Pdata.co_partitioned pd key then pd
   else begin
     charge_shuffle t (Pdata.logical_bytes pd);
-    Pdata.repartition ~nparts:(dop t) ~key keyfn pd
+    let nparts = max 1 (dop t) in
+    let routed =
+      par_run t (Pdata.nparts pd) (fun i ->
+          List.map
+            (fun v -> (abs (Value.hash (keyfn v)) mod nparts, v))
+            pd.Pdata.parts.(i))
+    in
+    let parts = Array.make nparts [] in
+    Array.iter (List.iter (fun (i, v) -> parts.(i) <- v :: parts.(i))) routed;
+    { pd with Pdata.parts = Array.map List.rev parts; Pdata.part_key = Some key }
   end
 
 and exec_group_by t key keyfn (pd : Pdata.t) : out =
@@ -637,7 +712,7 @@ and exec_group_by t key keyfn (pd : Pdata.t) : out =
       (fun k l acc -> Value.record [ ("key", k); ("values", Value.bag (List.rev !l)) ] :: acc)
       h []
   in
-  let parts = Array.map groups_of pd.Pdata.parts in
+  let parts = par_run t (Pdata.nparts pd) (fun i -> groups_of pd.Pdata.parts.(i)) in
   let overhead = t.cluster.Cluster.group_overhead in
   let out_rmult = 1.0 and out_bmult = pd.Pdata.bmult *. overhead in
   (* memory check: the largest materialized group must fit in one slot *)
@@ -679,7 +754,7 @@ and exec_agg_by t key keyfn ~empty ~single ~union (pd : Pdata.t) : out =
     Hashtbl.fold (fun k acc l -> Value.tuple [ k; !acc ] :: l) h []
   in
   let combined =
-    { Pdata.parts = Array.map combine pd.Pdata.parts;
+    { Pdata.parts = par_run t (Pdata.nparts pd) (fun i -> combine pd.Pdata.parts.(i));
       part_key = None;
       rmult = 1.0;
       bmult = 1.0 }
@@ -708,7 +783,8 @@ and exec_agg_by t key keyfn ~empty ~single ~union (pd : Pdata.t) : out =
     Hashtbl.fold (fun k acc l -> Value.record [ ("key", k); ("agg", !acc) ] :: l) h []
   in
   let out =
-    { Pdata.parts = Array.map reduce shuffled.Pdata.parts;
+    { Pdata.parts =
+        par_run t (Pdata.nparts shuffled) (fun i -> reduce shuffled.Pdata.parts.(i));
       part_key = Some (group_key_udf ());
       rmult = 1.0;
       bmult = 1.0 }
@@ -753,8 +829,9 @@ and exec_join t env ~semi ~lkey ~rkey (lpd : Pdata.t) (rpd : Pdata.t) : out =
       let keyset = Hashtbl.create 1024 in
       List.iter (fun v -> Hashtbl.replace keyset (rfn v) ()) (Pdata.to_list rpd);
       charge_local_cpu t lpd;
+      (* probe in parallel: the broadcast key set is read-only *)
       Obag
-        (Pdata.map_parts_preserving
+        (par_map_parts_preserving t
            (List.filter (fun v -> Hashtbl.mem keyset (lfn v)))
            lpd)
     end
@@ -784,7 +861,7 @@ and exec_join t env ~semi ~lkey ~rkey (lpd : Pdata.t) (rpd : Pdata.t) : out =
               !l
       in
       Obag (Pdata.with_mult ~rmult:out_rmult ~bmult:out_bmult
-              (Pdata.map_parts (List.concat_map join_one) big))
+              (par_map_parts t (List.concat_map join_one) big))
     end
   end
   else begin
@@ -794,8 +871,9 @@ and exec_join t env ~semi ~lkey ~rkey (lpd : Pdata.t) (rpd : Pdata.t) : out =
     let r = shuffle_by t rkey rfn rpd in
     charge_local_cpu t l;
     charge_local_cpu t r;
+    (* partition-local build + probe, one task per partition *)
     let parts =
-      Array.init (Pdata.nparts l) (fun i ->
+      par_run t (Pdata.nparts l) (fun i ->
           let rpart = if i < Pdata.nparts r then r.Pdata.parts.(i) else [] in
           let index : (Value.t, Value.t list ref) Hashtbl.t =
             Hashtbl.create (List.length rpart)
@@ -849,7 +927,7 @@ and exec_anti_join t env ~lkey ~rkey (lpd : Pdata.t) (rpd : Pdata.t) : out =
     List.iter (fun v -> Hashtbl.replace keyset (rfn v) ()) (Pdata.to_list rpd);
     charge_local_cpu t lpd;
     Obag
-      (Pdata.map_parts_preserving
+      (par_map_parts_preserving t
          (List.filter (fun v -> not (Hashtbl.mem keyset (lfn v))))
          lpd)
   end
@@ -859,7 +937,7 @@ and exec_anti_join t env ~lkey ~rkey (lpd : Pdata.t) (rpd : Pdata.t) : out =
     charge_local_cpu t l;
     charge_local_cpu t r;
     let parts =
-      Array.init (Pdata.nparts l) (fun i ->
+      par_run t (Pdata.nparts l) (fun i ->
           let rpart = if i < Pdata.nparts r then r.Pdata.parts.(i) else [] in
           let keyset = Hashtbl.create (List.length rpart) in
           List.iter (fun v -> Hashtbl.replace keyset (rfn v) ()) rpart;
@@ -986,6 +1064,7 @@ let as_bool = function
   | _ -> raise (Engine_failure "expected a boolean driver value")
 
 let run t (prog : Cprog.t) : Value.t =
+  let wall_start = Unix.gettimeofday () in
   let rec exec_block env stmts = List.fold_left exec_stmt env stmts
   and exec_stmt env s =
     match s with
@@ -1030,10 +1109,17 @@ let run t (prog : Cprog.t) : Value.t =
         | _ -> raise (Engine_failure "write: expected a bag")
       end
   in
-  let env = exec_block [] prog.Cprog.cbody in
-  match exec_rhs t env prog.Cprog.cret with
-  | Dscalar (Eval.V v) -> v
-  | Dbag h -> Value.bag (force_bag t h)
-  | Dscalar (Eval.Clo _) -> raise (Engine_failure "program returned a function")
-  | Dscalar (Eval.St _) | Dstateful _ ->
-      raise (Engine_failure "program returned a stateful bag")
+  Fun.protect
+    ~finally:(fun () ->
+      (* real elapsed time, the engine's only wall-clock (not simulated)
+         figure — accumulated even when the run raises *)
+      t.metrics.Metrics.wall_time_s <-
+        t.metrics.Metrics.wall_time_s +. (Unix.gettimeofday () -. wall_start))
+    (fun () ->
+      let env = exec_block [] prog.Cprog.cbody in
+      match exec_rhs t env prog.Cprog.cret with
+      | Dscalar (Eval.V v) -> v
+      | Dbag h -> Value.bag (force_bag t h)
+      | Dscalar (Eval.Clo _) -> raise (Engine_failure "program returned a function")
+      | Dscalar (Eval.St _) | Dstateful _ ->
+          raise (Engine_failure "program returned a stateful bag"))

@@ -41,6 +41,7 @@ type t
 val create :
   ?timeout_s:float ->
   ?cache_loss_at:int list ->
+  ?pool:Emma_util.Pool.t ->
   cluster:Cluster.t ->
   profile:Cluster.profile ->
   Eval.ctx ->
@@ -49,7 +50,14 @@ val create :
     sinks, so engine runs and native runs are directly comparable.
     [cache_loss_at] injects executor failures: at each listed (1-based)
     cache-hit index the cached result is lost and silently recovered by
-    re-running its lineage — results must be unaffected, only costs. *)
+    re-running its lineage — results must be unaffected, only costs.
+
+    [pool] is the domain pool the multicore backend runs per-partition
+    operator work on (default: {!Emma_util.Pool.default}). Shuffles, the
+    driver, and all cost charging stay on the calling domain, so results
+    and every cost-model metric — [sim_time_s], [shuffle_bytes], [stages],
+    even [udf_invocations] — are bit-identical whatever the pool size;
+    only [wall_time_s] and the [par_*] counters reflect the parallelism. *)
 
 val metrics : t -> Metrics.t
 

@@ -13,6 +13,9 @@ type t = {
   mutable cache_hits : int;
   mutable cache_losses : int;
   mutable udf_invocations : int;
+  mutable wall_time_s : float;
+  mutable par_stages : int;
+  mutable par_tasks : int;
 }
 
 let create () =
@@ -31,6 +34,9 @@ let create () =
     cache_hits = 0;
     cache_losses = 0;
     udf_invocations = 0;
+    wall_time_s = 0.0;
+    par_stages = 0;
+    par_tasks = 0;
   }
 
 let add_time m s = m.sim_time_s <- m.sim_time_s +. s
@@ -57,6 +63,9 @@ let to_rows m =
     ("recomputes", string_of_int m.recomputes);
     ("cache hits", string_of_int m.cache_hits);
     ("cache losses", string_of_int m.cache_losses);
+    ("wall time", Printf.sprintf "%.3f s" m.wall_time_s);
+    ("par stages", string_of_int m.par_stages);
+    ("par tasks", string_of_int m.par_tasks);
   ]
 
 let pp ppf m =

@@ -18,6 +18,12 @@ type t = {
   mutable cache_hits : int;
   mutable cache_losses : int;  (** injected failures recovered via lineage *)
   mutable udf_invocations : int;  (** physical count, not scaled *)
+  mutable wall_time_s : float;
+      (** real elapsed time of the run on the host — the only field that is
+          allowed to vary with the domain count (all cost-model fields above
+          are bit-identical whether partitions run on 1 domain or many) *)
+  mutable par_stages : int;  (** operator barriers executed on the domain pool *)
+  mutable par_tasks : int;  (** partition tasks dispatched through the pool *)
 }
 
 val create : unit -> t

@@ -1,5 +1,6 @@
 module Value = Emma_value.Value
 module Plan = Emma_dataflow.Plan
+module Pool = Emma_util.Pool
 
 type t = {
   parts : Value.t list array;
@@ -10,12 +11,36 @@ type t = {
 
 let nparts t = Array.length t.parts
 
-let of_list ?(rmult = 1.0) ?(bmult = 1.0) ~nparts vs =
-  let parts = Array.make (max 1 nparts) [] in
-  List.iteri
-    (fun i v -> parts.(i mod Array.length parts) <- v :: parts.(i mod Array.length parts))
-    vs;
-  { parts = Array.map List.rev parts; part_key = None; rmult; bmult }
+let of_list ?pool ?(rmult = 1.0) ?(bmult = 1.0) ~nparts vs =
+  let n = max 1 nparts in
+  match pool with
+  | Some p when Pool.size p > 1 && n > 1 && vs <> [] ->
+      (* same round-robin layout as the sequential path, but each partition
+         extracts its residue class by index stride on the pool *)
+      let arr = Array.of_list vs in
+      let len = Array.length arr in
+      let slice r =
+        let last = if len > r then r + ((len - 1 - r) / n * n) else -1 in
+        let rec go i acc = if i < r then acc else go (i - n) (arr.(i) :: acc) in
+        if last < 0 then [] else go last []
+      in
+      { parts = Pool.parmap p slice (Array.init n Fun.id);
+        part_key = None;
+        rmult;
+        bmult }
+  | _ ->
+      let parts = Array.make n [] in
+      List.iteri (fun i v -> parts.(i mod n) <- v :: parts.(i mod n)) vs;
+      { parts = Array.map List.rev parts; part_key = None; rmult; bmult }
+
+let init ?pool ?(rmult = 1.0) ?(bmult = 1.0) ~nparts f =
+  let n = max 1 nparts in
+  let parts =
+    match pool with
+    | Some p when Pool.size p > 1 && n > 1 -> Pool.parmap p f (Array.init n Fun.id)
+    | _ -> Array.init n f
+  in
+  { parts; part_key = None; rmult; bmult }
 
 let with_mult ~rmult ~bmult t = { t with rmult; bmult }
 

@@ -26,8 +26,22 @@ type t = {
 
 val nparts : t -> int
 
-val of_list : ?rmult:float -> ?bmult:float -> nparts:int -> Value.t list -> t
-(** Round-robin partitioning (no key property); multipliers default to 1. *)
+val of_list :
+  ?pool:Emma_util.Pool.t -> ?rmult:float -> ?bmult:float -> nparts:int -> Value.t list -> t
+(** Round-robin partitioning (no key property); multipliers default to 1.
+    With [pool], the per-partition slices are materialized in parallel on
+    the domain pool — the layout is identical to the sequential path. *)
+
+val init :
+  ?pool:Emma_util.Pool.t ->
+  ?rmult:float ->
+  ?bmult:float ->
+  nparts:int ->
+  (int -> Value.t list) ->
+  t
+(** Builds partition [i] as [f i] (no key property). With [pool] the
+    partition generators run in parallel on the domain pool — the hook
+    workload generators use to materialize partitions concurrently. *)
 
 val with_mult : rmult:float -> bmult:float -> t -> t
 

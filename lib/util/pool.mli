@@ -1,0 +1,48 @@
+(** A fixed pool of worker Domains (OCaml 5 shared-memory parallelism) fed
+    through a mutex/condition work queue.
+
+    [create ~domains:n] gives n-way parallelism {e including the caller}:
+    n-1 worker Domains are spawned, and the domain calling {!parmap}
+    executes tasks of its own batch alongside them. Nested [parmap] calls
+    are deadlock-free because a batch's submitter can always drain its own
+    unclaimed tasks itself.
+
+    The pool is the machinery behind the engine's multicore execution
+    backend: partitions of a dataflow operator are the tasks, and the
+    barrier at the end of [parmap] is where the coordinator merges
+    per-partition accumulators (the BSP superstep boundary). *)
+
+type t
+
+val create : domains:int -> t
+(** Spawns [domains - 1] worker Domains ([domains <= 1] spawns none and
+    makes {!parmap} run inline — the exact sequential execution). *)
+
+val size : t -> int
+(** The configured degree of parallelism (including the caller). *)
+
+val parmap : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Applies [f] to every element, in parallel across the pool's domains.
+    All tasks run to completion even if some raise; the exception of the
+    {e lowest} input index is then re-raised in the caller — the same
+    exception a sequential left-to-right run would surface — and the pool
+    remains usable. Safe to call from inside a task (nested batches). *)
+
+val shutdown : t -> unit
+(** Signals every worker to exit and joins them. Idempotent; after
+    shutdown, {!parmap} still works but runs inline. *)
+
+(** {1 Global default pool}
+
+    Process-wide pool used by engine instances that are not given an
+    explicit pool: the CLI's [--domains] and the test suite's
+    [EMMA_TEST_DOMAINS] configure it once at startup. *)
+
+val default : unit -> t
+(** The shared pool (created lazily; 1 domain unless configured). *)
+
+val set_default_domains : int -> unit
+(** Reconfigures the default pool size, shutting down any existing default
+    pool (a fresh one is created on the next {!default} call). *)
+
+val default_domains : unit -> int

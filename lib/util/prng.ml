@@ -22,6 +22,18 @@ let split t =
   let seed = next_int64 t in
   { state = mix64 seed }
 
+let split_n t n =
+  (* explicit ascending loop: [split] mutates [t], so the derivation order
+     must be fixed for the streams to be reproducible. The streams are what
+     parallel workers use — a [t] itself must never be shared across
+     domains (its state update is an unsynchronized read-modify-write). *)
+  if n < 0 then invalid_arg "Prng.split_n: negative count";
+  let a = Array.make n t in
+  for i = 0 to n - 1 do
+    a.(i) <- split t
+  done;
+  a
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* keep 62 bits so the result fits OCaml's 63-bit native int *)

@@ -22,6 +22,13 @@ val split : t -> t
 (** [split t] advances [t] and returns a statistically independent stream
     derived from it. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] derives [n] independent streams in a fixed (ascending)
+    order — one per parallel worker or data partition. A single [t] must
+    never be drawn from by several domains concurrently (its state update
+    is an unsynchronized read-modify-write); derive one stream per domain
+    with this function on the coordinator instead. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output of the stream. *)
 

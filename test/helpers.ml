@@ -6,6 +6,18 @@ module Expr = Emma_lang.Expr
 module Eval = Emma_lang.Eval
 module S = Emma_lang.Surface
 
+(* The tier-1 suite routes engine partition work through the default domain
+   pool; EMMA_TEST_DOMAINS sets its size (default 2, so every engine test
+   also exercises the multicore path; set 1 to force sequential). Results
+   and cost-model metrics are identical either way — that is itself what
+   test_parallel.ml checks. *)
+let test_domains =
+  match Option.bind (Sys.getenv_opt "EMMA_TEST_DOMAINS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> 2
+
+let () = Emma_util.Pool.set_default_domains test_domains
+
 let value_testable : Value.t Alcotest.testable =
   Alcotest.testable Value.pp Value.equal
 

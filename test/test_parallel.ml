@@ -1,0 +1,293 @@
+(* Differential tests for the multicore execution backend.
+
+   The engine runs per-partition operator work on a Domain pool; these
+   tests pin down the contract of that parallelism:
+   - results are identical to the native DataBag evaluation and to the
+     sequential engine, for any domain count;
+   - every cost-model metric (sim_time_s, shuffle bytes, stages, even
+     udf_invocations) is bit-identical across domain counts — wall_time_s
+     is the only field allowed to vary;
+   - repeated runs under parallelism are byte-identical (TPC-H Q1/Q3 20×);
+   - injected cache-loss schedules recover through lineage the same way
+     whatever the domain count;
+   - split PRNG streams drawn from worker domains reproduce the sequential
+     stream exactly. *)
+
+module Value = Emma_value.Value
+module S = Emma_lang.Surface
+module Cluster = Emma_engine.Cluster
+module Metrics = Emma_engine.Metrics
+module Engine = Emma_engine.Exec
+module Pool = Emma_util.Pool
+module Prng = Emma_util.Prng
+module W = Emma_workloads
+module Pr = Emma_programs
+open Helpers
+
+(* every cost-model field; deliberately NOT wall_time_s / par_stages /
+   par_tasks, which describe the host execution rather than the model *)
+let cost_sig (m : Metrics.t) =
+  ( ( m.Metrics.sim_time_s,
+      m.Metrics.shuffle_bytes,
+      m.Metrics.broadcast_bytes,
+      m.Metrics.dfs_read_bytes,
+      m.Metrics.dfs_write_bytes,
+      m.Metrics.collect_bytes,
+      m.Metrics.parallelize_bytes ),
+    ( m.Metrics.spilled_bytes,
+      m.Metrics.jobs,
+      m.Metrics.stages,
+      m.Metrics.recomputes,
+      m.Metrics.cache_hits,
+      m.Metrics.cache_losses,
+      m.Metrics.udf_invocations ) )
+
+let laptop_rt () =
+  Emma.
+    { cluster = Cluster.laptop (); profile = Cluster.spark_like; timeout_s = None }
+
+let with_pool domains f =
+  let pool = Pool.create ~domains in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let run_at ~domains prog tables =
+  with_pool domains (fun pool ->
+      let algo = Emma.parallelize prog in
+      let r = Emma.run_on_exn ~pool (laptop_rt ()) algo ~tables in
+      (r.Emma.value, r.Emma.metrics))
+
+(* ---------------------------------------------------------------- *)
+(* Random pipelines: engine at 1/2/4 domains ≡ native, equal metrics  *)
+(* ---------------------------------------------------------------- *)
+
+let domains_under_test = [ 1; 2; 4 ]
+
+let prop_differential =
+  qcheck_case "random pipelines: engine(1/2/4 domains) = native, equal cost metrics"
+    ~count:25
+    QCheck2.Gen.(pair Helpers.terminated_pipeline_gen Helpers.rows_gen)
+    (fun (e, rows) ->
+      let prog = S.program ~ret:e [] in
+      let tables = [ ("rows", rows) ] in
+      let native, _ = Emma.run_native (Emma.parallelize prog) ~tables in
+      let runs = List.map (fun d -> run_at ~domains:d prog tables) domains_under_test in
+      let v1, m1 = List.hd runs in
+      Value.equal native v1
+      && List.for_all
+           (fun (v, m) -> Value.equal v1 v && cost_sig m1 = cost_sig m)
+           runs)
+
+(* deterministic corpus exercising the shuffle/join/group/stateful paths
+   the random pipelines don't reach *)
+let corpus_tables =
+  [ ("t1", List.init 13 (fun i -> Helpers.row (i - 6) (i mod 4)));
+    ("t2", List.init 9 (fun i -> Helpers.row i (i mod 3))) ]
+
+let corpus_progs =
+  let mk bag =
+    S.program
+      ~ret:S.(count (var "d") + sum (map (lam "x" (fun x -> field x "a")) (var "d")))
+      [ S.s_let "d" bag ]
+  in
+  [ ( "repartition join",
+      mk
+        S.(
+          for_
+            [ gen "x" (read "t1");
+              gen "y" (read "t2");
+              when_ (field (var "x") "b" = field (var "y") "b") ]
+            ~yield:
+              (record
+                 [ ("a", field (var "x") "a" + field (var "y") "a");
+                   ("b", field (var "x") "b") ])) );
+    ( "semi-join (exists)",
+      mk
+        S.(
+          for_
+            [ gen "x" (read "t1");
+              when_ (exists (lam "y" (fun y -> field y "b" = field (var "x") "b")) (read "t2")) ]
+            ~yield:(var "x")) );
+    ( "group + fold",
+      mk
+        S.(
+          for_
+            [ gen "g" (group_by (lam "x" (fun x -> field x "b")) (read "t1")) ]
+            ~yield:
+              (record
+                 [ ("a", sum (map (lam "x" (fun x -> field x "a")) (field (var "g") "values")));
+                   ("b", field (var "g") "key") ])) );
+    ("distinct of union", mk S.(distinct (union (read "t1") (read "t2"))));
+    ("minus", mk S.(minus (read "t1") (read "t2"))) ]
+
+let test_corpus_domain_invariance () =
+  List.iter
+    (fun (name, prog) ->
+      let native, _ = Emma.run_native (Emma.parallelize prog) ~tables:corpus_tables in
+      let v1, m1 = run_at ~domains:1 prog corpus_tables in
+      check_value (name ^ ": native = engine") native v1;
+      List.iter
+        (fun d ->
+          let v, m = run_at ~domains:d prog corpus_tables in
+          check_value (Printf.sprintf "%s: value at %d domains" name d) v1 v;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: cost metrics at %d domains" name d)
+            true
+            (cost_sig m1 = cost_sig m);
+          Alcotest.(check int)
+            (Printf.sprintf "%s: udf count at %d domains" name d)
+            m1.Metrics.udf_invocations m.Metrics.udf_invocations)
+        [ 2; 4 ])
+    corpus_progs
+
+(* udf_invocations is tallied in domain-local cells and merged at barriers;
+   this pins the total to the sequential count on a map-only program where
+   the expected number is easy to state *)
+let test_udf_tally_exact () =
+  let n = 200 in
+  let rows = List.init n (fun i -> Helpers.row i (i mod 5)) in
+  let prog =
+    S.program
+      ~ret:S.(sum (map (lam "x" (fun x -> field x "a + b")) (var "d")))
+      [ S.s_let "d"
+          S.(
+            map
+              (lam "x" (fun x ->
+                   record [ ("a + b", field x "a" + field x "b") ]))
+              (read "rows")) ]
+  in
+  let _, m1 = run_at ~domains:1 prog [ ("rows", rows) ] in
+  Alcotest.(check bool) "sequential run counts udfs" true (m1.Metrics.udf_invocations > 0);
+  List.iter
+    (fun d ->
+      let _, m = run_at ~domains:d prog [ ("rows", rows) ] in
+      Alcotest.(check int)
+        (Printf.sprintf "udf invocations at %d domains" d)
+        m1.Metrics.udf_invocations m.Metrics.udf_invocations)
+    [ 2; 4; 8 ]
+
+(* ---------------------------------------------------------------- *)
+(* TPC-H determinism: 20 repeated parallel runs, byte-identical        *)
+(* ---------------------------------------------------------------- *)
+
+let render v m = (Format.asprintf "%a" Value.pp v, cost_sig m)
+
+let determinism_check name prog tables =
+  let reference = (fun (v, m) -> render v m) (run_at ~domains:1 prog tables) in
+  with_pool 4 (fun pool ->
+      let algo = Emma.parallelize prog in
+      for i = 1 to 20 do
+        let r = Emma.run_on_exn ~pool (laptop_rt ()) algo ~tables in
+        let got = render r.Emma.value r.Emma.metrics in
+        if got <> reference then
+          Alcotest.failf "%s: run %d under 4 domains differs from sequential" name i
+      done)
+
+let test_q1_determinism () =
+  let cfg = W.Tpch_gen.of_scale_factor 0.0002 in
+  let lineitem = W.Tpch_gen.lineitem ~seed:7 cfg in
+  determinism_check "TPC-H Q1"
+    (Pr.Tpch_q1.program Pr.Tpch_q1.default_params)
+    [ ("lineitem", lineitem) ]
+
+let test_q3_determinism () =
+  let cfg = W.Tpch_gen.of_scale_factor 0.0003 in
+  let lineitem = W.Tpch_gen.lineitem ~seed:7 cfg in
+  let orders = W.Tpch_gen.orders ~seed:7 cfg in
+  let customer = W.Tpch_gen.customer ~seed:7 cfg in
+  determinism_check "TPC-H Q3"
+    (Pr.Tpch_q3.program Pr.Tpch_q3.default_params)
+    [ ("lineitem", lineitem); ("orders", orders); ("customer", customer) ]
+
+(* ---------------------------------------------------------------- *)
+(* Fault injection under parallelism                                   *)
+(* ---------------------------------------------------------------- *)
+
+let loop_prog iters =
+  S.program
+    ~ret:(S.var "acc")
+    [ S.s_let "xs" S.(map (lam "x" (fun x -> field x "a")) (read "t"));
+      S.s_var "acc" (S.int_ 0);
+      S.s_var "i" (S.int_ 0);
+      S.while_
+        S.(var "i" < int_ iters)
+        [ S.assign "acc" S.(var "acc" + sum (var "xs"));
+          S.assign "i" S.(var "i" + int_ 1) ] ]
+
+let fault_tables = [ ("t", List.init 20 (fun i -> Helpers.row i (i mod 3))) ]
+
+let run_faulty ~domains ~cache_loss_at prog tables =
+  with_pool domains (fun pool ->
+      let ctx = ctx_with tables in
+      let eng =
+        Engine.create ~cache_loss_at ~pool ~cluster:(Cluster.laptop ())
+          ~profile:Cluster.spark_like ctx
+      in
+      let v = Engine.run eng (Emma.parallelize prog).Emma.compiled in
+      (v, Engine.metrics eng))
+
+let test_faults_domain_independent () =
+  List.iter
+    (fun cache_loss_at ->
+      let v1, m1 = run_faulty ~domains:1 ~cache_loss_at (loop_prog 5) fault_tables in
+      List.iter
+        (fun d ->
+          let v, m = run_faulty ~domains:d ~cache_loss_at (loop_prog 5) fault_tables in
+          check_value (Printf.sprintf "value at %d domains" d) v1 v;
+          Alcotest.(check int)
+            (Printf.sprintf "cache losses at %d domains" d)
+            m1.Metrics.cache_losses m.Metrics.cache_losses;
+          Alcotest.(check int)
+            (Printf.sprintf "recomputes at %d domains" d)
+            m1.Metrics.recomputes m.Metrics.recomputes;
+          Alcotest.(check bool)
+            (Printf.sprintf "all cost metrics at %d domains" d)
+            true
+            (cost_sig m1 = cost_sig m))
+        [ 2; 4 ])
+    [ []; [ 1 ]; [ 2; 4 ]; List.init 50 (fun i -> i + 1) ]
+
+let prop_faults_parallel =
+  qcheck_case "random fault schedules: recovery independent of domain count" ~count:15
+    QCheck2.Gen.(pair Helpers.rows_gen (list_size (int_bound 6) (int_range 1 10)))
+    (fun (rows, losses) ->
+      let tables = [ ("t", rows) ] in
+      let v1, m1 = run_faulty ~domains:1 ~cache_loss_at:losses (loop_prog 3) tables in
+      let v4, m4 = run_faulty ~domains:4 ~cache_loss_at:losses (loop_prog 3) tables in
+      Value.equal v1 v4 && cost_sig m1 = cost_sig m4)
+
+(* ---------------------------------------------------------------- *)
+(* Split PRNG streams drawn on worker domains                          *)
+(* ---------------------------------------------------------------- *)
+
+let test_split_streams_parallel_deterministic () =
+  let draw_all streams =
+    Array.map (fun g -> List.init 100 (fun _ -> Prng.next_int64 g)) streams
+  in
+  (* sequential reference: split then drain each stream in order *)
+  let expected = draw_all (Prng.split_n (Prng.create 99) 16) in
+  (* same streams drained concurrently on a pool: each worker owns exactly
+     one stream, so the draws race on nothing *)
+  with_pool 4 (fun pool ->
+      let streams = Prng.split_n (Prng.create 99) 16 in
+      let got = Pool.parmap pool (fun g -> List.init 100 (fun _ -> Prng.next_int64 g)) streams in
+      Alcotest.(check bool) "parallel draws reproduce sequential streams" true
+        (expected = got));
+  (* split_n itself is order-deterministic *)
+  let a = Prng.split_n (Prng.create 5) 8 and b = Prng.split_n (Prng.create 5) 8 in
+  Alcotest.(check bool) "split_n reproducible" true (draw_all a = draw_all b)
+
+let suite =
+  [ ( "parallel_execution",
+      [ prop_differential;
+        Alcotest.test_case "corpus: joins/groups domain-invariant" `Quick
+          test_corpus_domain_invariance;
+        Alcotest.test_case "udf tally exact across domains" `Quick test_udf_tally_exact;
+        Alcotest.test_case "TPC-H Q1 20x deterministic under 4 domains" `Quick
+          test_q1_determinism;
+        Alcotest.test_case "TPC-H Q3 20x deterministic under 4 domains" `Quick
+          test_q3_determinism;
+        Alcotest.test_case "fault recovery domain-independent" `Quick
+          test_faults_domain_independent;
+        prop_faults_parallel;
+        Alcotest.test_case "split PRNG streams on workers" `Quick
+          test_split_streams_parallel_deterministic ] ) ]

@@ -1,0 +1,142 @@
+(* Unit tests for the worker-Domain pool: parmap correctness on edge-case
+   sizes, deterministic exception propagation that leaves the pool
+   reusable, idempotent shutdown that joins every domain, and nested
+   parmap (which must not deadlock thanks to caller participation). *)
+
+module Pool = Emma_util.Pool
+
+let with_pool domains f =
+  let p = Pool.create ~domains in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let ints n = Array.init n Fun.id
+
+let test_parmap_empty () =
+  with_pool 4 (fun p ->
+      Alcotest.(check (array int)) "empty in, empty out" [||]
+        (Pool.parmap p (fun x -> x * 2) [||]))
+
+let test_parmap_singleton () =
+  with_pool 4 (fun p ->
+      Alcotest.(check (array int)) "one element" [| 14 |]
+        (Pool.parmap p (fun x -> x * 2) [| 7 |]))
+
+let test_parmap_matches_sequential () =
+  List.iter
+    (fun domains ->
+      with_pool domains (fun p ->
+          List.iter
+            (fun n ->
+              let xs = ints n in
+              Alcotest.(check (array int))
+                (Printf.sprintf "%d domains, %d tasks" domains n)
+                (Array.map (fun x -> (x * x) + 1) xs)
+                (Pool.parmap p (fun x -> (x * x) + 1) xs))
+            [ 0; 1; 2; 3; 7; 64; 257 ]))
+    [ 1; 2; 4 ]
+
+(* parmap must preserve index order, not completion order *)
+let test_parmap_order_independent_of_timing () =
+  with_pool 4 (fun p ->
+      let xs = ints 50 in
+      let slow_then_fast i =
+        if i < 5 then (for _ = 0 to 200_000 do ignore (Sys.opaque_identity i) done);
+        i * 10
+      in
+      Alcotest.(check (array int)) "index order preserved"
+        (Array.map (fun i -> i * 10) xs)
+        (Pool.parmap p slow_then_fast xs))
+
+let test_float_results () =
+  (* regression: the result array must be allocated compatibly with
+     OCaml's unboxed float-array representation *)
+  with_pool 2 (fun p ->
+      Alcotest.(check (array (float 1e-9))) "float results" [| 0.5; 1.5; 2.5; 3.5 |]
+        (Pool.parmap p (fun i -> float_of_int i +. 0.5) (ints 4)))
+
+exception Boom of int
+
+let test_exception_lowest_index () =
+  with_pool 4 (fun p ->
+      (* several tasks fail; the one a sequential left-to-right run would
+         hit first must be the one re-raised *)
+      let f i = if i mod 3 = 2 then raise (Boom i) else i in
+      (match Pool.parmap p f (ints 20) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i -> Alcotest.(check int) "lowest failing index" 2 i);
+      (* and the pool must remain fully usable afterwards *)
+      Alcotest.(check (array int)) "pool reusable after exception"
+        (Array.map succ (ints 100))
+        (Pool.parmap p succ (ints 100)))
+
+let test_exception_sequential_path () =
+  (* the 1-domain fallback raises the same exception at the same index *)
+  with_pool 1 (fun p ->
+      match Pool.parmap p (fun i -> if i >= 1 then raise (Boom i) else i) (ints 5) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i -> Alcotest.(check int) "lowest failing index" 1 i)
+
+let test_nested_parmap () =
+  (* outer tasks each submit an inner batch; every worker can be blocked
+     inside an outer task, so this deadlocks unless submitters drain their
+     own batches *)
+  with_pool 2 (fun p ->
+      let inner j = Array.fold_left ( + ) 0 (Pool.parmap p (fun x -> x * j) (ints 10)) in
+      let got = Pool.parmap p inner (ints 8) in
+      Alcotest.(check (array int)) "nested totals"
+        (Array.map (fun j -> 45 * j) (ints 8))
+        got)
+
+let test_deeply_nested_parmap () =
+  with_pool 4 (fun p ->
+      let rec depth d =
+        if d = 0 then 1
+        else Array.fold_left ( + ) 0 (Pool.parmap p (fun _ -> depth (d - 1)) (ints 3))
+      in
+      Alcotest.(check int) "3^4 leaves" 81 (depth 4))
+
+let test_shutdown_idempotent () =
+  let p = Pool.create ~domains:4 in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* after shutdown the pool degrades to sequential execution rather than
+     hanging on dead workers *)
+  Alcotest.(check (array int)) "parmap after shutdown is sequential"
+    (Array.map succ (ints 10))
+    (Pool.parmap p succ (ints 10))
+
+let test_shutdown_joins () =
+  (* create/shutdown many pools; if shutdown leaked running domains this
+     would exhaust the runtime's domain limit and Domain.spawn would raise *)
+  for _ = 1 to 200 do
+    let p = Pool.create ~domains:4 in
+    ignore (Pool.parmap p succ (ints 8));
+    Pool.shutdown p
+  done
+
+let test_default_pool_switch () =
+  let before = Pool.default_domains () in
+  Fun.protect ~finally:(fun () -> Pool.set_default_domains before) @@ fun () ->
+  Pool.set_default_domains 3;
+  Alcotest.(check int) "size recorded" 3 (Pool.default_domains ());
+  Alcotest.(check int) "pool built at that size" 3 (Pool.size (Pool.default ()));
+  Pool.set_default_domains 1;
+  Alcotest.(check int) "resize rebuilds" 1 (Pool.size (Pool.default ()))
+
+let suite =
+  [ ( "pool",
+      [ Alcotest.test_case "parmap empty" `Quick test_parmap_empty;
+        Alcotest.test_case "parmap singleton" `Quick test_parmap_singleton;
+        Alcotest.test_case "parmap matches sequential" `Quick test_parmap_matches_sequential;
+        Alcotest.test_case "order independent of timing" `Quick
+          test_parmap_order_independent_of_timing;
+        Alcotest.test_case "float results" `Quick test_float_results;
+        Alcotest.test_case "exception: lowest index, pool reusable" `Quick
+          test_exception_lowest_index;
+        Alcotest.test_case "exception: sequential path agrees" `Quick
+          test_exception_sequential_path;
+        Alcotest.test_case "nested parmap" `Quick test_nested_parmap;
+        Alcotest.test_case "deeply nested parmap" `Quick test_deeply_nested_parmap;
+        Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+        Alcotest.test_case "shutdown joins domains" `Quick test_shutdown_joins;
+        Alcotest.test_case "default pool switch" `Quick test_default_pool_switch ] ) ]
