@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-parallel bench bench-scaleup clean
+.PHONY: all build test test-parallel explain-golden trace-check bench bench-scaleup clean
 
 all: build
 
@@ -16,6 +16,17 @@ test:
 # fault-recovery tests are written against.
 test-parallel:
 	EMMA_TEST_DOMAINS=4 dune runtest --force
+
+# Golden-file checks for `emma explain` (part of the default `dune runtest`;
+# this target runs just that suite). Regenerate intentionally-changed goldens
+# with EMMA_UPDATE_GOLDEN=1 dune runtest --force.
+explain-golden:
+	dune exec test/test_main.exe -- test explain_golden
+
+# Tracer well-formedness and cost-model-invariance properties (also part of
+# the default `dune runtest`).
+trace-check:
+	dune exec test/test_main.exe -- test trace
 
 bench:
 	dune exec bench/main.exe

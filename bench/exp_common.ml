@@ -7,13 +7,54 @@ module Cluster = Emma_engine.Cluster
 module Metrics = Emma_engine.Metrics
 module Pipeline = Emma_compiler.Pipeline
 
+module Json = Emma_util.Json
+
 let timeout_1h = 3600.0
 
 type run = Time of float * Metrics.t | Fail of string | Timeout of float
 
+(* Machine-readable run reports (bench --report DIR): every [run_config]
+   call is recorded here; bench/main.ml writes one JSON file per
+   experiment via [write_report]. *)
+let runs : (string * Metrics.t) list ref = ref []
+let reset_runs () = runs := []
+
+let note_outcome outcome =
+  let entry =
+    match outcome with
+    | Emma.Finished { metrics; _ } -> ("finished", metrics)
+    | Emma.Failed { metrics; _ } -> ("failed", metrics)
+    | Emma.Timed_out { metrics; _ } -> ("timeout", metrics)
+  in
+  runs := entry :: !runs
+
+let write_report ~dir name =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let report =
+    Json.Obj
+      [ ("experiment", Json.Str name);
+        ( "runs",
+          Json.List
+            (List.mapi
+               (fun i (status, m) ->
+                 Json.Obj
+                   [ ("i", Json.Int i);
+                     ("status", Json.Str status);
+                     ("metrics", Metrics.to_json m) ])
+               (List.rev !runs)) ) ]
+  in
+  let path = Filename.concat dir (name ^ ".json") in
+  let oc = open_out path in
+  output_string oc (Json.to_string report);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "report written to %s\n" path
+
 let run_config ~rt ~opts prog tables =
   let algo = Emma.parallelize ~opts prog in
-  match Emma.run_on rt algo ~tables with
+  let outcome = Emma.run_on rt algo ~tables in
+  note_outcome outcome;
+  match outcome with
   | Emma.Finished { metrics; _ } -> Time (metrics.Metrics.sim_time_s, metrics)
   | Emma.Failed { reason; _ } -> Fail reason
   | Emma.Timed_out { at_s; _ } -> Timeout at_s

@@ -22,6 +22,8 @@ let experiments =
     ("scaleup", Exp_scaleup.run) ]
 
 let () =
+  let trace_file = ref None in
+  let report_dir = ref None in
   let args = List.tl (Array.to_list Sys.argv) in
   let rec parse acc = function
     | "--domains" :: n :: rest ->
@@ -31,13 +33,27 @@ let () =
             Printf.eprintf "--domains expects a positive integer, got %S\n" n;
             exit 1);
         parse acc rest
-    | [ "--domains" ] ->
-        Printf.eprintf "--domains expects a value\n";
+    | "--trace" :: file :: rest ->
+        trace_file := Some file;
+        parse acc rest
+    | "--report" :: dir :: rest ->
+        report_dir := Some dir;
+        parse acc rest
+    | [ ("--domains" | "--trace" | "--report") ] ->
+        Printf.eprintf "--domains/--trace/--report expect a value\n";
         exit 1
     | name :: rest -> parse (name :: acc) rest
     | [] -> List.rev acc
   in
   let args = parse [] args in
+  let tracer =
+    match !trace_file with
+    | None -> Emma_util.Trace.disabled
+    | Some _ ->
+        let tr = Emma_util.Trace.create () in
+        Emma_util.Trace.set_global tr;
+        tr
+  in
   let selected =
     match args with
     | [] -> List.map fst experiments
@@ -48,9 +64,17 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some run -> run ()
+      | Some run ->
+          Exp_common.reset_runs ();
+          run ();
+          Option.iter (fun dir -> Exp_common.write_report ~dir name) !report_dir
       | None ->
           Printf.eprintf "unknown experiment %S (available: %s)\n" name
             (String.concat ", " (List.map fst experiments));
           exit 1)
-    selected
+    selected;
+  match !trace_file with
+  | Some path ->
+      Emma_util.Trace.write_chrome_json tracer path;
+      Printf.eprintf "trace written to %s (load in chrome://tracing)\n" path
+  | None -> ()

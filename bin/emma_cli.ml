@@ -122,9 +122,19 @@ let compile_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run name opts engine scale dop domains tables_dir show_trace =
+  let run name opts engine scale dop domains tables_dir trace_file ops_trace =
     with_entry name (fun e ->
         Emma_util.Pool.set_default_domains domains;
+        (* Install the tracer before compiling so the compile-phase spans
+           land in the same file as the execution spans. *)
+        let tracer =
+          match trace_file with
+          | None -> Emma_util.Trace.disabled
+          | Some _ ->
+              let tr = Emma_util.Trace.create () in
+              Emma_util.Trace.set_global tr;
+              tr
+        in
         let algo = Emma.parallelize ~opts e.Registry.program in
         let cluster =
           Emma.Cluster.paper_cluster ~dop ~data_scale:scale
@@ -139,9 +149,11 @@ let run_cmd =
         let ctx = Emma.Eval.create_ctx () in
         List.iter (fun (n, rows) -> Emma.Eval.register_table ctx n rows)
           (load_tables e tables_dir);
-        let eng = Emma.Engine.create ~timeout_s:3600.0 ~cluster ~profile ctx in
-        let print_trace () =
-          if show_trace then begin
+        let eng =
+          Emma.Engine.create ~timeout_s:3600.0 ~trace:tracer ~cluster ~profile ctx
+        in
+        let print_ops_trace () =
+          if ops_trace then begin
             print_endline "\ntrace (operator, logical records in, logical bytes in, clock):";
             List.iter
               (fun ev ->
@@ -151,27 +163,62 @@ let run_cmd =
               (Emma.Engine.trace eng)
           end
         in
-        match Emma.Engine.run eng algo.Emma.compiled with
-        | value ->
-            Format.printf "result: %a@.@.%a@." Emma.Value.pp value Emma.Metrics.pp
-              (Emma.Engine.metrics eng);
-            print_trace ()
-        | exception Emma.Engine.Engine_failure reason ->
-            Format.printf "FAILED: %s@.@.%a@." reason Emma.Metrics.pp (Emma.Engine.metrics eng);
-            print_trace ();
-            exit 2
-        | exception Emma.Engine.Engine_timeout at_s ->
-            Format.printf "TIMEOUT at %.0f simulated s@.@.%a@." at_s Emma.Metrics.pp
-              (Emma.Engine.metrics eng);
-            print_trace ();
-            exit 3)
+        (* compute the exit code first: [exit] does not unwind, so the
+           trace file must be written before calling it *)
+        let code =
+          match Emma.Engine.run eng algo.Emma.compiled with
+          | value ->
+              Format.printf "result: %a@.@.%a@." Emma.Value.pp value Emma.Metrics.pp
+                (Emma.Engine.metrics eng);
+              print_ops_trace ();
+              0
+          | exception Emma.Engine.Engine_failure reason ->
+              Format.printf "FAILED: %s@.@.%a@." reason Emma.Metrics.pp
+                (Emma.Engine.metrics eng);
+              print_ops_trace ();
+              2
+          | exception Emma.Engine.Engine_timeout at_s ->
+              Format.printf "TIMEOUT at %.0f simulated s@.@.%a@." at_s Emma.Metrics.pp
+                (Emma.Engine.metrics eng);
+              print_ops_trace ();
+              3
+        in
+        (match trace_file with
+        | Some path ->
+            Emma_util.Trace.write_chrome_json tracer path;
+            Printf.eprintf "trace written to %s (load in chrome://tracing)\n" path
+        | None -> ());
+        if code <> 0 then exit code)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a program on the simulated distributed engine")
     Term.(
       const run $ program_arg $ opts_term $ engine_term $ scale_term $ dop_term
       $ domains_term $ tables_dir_term
-      $ Arg.(value & flag & info [ "trace" ] ~doc:"Print the per-operator execution trace."))
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "trace" ] ~docv:"FILE.json"
+              ~doc:
+                "Write a Chrome trace_event JSON file with compile-phase, job, stage \
+                 and partition-task spans (open in chrome://tracing or ui.perfetto.dev).")
+      $ Arg.(
+          value & flag
+          & info [ "ops-trace" ] ~doc:"Print the per-operator execution trace."))
+
+(* ---- explain ---- *)
+
+let explain_cmd =
+  let run name opts =
+    with_entry name (fun e ->
+        print_string (Emma.Explain.to_string (Emma.Explain.run ~opts e.Registry.program)))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show what the optimizer did: phase-by-phase plan diff, node counts, and which \
+          optimizations fired. Deterministic — suitable for golden files.")
+    Term.(const run $ program_arg $ opts_term)
 
 (* ---- typecheck ---- *)
 
@@ -226,4 +273,8 @@ let native_cmd =
 
 let () =
   let info = Cmd.info "emma" ~doc:"Emma: implicit parallelism through deep language embedding" in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; show_cmd; compile_cmd; run_cmd; native_cmd; gen_cmd; typecheck_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; show_cmd; compile_cmd; explain_cmd; run_cmd; native_cmd; gen_cmd;
+            typecheck_cmd ]))

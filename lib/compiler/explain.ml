@@ -1,0 +1,96 @@
+module Expr = Emma_lang.Expr
+module Pretty = Emma_lang.Pretty
+module Cprog = Emma_dataflow.Cprog
+module Trace = Emma_util.Trace
+
+type t = {
+  source : string;
+  source_nodes : int;
+  phases : Pipeline.phase_obs list;
+  report : Pipeline.report;
+  final : string;
+  final_nodes : int;
+}
+
+let run ?(opts = Pipeline.default_opts) p =
+  Expr.with_fresh_reset (fun () ->
+      let acc = ref [] in
+      let compiled, report =
+        Pipeline.compile ~opts ~trace:Trace.disabled ~observe:(fun o -> acc := o :: !acc) p
+      in
+      { source = Pretty.program_to_string p;
+        source_nodes = Pipeline.program_size p;
+        phases = List.rev !acc;
+        report;
+        final = Cprog.to_string compiled;
+        final_nodes = Pipeline.cprog_size compiled })
+
+let phase_status (o : Pipeline.phase_obs) =
+  if not o.Pipeline.ph_enabled then "off"
+  else if o.Pipeline.ph_changed then "changed"
+  else "no-op"
+
+let detail_suffix (o : Pipeline.phase_obs) =
+  match o.Pipeline.ph_detail with
+  | [] -> ""
+  | kvs ->
+      "  ["
+      ^ String.concat "; "
+          (List.map (fun (k, v) -> k ^ "=" ^ (if v = "" then "-" else v)) kvs)
+      ^ "]"
+
+let add_block buf title body =
+  Buffer.add_string buf ("-- " ^ title ^ " --\n");
+  Buffer.add_string buf body;
+  if not (String.length body > 0 && body.[String.length body - 1] = '\n') then
+    Buffer.add_char buf '\n';
+  Buffer.add_char buf '\n'
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "emma explain\n";
+  Buffer.add_string buf "============\n\n";
+  add_block buf (Printf.sprintf "source program (%d AST nodes)" t.source_nodes) t.source;
+  Buffer.add_string buf "-- pipeline phases --\n";
+  List.iter
+    (fun (o : Pipeline.phase_obs) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s %5d -> %5d nodes  %-7s%s\n" o.Pipeline.ph_name
+           o.Pipeline.ph_before o.Pipeline.ph_after (phase_status o) (detail_suffix o)))
+    t.phases;
+  Buffer.add_char buf '\n';
+  let r = t.report in
+  let fired b = if b then "fired" else "not applied" in
+  Buffer.add_string buf "-- optimizations --\n";
+  Buffer.add_string buf
+    (Printf.sprintf "fold-group fusion   %-12s (groups=%d, folds=%d)\n"
+       (fired (Pipeline.applied_group_fusion r))
+       r.Pipeline.fusion.Fusion.fused_groups r.Pipeline.fusion.Fusion.fused_folds);
+  Buffer.add_string buf
+    (Printf.sprintf "exists-unnesting    %-12s (semi-joins=%d, anti-joins=%d)\n"
+       (fired (Pipeline.applied_unnesting r))
+       r.Pipeline.translation.Translate.semi_joins
+       r.Pipeline.translation.Translate.anti_joins);
+  Buffer.add_string buf
+    (Printf.sprintf "caching             %-12s %s\n"
+       (fired (Pipeline.applied_caching r))
+       (match r.Pipeline.cached_vars with
+       | [] -> ""
+       | vs -> "[" ^ String.concat ", " vs ^ "]"));
+  Buffer.add_string buf
+    (Printf.sprintf "partition pulling   %-12s %s\n"
+       (fired (Pipeline.applied_partition_pulling r))
+       (match r.Pipeline.partitioned_vars with
+       | [] -> ""
+       | vs -> "[" ^ String.concat ", " vs ^ "]"));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (o : Pipeline.phase_obs) ->
+      match o.Pipeline.ph_artifact with
+      | Some artifact -> add_block buf ("after " ^ o.Pipeline.ph_name) artifact
+      | None -> ())
+    t.phases;
+  add_block buf (Printf.sprintf "final driver program (%d nodes)" t.final_nodes) t.final;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

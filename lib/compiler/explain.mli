@@ -1,0 +1,27 @@
+(** [emma explain]: a deterministic, phase-by-phase account of what the
+    pipeline did to a program — the inspectable intermediate artifacts that
+    make an optimizer's claims checkable (and golden-testable).
+
+    Output is a pure function of the input program and options: the
+    compile runs under {!Emma_lang.Expr.with_fresh_reset}, so generated
+    names do not depend on what else was compiled in the process. Nothing
+    here executes the program, so the text is workload-independent. *)
+
+type t = {
+  source : string;  (** pretty-printed input program *)
+  source_nodes : int;
+  phases : Pipeline.phase_obs list;  (** in pipeline order *)
+  report : Pipeline.report;
+  final : string;  (** pretty-printed compiled driver program *)
+  final_nodes : int;
+}
+
+val run : ?opts:Pipeline.opts -> Emma_lang.Expr.program -> t
+
+val to_string : t -> string
+(** The stable text rendering the CLI prints and the golden files commit:
+    source, a phase table with node counts and per-phase details, which
+    optimizations fired, the plan after every phase that changed it, and
+    the final dataflows. Ends with a newline. *)
+
+val pp : Format.formatter -> t -> unit

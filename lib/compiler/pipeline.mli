@@ -40,9 +40,45 @@ val applied_unnesting : report -> bool
 val applied_caching : report -> bool
 val applied_partition_pulling : report -> bool
 
-val compile : ?opts:opts -> Emma_lang.Expr.program -> Emma_dataflow.Cprog.t * report
+type phase_obs = {
+  ph_name : string;  (** inline | normalize | fusion | translate | caching
+                         | partition | broadcasts *)
+  ph_enabled : bool;  (** false when the phase was switched off by [opts] *)
+  ph_before : int;  (** AST/plan node count entering the phase *)
+  ph_after : int;  (** node count leaving it *)
+  ph_changed : bool;  (** the phase rewrote the artifact *)
+  ph_detail : (string * string) list;  (** deterministic per-phase facts
+                                           (fusion counts, join counts,
+                                           cached/partitioned vars) *)
+  ph_artifact : string option;  (** pretty-printed artifact after the
+                                    phase, present iff it changed *)
+}
+(** One pipeline phase as observed by [compile ~observe]. Snapshots are
+    only rendered when an observer is installed, so plain compiles pay
+    nothing. *)
+
+val program_size : Emma_lang.Expr.program -> int
+(** Total AST node count over all statements and the return expression. *)
+
+val cprog_size : Emma_dataflow.Cprog.t -> int
+(** Node count of a compiled driver program: driver expressions plus plan
+    nodes of every thunk. *)
+
+val compile :
+  ?opts:opts ->
+  ?trace:Emma_util.Trace.t ->
+  ?observe:(phase_obs -> unit) ->
+  Emma_lang.Expr.program ->
+  Emma_dataflow.Cprog.t * report
 (** Runs the pipeline. The result is executable by [Emma_engine] and by the
-    compiled-program interpreter used in tests. *)
+    compiled-program interpreter used in tests.
+
+    Every phase is wrapped in a [trace] span (category [compile]) whose
+    begin/end attributes carry the before/after node counts; [trace]
+    defaults to the ambient {!Emma_util.Trace.global} tracer, which is
+    disabled unless the CLI/bench switched it on. [observe] is called once
+    per phase, in order, with a {!phase_obs} snapshot — the structured feed
+    behind [emma explain]. *)
 
 val normalized : ?opts:opts -> Emma_lang.Expr.program -> Emma_lang.Expr.program
 (** The program after the front-end phases only (inline + recover +

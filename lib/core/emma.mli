@@ -30,6 +30,9 @@ module Cluster = Emma_engine.Cluster
 module Metrics = Emma_engine.Metrics
 module Engine = Emma_engine.Exec
 module Pool = Emma_util.Pool
+module Trace = Emma_util.Trace
+module Json = Emma_util.Json
+module Explain = Emma_compiler.Explain
 
 type algorithm = {
   source : Expr.program;
@@ -67,12 +70,24 @@ val run_native : algorithm -> tables:(string * Value.t list) list -> Value.t * E
     DataBag — the semantic reference. *)
 
 val run_on :
-  ?pool:Pool.t -> runtime -> algorithm -> tables:(string * Value.t list) list -> outcome
+  ?pool:Pool.t ->
+  ?trace:Trace.t ->
+  runtime ->
+  algorithm ->
+  tables:(string * Value.t list) list ->
+  outcome
 (** Executes the compiled program on the simulated engine. [pool] selects
     the domain pool per-partition operator work runs on (default
     {!Pool.default}); it affects only wall-clock time, never results or
-    cost-model metrics. *)
+    cost-model metrics. [trace] (default {!Trace.global}) receives
+    job/stage/partition spans — pure observation, never consulted by the
+    cost model. *)
 
 val run_on_exn :
-  ?pool:Pool.t -> runtime -> algorithm -> tables:(string * Value.t list) list -> run_result
+  ?pool:Pool.t ->
+  ?trace:Trace.t ->
+  runtime ->
+  algorithm ->
+  tables:(string * Value.t list) list ->
+  run_result
 (** Like {!run_on} but raises [Failure] on engine failure or timeout. *)

@@ -5,6 +5,7 @@ module Eval = Emma_lang.Eval
 module Expr = Emma_lang.Expr
 module Strset = Emma_util.Strset
 module Pool = Emma_util.Pool
+module Trace = Emma_util.Trace
 
 exception Engine_failure of string
 exception Engine_timeout of float
@@ -34,6 +35,11 @@ type t = {
   mutable cache_hit_counter : int;
   mutable trace : trace_event list;
       (* chronological record of executed operators, most recent first *)
+  tracer : Trace.t;
+      (* structured span sink (job/stage/partition-task spans, data-motion
+         counters). Never consulted by cost charging: with the tracer on or
+         off, results and every cost-model field are bit-identical — only
+         observability output differs (property-tested in test_trace.ml) *)
 }
 
 and trace_event = {
@@ -74,7 +80,7 @@ and env = (string * dval) list
 
 type out = Obag of Pdata.t | Oscalar of Value.t | Ostateful of state_handle
 
-let create ?timeout_s ?(cache_loss_at = []) ?pool ~cluster ~profile eval_ctx =
+let create ?timeout_s ?(cache_loss_at = []) ?pool ?trace ~cluster ~profile eval_ctx =
   { cluster;
     profile;
     metrics = Metrics.create ();
@@ -85,7 +91,8 @@ let create ?timeout_s ?(cache_loss_at = []) ?pool ~cluster ~profile eval_ctx =
     iteration_rerun = false;
     cache_loss_at;
     cache_hit_counter = 0;
-    trace = [] }
+    trace = [];
+    tracer = (match trace with Some tr -> tr | None -> Trace.global ()) }
 
 let metrics t = t.metrics
 let trace t = List.rev t.trace
@@ -142,35 +149,48 @@ let charge_local_cpu t (pd : Pdata.t) =
   in
   charge t (Float.max avg (cost_of ~recs:pd.Pdata.rmult ~bytes:(largest_record *. pd.Pdata.bmult)))
 
+(* Data-motion counter samples: emitted AFTER the metric is updated so the
+   Chrome counter track plots the running total. Pure observation — the
+   tracer never feeds back into charging. *)
+let motion_counter t name total =
+  if Trace.enabled t.tracer then Trace.counter t.tracer ~cat:"motion" name total
+
 (* All charge_* helpers below take LOGICAL byte quantities: callers apply
    the provenance multipliers carried by the data (Pdata.logical_bytes). *)
 let charge_shuffle t bytes =
   t.metrics.Metrics.shuffle_bytes <- t.metrics.Metrics.shuffle_bytes +. bytes;
+  motion_counter t "shuffle_bytes" t.metrics.Metrics.shuffle_bytes;
   charge t (bytes /. (float_of_int t.cluster.Cluster.nodes *. t.cluster.Cluster.net_bw))
 
 let charge_broadcast t logical =
   let total = logical *. float_of_int t.cluster.Cluster.nodes in
   t.metrics.Metrics.broadcast_bytes <- t.metrics.Metrics.broadcast_bytes +. total;
+  motion_counter t "broadcast_bytes" t.metrics.Metrics.broadcast_bytes;
   charge t (logical *. t.profile.Cluster.broadcast_factor /. t.cluster.Cluster.net_bw *. 2.0)
 
 let charge_dfs_read t bytes =
   t.metrics.Metrics.dfs_read_bytes <- t.metrics.Metrics.dfs_read_bytes +. bytes;
+  motion_counter t "dfs_read_bytes" t.metrics.Metrics.dfs_read_bytes;
   charge t (bytes /. (float_of_int t.cluster.Cluster.nodes *. t.cluster.Cluster.disk_bw))
 
 let charge_dfs_write t bytes =
   t.metrics.Metrics.dfs_write_bytes <- t.metrics.Metrics.dfs_write_bytes +. bytes;
+  motion_counter t "dfs_write_bytes" t.metrics.Metrics.dfs_write_bytes;
   charge t (bytes /. (float_of_int t.cluster.Cluster.nodes *. t.cluster.Cluster.disk_bw))
 
 let charge_collect t bytes =
   t.metrics.Metrics.collect_bytes <- t.metrics.Metrics.collect_bytes +. bytes;
+  motion_counter t "collect_bytes" t.metrics.Metrics.collect_bytes;
   charge t (bytes /. t.cluster.Cluster.net_bw)
 
 let charge_parallelize t bytes =
   t.metrics.Metrics.parallelize_bytes <- t.metrics.Metrics.parallelize_bytes +. bytes;
+  motion_counter t "parallelize_bytes" t.metrics.Metrics.parallelize_bytes;
   charge t (bytes /. t.cluster.Cluster.net_bw)
 
 let charge_spill t bytes =
   t.metrics.Metrics.spilled_bytes <- t.metrics.Metrics.spilled_bytes +. bytes;
+  motion_counter t "spilled_bytes" t.metrics.Metrics.spilled_bytes;
   charge t (2.0 *. bytes /. t.cluster.Cluster.disk_bw)
 
 let in_job t f =
@@ -180,7 +200,14 @@ let in_job t f =
     let discount = if t.iteration_rerun then 0.1 else 1.0 in
     charge t (t.profile.Cluster.job_overhead_s *. discount);
     t.job_depth <- t.job_depth + 1;
-    Fun.protect ~finally:(fun () -> t.job_depth <- t.job_depth - 1) f
+    Fun.protect
+      ~finally:(fun () -> t.job_depth <- t.job_depth - 1)
+      (fun () ->
+        if Trace.enabled t.tracer then
+          Trace.span t.tracer ~cat:"job" "job"
+            ~args:[ ("job", Trace.A_int t.metrics.Metrics.jobs) ]
+            f
+        else f ())
   end
 
 let lookup_env env x =
@@ -214,6 +241,19 @@ let bump_udf t = add_udf_count t 1
    and every other cost field are bit-identical whatever the domain count.
    Exceptions surface deterministically (lowest partition index first). *)
 let par_run t n (f : int -> 'a) : 'a array =
+  (* Partition-task spans run on the emitting worker domain: the span's
+     tid IS the domain id, and the args repeat it next to the partition
+     index. The wrapper only observes — never counts or charges. *)
+  let f =
+    if not (Trace.enabled t.tracer) then f
+    else
+      fun i ->
+        Trace.span t.tracer ~cat:"task" "task"
+          ~args:
+            [ ("partition", Trace.A_int i);
+              ("domain", Trace.A_int (Domain.self () :> int)) ]
+          (fun () -> f i)
+  in
   if n <= 1 || Pool.size t.pool <= 1 then Pool.parmap t.pool f (Array.init n Fun.id)
   else begin
     t.metrics.Metrics.par_stages <- t.metrics.Metrics.par_stages + 1;
@@ -228,7 +268,14 @@ let par_run t n (f : int -> 'a) : 'a array =
           let r = f i in
           (r, !c))
     in
-    let rs = Pool.parmap t.pool task (Array.init n Fun.id) in
+    let run_barrier () = Pool.parmap t.pool task (Array.init n Fun.id) in
+    let rs =
+      if Trace.enabled t.tracer then
+        Trace.span t.tracer ~cat:"stage" "barrier"
+          ~args:[ ("tasks", Trace.A_int n) ]
+          run_barrier
+      else run_barrier ()
+    in
     Array.map
       (fun (r, c) ->
         add_udf_count t c;
@@ -249,6 +296,32 @@ let par_map_parts_preserving t f (pd : Pdata.t) : Pdata.t =
 (* ------------------------------------------------------------------ *)
 (* Plan execution                                                       *)
 (* ------------------------------------------------------------------ *)
+
+(* Operator-kind names for stage spans; matches the vocabulary that
+   [note_op] / [Plan] pretty-printing already use. *)
+let plan_op_name : Plan.t -> string = function
+  | Plan.Read _ -> "read"
+  | Plan.Scan _ -> "scan"
+  | Plan.Local _ -> "local"
+  | Plan.Map _ -> "map"
+  | Plan.Flat_map _ -> "flatMap"
+  | Plan.Filter _ -> "filter"
+  | Plan.Eq_join _ -> "join"
+  | Plan.Semi_join _ -> "semijoin"
+  | Plan.Anti_join _ -> "antijoin"
+  | Plan.Cross _ -> "cross"
+  | Plan.Group_by _ -> "groupBy"
+  | Plan.Agg_by _ -> "aggBy"
+  | Plan.Fold _ -> "fold"
+  | Plan.Union _ -> "union"
+  | Plan.Minus _ -> "minus"
+  | Plan.Distinct _ -> "distinct"
+  | Plan.Cache _ -> "cache"
+  | Plan.Partition_by _ -> "partitionBy"
+  | Plan.Stateful_create _ -> "statefulCreate"
+  | Plan.Stateful_read _ -> "statefulRead"
+  | Plan.Stateful_update _ -> "statefulUpdate"
+  | Plan.Stateful_update_msgs _ -> "statefulUpdateMsgs"
 
 let rec collect_bag t (h : handle) : Value.t list * float * float =
   (* returns (rows, logical bytes, logical records) *)
@@ -404,6 +477,18 @@ and exec_to_bag t env p =
   | Oscalar _ | Ostateful _ -> raise (Engine_failure "expected a bag-valued operator input")
 
 and exec_plan t env (p : Plan.t) : out =
+  if not (Trace.enabled t.tracer) then exec_plan_inner t env p
+  else
+    Trace.span_f t.tracer ~cat:"stage" (plan_op_name p)
+      ~end_args:(function
+        | Obag pd ->
+            [ ("out_records", Trace.A_float (Pdata.logical_records pd));
+              ("out_bytes", Trace.A_float (Pdata.logical_bytes pd)) ]
+        | Oscalar _ -> [ ("out", Trace.A_str "scalar") ]
+        | Ostateful _ -> [ ("out", Trace.A_str "stateful") ])
+      (fun () -> exec_plan_inner t env p)
+
+and exec_plan_inner t env (p : Plan.t) : out =
   match p with
   | Plan.Read name ->
       let rows =

@@ -42,6 +42,7 @@ val create :
   ?timeout_s:float ->
   ?cache_loss_at:int list ->
   ?pool:Emma_util.Pool.t ->
+  ?trace:Emma_util.Trace.t ->
   cluster:Cluster.t ->
   profile:Cluster.profile ->
   Eval.ctx ->
@@ -57,7 +58,16 @@ val create :
     driver, and all cost charging stay on the calling domain, so results
     and every cost-model metric — [sim_time_s], [shuffle_bytes], [stages],
     even [udf_invocations] — are bit-identical whatever the pool size;
-    only [wall_time_s] and the [par_*] counters reflect the parallelism. *)
+    only [wall_time_s] and the [par_*] counters reflect the parallelism.
+
+    [trace] is a span tracer (default: {!Emma_util.Trace.global}, i.e.
+    disabled unless the CLI/bench installed one). When enabled the engine
+    emits job spans around each submitted dataflow, stage spans per
+    executed operator (tagged operator kind and output size), partition
+    task spans on the worker domains (tagged partition index and domain
+    id), and byte-motion counters. Tracing is pure observation: it is
+    never consulted by cost charging, so every cost-model metric is
+    bit-identical with tracing on or off. *)
 
 val metrics : t -> Metrics.t
 

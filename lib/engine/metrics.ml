@@ -48,6 +48,11 @@ let human_bytes b =
   else if b >= 1e3 then Printf.sprintf "%.2f KB" (b /. 1e3)
   else Printf.sprintf "%.0f B" b
 
+(* Formatting is pinned for golden files and machine-readable reports:
+   OCaml's Printf always formats with the C locale's dot decimal point
+   (it never consults the process locale), and the precision of every
+   float cell is fixed — %.1f for simulated seconds, %.6f for host wall
+   time — so rendered output is byte-stable across hosts. *)
 let to_rows m =
   [
     ("sim time", Printf.sprintf "%.1f s" m.sim_time_s);
@@ -63,7 +68,7 @@ let to_rows m =
     ("recomputes", string_of_int m.recomputes);
     ("cache hits", string_of_int m.cache_hits);
     ("cache losses", string_of_int m.cache_losses);
-    ("wall time", Printf.sprintf "%.3f s" m.wall_time_s);
+    ("wall time", Printf.sprintf "%.6f s" m.wall_time_s);
     ("par stages", string_of_int m.par_stages);
     ("par tasks", string_of_int m.par_tasks);
   ]
@@ -72,3 +77,29 @@ let pp ppf m =
   Fmt.pf ppf "@[<v>%a@]"
     (Fmt.list ~sep:Fmt.cut (fun ppf (k, v) -> Fmt.pf ppf "%-14s %s" k v))
     (to_rows m)
+
+module Json = Emma_util.Json
+
+let to_json m =
+  Json.Obj
+    [
+      ("sim_time_s", Json.Float m.sim_time_s);
+      ("shuffle_bytes", Json.Float m.shuffle_bytes);
+      ("broadcast_bytes", Json.Float m.broadcast_bytes);
+      ("dfs_read_bytes", Json.Float m.dfs_read_bytes);
+      ("dfs_write_bytes", Json.Float m.dfs_write_bytes);
+      ("collect_bytes", Json.Float m.collect_bytes);
+      ("parallelize_bytes", Json.Float m.parallelize_bytes);
+      ("spilled_bytes", Json.Float m.spilled_bytes);
+      ("jobs", Json.Int m.jobs);
+      ("stages", Json.Int m.stages);
+      ("recomputes", Json.Int m.recomputes);
+      ("cache_hits", Json.Int m.cache_hits);
+      ("cache_losses", Json.Int m.cache_losses);
+      ("udf_invocations", Json.Int m.udf_invocations);
+      ("wall_time_s", Json.Float m.wall_time_s);
+      ("par_stages", Json.Int m.par_stages);
+      ("par_tasks", Json.Int m.par_tasks);
+    ]
+
+let to_json_string m = Json.to_string (to_json m)

@@ -29,5 +29,16 @@ type t = {
 val create : unit -> t
 val add_time : t -> float -> unit
 val pp : Format.formatter -> t -> unit
+
 val to_rows : t -> (string * string) list
-(** Key/value rendering for benchmark tables. *)
+(** Key/value rendering for benchmark tables. Formatting is pinned (fixed
+    precisions; OCaml's [Printf] always uses the C locale's dot decimal
+    point), so rendered rows are byte-stable across hosts. *)
+
+val to_json : t -> Emma_util.Json.t
+(** Every field, under its record name, as a flat JSON object — the
+    machine-readable run report the bench harness emits next to each
+    table. Floats are rendered with pinned [%.6f] precision by
+    {!Emma_util.Json.to_string}. *)
+
+val to_json_string : t -> string

@@ -222,6 +222,11 @@ let fresh hint =
   incr fresh_counter;
   Printf.sprintf "%s$%d" hint !fresh_counter
 
+let with_fresh_reset f =
+  let saved = !fresh_counter in
+  fresh_counter := 0;
+  Fun.protect ~finally:(fun () -> fresh_counter := saved) f
+
 (* Capture-avoiding substitution. *)
 let rec subst x replacement body =
   let fv_repl = free_vars replacement in

@@ -135,6 +135,14 @@ val comp_bound_vars : qual list -> Emma_util.Strset.t
 val fresh : string -> string
 (** [fresh hint] generates a globally fresh variable name based on [hint]. *)
 
+val with_fresh_reset : (unit -> 'a) -> 'a
+(** Runs [f] with the fresh-name counter reset to zero, restoring the
+    previous counter afterwards. Generated names contain ['$'], which user
+    programs cannot, so compiling a self-contained program under a reset is
+    safe — this is what makes tooling output (e.g. [emma explain] and its
+    golden files) deterministic regardless of what was compiled earlier in
+    the process. Not for concurrent use. *)
+
 val subst : string -> expr -> expr -> expr
 (** [subst x e body] capture-avoidingly substitutes [e] for free
     occurrences of [x] in [body], alpha-renaming binders as needed. *)

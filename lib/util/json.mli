@@ -1,0 +1,39 @@
+(** A minimal JSON representation: emitter with pinned, host-independent
+    formatting plus a small strict parser. Used by the {!Trace} Chrome
+    exporter and the machine-readable run reports ([Metrics.to_json]) — and
+    the parser doubles as the well-formedness validator the trace tests
+    run over emitted documents. No third-party dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Escapes the body of a JSON string (no surrounding quotes): double
+    quote, backslash and control characters below [0x20] are escaped
+    (backslash-n/t/r/b/f short forms, the rest as [\u00XX]); all other
+    bytes — including multi-byte UTF-8 sequences — pass through verbatim. *)
+
+val to_string : t -> string
+(** Deterministic rendering: no insignificant whitespace, object fields in
+    the given order, floats printed with [%.6f] (OCaml's [Printf] always
+    uses the C locale's dot decimal point, so output is host-independent);
+    non-finite floats render as [null]. *)
+
+val parse : string -> (t, string) result
+(** Strict parser for the subset of JSON the emitter produces (which is
+    plain standard JSON): values, arrays, objects, string escapes including
+    [\uXXXX] (decoded to UTF-8), and the usual number syntax. The whole
+    input must be one JSON value, surrounded by optional whitespace.
+    Numbers parse as [Int] when they are undotted integers fitting an
+    OCaml [int], as [Float] otherwise. *)
+
+val is_valid : string -> bool
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj] (None on missing field or non-object). *)

@@ -1,0 +1,267 @@
+type attr = A_str of string | A_int of int | A_float of float | A_bool of bool
+
+type phase = B | E | I | C
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : phase;
+  ev_ts_us : float;
+  ev_tid : int;
+  ev_args : (string * attr) list;
+}
+
+type t = {
+  on : bool;
+  clock : unit -> float;
+  m : Mutex.t;
+  mutable t0 : float;
+  mutable last_us : float;  (* clamp: recorded timestamps never decrease *)
+  mutable rev_events : event list;
+}
+
+let disabled =
+  { on = false;
+    clock = (fun () -> 0.0);
+    m = Mutex.create ();
+    t0 = 0.0;
+    last_us = 0.0;
+    rev_events = [] }
+
+let create ?clock () =
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  { on = true;
+    clock;
+    m = Mutex.create ();
+    t0 = clock ();
+    last_us = 0.0;
+    rev_events = [] }
+
+let enabled t = t.on
+
+let events t =
+  Mutex.lock t.m;
+  let evs = List.rev t.rev_events in
+  Mutex.unlock t.m;
+  evs
+
+let clear t =
+  Mutex.lock t.m;
+  t.rev_events <- [];
+  t.t0 <- t.clock ();
+  t.last_us <- 0.0;
+  Mutex.unlock t.m
+
+let emit t ~name ~cat ~ph ~args =
+  if t.on then begin
+    let tid = (Domain.self () :> int) in
+    Mutex.lock t.m;
+    let us = Float.max t.last_us ((t.clock () -. t.t0) *. 1e6) in
+    t.last_us <- us;
+    t.rev_events <-
+      { ev_name = name; ev_cat = cat; ev_ph = ph; ev_ts_us = us; ev_tid = tid; ev_args = args }
+      :: t.rev_events;
+    Mutex.unlock t.m
+  end
+
+let span t ?(cat = "") ?(args = []) name f =
+  if not t.on then f ()
+  else begin
+    emit t ~name ~cat ~ph:B ~args;
+    match f () with
+    | r ->
+        emit t ~name ~cat ~ph:E ~args:[];
+        r
+    | exception e ->
+        emit t ~name ~cat ~ph:E ~args:[ ("error", A_bool true) ];
+        raise e
+  end
+
+let span_f t ?(cat = "") ?(args = []) ~end_args name f =
+  if not t.on then f ()
+  else begin
+    emit t ~name ~cat ~ph:B ~args;
+    match f () with
+    | r ->
+        emit t ~name ~cat ~ph:E ~args:(end_args r);
+        r
+    | exception e ->
+        emit t ~name ~cat ~ph:E ~args:[ ("error", A_bool true) ];
+        raise e
+  end
+
+let instant t ?(cat = "") ?(args = []) name = emit t ~name ~cat ~ph:I ~args
+let counter t ?(cat = "") name v = emit t ~name ~cat ~ph:C ~args:[ (name, A_float v) ]
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let well_formed t =
+  let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks tid s;
+        s
+  in
+  let check acc ev =
+    match acc with
+    | Error _ -> acc
+    | Ok last_ts ->
+        if ev.ev_ts_us < last_ts then
+          Error
+            (Printf.sprintf "timestamp went backwards: %.3f after %.3f (%s)" ev.ev_ts_us
+               last_ts ev.ev_name)
+        else begin
+          let s = stack ev.ev_tid in
+          match ev.ev_ph with
+          | B ->
+              s := ev.ev_name :: !s;
+              Ok ev.ev_ts_us
+          | E -> begin
+              match !s with
+              | top :: rest when String.equal top ev.ev_name ->
+                  s := rest;
+                  Ok ev.ev_ts_us
+              | top :: _ ->
+                  Error
+                    (Printf.sprintf "end %S does not match open span %S (tid %d)" ev.ev_name
+                       top ev.ev_tid)
+              | [] ->
+                  Error (Printf.sprintf "end %S with no open span (tid %d)" ev.ev_name ev.ev_tid)
+            end
+          | I | C -> Ok ev.ev_ts_us
+        end
+  in
+  match List.fold_left check (Ok 0.0) (events t) with
+  | Error _ as e -> e
+  | Ok _ ->
+      Hashtbl.fold
+        (fun tid s acc ->
+          match acc with
+          | Error _ -> acc
+          | Ok () ->
+              if !s = [] then Ok ()
+              else
+                Error
+                  (Printf.sprintf "unclosed span %S (tid %d)" (List.hd !s) tid))
+        stacks (Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let attr_json = function
+  | A_str s -> Json.Str s
+  | A_int i -> Json.Int i
+  | A_float f -> Json.Float f
+  | A_bool b -> Json.Bool b
+
+let phase_str = function B -> "B" | E -> "E" | I -> "i" | C -> "C"
+
+let event_json ev =
+  Json.Obj
+    ([ ("name", Json.Str ev.ev_name);
+       ("cat", Json.Str (if ev.ev_cat = "" then "emma" else ev.ev_cat));
+       ("ph", Json.Str (phase_str ev.ev_ph));
+       ("ts", Json.Float ev.ev_ts_us);
+       ("pid", Json.Int 1);
+       ("tid", Json.Int ev.ev_tid) ]
+    @ (match ev.ev_ph with I -> [ ("s", Json.Str "t") ] | _ -> [])
+    @
+    match ev.ev_args with
+    | [] -> []
+    | args -> [ ("args", Json.Obj (List.map (fun (k, a) -> (k, attr_json a)) args)) ])
+
+let to_chrome_json t =
+  Json.to_string
+    (Json.Obj
+       [ ("traceEvents", Json.List (List.map event_json (events t)));
+         ("displayTimeUnit", Json.Str "ms") ])
+
+let write_chrome_json t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_chrome_json t);
+      output_char oc '\n')
+
+let attr_str = function
+  | A_str s -> s
+  | A_int i -> string_of_int i
+  | A_float f -> Printf.sprintf "%.6f" f
+  | A_bool b -> string_of_bool b
+
+let args_str = function
+  | [] -> ""
+  | args ->
+      " ["
+      ^ String.concat ", " (List.map (fun (k, a) -> k ^ "=" ^ attr_str a) args)
+      ^ "]"
+
+let to_text_tree t =
+  let evs = Array.of_list (events t) in
+  (* match begin/end pairs per tid to compute durations *)
+  let durations : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let stacks : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  Array.iteri
+    (fun i ev ->
+      let s =
+        match Hashtbl.find_opt stacks ev.ev_tid with
+        | Some s -> s
+        | None ->
+            let s = ref [] in
+            Hashtbl.add stacks ev.ev_tid s;
+            s
+      in
+      match ev.ev_ph with
+      | B -> s := i :: !s
+      | E -> begin
+          match !s with
+          | b :: rest ->
+              s := rest;
+              Hashtbl.replace durations b (ev.ev_ts_us -. evs.(b).ev_ts_us)
+          | [] -> ()
+        end
+      | I | C -> ())
+    evs;
+  let buf = Buffer.create 1024 in
+  let depth : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let get_depth tid = Option.value ~default:0 (Hashtbl.find_opt depth tid) in
+  let indent d = String.make (2 * d) ' ' in
+  Array.iteri
+    (fun i ev ->
+      let d = get_depth ev.ev_tid in
+      match ev.ev_ph with
+      | B ->
+          let dur =
+            match Hashtbl.find_opt durations i with
+            | Some us -> Printf.sprintf " %.3f ms" (us /. 1e3)
+            | None -> ""
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s%s  (tid %d)%s%s\n" (indent d) ev.ev_name
+               (if ev.ev_cat = "" then "" else " <" ^ ev.ev_cat ^ ">")
+               ev.ev_tid dur (args_str ev.ev_args));
+          Hashtbl.replace depth ev.ev_tid (d + 1)
+      | E -> Hashtbl.replace depth ev.ev_tid (max 0 (d - 1))
+      | I ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s* %s%s\n" (indent d) ev.ev_name (args_str ev.ev_args))
+      | C ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s# %s%s\n" (indent d) ev.ev_name (args_str ev.ev_args)))
+    evs;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Ambient tracer                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let global_tracer = ref disabled
+let global () = !global_tracer
+let set_global t = global_tracer := t

@@ -1,0 +1,99 @@
+(** A zero-dependency structured span tracer.
+
+    Spans carry a category, key/value attributes and begin/end timestamps;
+    counters and instant events record point-in-time facts. Emission is
+    thread-safe (a single mutex orders events across domains), so pool
+    workers ({!Pool}) can emit per-task spans concurrently with the
+    coordinator.
+
+    Two sinks are provided: a Chrome [chrome://tracing] / Perfetto JSON
+    exporter ({!to_chrome_json}) and a compact indented text tree
+    ({!to_text_tree}).
+
+    A disabled tracer ({!disabled}, the default everywhere) makes every
+    emission a no-op: instrumented code must behave identically with
+    tracing on or off — in particular the engine's cost model charges
+    nothing for tracing, so [sim_time_s] and every other cost field are
+    bit-identical either way (property-tested in [test/test_trace.ml]). *)
+
+type attr = A_str of string | A_int of int | A_float of float | A_bool of bool
+
+type phase =
+  | B  (** span begin *)
+  | E  (** span end *)
+  | I  (** instant *)
+  | C  (** counter sample *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : phase;
+  ev_ts_us : float;  (** microseconds since tracer creation, monotone in
+                         recorded order *)
+  ev_tid : int;  (** emitting domain's id — worker spans land on their own
+                     Chrome track *)
+  ev_args : (string * attr) list;
+}
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** A fresh enabled tracer. [clock] returns seconds (default
+    [Unix.gettimeofday]); tests inject a deterministic counter clock.
+    Recorded timestamps are clamped to be non-decreasing in emission
+    order. *)
+
+val disabled : t
+(** The shared always-off tracer: every emission is a no-op and [span]
+    just runs its thunk. *)
+
+val enabled : t -> bool
+val events : t -> event list  (** chronological *)
+
+val clear : t -> unit
+
+val span : t -> ?cat:string -> ?args:(string * attr) list -> string -> (unit -> 'a) -> 'a
+(** [span t name f] brackets [f ()] in a begin/end pair. The end event is
+    emitted even when [f] raises (tagged [error=true]), so span trees stay
+    balanced. *)
+
+val span_f :
+  t ->
+  ?cat:string ->
+  ?args:(string * attr) list ->
+  end_args:('a -> (string * attr) list) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** Like {!span} but computes the end event's attributes from the result —
+    used to record after-the-fact facts such as a compile phase's
+    post-rewrite node count. *)
+
+val instant : t -> ?cat:string -> ?args:(string * attr) list -> string -> unit
+val counter : t -> ?cat:string -> string -> float -> unit
+
+val well_formed : t -> (unit, string) result
+(** Structural check used by the property tests and [make trace-check]:
+    per-domain begin/end balance (every end matches the innermost open
+    begin of the same name, nothing left open) and globally monotone
+    timestamps. *)
+
+val to_chrome_json : t -> string
+(** The trace as a Chrome [trace_event] JSON document (["traceEvents"]
+    array; durations via B/E pairs, one [pid], one [tid] per domain). Load
+    in [chrome://tracing] or [ui.perfetto.dev]. *)
+
+val write_chrome_json : t -> string -> unit
+(** [write_chrome_json t path] writes {!to_chrome_json} to [path]. *)
+
+val to_text_tree : t -> string
+(** Compact human-readable rendering: one indented line per span (with
+    duration and attributes), grouped by domain. *)
+
+val global : unit -> t
+(** The ambient tracer, {!disabled} unless {!set_global} was called.
+    Instrumented layers ([Pipeline.compile], [Exec.create]) default to it,
+    so a CLI flag can switch on tracing without threading a value through
+    every call site. *)
+
+val set_global : t -> unit

@@ -1,0 +1,140 @@
+(* Golden-file tests for `emma explain`.
+
+   The explain text is a deterministic function of (program, opts): the
+   compile runs under Expr.with_fresh_reset, so generated names do not
+   depend on whatever else the process compiled first. These tests pin the
+   rendering for four registry programs against committed golden files.
+
+   Regenerate after an intentional compiler/renderer change with
+
+     EMMA_UPDATE_GOLDEN=1 dune runtest
+
+   which rewrites the files in test/golden/ (in the source tree) and
+   fails nothing. *)
+
+module Explain = Emma_compiler.Explain
+module Pipeline = Emma_compiler.Pipeline
+module Pr = Emma_programs
+
+let cases =
+  [ ("q1", Pr.Tpch_q1.program Pr.Tpch_q1.default_params);
+    ("q3", Pr.Tpch_q3.program Pr.Tpch_q3.default_params);
+    ("kmeans", Pr.Kmeans.program Pr.Kmeans.default_params);
+    ("spam", Pr.Spam_workflow.program Pr.Spam_workflow.default_params) ]
+
+let update_golden = Sys.getenv_opt "EMMA_UPDATE_GOLDEN" = Some "1"
+
+(* Tests execute in _build/default/test; golden updates must land in the
+   source tree (strip the "/_build/default" segment from the cwd) so they
+   can be committed. Reads try the source tree first, then the sandbox
+   copy dune stages via the (deps (glob_files golden/*.txt)) stanza. *)
+let find_sub hay needle =
+  let n = String.length needle in
+  let rec go i =
+    if i + n > String.length hay then None
+    else if String.sub hay i n = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let contains hay needle = find_sub hay needle <> None
+
+let golden_dir_candidates () =
+  let cwd = Sys.getcwd () in
+  let seg = "/_build/default" in
+  let src =
+    match find_sub cwd seg with
+    | Some i ->
+        (* under dune runtest: cwd is _build/default/test *)
+        [ Filename.concat
+            (String.sub cwd 0 i
+            ^ String.sub cwd
+                (i + String.length seg)
+                (String.length cwd - i - String.length seg))
+            "golden" ]
+    | None ->
+        (* under dune exec from the project root *)
+        [ Filename.concat cwd "test/golden" ]
+  in
+  src @ [ Filename.concat cwd "golden" ]
+
+let golden_write_dirs () =
+  match golden_dir_candidates () with
+  | src :: rest ->
+      (* source tree first so the update can be committed; also refresh
+         the staged _build copy when it exists *)
+      src :: List.filter (fun d -> Sys.file_exists d) rest
+  | [] -> []
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let golden_test name prog () =
+  let got = Explain.to_string (Explain.run prog) in
+  let file = Printf.sprintf "explain_%s.txt" name in
+  let dirs = golden_dir_candidates () in
+  if update_golden then
+    List.iter
+      (fun dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        write_file (Filename.concat dir file) got)
+      (golden_write_dirs ())
+  else
+    let path =
+      List.find_opt (fun d -> Sys.file_exists (Filename.concat d file)) dirs
+    in
+    match path with
+    | None ->
+        Alcotest.failf "golden file %s missing; run EMMA_UPDATE_GOLDEN=1 dune runtest"
+          file
+    | Some dir ->
+        let expected = read_file (Filename.concat dir file) in
+        if got <> expected then
+          Alcotest.failf
+            "explain %s drifted from golden/%s (if intentional, regenerate with \
+             EMMA_UPDATE_GOLDEN=1 dune runtest).\n\
+             --- expected ---\n\
+             %s\n\
+             --- got ---\n\
+             %s"
+            name file expected got
+
+(* The rendering must not depend on process history: compiling other
+   programs in between (which advances the global fresh-name counter)
+   must not change the text. *)
+let test_explain_stable () =
+  let prog = Pr.Kmeans.program Pr.Kmeans.default_params in
+  let first = Explain.to_string (Explain.run prog) in
+  List.iter (fun (_, p) -> ignore (Emma.parallelize p)) cases;
+  let second = Explain.to_string (Explain.run prog) in
+  Alcotest.(check string) "explain is history-independent" first second
+
+(* Disabled optimizations show up as "off" phases and "not applied". *)
+let test_explain_opts () =
+  let prog = Pr.Tpch_q1.program Pr.Tpch_q1.default_params in
+  let opts = { Pipeline.default_opts with Pipeline.fuse = false } in
+  let t = Explain.run ~opts prog in
+  let fusion =
+    List.find (fun o -> o.Pipeline.ph_name = "fusion") t.Explain.phases
+  in
+  Alcotest.(check bool) "fusion phase disabled" false fusion.Pipeline.ph_enabled;
+  let s = Explain.to_string t in
+  Alcotest.(check bool) "report says fusion not applied" true
+    (contains s "fold-group fusion   not applied")
+
+let suite =
+  [ ( "explain_golden",
+      List.map
+        (fun (name, prog) ->
+          Alcotest.test_case ("golden: " ^ name) `Quick (golden_test name prog))
+        cases
+      @ [ Alcotest.test_case "history-independent" `Quick test_explain_stable;
+          Alcotest.test_case "disabled opts rendered" `Quick test_explain_opts ] ) ]
