@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-parallel explain-golden trace-check bench bench-scaleup clean
+.PHONY: all build test test-parallel explain-golden trace-check chaos-smoke check bench bench-scaleup bench-faults clean
 
 all: build
 
@@ -28,12 +28,24 @@ explain-golden:
 trace-check:
 	dune exec test/test_main.exe -- test trace
 
+# One seeded chaos scenario (fault injection + loop checkpointing) per
+# example program; the engine must recover transparently or the alias fails.
+chaos-smoke:
+	dune build @chaos-smoke --force
+
+# The full pre-merge flow: build, tier-1 tests on 2 domains, chaos smoke.
+check: build test chaos-smoke
+
 bench:
 	dune exec bench/main.exe
 
 # Multicore wall-clock scale-up experiment (1/2/4/8 domains).
 bench-scaleup:
 	dune build @bench-scaleup --force
+
+# Chaos & recovery-overhead experiment (fault-rate and checkpoint sweeps).
+bench-faults:
+	dune build @bench-faults --force
 
 clean:
 	dune clean

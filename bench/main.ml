@@ -4,7 +4,7 @@
      dune exec bench/main.exe            runs everything
      dune exec bench/main.exe -- fig4    runs one experiment
                                  (fig4 | table1 | iterative | tpch | fig5 |
-                                  ablation | micro | scaleup)
+                                  ablation | micro | scaleup | faults)
      dune exec bench/main.exe -- --domains 4 tpch
                                          runs partition work on 4 OCaml
                                          domains (results and cost metrics
@@ -19,7 +19,8 @@ let experiments =
     ("ablation", Exp_ablation.run);
     ("crossover", Exp_crossover.run);
     ("micro", Exp_micro.run);
-    ("scaleup", Exp_scaleup.run) ]
+    ("scaleup", Exp_scaleup.run);
+    ("faults", Exp_faults.run) ]
 
 let () =
   let trace_file = ref None in

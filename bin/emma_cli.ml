@@ -121,8 +121,52 @@ let compile_cmd =
 
 (* ---- run ---- *)
 
+let chaos_seed_term =
+  let doc =
+    "Inject deterministic faults drawn from this seed (task failures, executor \
+     losses, shuffle-fetch failures, stragglers, driver-loop losses). The engine \
+     recovers transparently: results are identical to the fault-free run, only \
+     the simulated clock and the recovery counters change."
+  in
+  Arg.(value & opt (some int) None & info [ "chaos-seed" ] ~docv:"SEED" ~doc)
+
+let chaos_rates_term =
+  let doc =
+    "Per-channel injection rates for $(b,--chaos-seed), e.g. \
+     $(b,task=0.1,exec=0.02,fetch=0.05,straggle=0.1,slow=4,loop=0.02). Unlisted \
+     keys stay 0; without this flag a moderate default mix is used."
+  in
+  Arg.(value & opt (some string) None & info [ "chaos-rates" ] ~docv:"RATES" ~doc)
+
+let checkpoint_term =
+  let doc =
+    "Checkpoint driver-loop state (loop variables and stateful bags) every \
+     $(docv) iterations, so injected loop losses restart from the last \
+     checkpoint instead of the loop entry."
+  in
+  Arg.(value & opt (some int) None & info [ "checkpoint-every" ] ~docv:"K" ~doc)
+
+let faults_of_flags chaos_seed chaos_rates =
+  match chaos_seed with
+  | None ->
+      if chaos_rates <> None then begin
+        Printf.eprintf "--chaos-rates has no effect without --chaos-seed\n";
+        exit 1
+      end;
+      Emma.Faults.none
+  | Some seed -> (
+      match chaos_rates with
+      | None -> Emma.Faults.seeded seed
+      | Some s -> (
+          match Emma.Faults.rates_of_string s with
+          | Ok rates -> Emma.Faults.seeded ~rates seed
+          | Error m ->
+              Printf.eprintf "%s\n" m;
+              exit 1))
+
 let run_cmd =
-  let run name opts engine scale dop domains tables_dir trace_file ops_trace =
+  let run name opts engine scale dop domains tables_dir trace_file ops_trace chaos_seed
+      chaos_rates checkpoint_every =
     with_entry name (fun e ->
         Emma_util.Pool.set_default_domains domains;
         (* Install the tracer before compiling so the compile-phase spans
@@ -149,8 +193,10 @@ let run_cmd =
         let ctx = Emma.Eval.create_ctx () in
         List.iter (fun (n, rows) -> Emma.Eval.register_table ctx n rows)
           (load_tables e tables_dir);
+        let faults = faults_of_flags chaos_seed chaos_rates in
         let eng =
-          Emma.Engine.create ~timeout_s:3600.0 ~trace:tracer ~cluster ~profile ctx
+          Emma.Engine.create ~timeout_s:3600.0 ~faults ?checkpoint_every ~trace:tracer
+            ~cluster ~profile ctx
         in
         let print_ops_trace () =
           if ops_trace then begin
@@ -204,7 +250,8 @@ let run_cmd =
                  and partition-task spans (open in chrome://tracing or ui.perfetto.dev).")
       $ Arg.(
           value & flag
-          & info [ "ops-trace" ] ~doc:"Print the per-operator execution trace."))
+          & info [ "ops-trace" ] ~doc:"Print the per-operator execution trace.")
+      $ chaos_seed_term $ chaos_rates_term $ checkpoint_term)
 
 (* ---- explain ---- *)
 

@@ -11,6 +11,7 @@ module Pipeline = Emma_compiler.Pipeline
 module Cluster = Emma_engine.Cluster
 module Metrics = Emma_engine.Metrics
 module Engine = Emma_engine.Exec
+module Faults = Emma_engine.Faults
 module Pool = Emma_util.Pool
 module Trace = Emma_util.Trace
 module Json = Emma_util.Json
@@ -56,19 +57,19 @@ let run_native algo ~tables =
   let value = Eval.eval_program ctx algo.source in
   (value, ctx)
 
-let run_on ?pool ?trace rt algo ~tables =
+let run_on ?faults ?checkpoint_every ?pool ?trace rt algo ~tables =
   let ctx = make_ctx tables in
   let engine =
-    Engine.create ?timeout_s:rt.timeout_s ?pool ?trace ~cluster:rt.cluster
-      ~profile:rt.profile ctx
+    Engine.create ?timeout_s:rt.timeout_s ?faults ?checkpoint_every ?pool ?trace
+      ~cluster:rt.cluster ~profile:rt.profile ctx
   in
   match Engine.run engine algo.compiled with
   | value -> Finished { value; metrics = Engine.metrics engine; ctx }
   | exception Engine.Engine_failure reason -> Failed { reason; metrics = Engine.metrics engine }
   | exception Engine.Engine_timeout at_s -> Timed_out { at_s; metrics = Engine.metrics engine }
 
-let run_on_exn ?pool ?trace rt algo ~tables =
-  match run_on ?pool ?trace rt algo ~tables with
+let run_on_exn ?faults ?checkpoint_every ?pool ?trace rt algo ~tables =
+  match run_on ?faults ?checkpoint_every ?pool ?trace rt algo ~tables with
   | Finished r -> r
   | Failed { reason; _ } -> failwith ("engine failure: " ^ reason)
   | Timed_out { at_s; _ } -> failwith (Printf.sprintf "engine timeout at %.0f s" at_s)

@@ -29,6 +29,7 @@ module Pipeline = Emma_compiler.Pipeline
 module Cluster = Emma_engine.Cluster
 module Metrics = Emma_engine.Metrics
 module Engine = Emma_engine.Exec
+module Faults = Emma_engine.Faults
 module Pool = Emma_util.Pool
 module Trace = Emma_util.Trace
 module Json = Emma_util.Json
@@ -70,6 +71,8 @@ val run_native : algorithm -> tables:(string * Value.t list) list -> Value.t * E
     DataBag — the semantic reference. *)
 
 val run_on :
+  ?faults:Faults.t ->
+  ?checkpoint_every:int ->
   ?pool:Pool.t ->
   ?trace:Trace.t ->
   runtime ->
@@ -81,9 +84,17 @@ val run_on :
     {!Pool.default}); it affects only wall-clock time, never results or
     cost-model metrics. [trace] (default {!Trace.global}) receives
     job/stage/partition spans — pure observation, never consulted by the
-    cost model. *)
+    cost model.
+
+    [faults] (default {!Faults.none}) is a deterministic chaos plan the
+    engine recovers from — retries, lineage recomputation, speculation,
+    blacklisting — without changing results; [checkpoint_every] snapshots
+    driver-loop state every [k] iterations so injected loop losses
+    restart from the last checkpoint. See {!Engine.create}. *)
 
 val run_on_exn :
+  ?faults:Faults.t ->
+  ?checkpoint_every:int ->
   ?pool:Pool.t ->
   ?trace:Trace.t ->
   runtime ->

@@ -1,5 +1,22 @@
 type join_strategy = Jit | Force_broadcast | Force_repartition
 
+type recovery = {
+  max_task_attempts : int;
+  retry_backoff_s : float;
+  blacklist_after : int;
+  speculate : bool;
+  max_loop_restarts : int;
+}
+
+let default_recovery =
+  {
+    max_task_attempts = 4;
+    retry_backoff_s = 0.5;
+    blacklist_after = 3;
+    speculate = true;
+    max_loop_restarts = 3;
+  }
+
 type t = {
   nodes : int;
   slots_per_node : int;
@@ -14,6 +31,7 @@ type t = {
   group_overhead : float;
   table_scales : (string * float) list;
   join_strategy : join_strategy;
+  recovery : recovery;
 }
 
 let dop c = c.nodes * c.slots_per_node
@@ -39,6 +57,7 @@ let paper_cluster ?(dop = 320) ?(data_scale = 1.0) ?(table_scales = []) () =
     group_overhead = 4.0;
     table_scales;
     join_strategy = Jit;
+    recovery = default_recovery;
   }
 
 let laptop () =
@@ -56,6 +75,7 @@ let laptop () =
     group_overhead = 4.0;
     table_scales = [];
     join_strategy = Jit;
+    recovery = default_recovery;
   }
 
 type profile = {

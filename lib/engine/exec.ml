@@ -12,6 +12,21 @@ exception Engine_timeout of float
 
 type location = Mem | Dfs
 
+(* Mutable chaos bookkeeping. Sequence counters number the injection
+   points in coordinator execution order — the same order at any domain
+   count, which is what makes injection domain-invariant. *)
+type chaos = {
+  mutable barrier_seq : int;  (* par_run barriers (task + executor faults) *)
+  mutable cpu_stage_seq : int;  (* charge_local_cpu calls (stragglers) *)
+  mutable shuffle_seq : int;  (* shuffles (fetch failures) *)
+  mutable boundary_seq : int;  (* driver-loop iteration boundaries *)
+  mutable loss_epoch : int;
+      (* bumped on every executor loss: memory-cached results materialized
+         in an older epoch are gone on their next use *)
+  node_failures : int array;  (* injected task failures per node *)
+  blacklisted : bool array;
+}
+
 type t = {
   cluster : Cluster.t;
   profile : Cluster.profile;
@@ -28,10 +43,16 @@ type t = {
       (* inside the second or later iteration of a driver loop on an
          engine with native iteration support: job submissions reuse the
          deployed dataflow and pay a reduced overhead *)
-  cache_loss_at : int list;
-      (* fault injection: 1-based cache-hit indices at which the cached
-         result is "lost" (executor failure) and must be transparently
-         recovered through its lineage *)
+  faults : Faults.t;
+      (* deterministic fault plan: decides task failures, executor losses,
+         fetch failures, stragglers and loop losses at the injection points
+         numbered by [chaos]. The legacy [?cache_loss_at] argument is
+         folded in as scripted [Cache_loss] events. *)
+  chaos : chaos;
+  checkpoint_every : int option;
+      (* checkpoint driver-loop state every k iterations, so an injected
+         loop loss restarts from the last checkpoint instead of iteration
+         0 *)
   mutable cache_hit_counter : int;
   mutable trace : trace_event list;
       (* chronological record of executed operators, most recent first *)
@@ -61,6 +82,9 @@ and handle = {
       (* compiled with a Cache root: materialize on first use, like
          Spark's lazy .cache() *)
   mutable h_mat : (Pdata.t * location) option;
+  mutable h_epoch : int;
+      (* [chaos.loss_epoch] at materialization time: a memory-resident
+         copy from an older epoch was on a node that has since died *)
   mutable h_collected : (Value.t list * float * float) option;
       (* once a bag has been collected, the driver owns the value: further
          driver-side uses (e.g. re-broadcasting it next iteration) do not
@@ -80,7 +104,13 @@ and env = (string * dval) list
 
 type out = Obag of Pdata.t | Oscalar of Value.t | Ostateful of state_handle
 
-let create ?timeout_s ?(cache_loss_at = []) ?pool ?trace ~cluster ~profile eval_ctx =
+let create ?timeout_s ?(cache_loss_at = []) ?(faults = Faults.none) ?checkpoint_every
+    ?pool ?trace ~cluster ~profile eval_ctx =
+  let faults =
+    (* deprecated [?cache_loss_at] folds into the fault plan *)
+    if cache_loss_at = [] then faults
+    else Faults.add_events faults (List.map (fun k -> Faults.Cache_loss k) cache_loss_at)
+  in
   { cluster;
     profile;
     metrics = Metrics.create ();
@@ -89,7 +119,17 @@ let create ?timeout_s ?(cache_loss_at = []) ?pool ?trace ~cluster ~profile eval_
     timeout_s;
     job_depth = 0;
     iteration_rerun = false;
-    cache_loss_at;
+    faults;
+    chaos =
+      { barrier_seq = 0;
+        cpu_stage_seq = 0;
+        shuffle_seq = 0;
+        boundary_seq = 0;
+        loss_epoch = 0;
+        node_failures = Array.make (max 1 cluster.Cluster.nodes) 0;
+        blacklisted = Array.make (max 1 cluster.Cluster.nodes) false };
+    checkpoint_every =
+      (match checkpoint_every with Some k when k >= 1 -> Some k | _ -> None);
     cache_hit_counter = 0;
     trace = [];
     tracer = (match trace with Some tr -> tr | None -> Trace.global ()) }
@@ -127,6 +167,162 @@ let charge_stage t =
 let list_bytes vs =
   List.fold_left (fun acc v -> acc +. float_of_int (Value.byte_size v)) 0.0 vs
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection (chaos)                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* All injection decisions are made HERE, on the coordinator, before any
+   partition work is dispatched — never inside worker tasks. Together with
+   the pure keyed draws in [Faults] this is what makes a fault plan
+   reproducible and domain-count invariant: the same plan injects the same
+   failures and charges the same recovery costs whether partitions run on
+   1 domain or 16. Recovery time flows through [charge], so a configured
+   [timeout_s] fires mid-recovery exactly like it does mid-computation. *)
+
+let chaos_active t = not (Faults.is_none t.faults)
+let recovery t = t.cluster.Cluster.recovery
+
+let recovery_instant t name args =
+  if Trace.enabled t.tracer then Trace.instant t.tracer ~cat:"recovery" ~args name
+
+(* Task-attempt failures and executor loss, decided at every operator
+   barrier. Attempt [a] of partition [part] is placed on node
+   [(part + a) mod nodes]; once a node is blacklisted the scheduler stops
+   placing attempts there, so its injected failures never materialize —
+   that avoidance is the payoff of blacklisting. *)
+let inject_barrier_faults t n =
+  if chaos_active t && n > 0 then begin
+    t.chaos.barrier_seq <- t.chaos.barrier_seq + 1;
+    let barrier = t.chaos.barrier_seq in
+    let rc = recovery t in
+    let nodes = Array.length t.chaos.node_failures in
+    (* Executor loss: a node dies at this barrier. The epoch bump
+       invalidates memory-cached partitions materialized before the loss
+       (recovered through lineage on their next use; DFS copies survive),
+       and the node's in-flight tasks of this barrier fail once and are
+       rescheduled elsewhere. *)
+    (match Faults.executor_loss t.faults ~barrier ~nodes with
+    | None -> ()
+    | Some node ->
+        t.metrics.Metrics.executor_losses <- t.metrics.Metrics.executor_losses + 1;
+        t.chaos.loss_epoch <- t.chaos.loss_epoch + 1;
+        let inflight = ref 0 in
+        for part = 0 to n - 1 do
+          if part mod nodes = node then incr inflight
+        done;
+        if !inflight > 0 then begin
+          t.metrics.Metrics.retries <- t.metrics.Metrics.retries + !inflight;
+          charge t
+            (rc.Cluster.retry_backoff_s
+            +. (float_of_int !inflight *. t.profile.Cluster.sched_linear_s))
+        end;
+        recovery_instant t "executor_loss"
+          [ ("barrier", Trace.A_int barrier);
+            ("node", Trace.A_int node);
+            ("inflight", Trace.A_int !inflight) ]);
+    (* Task-attempt failures: each failed attempt is retried after an
+       exponential backoff; repeated failures blacklist the node. Seeded
+       plans are capped below the attempt bound (the scheduler eventually
+       finds a healthy node), so only scripted plans can fail the job. *)
+    for part = 0 to n - 1 do
+      let injected =
+        Faults.task_failures t.faults ~barrier ~part ~cap:(rc.Cluster.max_task_attempts - 1)
+      in
+      if injected > 0 then begin
+        let real = ref 0 in
+        for a = 0 to injected - 1 do
+          let node = (part + a) mod nodes in
+          if not t.chaos.blacklisted.(node) then begin
+            incr real;
+            t.metrics.Metrics.retries <- t.metrics.Metrics.retries + 1;
+            charge t
+              ((rc.Cluster.retry_backoff_s *. (2.0 ** float_of_int (!real - 1)))
+              +. t.profile.Cluster.sched_linear_s);
+            t.chaos.node_failures.(node) <- t.chaos.node_failures.(node) + 1;
+            if t.chaos.node_failures.(node) = rc.Cluster.blacklist_after then begin
+              t.chaos.blacklisted.(node) <- true;
+              t.metrics.Metrics.blacklisted_nodes <-
+                t.metrics.Metrics.blacklisted_nodes + 1;
+              recovery_instant t "blacklist" [ ("node", Trace.A_int node) ]
+            end
+          end
+        done;
+        if !real > 0 then
+          recovery_instant t "task_retries"
+            [ ("barrier", Trace.A_int barrier);
+              ("partition", Trace.A_int part);
+              ("attempts", Trace.A_int !real) ];
+        if !real >= rc.Cluster.max_task_attempts then
+          raise
+            (Engine_failure
+               (Printf.sprintf "task for partition %d failed %d times (max %d attempts)"
+                  part !real rc.Cluster.max_task_attempts))
+      end
+    done
+  end
+
+(* Stragglers: a slot runs its task at [slowdown]×. The barrier waits for
+   the slowest task, so the stage grows by (eff − 1) × the normal task
+   time, where eff is the worst effective slowdown across the stage's
+   partitions. With speculation a copy launches once the normal task time
+   has elapsed and runs at normal speed, capping the effective slowdown at
+   2× — the first finisher wins whenever the original is slower than
+   that. *)
+let inject_stragglers t base nparts =
+  if chaos_active t && nparts > 0 then begin
+    t.chaos.cpu_stage_seq <- t.chaos.cpu_stage_seq + 1;
+    let stage = t.chaos.cpu_stage_seq in
+    let rc = recovery t in
+    let worst = ref 1.0 in
+    for part = 0 to nparts - 1 do
+      match Faults.straggler t.faults ~stage ~part with
+      | None -> ()
+      | Some slow ->
+          let eff =
+            if rc.Cluster.speculate then begin
+              t.metrics.Metrics.speculative_launches <-
+                t.metrics.Metrics.speculative_launches + 1;
+              if slow > 2.0 then
+                t.metrics.Metrics.speculative_wins <-
+                  t.metrics.Metrics.speculative_wins + 1;
+              Float.min slow 2.0
+            end
+            else slow
+          in
+          if eff > !worst then worst := eff;
+          recovery_instant t "straggler"
+            [ ("stage", Trace.A_int stage);
+              ("partition", Trace.A_int part);
+              ("slowdown", Trace.A_float slow);
+              ("effective", Trace.A_float eff) ]
+    done;
+    if !worst > 1.0 then charge t ((!worst -. 1.0) *. base)
+  end
+
+(* Shuffle-fetch failures: a reducer loses one mapper's output chunk and
+   re-fetches it after a backoff. One chunk is roughly
+   bytes / (mappers × reducers) of the shuffled volume. *)
+let inject_fetch_faults t ~bytes ~nparts =
+  if chaos_active t && nparts > 0 then begin
+    t.chaos.shuffle_seq <- t.chaos.shuffle_seq + 1;
+    let shuffle = t.chaos.shuffle_seq in
+    let rc = recovery t in
+    let chunk = bytes /. float_of_int (nparts * nparts) in
+    for part = 0 to nparts - 1 do
+      let k = Faults.fetch_failures t.faults ~shuffle ~part in
+      if k > 0 then begin
+        t.metrics.Metrics.fetch_failures <- t.metrics.Metrics.fetch_failures + k;
+        charge t
+          (float_of_int k
+          *. (rc.Cluster.retry_backoff_s +. (chunk /. t.cluster.Cluster.net_bw)));
+        recovery_instant t "fetch_retry"
+          [ ("shuffle", Trace.A_int shuffle);
+            ("reducer", Trace.A_int part);
+            ("times", Trace.A_int k) ]
+      end
+    done
+  end
+
 (* CPU time for narrow work: partitions run in parallel, one slot each.
    The charge is the average partition cost, floored by the cost of the
    single largest record: physical sampling noise in partition placement
@@ -147,7 +343,11 @@ let charge_local_cpu t (pd : Pdata.t) =
         List.fold_left (fun acc v -> max acc (float_of_int (Value.byte_size v))) acc part)
       0.0 pd.Pdata.parts
   in
-  charge t (Float.max avg (cost_of ~recs:pd.Pdata.rmult ~bytes:(largest_record *. pd.Pdata.bmult)))
+  let base =
+    Float.max avg (cost_of ~recs:pd.Pdata.rmult ~bytes:(largest_record *. pd.Pdata.bmult))
+  in
+  charge t base;
+  inject_stragglers t base (Pdata.nparts pd)
 
 (* Data-motion counter samples: emitted AFTER the metric is updated so the
    Chrome counter track plots the running total. Pure observation — the
@@ -241,6 +441,10 @@ let bump_udf t = add_udf_count t 1
    and every other cost field are bit-identical whatever the domain count.
    Exceptions surface deterministically (lowest partition index first). *)
 let par_run t n (f : int -> 'a) : 'a array =
+  (* Chaos first, before the single-domain shortcut below: injected
+     barrier faults must be drawn for every barrier whatever the pool
+     size, or fault plans would stop being domain-count invariant. *)
+  inject_barrier_faults t n;
   (* Partition-task spans run on the emitting worker domain: the span's
      tid IS the domain id, and the args repeat it next to the partition
      index. The wrapper only observes — never counts or charges. *)
@@ -343,12 +547,34 @@ and materialize t (h : handle) : Pdata.t =
   match h.h_mat with
   | Some (pd, loc) ->
       t.cache_hit_counter <- t.cache_hit_counter + 1;
-      if List.mem t.cache_hit_counter t.cache_loss_at then begin
+      let lost =
+        (* scripted loss at this hit, or — for memory-resident copies — an
+           executor that died since materialization took its partitions
+           with it (DFS-backed copies survive node loss) *)
+        Faults.cache_loss t.faults ~hit:t.cache_hit_counter
+        || (h.h_cache = Some Mem && loc = Mem && h.h_epoch < t.chaos.loss_epoch)
+      in
+      (* [h_cache = Some Mem] guard: eagerly-pinned results (stateful
+         updates, snapshotted state reads) also live under [Mem] but must
+         run exactly once — losing them to an epoch bump would re-run
+         their side effects and change results. Only true caches, which
+         are recomputable by construction, are subject to executor loss. *)
+      if lost then begin
         (* injected executor failure: the cached copy is gone; recover it
            transparently through the lineage (the R in RDD) *)
         t.metrics.Metrics.cache_losses <- t.metrics.Metrics.cache_losses + 1;
         h.h_mat <- None;
-        materialize t h
+        let rebuild () =
+          let pd' = materialize t h in
+          t.metrics.Metrics.recomputed_partitions <-
+            t.metrics.Metrics.recomputed_partitions + Pdata.nparts pd';
+          pd'
+        in
+        if Trace.enabled t.tracer then
+          Trace.span t.tracer ~cat:"recovery" "recompute_lost_cache"
+            ~args:[ ("hit", Trace.A_int t.cache_hit_counter) ]
+            rebuild
+        else rebuild ()
       end
       else begin
         t.metrics.Metrics.cache_hits <- t.metrics.Metrics.cache_hits + 1;
@@ -362,8 +588,11 @@ and materialize t (h : handle) : Pdata.t =
           (match h.h_cache with
           | Some Dfs ->
               charge_dfs_write t (Pdata.logical_bytes pd);
+              h.h_epoch <- t.chaos.loss_epoch;
               h.h_mat <- Some (pd, Dfs)
-          | Some Mem -> h.h_mat <- Some (pd, Mem)
+          | Some Mem ->
+              h.h_epoch <- t.chaos.loss_epoch;
+              h.h_mat <- Some (pd, Mem)
           | None -> ());
           pd
       | Oscalar _ | Ostateful _ -> raise (Engine_failure "expected a bag-valued dataflow")
@@ -770,6 +999,7 @@ and shuffle_by t key keyfn (pd : Pdata.t) : Pdata.t =
   else begin
     charge_shuffle t (Pdata.logical_bytes pd);
     let nparts = max 1 (dop t) in
+    inject_fetch_faults t ~bytes:(Pdata.logical_bytes pd) ~nparts;
     let routed =
       par_run t (Pdata.nparts pd) (fun i ->
           List.map
@@ -852,6 +1082,7 @@ and exec_agg_by t key keyfn ~empty ~single ~union (pd : Pdata.t) : out =
       combined
     else begin
       charge_shuffle t (Pdata.logical_bytes combined);
+      inject_fetch_faults t ~bytes:(Pdata.logical_bytes combined) ~nparts:(max 1 (dop t));
       Pdata.repartition ~nparts:(dop t) ~key:pair_key (fun p -> Value.proj p 0) combined
     end
   in
@@ -1084,7 +1315,14 @@ let force_plan t (env : (string * dval ref) list) (p : Plan.t) : dval =
           Some (if t.profile.Cluster.memory_cache then Mem else Dfs)
         else None
       in
-      let h = { h_plan = p; h_env = snap; h_cache = cache_loc; h_mat = None; h_collected = None } in
+      let h =
+        { h_plan = p;
+          h_env = snap;
+          h_cache = cache_loc;
+          h_mat = None;
+          h_epoch = 0;
+          h_collected = None }
+      in
       let needs_eager =
         Plan.fold_plan
           (fun acc n ->
@@ -1108,6 +1346,7 @@ let force_plan t (env : (string * dval ref) list) (p : Plan.t) : dval =
           | Obag pd -> pd
           | _ -> raise (Engine_failure "expected a bag-valued dataflow")
         in
+        h.h_epoch <- t.chaos.loss_epoch;
         h.h_mat <- Some (pd, Mem)
       end;
       Dbag h
@@ -1148,6 +1387,59 @@ let as_bool = function
   | Dscalar (Eval.V (Value.Bool b)) -> b
   | _ -> raise (Engine_failure "expected a boolean driver value")
 
+(* ------------------------------------------------------------------ *)
+(* Loop checkpointing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Variables assigned anywhere in a statement block — together with the
+   in-place-mutated stateful bags in scope, this is the driver-loop state
+   a checkpoint must capture. *)
+let rec assigned_vars acc stmts =
+  List.fold_left
+    (fun acc -> function
+      | Cprog.CAssign (x, _) -> Strset.add x acc
+      | Cprog.CWhile (_, b) -> assigned_vars acc b
+      | Cprog.CIf (_, th, el) -> assigned_vars (assigned_vars acc th) el
+      | Cprog.CLet _ | Cprog.CVar _ | Cprog.CWrite _ -> acc)
+    acc stmts
+
+(* Deep copy of a driver value, detached from every mutable cell the live
+   value can reach: handles get fresh memo fields, stateful bags fresh
+   hash tables with fresh refs. Applied both when a checkpoint is taken
+   and when it is restored, so one checkpoint survives any number of
+   restores. *)
+let copy_dval = function
+  | Dscalar rv -> Dscalar rv
+  | Dbag h -> Dbag { h with h_mat = h.h_mat }
+  | Dstateful sh ->
+      Dstateful
+        { sh with
+          s_parts =
+            Array.map
+              (fun tbl ->
+                let c = Hashtbl.create (max 16 (Hashtbl.length tbl)) in
+                Hashtbl.iter (fun k r -> Hashtbl.add c k (ref !r)) tbl;
+                c)
+              sh.s_parts }
+
+(* Logical size of a driver value, for checkpoint accounting. Unforced
+   bags checkpoint their lineage (a plan), which is free. *)
+let dval_bytes = function
+  | Dscalar (Eval.V v) -> float_of_int (Value.byte_size v)
+  | Dscalar (Eval.Clo _ | Eval.St _) -> 0.0
+  | Dbag h -> begin
+      match (h.h_mat, h.h_collected) with
+      | Some (pd, _), _ -> Pdata.logical_bytes pd
+      | None, Some (_, lbytes, _) -> lbytes
+      | None, None -> 0.0
+    end
+  | Dstateful sh ->
+      sh.s_bmult
+      *. Array.fold_left
+           (fun acc tbl ->
+             Hashtbl.fold (fun _ r acc -> acc +. float_of_int (Value.byte_size !r)) tbl acc)
+           0.0 sh.s_parts
+
 let run t (prog : Cprog.t) : Value.t =
   let wall_start = Unix.gettimeofday () in
   let rec exec_block env stmts = List.fold_left exec_stmt env stmts
@@ -1166,15 +1458,85 @@ let run t (prog : Cprog.t) : Value.t =
            once and re-driven through feedback edges: iterations after the
            first pay a reduced submission overhead. *)
         let saved = t.iteration_rerun in
-        let rec loop first =
+        (* Loop state for checkpointing: every cell the body assigns plus
+           every stateful bag in scope (mutated in place by the stateful
+           update operators). An injected loop loss restores the last
+           checkpoint — or the free loop-entry snapshot when checkpointing
+           is off — and replays iterations from there; the replay is
+           deterministic, so the final result is bit-identical to the
+           fault-free run. *)
+        let targets = assigned_vars Strset.empty body in
+        let state_cells =
+          List.filter
+            (fun (x, cell) ->
+              Strset.mem x targets
+              || (match !cell with Dstateful _ -> true | _ -> false))
+            env
+        in
+        let snap () = List.map (fun (x, cell) -> (x, copy_dval !cell)) state_cells in
+        let state_bytes st = List.fold_left (fun acc (_, d) -> acc +. dval_bytes d) 0.0 st in
+        let restore st =
+          List.iter
+            (fun (x, d) ->
+              match List.assoc_opt x env with
+              | Some cell -> cell := copy_dval d
+              | None -> ())
+            st
+        in
+        let rc = recovery t in
+        let dfs_s bytes =
+          bytes /. (float_of_int t.cluster.Cluster.nodes *. t.cluster.Cluster.disk_bw)
+        in
+        (* (state, completed iterations at snapshot, lives on DFS) *)
+        let ckpt = ref (snap (), 0, false) in
+        let restarts = ref 0 in
+        let rec loop iter =
           if as_bool (exec_rhs t env c) then begin
-            if (not first) && t.profile.Cluster.native_iterations then
+            if iter > 0 && t.profile.Cluster.native_iterations then
               t.iteration_rerun <- true;
             ignore (exec_block env body);
-            loop false
+            let iter = iter + 1 in
+            (match t.checkpoint_every with
+            | Some k when iter mod k = 0 ->
+                let st = snap () in
+                let bytes = state_bytes st in
+                t.metrics.Metrics.checkpoints <- t.metrics.Metrics.checkpoints + 1;
+                t.metrics.Metrics.checkpoint_bytes <-
+                  t.metrics.Metrics.checkpoint_bytes +. bytes;
+                (* priced like a DFS write, but counted only in the
+                   checkpoint channel so the plain I/O metrics stay
+                   untouched by the chaos subsystem *)
+                charge t (dfs_s bytes);
+                recovery_instant t "checkpoint"
+                  [ ("iteration", Trace.A_int iter); ("bytes", Trace.A_float bytes) ];
+                ckpt := (st, iter, true)
+            | _ -> ());
+            if chaos_active t then begin
+              t.chaos.boundary_seq <- t.chaos.boundary_seq + 1;
+              if
+                Faults.loop_loss t.faults ~boundary:t.chaos.boundary_seq
+                && !restarts < rc.Cluster.max_loop_restarts
+              then begin
+                (* driver loses its loop state: roll back to the last
+                   checkpoint and replay. The restart cap guarantees
+                   termination even at loss rate 1.0. *)
+                incr restarts;
+                let st, at_iter, on_dfs = !ckpt in
+                t.metrics.Metrics.loop_restores <- t.metrics.Metrics.loop_restores + 1;
+                if on_dfs then charge t (dfs_s (state_bytes st));
+                restore st;
+                recovery_instant t "loop_restore"
+                  [ ("boundary", Trace.A_int t.chaos.boundary_seq);
+                    ("from_iteration", Trace.A_int at_iter);
+                    ("lost_iterations", Trace.A_int (iter - at_iter)) ];
+                loop at_iter
+              end
+              else loop iter
+            end
+            else loop iter
           end
         in
-        loop true;
+        loop 0;
         t.iteration_rerun <- saved;
         env
     | Cprog.CIf (c, th, el) ->

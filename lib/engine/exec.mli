@@ -41,6 +41,8 @@ type t
 val create :
   ?timeout_s:float ->
   ?cache_loss_at:int list ->
+  ?faults:Faults.t ->
+  ?checkpoint_every:int ->
   ?pool:Emma_util.Pool.t ->
   ?trace:Emma_util.Trace.t ->
   cluster:Cluster.t ->
@@ -49,9 +51,28 @@ val create :
   t
 (** The [Eval.ctx] provides the named input tables and receives written
     sinks, so engine runs and native runs are directly comparable.
-    [cache_loss_at] injects executor failures: at each listed (1-based)
-    cache-hit index the cached result is lost and silently recovered by
-    re-running its lineage — results must be unaffected, only costs.
+
+    [faults] is a deterministic fault plan (default {!Faults.none}): it
+    injects task-attempt failures, executor losses, shuffle-fetch
+    failures, stragglers and driver-loop losses at seeded or scripted
+    points, which the engine answers with retries, lineage recomputation,
+    speculative copies, blacklisting and checkpoint restores (knobs in
+    {!Cluster.recovery}). Results are bit-identical to the fault-free
+    run; only the simulated clock and the recovery counters in
+    {!Metrics} change. Recovery time is charged through the same clock
+    the timeout watches, so [timeout_s] fires mid-recovery too.
+
+    [checkpoint_every] (default off) checkpoints driver-loop state —
+    assigned loop variables and stateful bags — every [k] completed
+    iterations, priced as DFS I/O and counted in
+    [checkpoints]/[checkpoint_bytes]; an injected loop loss then restarts
+    from the last checkpoint instead of the loop entry.
+
+    [cache_loss_at] is the deprecated precursor of [faults]: at each
+    listed (1-based) cache-hit index the cached result is lost and
+    silently recovered by re-running its lineage — results must be
+    unaffected, only costs. It folds into the plan as scripted
+    {!Faults.Cache_loss} events.
 
     [pool] is the domain pool the multicore backend runs per-partition
     operator work on (default: {!Emma_util.Pool.default}). Shuffles, the

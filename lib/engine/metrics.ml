@@ -16,6 +16,16 @@ type t = {
   mutable wall_time_s : float;
   mutable par_stages : int;
   mutable par_tasks : int;
+  mutable retries : int;
+  mutable fetch_failures : int;
+  mutable executor_losses : int;
+  mutable blacklisted_nodes : int;
+  mutable recomputed_partitions : int;
+  mutable speculative_launches : int;
+  mutable speculative_wins : int;
+  mutable checkpoints : int;
+  mutable checkpoint_bytes : float;
+  mutable loop_restores : int;
 }
 
 let create () =
@@ -37,6 +47,16 @@ let create () =
     wall_time_s = 0.0;
     par_stages = 0;
     par_tasks = 0;
+    retries = 0;
+    fetch_failures = 0;
+    executor_losses = 0;
+    blacklisted_nodes = 0;
+    recomputed_partitions = 0;
+    speculative_launches = 0;
+    speculative_wins = 0;
+    checkpoints = 0;
+    checkpoint_bytes = 0.0;
+    loop_restores = 0;
   }
 
 let add_time m s = m.sim_time_s <- m.sim_time_s +. s
@@ -71,6 +91,16 @@ let to_rows m =
     ("wall time", Printf.sprintf "%.6f s" m.wall_time_s);
     ("par stages", string_of_int m.par_stages);
     ("par tasks", string_of_int m.par_tasks);
+    ("retries", string_of_int m.retries);
+    ("fetch failures", string_of_int m.fetch_failures);
+    ("executor losses", string_of_int m.executor_losses);
+    ("blacklisted", string_of_int m.blacklisted_nodes);
+    ("recomputed parts", string_of_int m.recomputed_partitions);
+    ("spec launches", string_of_int m.speculative_launches);
+    ("spec wins", string_of_int m.speculative_wins);
+    ("checkpoints", string_of_int m.checkpoints);
+    ("checkpoint bytes", human_bytes m.checkpoint_bytes);
+    ("loop restores", string_of_int m.loop_restores);
   ]
 
 let pp ppf m =
@@ -100,6 +130,16 @@ let to_json m =
       ("wall_time_s", Json.Float m.wall_time_s);
       ("par_stages", Json.Int m.par_stages);
       ("par_tasks", Json.Int m.par_tasks);
+      ("retries", Json.Int m.retries);
+      ("fetch_failures", Json.Int m.fetch_failures);
+      ("executor_losses", Json.Int m.executor_losses);
+      ("blacklisted_nodes", Json.Int m.blacklisted_nodes);
+      ("recomputed_partitions", Json.Int m.recomputed_partitions);
+      ("speculative_launches", Json.Int m.speculative_launches);
+      ("speculative_wins", Json.Int m.speculative_wins);
+      ("checkpoints", Json.Int m.checkpoints);
+      ("checkpoint_bytes", Json.Float m.checkpoint_bytes);
+      ("loop_restores", Json.Int m.loop_restores);
     ]
 
 let to_json_string m = Json.to_string (to_json m)

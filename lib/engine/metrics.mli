@@ -24,6 +24,22 @@ type t = {
           are bit-identical whether partitions run on 1 domain or many) *)
   mutable par_stages : int;  (** operator barriers executed on the domain pool *)
   mutable par_tasks : int;  (** partition tasks dispatched through the pool *)
+  mutable retries : int;
+      (** failed task attempts injected by the fault plan and re-run
+          (each charged backoff + rescheduling) *)
+  mutable fetch_failures : int;  (** shuffle-fetch chunks lost and re-fetched *)
+  mutable executor_losses : int;  (** node deaths injected at barriers *)
+  mutable blacklisted_nodes : int;  (** nodes blacklisted after repeated failures *)
+  mutable recomputed_partitions : int;
+      (** partitions of lost cached/materialized results rebuilt through
+          lineage re-execution *)
+  mutable speculative_launches : int;  (** speculative copies of straggler tasks *)
+  mutable speculative_wins : int;
+      (** speculative copies that finished before the straggler *)
+  mutable checkpoints : int;  (** loop-state checkpoints written *)
+  mutable checkpoint_bytes : float;  (** logical bytes of loop state checkpointed *)
+  mutable loop_restores : int;
+      (** driver-loop restarts from a checkpoint (or from loop entry) *)
 }
 
 val create : unit -> t

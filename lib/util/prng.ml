@@ -81,3 +81,22 @@ let pick t a =
   a.(int t (Array.length a))
 
 let string t ~len = String.init len (fun _ -> Char.chr (Char.code 'a' + int t 26))
+
+(* Pure keyed draws: no stream state, so the result depends only on (seed,
+   ids) — never on how many draws happened before. The engine's fault
+   injector keys every chaos decision this way, which is what makes
+   injection independent of evaluation order and domain count. *)
+let hash_int64 ~seed ids =
+  List.fold_left
+    (fun z id -> mix64 (Int64.add (Int64.logxor z (Int64.of_int id)) golden_gamma))
+    (mix64 (Int64.of_int seed))
+    ids
+
+let hash_unit ~seed ids =
+  let bits = Int64.shift_right_logical (hash_int64 ~seed ids) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let hash_int ~seed ids bound =
+  if bound <= 0 then invalid_arg "Prng.hash_int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (hash_int64 ~seed ids) 2) in
+  r mod bound

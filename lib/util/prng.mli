@@ -66,3 +66,22 @@ val pick : t -> 'a array -> 'a
 
 val string : t -> len:int -> string
 (** Random lowercase ASCII string of length [len]. *)
+
+(** {2 Pure keyed draws}
+
+    Stateless draws keyed by a seed and an id path. Unlike the stream API
+    above, the result depends only on the key — not on how many draws were
+    made before — so decision points consulted in different orders (or from
+    different domains) still agree. The engine's deterministic fault
+    injector ({!Emma_engine.Faults}) derives every chaos decision this
+    way. *)
+
+val hash_int64 : seed:int -> int list -> int64
+(** SplitMix64 finalizer folded over [(seed, ids)]; a pure function. *)
+
+val hash_unit : seed:int -> int list -> float
+(** Uniform in [0, 1), keyed by [(seed, ids)]. *)
+
+val hash_int : seed:int -> int list -> int -> int
+(** [hash_int ~seed ids bound] draws uniformly from [0, bound), keyed by
+    [(seed, ids)]. Raises [Invalid_argument] if [bound <= 0]. *)

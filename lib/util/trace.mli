@@ -14,7 +14,16 @@
     emission a no-op: instrumented code must behave identically with
     tracing on or off — in particular the engine's cost model charges
     nothing for tracing, so [sim_time_s] and every other cost field are
-    bit-identical either way (property-tested in [test/test_trace.ml]). *)
+    bit-identical either way (property-tested in [test/test_trace.ml]).
+
+    {b Span categories in use.} The engine and compiler emit under a small
+    fixed vocabulary of categories: ["compile"] (optimizer phases),
+    ["job"] (submitted dataflows), ["stage"] (operators and barriers),
+    ["task"] (per-partition worker spans), ["motion"] (byte counters) and
+    ["recovery"] (fault-injection recovery work: task retries, shuffle
+    re-fetches, executor losses, blacklisting, speculative copies, lineage
+    recomputation, loop checkpoints/restores — see
+    {!Emma_engine.Faults}). *)
 
 type attr = A_str of string | A_int of int | A_float of float | A_bool of bool
 

@@ -28,6 +28,16 @@ let sample () =
   m.Metrics.wall_time_s <- 0.1234567;
   m.Metrics.par_stages <- 9;
   m.Metrics.par_tasks <- 2880;
+  m.Metrics.retries <- 7;
+  m.Metrics.fetch_failures <- 3;
+  m.Metrics.executor_losses <- 1;
+  m.Metrics.blacklisted_nodes <- 2;
+  m.Metrics.recomputed_partitions <- 320;
+  m.Metrics.speculative_launches <- 6;
+  m.Metrics.speculative_wins <- 4;
+  m.Metrics.checkpoints <- 5;
+  m.Metrics.checkpoint_bytes <- 4.5e6;
+  m.Metrics.loop_restores <- 2;
   m
 
 let test_to_rows_pinned () =
@@ -42,7 +52,17 @@ let test_to_rows_pinned () =
   check "jobs" "3";
   (* wall time is pinned at %.6f — six fractional digits, dot separator *)
   check "wall time" "0.123457 s";
-  check "par tasks" "2880"
+  check "par tasks" "2880";
+  check "retries" "7";
+  check "fetch failures" "3";
+  check "executor losses" "1";
+  check "blacklisted" "2";
+  check "recomputed parts" "320";
+  check "spec launches" "6";
+  check "spec wins" "4";
+  check "checkpoints" "5";
+  check "checkpoint bytes" "4.50 MB";
+  check "loop restores" "2"
 
 let test_pp_renders_rows () =
   let s = Format.asprintf "%a" Metrics.pp (sample ()) in
@@ -67,7 +87,14 @@ let test_to_json_roundtrip () =
       Alcotest.(check (float 0.0)) "shuffle_bytes" 1.5e9 (num "shuffle_bytes");
       Alcotest.(check (float 0.0)) "jobs" 3.0 (num "jobs");
       Alcotest.(check (float 0.0)) "udf_invocations" 4242.0 (num "udf_invocations");
-      Alcotest.(check (float 1e-6)) "wall_time_s" 0.123457 (num "wall_time_s")
+      Alcotest.(check (float 1e-6)) "wall_time_s" 0.123457 (num "wall_time_s");
+      Alcotest.(check (float 0.0)) "retries" 7.0 (num "retries");
+      Alcotest.(check (float 0.0)) "executor_losses" 1.0 (num "executor_losses");
+      Alcotest.(check (float 0.0)) "recomputed_partitions" 320.0
+        (num "recomputed_partitions");
+      Alcotest.(check (float 0.0)) "speculative_wins" 4.0 (num "speculative_wins");
+      Alcotest.(check (float 1e-6)) "checkpoint_bytes" 4.5e6 (num "checkpoint_bytes");
+      Alcotest.(check (float 0.0)) "loop_restores" 2.0 (num "loop_restores")
 
 let test_json_float_pinned () =
   Alcotest.(check string) "floats render %.6f" "[0.100000,123.456700]"
