@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-parallel explain-golden trace-check chaos-smoke check bench bench-scaleup bench-faults clean
+.PHONY: all build test test-parallel explain-golden trace-check chaos-smoke mem-smoke check bench bench-scaleup bench-faults bench-memory clean
 
 all: build
 
@@ -33,8 +33,14 @@ trace-check:
 chaos-smoke:
 	dune build @chaos-smoke --force
 
-# The full pre-merge flow: build, tier-1 tests on 2 domains, chaos smoke.
-check: build test chaos-smoke
+# TPC-H Q1 and k-means under a tiny per-slot memory budget with spilling
+# on: spill counters must move and results must stay bit-identical.
+mem-smoke:
+	dune build @mem-smoke --force
+
+# The full pre-merge flow: build, tier-1 tests on 2 and 4 domains, chaos
+# smoke, memory smoke.
+check: build test test-parallel chaos-smoke mem-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -46,6 +52,10 @@ bench-scaleup:
 # Chaos & recovery-overhead experiment (fault-rate and checkpoint sweeps).
 bench-faults:
 	dune build @bench-faults --force
+
+# Memory-governance experiment (budget, spill, OOM and eviction sweeps).
+bench-memory:
+	dune exec bench/main.exe -- memory
 
 clean:
 	dune clean

@@ -54,7 +54,8 @@ let scale_rates f =
     fetch_fail = 0.05 *. f;
     straggler = 0.05 *. f;
     straggler_slowdown = 4.0;
-    loop_loss = 0.01 *. f }
+    loop_loss = 0.01 *. f;
+    oom_kill = 0.0 }
 
 let opts = Pipeline.default_opts
 

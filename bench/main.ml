@@ -4,7 +4,7 @@
      dune exec bench/main.exe            runs everything
      dune exec bench/main.exe -- fig4    runs one experiment
                                  (fig4 | table1 | iterative | tpch | fig5 |
-                                  ablation | micro | scaleup | faults)
+                                  ablation | micro | scaleup | faults | memory)
      dune exec bench/main.exe -- --domains 4 tpch
                                          runs partition work on 4 OCaml
                                          domains (results and cost metrics
@@ -20,7 +20,8 @@ let experiments =
     ("crossover", Exp_crossover.run);
     ("micro", Exp_micro.run);
     ("scaleup", Exp_scaleup.run);
-    ("faults", Exp_faults.run) ]
+    ("faults", Exp_faults.run);
+    ("memory", Exp_memory.run) ]
 
 let () =
   let trace_file = ref None in

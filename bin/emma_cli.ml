@@ -133,8 +133,9 @@ let chaos_seed_term =
 let chaos_rates_term =
   let doc =
     "Per-channel injection rates for $(b,--chaos-seed), e.g. \
-     $(b,task=0.1,exec=0.02,fetch=0.05,straggle=0.1,slow=4,loop=0.02). Unlisted \
-     keys stay 0; without this flag a moderate default mix is used."
+     $(b,task=0.1,exec=0.02,fetch=0.05,straggle=0.1,slow=4,loop=0.02,oom=0.02). \
+     Unlisted keys stay 0; without this flag a moderate default mix is used. \
+     Probabilities outside [0, 1] (or $(b,slow) < 1) are rejected."
   in
   Arg.(value & opt (some string) None & info [ "chaos-rates" ] ~docv:"RATES" ~doc)
 
@@ -142,17 +143,74 @@ let checkpoint_term =
   let doc =
     "Checkpoint driver-loop state (loop variables and stateful bags) every \
      $(docv) iterations, so injected loop losses restart from the last \
-     checkpoint instead of the loop entry."
+     checkpoint instead of the loop entry. Each checkpoint record carries a \
+     CRC32; corrupted records are detected and skipped on restore."
   in
   Arg.(value & opt (some int) None & info [ "checkpoint-every" ] ~docv:"K" ~doc)
+
+let mem_per_slot_term =
+  let doc =
+    "Per-slot memory budget in logical bytes (e.g. $(b,64e6)). Overrides the \
+     cluster's default and turns on memory governance: state-building operators \
+     past the budget spill to disk (with $(b,--spill)) or are OOM-killed and \
+     retried at halved parallelism; cached bags past budget×DOP are LRU-evicted. \
+     Results are identical for any sufficient budget — only simulated time and \
+     the memory counters move."
+  in
+  Arg.(value & opt (some float) None & info [ "mem-per-slot" ] ~docv:"BYTES" ~doc)
+
+let spill_term =
+  let doc =
+    "With $(b,--mem-per-slot): spill overflowing operator state to disk \
+     (priced as DFS I/O) instead of OOM-killing the attempt."
+  in
+  Arg.(value & flag & info [ "spill" ] ~doc)
+
+let max_inflight_term =
+  let doc =
+    "Admission control: at most $(docv) jobs in flight; further submissions \
+     queue for the earliest slot release (counted in jobs_queued/queue_wait_s)."
+  in
+  Arg.(value & opt (some int) None & info [ "max-inflight" ] ~docv:"N" ~doc)
+
+(* Flag validation errors: one actionable line on stderr, exit 2 (the
+   engine's own job-failure exit is also 2; both mean "this invocation
+   cannot succeed as given"). *)
+let usage_fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      Printf.eprintf "emma: %s\n" m;
+      exit 2)
+    fmt
+
+let validate_run_flags ~mem_per_slot ~max_inflight ~checkpoint_every =
+  (match mem_per_slot with
+  | Some b when b <= 0.0 ->
+      usage_fail
+        "--mem-per-slot %g is invalid: the per-slot budget must be a positive \
+         number of logical bytes (try e.g. --mem-per-slot 64e6)"
+        b
+  | _ -> ());
+  (match checkpoint_every with
+  | Some k when k < 1 ->
+      usage_fail
+        "--checkpoint-every %d is invalid: the checkpoint interval must be at \
+         least 1 iteration (omit the flag to disable checkpointing)"
+        k
+  | _ -> ());
+  match max_inflight with
+  | Some k when k < 1 ->
+      usage_fail
+        "--max-inflight %d is invalid: at least 1 job must be admitted (omit \
+         the flag for unbounded admission)"
+        k
+  | _ -> ()
 
 let faults_of_flags chaos_seed chaos_rates =
   match chaos_seed with
   | None ->
-      if chaos_rates <> None then begin
-        Printf.eprintf "--chaos-rates has no effect without --chaos-seed\n";
-        exit 1
-      end;
+      if chaos_rates <> None then
+        usage_fail "--chaos-rates has no effect without --chaos-seed";
       Emma.Faults.none
   | Some seed -> (
       match chaos_rates with
@@ -160,14 +218,13 @@ let faults_of_flags chaos_seed chaos_rates =
       | Some s -> (
           match Emma.Faults.rates_of_string s with
           | Ok rates -> Emma.Faults.seeded ~rates seed
-          | Error m ->
-              Printf.eprintf "%s\n" m;
-              exit 1))
+          | Error m -> usage_fail "%s" m))
 
 let run_cmd =
   let run name opts engine scale dop domains tables_dir trace_file ops_trace chaos_seed
-      chaos_rates checkpoint_every =
+      chaos_rates checkpoint_every mem_per_slot spill max_inflight =
     with_entry name (fun e ->
+        validate_run_flags ~mem_per_slot ~max_inflight ~checkpoint_every;
         Emma_util.Pool.set_default_domains domains;
         (* Install the tracer before compiling so the compile-phase spans
            land in the same file as the execution spans. *)
@@ -181,8 +238,13 @@ let run_cmd =
         in
         let algo = Emma.parallelize ~opts e.Registry.program in
         let cluster =
-          Emma.Cluster.paper_cluster ~dop ~data_scale:scale
-            ~table_scales:e.Registry.table_scales ()
+          let c =
+            Emma.Cluster.paper_cluster ~dop ~data_scale:scale
+              ~table_scales:e.Registry.table_scales ()
+          in
+          match mem_per_slot with
+          | Some b -> Emma.Cluster.with_mem_per_slot c b
+          | None -> c
         in
         let profile =
           match engine with
@@ -195,8 +257,9 @@ let run_cmd =
           (load_tables e tables_dir);
         let faults = faults_of_flags chaos_seed chaos_rates in
         let eng =
-          Emma.Engine.create ~timeout_s:3600.0 ~faults ?checkpoint_every ~trace:tracer
-            ~cluster ~profile ctx
+          Emma.Engine.create ~timeout_s:3600.0 ~faults ?checkpoint_every
+            ?mem_budget:mem_per_slot ~spill ?max_inflight ~trace:tracer ~cluster
+            ~profile ctx
         in
         let print_ops_trace () =
           if ops_trace then begin
@@ -251,7 +314,8 @@ let run_cmd =
       $ Arg.(
           value & flag
           & info [ "ops-trace" ] ~doc:"Print the per-operator execution trace.")
-      $ chaos_seed_term $ chaos_rates_term $ checkpoint_term)
+      $ chaos_seed_term $ chaos_rates_term $ checkpoint_term $ mem_per_slot_term
+      $ spill_term $ max_inflight_term)
 
 (* ---- explain ---- *)
 

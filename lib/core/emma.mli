@@ -73,6 +73,9 @@ val run_native : algorithm -> tables:(string * Value.t list) list -> Value.t * E
 val run_on :
   ?faults:Faults.t ->
   ?checkpoint_every:int ->
+  ?mem_budget:float ->
+  ?spill:bool ->
+  ?max_inflight:int ->
   ?pool:Pool.t ->
   ?trace:Trace.t ->
   runtime ->
@@ -89,12 +92,25 @@ val run_on :
     [faults] (default {!Faults.none}) is a deterministic chaos plan the
     engine recovers from — retries, lineage recomputation, speculation,
     blacklisting — without changing results; [checkpoint_every] snapshots
-    driver-loop state every [k] iterations so injected loop losses
-    restart from the last checkpoint. See {!Engine.create}. *)
+    driver-loop state (CRC-checksummed; corrupted records are skipped on
+    restore) every [k] iterations so injected loop losses restart from
+    the last good checkpoint.
+
+    [mem_budget] (logical bytes per slot) turns on deterministic memory
+    governance: state-building operators past the budget spill to disk
+    ([spill:true]) or are OOM-killed and retried at halved parallelism;
+    [Mem]-cached bags past [mem_budget × dop] are LRU-evicted and
+    rebuilt through lineage. [max_inflight] queues job submissions past
+    the in-flight budget. Results stay bit-identical for any sufficient
+    budget; only [sim_time_s] and the memory counters move. See
+    {!Engine.create}. *)
 
 val run_on_exn :
   ?faults:Faults.t ->
   ?checkpoint_every:int ->
+  ?mem_budget:float ->
+  ?spill:bool ->
+  ?max_inflight:int ->
   ?pool:Pool.t ->
   ?trace:Trace.t ->
   runtime ->

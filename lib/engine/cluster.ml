@@ -35,6 +35,7 @@ type t = {
 }
 
 let dop c = c.nodes * c.slots_per_node
+let with_mem_per_slot c mem = { c with mem_per_slot = mem }
 
 let table_scale c name =
   match List.assoc_opt name c.table_scales with

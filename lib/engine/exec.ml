@@ -6,6 +6,7 @@ module Expr = Emma_lang.Expr
 module Strset = Emma_util.Strset
 module Pool = Emma_util.Pool
 module Trace = Emma_util.Trace
+module Crc32 = Emma_util.Crc32
 
 exception Engine_failure of string
 exception Engine_timeout of float
@@ -20,6 +21,8 @@ type chaos = {
   mutable cpu_stage_seq : int;  (* charge_local_cpu calls (stragglers) *)
   mutable shuffle_seq : int;  (* shuffles (fetch failures) *)
   mutable boundary_seq : int;  (* driver-loop iteration boundaries *)
+  mutable reserve_seq : int;  (* memory reservations (OOM kills) *)
+  mutable ckpt_seq : int;  (* loop checkpoints written (corruption) *)
   mutable loss_epoch : int;
       (* bumped on every executor loss: memory-cached results materialized
          in an older epoch are gone on their next use *)
@@ -45,10 +48,14 @@ type t = {
          deployed dataflow and pay a reduced overhead *)
   faults : Faults.t;
       (* deterministic fault plan: decides task failures, executor losses,
-         fetch failures, stragglers and loop losses at the injection points
-         numbered by [chaos]. The legacy [?cache_loss_at] argument is
-         folded in as scripted [Cache_loss] events. *)
+         fetch failures, stragglers, loop losses, OOM kills and checkpoint
+         corruptions at the injection points numbered by [chaos] *)
   chaos : chaos;
+  memman : Memman.t;
+      (* coordinator-side memory accountant: per-slot budget verdicts for
+         state-building operators, the LRU registry of Mem-cached bags,
+         and the job admission gate. Unbounded by default — pure peak
+         observation *)
   checkpoint_every : int option;
       (* checkpoint driver-loop state every k iterations, so an injected
          loop loss restarts from the last checkpoint instead of iteration
@@ -82,6 +89,9 @@ and handle = {
       (* compiled with a Cache root: materialize on first use, like
          Spark's lazy .cache() *)
   mutable h_mat : (Pdata.t * location) option;
+  mutable h_memid : int option;
+      (* registry id in [Memman] while this handle's Mem-cached copy is
+         admitted; [None] when ungoverned, evicted, or not cached *)
   mutable h_epoch : int;
       (* [chaos.loss_epoch] at materialization time: a memory-resident
          copy from an older epoch was on a node that has since died *)
@@ -104,13 +114,8 @@ and env = (string * dval) list
 
 type out = Obag of Pdata.t | Oscalar of Value.t | Ostateful of state_handle
 
-let create ?timeout_s ?(cache_loss_at = []) ?(faults = Faults.none) ?checkpoint_every
-    ?pool ?trace ~cluster ~profile eval_ctx =
-  let faults =
-    (* deprecated [?cache_loss_at] folds into the fault plan *)
-    if cache_loss_at = [] then faults
-    else Faults.add_events faults (List.map (fun k -> Faults.Cache_loss k) cache_loss_at)
-  in
+let create ?timeout_s ?(faults = Faults.none) ?checkpoint_every ?mem_budget
+    ?(spill = false) ?max_inflight ?pool ?trace ~cluster ~profile eval_ctx =
   { cluster;
     profile;
     metrics = Metrics.create ();
@@ -125,9 +130,14 @@ let create ?timeout_s ?(cache_loss_at = []) ?(faults = Faults.none) ?checkpoint_
         cpu_stage_seq = 0;
         shuffle_seq = 0;
         boundary_seq = 0;
+        reserve_seq = 0;
+        ckpt_seq = 0;
         loss_epoch = 0;
         node_failures = Array.make (max 1 cluster.Cluster.nodes) 0;
         blacklisted = Array.make (max 1 cluster.Cluster.nodes) false };
+    memman =
+      Memman.create ?budget:mem_budget ~spill ?max_inflight
+        ~slots_per_node:cluster.Cluster.slots_per_node ~dop:(Cluster.dop cluster) ();
     checkpoint_every =
       (match checkpoint_every with Some k when k >= 1 -> Some k | _ -> None);
     cache_hit_counter = 0;
@@ -393,15 +403,146 @@ let charge_spill t bytes =
   motion_counter t "spilled_bytes" t.metrics.Metrics.spilled_bytes;
   charge t (2.0 *. bytes /. t.cluster.Cluster.disk_bw)
 
+(* ------------------------------------------------------------------ *)
+(* Memory governance (Memman)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let memory_instant t name args =
+  if Trace.enabled t.tracer then Trace.instant t.tracer ~cat:"memory" ~args name
+
+(* Operator-state overflow written to node-local disk and merged back: two
+   disk passes, like the external hash aggregation / grace join it stands
+   for. Counted ONLY in the dedicated memory channels so the plain I/O
+   metrics (and the profile's own [spilled_bytes]) stay untouched by
+   governance — the same separation the checkpoint channel uses. *)
+let charge_mem_spill t ~slots ~bytes =
+  t.metrics.Metrics.mem_spills <- t.metrics.Metrics.mem_spills + slots;
+  t.metrics.Metrics.mem_spill_bytes <- t.metrics.Metrics.mem_spill_bytes +. bytes;
+  if Trace.enabled t.tracer then
+    Trace.counter t.tracer ~cat:"memory" "mem_spill_bytes"
+      t.metrics.Metrics.mem_spill_bytes;
+  charge t
+    (2.0 *. bytes /. (float_of_int t.cluster.Cluster.nodes *. t.cluster.Cluster.disk_bw))
+
+(* OOM kill-and-retry (spilling disabled): the container supervisor kills
+   the attempt whose state exceeds its budget; the scheduler retries it at
+   halved parallelism, so the surviving slots inherit the dead slots'
+   memory share. Each kill wastes the state-build work ([need] bytes of
+   CPU) plus a doubling backoff; the successful attempt then runs the
+   state-building slots at reduced parallelism, multiplying that work by
+   the lost slot factor. Deterministic: a pure function of [attempts] and
+   [need]. *)
+let oom_kill_retry t ~op ~attempts ~need =
+  let rc = recovery t in
+  let base = need /. t.cluster.Cluster.cpu_bw in
+  for a = 1 to attempts do
+    t.metrics.Metrics.oom_kills <- t.metrics.Metrics.oom_kills + 1;
+    charge t ((rc.Cluster.retry_backoff_s *. (2.0 ** float_of_int (a - 1))) +. base)
+  done;
+  charge t (base *. ((2.0 ** float_of_int attempts) -. 1.0));
+  memory_instant t "oom_kill"
+    [ ("op", Trace.A_str op);
+      ("attempts", Trace.A_int attempts);
+      ("state_bytes", Trace.A_float need) ]
+
+(* Present one state-building operator's per-slot sizes to the accountant
+   and charge whatever degradation it decides. Runs on the coordinator
+   AFTER the state exists (the simulator materializes first, accounts
+   second), so reservations are numbered in execution order — identically
+   at any domain count — and double as the injection points of the chaos
+   [Oom_kill] channel. *)
+let reserve_memory t ~op ~needs =
+  let maxn = Array.fold_left Float.max 0.0 needs in
+  if maxn > 0.0 then begin
+    if maxn > t.metrics.Metrics.mem_peak_bytes then begin
+      t.metrics.Metrics.mem_peak_bytes <- maxn;
+      if Trace.enabled t.tracer then
+        Trace.counter t.tracer ~cat:"memory" "mem_peak_bytes" maxn
+    end;
+    if chaos_active t then begin
+      t.chaos.reserve_seq <- t.chaos.reserve_seq + 1;
+      if Faults.oom_kill t.faults ~reservation:t.chaos.reserve_seq then
+        oom_kill_retry t ~op ~attempts:1 ~need:maxn
+    end;
+    match Memman.reserve t.memman ~needs with
+    | Memman.Fits -> ()
+    | Memman.Spill { slots; bytes } ->
+        memory_instant t "mem_spill"
+          [ ("op", Trace.A_str op);
+            ("slots", Trace.A_int slots);
+            ("bytes", Trace.A_float bytes) ];
+        charge_mem_spill t ~slots ~bytes
+    | Memman.Kill { attempts } -> oom_kill_retry t ~op ~attempts ~need:maxn
+    | Memman.Fatal ->
+        raise
+          (Engine_failure
+             (Printf.sprintf
+                "out of memory: %s state of %.0f MB per slot exceeds the %.0f MB \
+                 budget even at one slot per node (enable spilling or raise the \
+                 budget)"
+                op (maxn /. 1e6)
+                (Memman.budget t.memman /. 1e6)))
+  end
+
+(* Per-slot state sizes of a partitioned intermediate: each partition's
+   physical bytes × the provenance byte multiplier (logical bytes, the
+   budget's unit). *)
+let part_needs (pd : Pdata.t) =
+  Array.map (fun part -> list_bytes part *. pd.Pdata.bmult) pd.Pdata.parts
+
+(* Admit a freshly materialized Mem-cached bag to the LRU registry,
+   evicting least-recently-used cached bags to stay under the cache
+   capacity [budget × dop]. An evicted bag's handle drops its
+   materialization, so the next access recomputes it through lineage —
+   the same recovery path an executor loss takes (dropping memory is
+   free; the recompute is where the cost lands). A bag larger than the
+   whole capacity is not cached at all. No-op when ungoverned. *)
+let register_cached t (h : handle) (pd : Pdata.t) =
+  if Memman.governed t.memman then begin
+    let bytes = Pdata.logical_bytes pd in
+    let adm =
+      Memman.register t.memman ~bytes
+        ~evict:(fun () ->
+          h.h_mat <- None;
+          h.h_memid <- None)
+    in
+    List.iter
+      (fun b ->
+        t.metrics.Metrics.cache_evictions <- t.metrics.Metrics.cache_evictions + 1;
+        t.metrics.Metrics.evicted_bytes <- t.metrics.Metrics.evicted_bytes +. b;
+        memory_instant t "cache_evict" [ ("bytes", Trace.A_float b) ])
+      adm.Memman.evicted;
+    match adm.Memman.admitted with
+    | Some id -> h.h_memid <- Some id
+    | None ->
+        h.h_mat <- None;
+        h.h_memid <- None;
+        memory_instant t "cache_admission_denied" [ ("bytes", Trace.A_float bytes) ]
+  end
+
 let in_job t f =
   if t.job_depth > 0 then f ()
   else begin
     t.metrics.Metrics.jobs <- t.metrics.Metrics.jobs + 1;
+    (* Admission control: a submission occupies an admission slot until
+       one teardown window ([job_overhead_s]) after its completion; past
+       [max_inflight] held slots the driver queues the submission and
+       waits for the earliest release. Off by default. *)
+    let delay = Memman.admit_job t.memman ~now:t.metrics.Metrics.sim_time_s in
+    if delay > 0.0 then begin
+      t.metrics.Metrics.jobs_queued <- t.metrics.Metrics.jobs_queued + 1;
+      t.metrics.Metrics.queue_wait_s <- t.metrics.Metrics.queue_wait_s +. delay;
+      memory_instant t "job_queued" [ ("wait_s", Trace.A_float delay) ];
+      charge t delay
+    end;
     let discount = if t.iteration_rerun then 0.1 else 1.0 in
     charge t (t.profile.Cluster.job_overhead_s *. discount);
     t.job_depth <- t.job_depth + 1;
     Fun.protect
-      ~finally:(fun () -> t.job_depth <- t.job_depth - 1)
+      ~finally:(fun () ->
+        t.job_depth <- t.job_depth - 1;
+        Memman.job_done t.memman
+          ~release:(t.metrics.Metrics.sim_time_s +. t.profile.Cluster.job_overhead_s))
       (fun () ->
         if Trace.enabled t.tracer then
           Trace.span t.tracer ~cat:"job" "job"
@@ -561,8 +702,16 @@ and materialize t (h : handle) : Pdata.t =
          are recomputable by construction, are subject to executor loss. *)
       if lost then begin
         (* injected executor failure: the cached copy is gone; recover it
-           transparently through the lineage (the R in RDD) *)
+           transparently through the lineage (the R in RDD). The registry
+           entry is forgotten (not evicted — the partitions died with the
+           node), so a concurrent eviction pass can never touch this
+           handle again: the recompute below runs exactly once. *)
         t.metrics.Metrics.cache_losses <- t.metrics.Metrics.cache_losses + 1;
+        (match h.h_memid with
+        | Some id ->
+            Memman.forget t.memman id;
+            h.h_memid <- None
+        | None -> ());
         h.h_mat <- None;
         let rebuild () =
           let pd' = materialize t h in
@@ -578,6 +727,9 @@ and materialize t (h : handle) : Pdata.t =
       end
       else begin
         t.metrics.Metrics.cache_hits <- t.metrics.Metrics.cache_hits + 1;
+        (match h.h_memid with
+        | Some id -> Memman.touch t.memman id
+        | None -> ());
         if loc = Dfs then charge_dfs_read t (Pdata.logical_bytes pd);
         pd
       end
@@ -592,7 +744,8 @@ and materialize t (h : handle) : Pdata.t =
               h.h_mat <- Some (pd, Dfs)
           | Some Mem ->
               h.h_epoch <- t.chaos.loss_epoch;
-              h.h_mat <- Some (pd, Mem)
+              h.h_mat <- Some (pd, Mem);
+              register_cached t h pd
           | None -> ());
           pd
       | Oscalar _ | Ostateful _ -> raise (Engine_failure "expected a bag-valued dataflow")
@@ -793,6 +946,8 @@ and exec_plan_inner t env (p : Plan.t) : out =
         if abytes <= bbytes then (apd, bpd, false) else (bpd, apd, true)
       in
       charge_broadcast t (Pdata.logical_bytes small);
+      (* every slot holds the whole broadcast side *)
+      reserve_memory t ~op:"cross" ~needs:[| Pdata.logical_bytes small |];
       let small_list = Pdata.to_list small in
       let pairs v w = if flip then Value.tuple [ w; v ] else Value.tuple [ v; w ] in
       let result =
@@ -838,6 +993,13 @@ and exec_plan_inner t env (p : Plan.t) : out =
                  (fun acc v -> union acc (single v))
                  empty pd.Pdata.parts.(i)))
       in
+      (* each slot holds its partition's accumulator while folding *)
+      reserve_memory t ~op:"fold"
+        ~needs:
+          (Array.of_list
+             (List.map
+                (fun v -> float_of_int (Value.byte_size v) *. pd.Pdata.bmult)
+                partials));
       charge_collect t (list_bytes partials);
       Oscalar (List.fold_left union empty partials)
   | Plan.Union (a, b) ->
@@ -852,6 +1014,15 @@ and exec_plan_inner t env (p : Plan.t) : out =
       let idkey = Plan.udf_of_expr (Expr.Lam ("x", Expr.Var "x")) in
       let apd = shuffle_by t idkey Fun.id apd in
       let bpd = shuffle_by t idkey Fun.id bpd in
+      (* both sides' sort buffers coexist on each slot *)
+      reserve_memory t ~op:"minus"
+        ~needs:
+          (let a = part_needs apd and b = part_needs bpd in
+           Array.init
+             (max (Array.length a) (Array.length b))
+             (fun i ->
+               (if i < Array.length a then a.(i) else 0.0)
+               +. (if i < Array.length b then b.(i) else 0.0)));
       let parts =
         par_run t (Pdata.nparts apd) (fun i ->
             let da = Emma_databag.Databag.of_list apd.Pdata.parts.(i) in
@@ -866,6 +1037,8 @@ and exec_plan_inner t env (p : Plan.t) : out =
       charge_stage t;
       let idkey = Plan.udf_of_expr (Expr.Lam ("x", Expr.Var "x")) in
       let pd = shuffle_by t idkey Fun.id pd in
+      (* per-slot sort/dedup buffer *)
+      reserve_memory t ~op:"distinct" ~needs:(part_needs pd);
       charge_local_cpu t pd;
       Obag
         (par_map_parts_preserving t
@@ -890,6 +1063,8 @@ and exec_plan_inner t env (p : Plan.t) : out =
       charge_stage t;
       let keyfn = udf_fn t env key in
       let pd = shuffle_by t key keyfn pd in
+      (* per-slot state table of the stateful bag *)
+      reserve_memory t ~op:"statefulCreate" ~needs:(part_needs pd);
       let parts =
         par_run t (Pdata.nparts pd) (fun i ->
             let part = pd.Pdata.parts.(i) in
@@ -1052,6 +1227,10 @@ and exec_group_by t key keyfn (pd : Pdata.t) : out =
   let out =
     { Pdata.parts; part_key = Some (group_key_udf ()); rmult = out_rmult; bmult = out_bmult }
   in
+  (* budget governance is a second, per-slot layer over the legacy
+     single-group check above: the whole hash table of groups a slot
+     materializes must fit its budget *)
+  reserve_memory t ~op:"groupBy" ~needs:(part_needs out);
   charge_local_cpu t out;
   Obag out
 
@@ -1074,6 +1253,9 @@ and exec_agg_by t key keyfn ~empty ~single ~union (pd : Pdata.t) : out =
       rmult = 1.0;
       bmult = 1.0 }
   in
+  (* the map-side combine hash table: one (key, acc) pair per distinct
+     key per partition *)
+  reserve_memory t ~op:"aggBy" ~needs:(part_needs combined);
   (* shuffle only the combined aggregates *)
   let pair_key = Plan.udf_of_expr (Expr.Lam ("p", Expr.Proj (Expr.Var "p", 0))) in
   let shuffled =
@@ -1105,6 +1287,8 @@ and exec_agg_by t key keyfn ~empty ~single ~union (pd : Pdata.t) : out =
       rmult = 1.0;
       bmult = 1.0 }
   in
+  (* the reduce-side merge hash table *)
+  reserve_memory t ~op:"aggBy" ~needs:(part_needs out);
   charge_local_cpu t out;
   Obag out
 
@@ -1142,6 +1326,7 @@ and exec_join t env ~semi ~lkey ~rkey (lpd : Pdata.t) (rpd : Pdata.t) : out =
     if semi then begin
       (* broadcast the right side as a key set; left stays in place *)
       charge_broadcast t (Pdata.logical_bytes rpd);
+      reserve_memory t ~op:"semijoin" ~needs:[| Pdata.logical_bytes rpd |];
       let keyset = Hashtbl.create 1024 in
       List.iter (fun v -> Hashtbl.replace keyset (rfn v) ()) (Pdata.to_list rpd);
       charge_local_cpu t lpd;
@@ -1157,6 +1342,9 @@ and exec_join t env ~semi ~lkey ~rkey (lpd : Pdata.t) (rpd : Pdata.t) : out =
         if lbytes <= rbytes then (lpd, rpd, lfn, rfn, true) else (rpd, lpd, rfn, lfn, false)
       in
       charge_broadcast t (Pdata.logical_bytes small);
+      (* the broadcast build side's hash index lives on every slot; it
+         must fit one slot's budget *)
+      reserve_memory t ~op:"join" ~needs:[| Pdata.logical_bytes small |];
       let index : (Value.t, Value.t list ref) Hashtbl.t = Hashtbl.create 1024 in
       List.iter
         (fun v ->
@@ -1185,6 +1373,8 @@ and exec_join t env ~semi ~lkey ~rkey (lpd : Pdata.t) (rpd : Pdata.t) : out =
        co-partitioned inputs) *)
     let l = shuffle_by t lkey lfn lpd in
     let r = shuffle_by t rkey rfn rpd in
+    (* grace-style build: each slot hashes its right partition *)
+    reserve_memory t ~op:"join" ~needs:(part_needs r);
     charge_local_cpu t l;
     charge_local_cpu t r;
     (* partition-local build + probe, one task per partition *)
@@ -1239,6 +1429,7 @@ and exec_anti_join t env ~lkey ~rkey (lpd : Pdata.t) (rpd : Pdata.t) : out =
   in
   if broadcastable then begin
     charge_broadcast t rbytes;
+    reserve_memory t ~op:"antijoin" ~needs:[| rbytes |];
     let keyset = Hashtbl.create 1024 in
     List.iter (fun v -> Hashtbl.replace keyset (rfn v) ()) (Pdata.to_list rpd);
     charge_local_cpu t lpd;
@@ -1250,6 +1441,7 @@ and exec_anti_join t env ~lkey ~rkey (lpd : Pdata.t) (rpd : Pdata.t) : out =
   else begin
     let l = shuffle_by t lkey lfn lpd in
     let r = shuffle_by t rkey rfn rpd in
+    reserve_memory t ~op:"antijoin" ~needs:(part_needs r);
     charge_local_cpu t l;
     charge_local_cpu t r;
     let parts =
@@ -1320,6 +1512,7 @@ let force_plan t (env : (string * dval ref) list) (p : Plan.t) : dval =
           h_env = snap;
           h_cache = cache_loc;
           h_mat = None;
+          h_memid = None;
           h_epoch = 0;
           h_collected = None }
       in
@@ -1410,7 +1603,11 @@ let rec assigned_vars acc stmts =
    restores. *)
 let copy_dval = function
   | Dscalar rv -> Dscalar rv
-  | Dbag h -> Dbag { h with h_mat = h.h_mat }
+  (* the copy is a fresh record, and it does NOT inherit the registry id:
+     the registry's evict closure points at the original handle, so a
+     restored copy is simply an unaccounted materialization (touched
+     never, evicted never) rather than a stale alias *)
+  | Dbag h -> Dbag { h with h_memid = None }
   | Dstateful sh ->
       Dstateful
         { sh with
@@ -1439,6 +1636,53 @@ let dval_bytes = function
            (fun acc tbl ->
              Hashtbl.fold (fun _ r acc -> acc +. float_of_int (Value.byte_size !r)) tbl acc)
            0.0 sh.s_parts
+
+(* Deterministic textual fingerprint of checkpointed loop state — the
+   payload whose CRC32 guards the record on the simulated DFS. Values are
+   rendered through [Value.pp]; partition and hash-table contents are
+   sorted so the fingerprint is identical across runs and domain counts.
+   Closures and unforced lineage fingerprint as opaque markers: they are
+   code, not data, and cannot rot on disk. *)
+let fingerprint_state (st : (string * dval) list) : Bytes.t =
+  let buf = Buffer.create 256 in
+  let render v = Format.asprintf "%a" Value.pp v in
+  let add_sorted parts = List.iter (Buffer.add_string buf) (List.sort String.compare parts) in
+  List.iter
+    (fun (x, d) ->
+      Buffer.add_string buf x;
+      Buffer.add_char buf '=';
+      (match d with
+      | Dscalar (Eval.V v) -> Buffer.add_string buf (render v)
+      | Dscalar (Eval.Clo _ | Eval.St _) -> Buffer.add_string buf "<fun>"
+      | Dbag h -> (
+          match (h.h_mat, h.h_collected) with
+          | Some (pd, _), _ ->
+              add_sorted
+                (List.concat_map (List.map render) (Array.to_list pd.Pdata.parts))
+          | None, Some (vs, _, _) -> add_sorted (List.map render vs)
+          | None, None -> Buffer.add_string buf "<lineage>")
+      | Dstateful sh ->
+          add_sorted
+            (Array.to_list sh.s_parts
+            |> List.concat_map (fun tbl ->
+                   Hashtbl.fold
+                     (fun k r acc -> (render k ^ "=" ^ render !r) :: acc)
+                     tbl [])));
+      Buffer.add_char buf ';')
+    st;
+  Buffer.to_bytes buf
+
+(* A checkpoint record as "written to DFS": the live snapshot used for
+   restore, plus the payload fingerprint and the CRC32 computed at write
+   time. Injected corruption flips a payload byte AFTER the CRC was
+   taken; the restore path recomputes the CRC and skips mismatches. *)
+type checkpoint = {
+  ck_state : (string * dval) list;
+  ck_iter : int;  (* completed iterations at snapshot time *)
+  ck_on_dfs : bool;  (* the loop-entry snapshot is free driver memory *)
+  ck_payload : Bytes.t;
+  ck_crc : int;
+}
 
 let run t (prog : Cprog.t) : Value.t =
   let wall_start = Unix.gettimeofday () in
@@ -1487,9 +1731,38 @@ let run t (prog : Cprog.t) : Value.t =
         let dfs_s bytes =
           bytes /. (float_of_int t.cluster.Cluster.nodes *. t.cluster.Cluster.disk_bw)
         in
-        (* (state, completed iterations at snapshot, lives on DFS) *)
-        let ckpt = ref (snap (), 0, false) in
+        (* Checkpoint records, newest first. The loop-entry snapshot is
+           the final fallback and never corrupts — it is driver memory,
+           not a DFS record. *)
+        let ckpts =
+          ref
+            [ { ck_state = snap ();
+                ck_iter = 0;
+                ck_on_dfs = false;
+                ck_payload = Bytes.empty;
+                ck_crc = 0 } ]
+        in
         let restarts = ref 0 in
+        (* Walk newest → oldest, paying the DFS read for every record
+           examined; a record whose payload no longer matches its CRC32
+           is corrupt — count it, skip it, fall back to the previous
+           good one. *)
+        let pick_checkpoint () =
+          let rec go = function
+            | [] -> assert false (* the loop-entry snapshot always remains *)
+            | ck :: rest ->
+                if ck.ck_on_dfs then charge t (dfs_s (state_bytes ck.ck_state));
+                if ck.ck_on_dfs && Crc32.bytes ck.ck_payload <> ck.ck_crc then begin
+                  t.metrics.Metrics.checkpoint_corruptions <-
+                    t.metrics.Metrics.checkpoint_corruptions + 1;
+                  recovery_instant t "checkpoint_corrupt"
+                    [ ("iteration", Trace.A_int ck.ck_iter) ];
+                  go rest
+                end
+                else ck
+          in
+          go !ckpts
+        in
         let rec loop iter =
           if as_bool (exec_rhs t env c) then begin
             if iter > 0 && t.profile.Cluster.native_iterations then
@@ -1507,9 +1780,30 @@ let run t (prog : Cprog.t) : Value.t =
                    checkpoint channel so the plain I/O metrics stay
                    untouched by the chaos subsystem *)
                 charge t (dfs_s bytes);
+                let payload = fingerprint_state st in
+                let crc = Crc32.bytes payload in
+                t.chaos.ckpt_seq <- t.chaos.ckpt_seq + 1;
+                if
+                  chaos_active t
+                  && Faults.ckpt_corrupt t.faults ~ckpt:t.chaos.ckpt_seq
+                  && Bytes.length payload > 0
+                then begin
+                  (* simulated bit rot, injected AFTER the CRC was taken:
+                     flip one payload byte, which is exactly what on-disk
+                     corruption looks like to the restore path *)
+                  let i = Bytes.length payload / 2 in
+                  Bytes.set payload i
+                    (Char.chr (Char.code (Bytes.get payload i) lxor 0x40))
+                end;
                 recovery_instant t "checkpoint"
                   [ ("iteration", Trace.A_int iter); ("bytes", Trace.A_float bytes) ];
-                ckpt := (st, iter, true)
+                ckpts :=
+                  { ck_state = st;
+                    ck_iter = iter;
+                    ck_on_dfs = true;
+                    ck_payload = payload;
+                    ck_crc = crc }
+                  :: !ckpts
             | _ -> ());
             if chaos_active t then begin
               t.chaos.boundary_seq <- t.chaos.boundary_seq + 1;
@@ -1521,15 +1815,14 @@ let run t (prog : Cprog.t) : Value.t =
                    checkpoint and replay. The restart cap guarantees
                    termination even at loss rate 1.0. *)
                 incr restarts;
-                let st, at_iter, on_dfs = !ckpt in
+                let ck = pick_checkpoint () in
                 t.metrics.Metrics.loop_restores <- t.metrics.Metrics.loop_restores + 1;
-                if on_dfs then charge t (dfs_s (state_bytes st));
-                restore st;
+                restore ck.ck_state;
                 recovery_instant t "loop_restore"
                   [ ("boundary", Trace.A_int t.chaos.boundary_seq);
-                    ("from_iteration", Trace.A_int at_iter);
-                    ("lost_iterations", Trace.A_int (iter - at_iter)) ];
-                loop at_iter
+                    ("from_iteration", Trace.A_int ck.ck_iter);
+                    ("lost_iterations", Trace.A_int (iter - ck.ck_iter)) ];
+                loop ck.ck_iter
               end
               else loop iter
             end

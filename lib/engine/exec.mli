@@ -40,9 +40,11 @@ type t
 
 val create :
   ?timeout_s:float ->
-  ?cache_loss_at:int list ->
   ?faults:Faults.t ->
   ?checkpoint_every:int ->
+  ?mem_budget:float ->
+  ?spill:bool ->
+  ?max_inflight:int ->
   ?pool:Emma_util.Pool.t ->
   ?trace:Emma_util.Trace.t ->
   cluster:Cluster.t ->
@@ -66,13 +68,33 @@ val create :
     assigned loop variables and stateful bags — every [k] completed
     iterations, priced as DFS I/O and counted in
     [checkpoints]/[checkpoint_bytes]; an injected loop loss then restarts
-    from the last checkpoint instead of the loop entry.
+    from the last checkpoint instead of the loop entry. Each checkpoint
+    record carries a CRC32 of a deterministic fingerprint of its state;
+    on restore the engine verifies the checksum and a corrupted record
+    (injected via {!Faults.Ckpt_corrupt}) is skipped — counted in
+    [checkpoint_corruptions] — falling back to the previous good one,
+    paying the DFS read for every record examined.
 
-    [cache_loss_at] is the deprecated precursor of [faults]: at each
-    listed (1-based) cache-hit index the cached result is lost and
-    silently recovered by re-running its lineage — results must be
-    unaffected, only costs. It folds into the plan as scripted
-    {!Faults.Cache_loss} events.
+    [mem_budget] (logical bytes per slot, default unbounded) turns on
+    deterministic memory governance ({!Memman}): every state-building
+    operator — [groupBy]/[aggBy] hash tables, join build sides, fold
+    partials, sort buffers — reserves its per-slot state size before
+    running. Overflowing slots either spill to disk ([spill = true]:
+    priced as DFS I/O in the dedicated [mem_spills]/[mem_spill_bytes]
+    channels) or are OOM-killed and retried at halved parallelism
+    ([spill = false]: counted in [oom_kills]; the job fails with
+    [Engine_failure] once even one slot per node cannot hold the state).
+    The budget also caps the [Mem]-cache: cached bags past
+    [mem_budget × dop] total are LRU-evicted (counted in
+    [cache_evictions]/[evicted_bytes]) and rebuilt through lineage on
+    next use. Results are bit-identical to the unbounded run for any
+    sufficient budget; only [sim_time_s] and the memory counters move.
+    Without [mem_budget] the engine only tracks [mem_peak_bytes].
+
+    [max_inflight] (>= 1, default unbounded) gates job admission: a
+    submission past the in-flight budget waits for the earliest slot
+    release (completion + per-job overhead), counted in
+    [jobs_queued]/[queue_wait_s] and charged to the simulated clock.
 
     [pool] is the domain pool the multicore backend runs per-partition
     operator work on (default: {!Emma_util.Pool.default}). Shuffles, the

@@ -7,6 +7,7 @@ type rates = {
   straggler : float;
   straggler_slowdown : float;
   loop_loss : float;
+  oom_kill : float;
 }
 
 let zero_rates =
@@ -15,7 +16,8 @@ let zero_rates =
     fetch_fail = 0.0;
     straggler = 0.0;
     straggler_slowdown = 1.0;
-    loop_loss = 0.0 }
+    loop_loss = 0.0;
+    oom_kill = 0.0 }
 
 let default_rates =
   { task_fail = 0.05;
@@ -23,7 +25,8 @@ let default_rates =
     fetch_fail = 0.05;
     straggler = 0.05;
     straggler_slowdown = 4.0;
-    loop_loss = 0.02 }
+    loop_loss = 0.02;
+    oom_kill = 0.02 }
 
 let clamp01 x = Float.max 0.0 (Float.min 1.0 x)
 
@@ -33,7 +36,8 @@ let normalize r =
     fetch_fail = clamp01 r.fetch_fail;
     straggler = clamp01 r.straggler;
     straggler_slowdown = Float.max 1.0 r.straggler_slowdown;
-    loop_loss = clamp01 r.loop_loss }
+    loop_loss = clamp01 r.loop_loss;
+    oom_kill = clamp01 r.oom_kill }
 
 let rates_of_string s =
   let parse_kv acc kv =
@@ -45,13 +49,31 @@ let rates_of_string s =
             match float_of_string_opt (String.trim v) with
             | None -> Error (Printf.sprintf "chaos rates: bad number %S" v)
             | Some f -> (
-                match String.trim k with
-                | "task" -> Ok { r with task_fail = f }
-                | "exec" -> Ok { r with executor_loss = f }
-                | "fetch" -> Ok { r with fetch_fail = f }
-                | "straggle" -> Ok { r with straggler = f }
-                | "slow" -> Ok { r with straggler_slowdown = f }
-                | "loop" -> Ok { r with loop_loss = f }
+                let key = String.trim k in
+                let prob set =
+                  if f < 0.0 || f > 1.0 then
+                    Error
+                      (Printf.sprintf
+                         "chaos rates: %s=%g is out of range (probabilities \
+                          must be in [0, 1])"
+                         key f)
+                  else Ok (set f)
+                in
+                match key with
+                | "task" -> prob (fun f -> { r with task_fail = f })
+                | "exec" -> prob (fun f -> { r with executor_loss = f })
+                | "fetch" -> prob (fun f -> { r with fetch_fail = f })
+                | "straggle" -> prob (fun f -> { r with straggler = f })
+                | "slow" ->
+                    if f < 1.0 then
+                      Error
+                        (Printf.sprintf
+                           "chaos rates: slow=%g is out of range (the \
+                            straggler slowdown must be >= 1)"
+                           f)
+                    else Ok { r with straggler_slowdown = f }
+                | "loop" -> prob (fun f -> { r with loop_loss = f })
+                | "oom" -> prob (fun f -> { r with oom_kill = f })
                 | k -> Error (Printf.sprintf "chaos rates: unknown key %S" k)))
         | _ -> Error (Printf.sprintf "chaos rates: expected key=value, got %S" kv))
   in
@@ -69,6 +91,8 @@ type event =
   | Fetch_fail of { shuffle : int; part : int; times : int }
   | Straggle of { stage : int; part : int; slowdown : float }
   | Loop_loss of int
+  | Oom_kill of int
+  | Ckpt_corrupt of int
 
 type t = { seed : int; rates : rates; script : event list }
 
@@ -78,7 +102,7 @@ let is_none t =
   t.script = []
   && t.rates.task_fail = 0.0 && t.rates.executor_loss = 0.0
   && t.rates.fetch_fail = 0.0 && t.rates.straggler = 0.0
-  && t.rates.loop_loss = 0.0
+  && t.rates.loop_loss = 0.0 && t.rates.oom_kill = 0.0
 
 let seeded ?(rates = default_rates) seed = { seed; rates = normalize rates; script = [] }
 let scripted script = { none with script }
@@ -93,6 +117,7 @@ let tag_exec_node = 3
 let tag_fetch = 4
 let tag_straggle = 5
 let tag_loop = 6
+let tag_oom = 7
 
 let draw t ids = Prng.hash_unit ~seed:t.seed ids
 
@@ -166,3 +191,11 @@ let cache_loss t ~hit =
 let loop_loss t ~boundary =
   List.exists (function Loop_loss k -> k = boundary | _ -> false) t.script
   || (t.rates.loop_loss > 0.0 && draw t [ tag_loop; boundary ] < t.rates.loop_loss)
+
+let oom_kill t ~reservation =
+  List.exists (function Oom_kill k -> k = reservation | _ -> false) t.script
+  || (t.rates.oom_kill > 0.0
+      && draw t [ tag_oom; reservation ] < t.rates.oom_kill)
+
+let ckpt_corrupt t ~ckpt =
+  List.exists (function Ckpt_corrupt k -> k = ckpt | _ -> false) t.script

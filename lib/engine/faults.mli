@@ -43,6 +43,10 @@ type rates = {
   straggler_slowdown : float;
       (** multiplier on a straggler's task time (>= 1) *)
   loop_loss : float;  (** per loop-iteration boundary: driver state lost *)
+  oom_kill : float;
+      (** per memory reservation: the attempt is OOM-killed by the
+          (simulated) container supervisor and retried at reduced
+          parallelism, regardless of whether it actually fit its budget *)
 }
 
 val zero_rates : rates
@@ -53,8 +57,11 @@ val default_rates : rates
     each channel, 4× straggler slowdown. *)
 
 val rates_of_string : string -> (rates, string) result
-(** Parses ["task=0.1,exec=0.02,fetch=0.05,straggle=0.1,slow=4,loop=0.02"]
-    (any subset of keys; unlisted keys stay 0). *)
+(** Parses
+    ["task=0.1,exec=0.02,fetch=0.05,straggle=0.1,slow=4,loop=0.02,oom=0.01"]
+    (any subset of keys; unlisted keys stay 0). Probabilities outside
+    [0, 1] (and [slow < 1]) are rejected with a one-line error rather
+    than clamped, so the CLI can fail fast on misspelled chaos plans. *)
 
 (** A scripted injection: fires at an exact point instead of by rate.
     Points are identified by the engine's deterministic sequence counters
@@ -76,6 +83,14 @@ type event =
   | Straggle of { stage : int; part : int; slowdown : float }
       (** partition [part] of CPU stage [stage] runs [slowdown]× slow *)
   | Loop_loss of int  (** driver state lost at the k-th loop boundary *)
+  | Oom_kill of int
+      (** the attempt holding the k-th memory reservation is OOM-killed
+          (reservations are numbered from 1 in execution order,
+          identically at any domain count) *)
+  | Ckpt_corrupt of int
+      (** the k-th loop checkpoint written is corrupted on disk (a byte
+          of its payload is flipped); detected by CRC32 on restore and
+          skipped in favour of the previous good checkpoint *)
 
 type t
 (** A fault plan: a seed, rate knobs, and scripted events. *)
@@ -95,13 +110,12 @@ val scripted : event list -> t
 (** Fires exactly the listed events and nothing else. *)
 
 val of_cache_loss_at : int list -> t
-(** The legacy fault API: [of_cache_loss_at [2; 4]] loses the cached copy
-    at cache hits 2 and 4. Equivalent to
+(** Convenience: [of_cache_loss_at [2; 4]] loses the cached copy at cache
+    hits 2 and 4. Equivalent to
     [scripted (List.map (fun k -> Cache_loss k) …)]. *)
 
 val add_events : t -> event list -> t
-(** Extends a plan with scripted events (used to fold the deprecated
-    [?cache_loss_at] argument into an explicit plan). *)
+(** Extends a plan with scripted events. *)
 
 (** {2 Decision queries} — consulted by {!Exec} on the coordinator.
     All are pure. *)
@@ -126,3 +140,11 @@ val cache_loss : t -> hit:int -> bool
 val loop_loss : t -> boundary:int -> bool
 (** Whether driver loop state is lost at this (1-based, globally numbered)
     iteration boundary. *)
+
+val oom_kill : t -> reservation:int -> bool
+(** Whether the attempt holding this (1-based, globally numbered) memory
+    reservation is OOM-killed by the simulated container supervisor. *)
+
+val ckpt_corrupt : t -> ckpt:int -> bool
+(** Whether the (1-based, globally numbered) k-th checkpoint written is
+    corrupted on disk. Scripted-only: there is no rate for corruption. *)

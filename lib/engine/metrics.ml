@@ -26,6 +26,15 @@ type t = {
   mutable checkpoints : int;
   mutable checkpoint_bytes : float;
   mutable loop_restores : int;
+  mutable mem_peak_bytes : float;
+  mutable mem_spills : int;
+  mutable mem_spill_bytes : float;
+  mutable oom_kills : int;
+  mutable cache_evictions : int;
+  mutable evicted_bytes : float;
+  mutable jobs_queued : int;
+  mutable queue_wait_s : float;
+  mutable checkpoint_corruptions : int;
 }
 
 let create () =
@@ -57,6 +66,15 @@ let create () =
     checkpoints = 0;
     checkpoint_bytes = 0.0;
     loop_restores = 0;
+    mem_peak_bytes = 0.0;
+    mem_spills = 0;
+    mem_spill_bytes = 0.0;
+    oom_kills = 0;
+    cache_evictions = 0;
+    evicted_bytes = 0.0;
+    jobs_queued = 0;
+    queue_wait_s = 0.0;
+    checkpoint_corruptions = 0;
   }
 
 let add_time m s = m.sim_time_s <- m.sim_time_s +. s
@@ -101,6 +119,15 @@ let to_rows m =
     ("checkpoints", string_of_int m.checkpoints);
     ("checkpoint bytes", human_bytes m.checkpoint_bytes);
     ("loop restores", string_of_int m.loop_restores);
+    ("mem peak", human_bytes m.mem_peak_bytes);
+    ("mem spills", string_of_int m.mem_spills);
+    ("mem spill bytes", human_bytes m.mem_spill_bytes);
+    ("oom kills", string_of_int m.oom_kills);
+    ("cache evictions", string_of_int m.cache_evictions);
+    ("evicted bytes", human_bytes m.evicted_bytes);
+    ("jobs queued", string_of_int m.jobs_queued);
+    ("queue wait", Printf.sprintf "%.1f s" m.queue_wait_s);
+    ("ckpt corruptions", string_of_int m.checkpoint_corruptions);
   ]
 
 let pp ppf m =
@@ -140,6 +167,15 @@ let to_json m =
       ("checkpoints", Json.Int m.checkpoints);
       ("checkpoint_bytes", Json.Float m.checkpoint_bytes);
       ("loop_restores", Json.Int m.loop_restores);
+      ("mem_peak_bytes", Json.Float m.mem_peak_bytes);
+      ("mem_spills", Json.Int m.mem_spills);
+      ("mem_spill_bytes", Json.Float m.mem_spill_bytes);
+      ("oom_kills", Json.Int m.oom_kills);
+      ("cache_evictions", Json.Int m.cache_evictions);
+      ("evicted_bytes", Json.Float m.evicted_bytes);
+      ("jobs_queued", Json.Int m.jobs_queued);
+      ("queue_wait_s", Json.Float m.queue_wait_s);
+      ("checkpoint_corruptions", Json.Int m.checkpoint_corruptions);
     ]
 
 let to_json_string m = Json.to_string (to_json m)

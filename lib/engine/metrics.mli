@@ -40,6 +40,29 @@ type t = {
   mutable checkpoint_bytes : float;  (** logical bytes of loop state checkpointed *)
   mutable loop_restores : int;
       (** driver-loop restarts from a checkpoint (or from loop entry) *)
+  mutable mem_peak_bytes : float;
+      (** largest per-slot operator-state reservation seen by {!Memman}
+          (logical bytes); tracked even when no budget is set *)
+  mutable mem_spills : int;
+      (** slots that overflowed their budget and spilled operator state *)
+  mutable mem_spill_bytes : float;
+      (** logical bytes of operator state spilled to local disk under
+          memory pressure (separate channel from [spilled_bytes], which
+          counts the profile's own group-by spill behaviour) *)
+  mutable oom_kills : int;
+      (** attempts killed for exceeding the budget with spilling disabled
+          (genuine overflows and chaos-injected kills) and retried at
+          reduced parallelism *)
+  mutable cache_evictions : int;
+      (** [Mem]-cached bags dropped by the LRU evictor to admit new ones *)
+  mutable evicted_bytes : float;  (** logical bytes of evicted cached bags *)
+  mutable jobs_queued : int;
+      (** job submissions delayed by admission control ([max_inflight]) *)
+  mutable queue_wait_s : float;
+      (** total simulated seconds jobs spent queued before admission *)
+  mutable checkpoint_corruptions : int;
+      (** loop checkpoints whose CRC32 failed verification on restore and
+          were skipped in favour of an older good one *)
 }
 
 val create : unit -> t

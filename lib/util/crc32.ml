@@ -1,0 +1,28 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+   Pure integer arithmetic on the low 32 bits of native ints, so the
+   checksum is identical on every host and across domain counts — which
+   is what lets checkpoint-integrity tests pin exact corruption
+   behaviour. *)
+
+let mask = 0xFFFFFFFF
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c land mask))
+
+let update crc b =
+  let t = Lazy.force table in
+  (t.((crc lxor b) land 0xFF) lxor (crc lsr 8)) land mask
+
+let bytes ?(crc = 0) b =
+  let acc = ref (crc lxor mask) in
+  Bytes.iter (fun ch -> acc := update !acc (Char.code ch)) b;
+  !acc lxor mask land mask
+
+let string ?crc s = bytes ?crc (Bytes.unsafe_of_string s)

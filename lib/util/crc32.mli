@@ -1,0 +1,14 @@
+(** CRC-32 checksums (IEEE 802.3 polynomial, the zlib/PNG variant).
+
+    Deterministic across hosts: the checksum is plain integer arithmetic
+    on the low 32 bits, so a value computed on one machine verifies on
+    any other. Used by the engine to guard loop-state checkpoint records
+    against (simulated) corruption. *)
+
+val string : ?crc:int -> string -> int
+(** [string s] is the CRC-32 of [s] as an integer in [0, 0xFFFFFFFF].
+    [?crc] continues a running checksum from a previous call, so
+    [string ~crc:(string a) b = string (a ^ b)]. *)
+
+val bytes : ?crc:int -> Bytes.t -> int
+(** Same as {!string} over a byte buffer. *)

@@ -19,11 +19,13 @@
     {b Span categories in use.} The engine and compiler emit under a small
     fixed vocabulary of categories: ["compile"] (optimizer phases),
     ["job"] (submitted dataflows), ["stage"] (operators and barriers),
-    ["task"] (per-partition worker spans), ["motion"] (byte counters) and
+    ["task"] (per-partition worker spans), ["motion"] (byte counters),
     ["recovery"] (fault-injection recovery work: task retries, shuffle
     re-fetches, executor losses, blacklisting, speculative copies, lineage
-    recomputation, loop checkpoints/restores — see
-    {!Emma_engine.Faults}). *)
+    recomputation, loop checkpoints/restores — see {!Emma_engine.Faults})
+    and ["memory"] (memory-governance events from {!Emma_engine.Memman}:
+    reservation peaks, spills, OOM kills, cache evictions, queued job
+    admissions). *)
 
 type attr = A_str of string | A_int of int | A_float of float | A_bool of bool
 

@@ -1,0 +1,82 @@
+(* CLI argument hygiene: invalid flag values die with a one-line
+   actionable error and exit code 2 — before any work is scheduled —
+   and the chaos-rates parser rejects rather than clamps.
+
+   The spawn tests run the real binary (../bin/emma_cli.exe, a declared
+   test dependency) so they cover the actual wiring, not a re-creation
+   of it. *)
+
+module Faults = Emma_engine.Faults
+
+(* ---------------------------------------------------------------- *)
+(* Faults.rates_of_string                                             *)
+(* ---------------------------------------------------------------- *)
+
+let test_rates_parse_ok () =
+  match Faults.rates_of_string "task=0.1,oom=0.5,slow=4" with
+  | Error e -> Alcotest.failf "expected a parse, got: %s" e
+  | Ok r ->
+      Alcotest.(check (float 0.0)) "task" 0.1 r.Faults.task_fail;
+      Alcotest.(check (float 0.0)) "oom" 0.5 r.Faults.oom_kill;
+      Alcotest.(check (float 0.0)) "slow" 4.0 r.Faults.straggler_slowdown;
+      Alcotest.(check (float 0.0)) "unlisted keys stay 0" 0.0 r.Faults.loop_loss
+
+let expect_error name input =
+  match Faults.rates_of_string input with
+  | Ok _ -> Alcotest.failf "%s: %S should have been rejected" name input
+  | Error e ->
+      Alcotest.(check bool) (name ^ ": error is one line") false
+        (String.contains e '\n')
+
+let test_rates_rejected () =
+  expect_error "probability above 1" "task=1.5";
+  expect_error "negative probability" "exec=-0.1";
+  expect_error "oom out of range" "oom=2";
+  expect_error "slowdown below 1" "slow=0.5";
+  expect_error "unknown key" "bogus=0.1";
+  expect_error "not a number" "task=abc";
+  expect_error "missing value" "task"
+
+(* ---------------------------------------------------------------- *)
+(* The binary: bad flag values exit 2 before doing any work           *)
+(* ---------------------------------------------------------------- *)
+
+(* under `dune runtest` the cwd is _build/default/test; under
+   `dune exec test/test_main.exe` it is the project root *)
+let cli =
+  let candidates =
+    [ "../bin/emma_cli.exe"; "_build/default/bin/emma_cli.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let run_cli args =
+  Sys.command (Filename.quote_command cli args ^ " >/dev/null 2>&1")
+
+let test_bad_flags_exit_2 () =
+  List.iter
+    (fun (name, args) ->
+      Alcotest.(check int) name 2 (run_cli ("run" :: "q1" :: args)))
+    [ ("zero memory budget", [ "--mem-per-slot"; "0" ]);
+      ("negative memory budget", [ "--mem-per-slot=-5" ]);
+      ("negative checkpoint interval", [ "--checkpoint-every=-1" ]);
+      ("zero checkpoint interval", [ "--checkpoint-every"; "0" ]);
+      ("zero max-inflight", [ "--max-inflight"; "0" ]);
+      ("chaos probability out of range", [ "--chaos-seed"; "1"; "--chaos-rates"; "task=1.5" ]);
+      ("unknown chaos key", [ "--chaos-seed"; "1"; "--chaos-rates"; "bogus=0.1" ]);
+      ("chaos rates without a seed", [ "--chaos-rates"; "task=0.1" ]) ]
+
+let test_valid_flags_accepted () =
+  (* the validations must not reject a legitimate governed run *)
+  Alcotest.(check int) "governed run exits 0" 0
+    (run_cli [ "run"; "q1"; "--mem-per-slot"; "1e6"; "--spill"; "--max-inflight"; "4" ])
+
+let suite =
+  [ ( "cli_args",
+      [ Alcotest.test_case "chaos rates parse" `Quick test_rates_parse_ok;
+        Alcotest.test_case "chaos rates rejected, not clamped" `Quick
+          test_rates_rejected;
+        Alcotest.test_case "bad flag values exit 2" `Quick test_bad_flags_exit_2;
+        Alcotest.test_case "valid flags accepted" `Quick test_valid_flags_accepted ] )
+  ]

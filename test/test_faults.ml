@@ -137,20 +137,15 @@ let test_every_hit_lost () =
   Alcotest.(check int) "no surviving hits" 0 m.Emma.Metrics.cache_hits
 
 let test_legacy_wrapper_is_a_plan () =
-  (* ?cache_loss_at is a thin wrapper over scripted Cache_loss events: the
-     engine argument and the explicit plan behave identically *)
-  let ctx = ctx_with tables in
-  let eng =
-    Engine.create ~cache_loss_at:[ 2; 4 ] ~cluster:(Cluster.laptop ())
-      ~profile:Cluster.spark_like ctx
-  in
-  let v_arg = Engine.run eng (Emma.parallelize (loop_prog 5)).Emma.compiled in
-  let m_arg = Engine.metrics eng in
-  let v_plan, m_plan = run_with ~cache_loss_at:[ 2; 4 ] (loop_prog 5) tables in
-  check_value "same result" v_arg v_plan;
-  Alcotest.(check bool) "same cost metrics" true (cost_sig m_arg = cost_sig m_plan);
+  (* Faults.of_cache_loss_at is a thin wrapper over scripted Cache_loss
+     events: the wrapper and the hand-written plan behave identically *)
+  let explicit = Faults.scripted [ Faults.Cache_loss 2; Faults.Cache_loss 4 ] in
+  let v_plan, m_plan = run_engine ~faults:explicit (loop_prog 5) tables in
+  let v_wrap, m_wrap = run_with ~cache_loss_at:[ 2; 4 ] (loop_prog 5) tables in
+  check_value "same result" v_wrap v_plan;
+  Alcotest.(check bool) "same cost metrics" true (cost_sig m_wrap = cost_sig m_plan);
   Alcotest.(check bool) "same recovery metrics" true
-    (recovery_sig m_arg = recovery_sig m_plan)
+    (recovery_sig m_wrap = recovery_sig m_plan)
 
 let prop_faults_never_change_results =
   Helpers.qcheck_case "random fault schedules never change results" ~count:40
@@ -359,6 +354,67 @@ let test_pagerank_checkpoint_resume () =
   Alcotest.(check int) "no checkpoints written" 0 m'.Emma.Metrics.checkpoints;
   Alcotest.(check int) "restores still honoured" 2 m'.Emma.Metrics.loop_restores
 
+let test_corrupt_checkpoint_skipped () =
+  (* every checkpoint record carries a CRC32; a corrupted record is
+     detected on restore, counted, and skipped in favour of the previous
+     good one. Checkpoints at iterations 2 and 4; the loss hits at 5 with
+     the iteration-4 record corrupted, so recovery restarts from 2. *)
+  let prog, tables = pagerank_setup () in
+  let clean, _ = run_engine prog tables in
+  let v, m =
+    run_engine
+      ~faults:(Faults.scripted [ Faults.Ckpt_corrupt 2; Faults.Loop_loss 5 ])
+      ~checkpoint_every:2 prog tables
+  in
+  check_value "identical result despite the corrupted checkpoint" clean v;
+  Alcotest.(check int) "corruption detected once" 1
+    m.Emma.Metrics.checkpoint_corruptions;
+  Alcotest.(check int) "one restore" 1 m.Emma.Metrics.loop_restores;
+  (* falling back to an older checkpoint replays more iterations than
+     the same loss with the newest checkpoint intact *)
+  let v', m' =
+    run_engine
+      ~faults:(Faults.scripted [ Faults.Loop_loss 5 ])
+      ~checkpoint_every:2 prog tables
+  in
+  check_value "reference recovery agrees" clean v';
+  Alcotest.(check int) "no corruption without the injection" 0
+    m'.Emma.Metrics.checkpoint_corruptions;
+  Alcotest.(check bool) "the older restart replays more work" true
+    (m.Emma.Metrics.sim_time_s > m'.Emma.Metrics.sim_time_s)
+
+let test_all_checkpoints_corrupt_falls_back_to_entry () =
+  (* with every written checkpoint corrupted, recovery walks the whole
+     chain and lands on the loop-entry snapshot (which never leaves the
+     driver, so it cannot corrupt) — still bit-identical *)
+  let prog, tables = pagerank_setup () in
+  let clean, _ = run_engine prog tables in
+  let v, m =
+    run_engine
+      ~faults:
+        (Faults.scripted
+           [ Faults.Ckpt_corrupt 1; Faults.Ckpt_corrupt 2; Faults.Loop_loss 5 ])
+      ~checkpoint_every:2 prog tables
+  in
+  check_value "entry-snapshot fallback is correct" clean v;
+  Alcotest.(check int) "both written checkpoints rejected" 2
+    m.Emma.Metrics.checkpoint_corruptions;
+  Alcotest.(check int) "one restore" 1 m.Emma.Metrics.loop_restores
+
+let test_unread_corruption_is_harmless () =
+  (* a corrupted checkpoint that is never restored from costs nothing
+     and is never counted — detection happens on read, like a real DFS *)
+  let prog, tables = pagerank_setup () in
+  let clean, m_clean = run_engine ~checkpoint_every:2 prog tables in
+  let v, m =
+    run_engine
+      ~faults:(Faults.scripted [ Faults.Ckpt_corrupt 1 ])
+      ~checkpoint_every:2 prog tables
+  in
+  check_value "same result" clean v;
+  Alcotest.(check int) "nothing detected" 0 m.Emma.Metrics.checkpoint_corruptions;
+  Alcotest.(check bool) "cost metrics identical" true (cost_sig m = cost_sig m_clean)
+
 let test_kmeans_checkpoint_resume () =
   let cfg = W.Points_gen.default ~n_points:200 ~k:3 in
   let tables =
@@ -454,6 +510,12 @@ let suite =
     ( "loop_checkpointing",
       [ Alcotest.test_case "pagerank resumes from checkpoints" `Quick
           test_pagerank_checkpoint_resume;
+        Alcotest.test_case "corrupt checkpoint detected and skipped" `Quick
+          test_corrupt_checkpoint_skipped;
+        Alcotest.test_case "all-corrupt falls back to loop entry" `Quick
+          test_all_checkpoints_corrupt_falls_back_to_entry;
+        Alcotest.test_case "unread corruption is harmless" `Quick
+          test_unread_corruption_is_harmless;
         Alcotest.test_case "kmeans resumes from a checkpoint" `Quick
           test_kmeans_checkpoint_resume;
         Alcotest.test_case "loss rate 1.0 stays bounded" `Quick

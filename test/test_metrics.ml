@@ -38,6 +38,15 @@ let sample () =
   m.Metrics.checkpoints <- 5;
   m.Metrics.checkpoint_bytes <- 4.5e6;
   m.Metrics.loop_restores <- 2;
+  m.Metrics.mem_peak_bytes <- 6.4e7;
+  m.Metrics.mem_spills <- 11;
+  m.Metrics.mem_spill_bytes <- 2.5e9;
+  m.Metrics.oom_kills <- 3;
+  m.Metrics.cache_evictions <- 8;
+  m.Metrics.evicted_bytes <- 1024.0;
+  m.Metrics.jobs_queued <- 4;
+  m.Metrics.queue_wait_s <- 4.26;
+  m.Metrics.checkpoint_corruptions <- 1;
   m
 
 let test_to_rows_pinned () =
@@ -62,7 +71,15 @@ let test_to_rows_pinned () =
   check "spec wins" "4";
   check "checkpoints" "5";
   check "checkpoint bytes" "4.50 MB";
-  check "loop restores" "2"
+  check "loop restores" "2";
+  check "mem peak" "64.00 MB";
+  check "mem spills" "11";
+  check "oom kills" "3";
+  check "cache evictions" "8";
+  check "evicted bytes" "1.02 KB";
+  check "jobs queued" "4";
+  check "queue wait" "4.3 s";
+  check "ckpt corruptions" "1"
 
 let test_pp_renders_rows () =
   let s = Format.asprintf "%a" Metrics.pp (sample ()) in
@@ -94,7 +111,14 @@ let test_to_json_roundtrip () =
         (num "recomputed_partitions");
       Alcotest.(check (float 0.0)) "speculative_wins" 4.0 (num "speculative_wins");
       Alcotest.(check (float 1e-6)) "checkpoint_bytes" 4.5e6 (num "checkpoint_bytes");
-      Alcotest.(check (float 0.0)) "loop_restores" 2.0 (num "loop_restores")
+      Alcotest.(check (float 0.0)) "loop_restores" 2.0 (num "loop_restores");
+      Alcotest.(check (float 0.0)) "mem_peak_bytes" 6.4e7 (num "mem_peak_bytes");
+      Alcotest.(check (float 0.0)) "mem_spills" 11.0 (num "mem_spills");
+      Alcotest.(check (float 0.0)) "oom_kills" 3.0 (num "oom_kills");
+      Alcotest.(check (float 0.0)) "cache_evictions" 8.0 (num "cache_evictions");
+      Alcotest.(check (float 1e-6)) "queue_wait_s" 4.26 (num "queue_wait_s");
+      Alcotest.(check (float 0.0)) "checkpoint_corruptions" 1.0
+        (num "checkpoint_corruptions")
 
 let test_json_float_pinned () =
   Alcotest.(check string) "floats render %.6f" "[0.100000,123.456700]"

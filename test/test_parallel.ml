@@ -18,6 +18,7 @@ module S = Emma_lang.Surface
 module Cluster = Emma_engine.Cluster
 module Metrics = Emma_engine.Metrics
 module Engine = Emma_engine.Exec
+module Faults = Emma_engine.Faults
 module Pool = Emma_util.Pool
 module Prng = Emma_util.Prng
 module W = Emma_workloads
@@ -219,8 +220,9 @@ let run_faulty ~domains ~cache_loss_at prog tables =
   with_pool domains (fun pool ->
       let ctx = ctx_with tables in
       let eng =
-        Engine.create ~cache_loss_at ~pool ~cluster:(Cluster.laptop ())
-          ~profile:Cluster.spark_like ctx
+        Engine.create
+          ~faults:(Faults.of_cache_loss_at cache_loss_at)
+          ~pool ~cluster:(Cluster.laptop ()) ~profile:Cluster.spark_like ctx
       in
       let v = Engine.run eng (Emma.parallelize prog).Emma.compiled in
       (v, Engine.metrics eng))
