@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-parallel explain-golden trace-check chaos-smoke mem-smoke check bench bench-scaleup bench-faults bench-memory clean
+.PHONY: all build test test-parallel explain-golden trace-check chaos-smoke mem-smoke udf-smoke check bench bench-scaleup bench-faults bench-memory bench-udf clean
 
 all: build
 
@@ -38,9 +38,14 @@ chaos-smoke:
 mem-smoke:
 	dune build @mem-smoke --force
 
+# TPC-H Q1 and Q3 in both UDF modes (interpreted oracle vs staged-compiled):
+# results and cost-model metrics must be bit-identical.
+udf-smoke:
+	dune build @udf-smoke --force
+
 # The full pre-merge flow: build, tier-1 tests on 2 and 4 domains, chaos
-# smoke, memory smoke.
-check: build test test-parallel chaos-smoke mem-smoke
+# smoke, memory smoke, UDF-mode differential smoke.
+check: build test test-parallel chaos-smoke mem-smoke udf-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -56,6 +61,10 @@ bench-faults:
 # Memory-governance experiment (budget, spill, OOM and eviction sweeps).
 bench-memory:
 	dune exec bench/main.exe -- memory
+
+# Staged-UDF-compilation wall-clock experiment (writes BENCH_udf_compile.json).
+bench-udf:
+	dune exec bench/main.exe -- udf
 
 clean:
 	dune clean

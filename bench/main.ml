@@ -4,7 +4,8 @@
      dune exec bench/main.exe            runs everything
      dune exec bench/main.exe -- fig4    runs one experiment
                                  (fig4 | table1 | iterative | tpch | fig5 |
-                                  ablation | micro | scaleup | faults | memory)
+                                  ablation | micro | scaleup | faults | memory |
+                                  udf)
      dune exec bench/main.exe -- --domains 4 tpch
                                          runs partition work on 4 OCaml
                                          domains (results and cost metrics
@@ -21,7 +22,8 @@ let experiments =
     ("micro", Exp_micro.run);
     ("scaleup", Exp_scaleup.run);
     ("faults", Exp_faults.run);
-    ("memory", Exp_memory.run) ]
+    ("memory", Exp_memory.run);
+    ("udf", Exp_udf.run) ]
 
 let () =
   let trace_file = ref None in

@@ -173,6 +173,22 @@ let max_inflight_term =
   in
   Arg.(value & opt (some int) None & info [ "max-inflight" ] ~docv:"N" ~doc)
 
+let udf_mode_term =
+  let doc =
+    "How per-tuple UDF bodies execute: $(b,compiled) stages each fused UDF \
+     once into a host closure (the default); $(b,interp) tree-walks it with \
+     the reference interpreter (the differential-testing oracle). Results \
+     and all cost-model metrics are bit-identical between modes — only \
+     wall-clock time moves."
+  in
+  let modes =
+    [ ("interp", Emma.Engine.Interp); ("compiled", Emma.Engine.Compiled) ]
+  in
+  Arg.(
+    value
+    & opt (enum modes) Emma.Engine.Compiled
+    & info [ "udf-mode" ] ~docv:"MODE" ~doc)
+
 (* Flag validation errors: one actionable line on stderr, exit 2 (the
    engine's own job-failure exit is also 2; both mean "this invocation
    cannot succeed as given"). *)
@@ -222,7 +238,7 @@ let faults_of_flags chaos_seed chaos_rates =
 
 let run_cmd =
   let run name opts engine scale dop domains tables_dir trace_file ops_trace chaos_seed
-      chaos_rates checkpoint_every mem_per_slot spill max_inflight =
+      chaos_rates checkpoint_every mem_per_slot spill max_inflight udf_mode =
     with_entry name (fun e ->
         validate_run_flags ~mem_per_slot ~max_inflight ~checkpoint_every;
         Emma_util.Pool.set_default_domains domains;
@@ -257,7 +273,7 @@ let run_cmd =
           (load_tables e tables_dir);
         let faults = faults_of_flags chaos_seed chaos_rates in
         let eng =
-          Emma.Engine.create ~timeout_s:3600.0 ~faults ?checkpoint_every
+          Emma.Engine.create ~timeout_s:3600.0 ~udf_mode ~faults ?checkpoint_every
             ?mem_budget:mem_per_slot ~spill ?max_inflight ~trace:tracer ~cluster
             ~profile ctx
         in
@@ -315,7 +331,7 @@ let run_cmd =
           value & flag
           & info [ "ops-trace" ] ~doc:"Print the per-operator execution trace.")
       $ chaos_seed_term $ chaos_rates_term $ checkpoint_term $ mem_per_slot_term
-      $ spill_term $ max_inflight_term)
+      $ spill_term $ max_inflight_term $ udf_mode_term)
 
 (* ---- explain ---- *)
 

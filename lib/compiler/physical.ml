@@ -207,3 +207,52 @@ let annotate_broadcasts prog =
               (fun (n, p) -> (n, P.annotate_broadcasts ~bound:Strset.empty p))
               r.thunks })
     prog
+
+(* ------------------------------------------------------------------ *)
+
+let udf_compile_stats prog =
+  (* Counts the UDF sites the engine will stage through
+     [Emma_lang.Compile]: reified unary/binary UDFs, fold algebras, and the
+     subset of UDFs that capture no driver variables ("closed" — these
+     compile to fully environment-free closures). Purely an analysis: the
+     plans themselves are not changed. *)
+  let udfs = ref 0 and udf2s = ref 0 and folds = ref 0 and closed = ref 0 in
+  let udf (u : P.udf) =
+    incr udfs;
+    if u.P.broadcast = [] then incr closed
+  in
+  let udf2 (u : P.udf2) =
+    incr udf2s;
+    if u.P.broadcast2 = [] then incr closed
+  in
+  Cprog.iter_plans
+    (fun plan ->
+      P.fold_plan
+        (fun () node ->
+          match node with
+          | P.Map (u, _) | P.Flat_map (u, _) | P.Filter (u, _)
+          | P.Group_by (u, _) | P.Partition_by (u, _) ->
+              udf u
+          | P.Eq_join { lkey; rkey; _ }
+          | P.Semi_join { lkey; rkey; _ }
+          | P.Anti_join { lkey; rkey; _ } ->
+              udf lkey;
+              udf rkey
+          | P.Agg_by { key; _ } ->
+              udf key;
+              incr folds
+          | P.Fold (_, _) -> incr folds
+          | P.Stateful_create { key; _ } -> udf key
+          | P.Stateful_update { udf = u; _ } -> udf u
+          | P.Stateful_update_msgs { msg_key; udf = u; _ } ->
+              udf msg_key;
+              udf2 u
+          | P.Read _ | P.Scan _ | P.Local _ | P.Cross _ | P.Union _ | P.Minus _
+          | P.Distinct _ | P.Cache _ | P.Stateful_read _ ->
+              ())
+        () plan)
+    prog;
+  [ ("udfs", string_of_int !udfs);
+    ("udf2s", string_of_int !udf2s);
+    ("fold algebras", string_of_int !folds);
+    ("closed", string_of_int !closed) ]

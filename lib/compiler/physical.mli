@@ -31,3 +31,10 @@ val partition_pulling : Emma_dataflow.Cprog.t -> Emma_dataflow.Cprog.t * string 
     enforced partitioning. *)
 
 val annotate_broadcasts : Emma_dataflow.Cprog.t -> Emma_dataflow.Cprog.t
+
+val udf_compile_stats : Emma_dataflow.Cprog.t -> (string * string) list
+(** Analysis for the [udf-compile] explain phase: counts the UDF sites the
+    engine stages through {!Emma_lang.Compile} — unary and binary UDFs,
+    fold algebras, and how many UDFs are closed (capture no driver
+    variables, so they compile to environment-free closures). Does not
+    transform the program. *)

@@ -170,6 +170,15 @@ let compile ?(opts = default_opts) ?trace ?observe p =
         c)
   in
   let c = cphase ~name:"broadcasts" ~enabled:true c Physical.annotate_broadcasts in
+  (* Analysis-only phase: reports the UDF sites the engine will stage
+     through [Emma_lang.Compile] at run time (the plans are unchanged, so
+     it renders as a no-op). *)
+  let c =
+    cphase ~name:"udf-compile" ~enabled:true
+      ~detail:(fun () -> Physical.udf_compile_stats c)
+      c
+      (fun c -> c)
+  in
   ( c,
     { fusion = fusion_stats;
       translation;

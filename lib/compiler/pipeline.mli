@@ -42,7 +42,7 @@ val applied_partition_pulling : report -> bool
 
 type phase_obs = {
   ph_name : string;  (** inline | normalize | fusion | translate | caching
-                         | partition | broadcasts *)
+                         | partition | broadcasts | udf-compile *)
   ph_enabled : bool;  (** false when the phase was switched off by [opts] *)
   ph_before : int;  (** AST/plan node count entering the phase *)
   ph_after : int;  (** node count leaving it *)

@@ -57,23 +57,24 @@ let run_native algo ~tables =
   let value = Eval.eval_program ctx algo.source in
   (value, ctx)
 
-let run_on ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight ?pool ?trace
-    rt algo ~tables =
+let run_on ?udf_mode ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight ?pool
+    ?trace rt algo ~tables =
   let ctx = make_ctx tables in
   let engine =
-    Engine.create ?timeout_s:rt.timeout_s ?faults ?checkpoint_every ?mem_budget
-      ?spill ?max_inflight ?pool ?trace ~cluster:rt.cluster ~profile:rt.profile ctx
+    Engine.create ?timeout_s:rt.timeout_s ?udf_mode ?faults ?checkpoint_every
+      ?mem_budget ?spill ?max_inflight ?pool ?trace ~cluster:rt.cluster
+      ~profile:rt.profile ctx
   in
   match Engine.run engine algo.compiled with
   | value -> Finished { value; metrics = Engine.metrics engine; ctx }
   | exception Engine.Engine_failure reason -> Failed { reason; metrics = Engine.metrics engine }
   | exception Engine.Engine_timeout at_s -> Timed_out { at_s; metrics = Engine.metrics engine }
 
-let run_on_exn ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight ?pool
-    ?trace rt algo ~tables =
+let run_on_exn ?udf_mode ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight
+    ?pool ?trace rt algo ~tables =
   match
-    run_on ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight ?pool ?trace
-      rt algo ~tables
+    run_on ?udf_mode ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight ?pool
+      ?trace rt algo ~tables
   with
   | Finished r -> r
   | Failed { reason; _ } -> failwith ("engine failure: " ^ reason)

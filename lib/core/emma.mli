@@ -71,6 +71,7 @@ val run_native : algorithm -> tables:(string * Value.t list) list -> Value.t * E
     DataBag — the semantic reference. *)
 
 val run_on :
+  ?udf_mode:Engine.udf_mode ->
   ?faults:Faults.t ->
   ?checkpoint_every:int ->
   ?mem_budget:float ->
@@ -89,6 +90,10 @@ val run_on :
     job/stage/partition spans — pure observation, never consulted by the
     cost model.
 
+    [udf_mode] (default [Compiled]) selects staged-compiled or interpreted
+    per-tuple UDF execution; results and all cost-model metrics are
+    bit-identical between modes, only wall-clock moves.
+
     [faults] (default {!Faults.none}) is a deterministic chaos plan the
     engine recovers from — retries, lineage recomputation, speculation,
     blacklisting — without changing results; [checkpoint_every] snapshots
@@ -106,6 +111,7 @@ val run_on :
     {!Engine.create}. *)
 
 val run_on_exn :
+  ?udf_mode:Engine.udf_mode ->
   ?faults:Faults.t ->
   ?checkpoint_every:int ->
   ?mem_budget:float ->

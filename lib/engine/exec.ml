@@ -2,6 +2,7 @@ module Value = Emma_value.Value
 module Plan = Emma_dataflow.Plan
 module Cprog = Emma_dataflow.Cprog
 module Eval = Emma_lang.Eval
+module Compile = Emma_lang.Compile
 module Expr = Emma_lang.Expr
 module Strset = Emma_util.Strset
 module Pool = Emma_util.Pool
@@ -12,6 +13,14 @@ exception Engine_failure of string
 exception Engine_timeout of float
 
 type location = Mem | Dfs
+
+(* How worker-side UDF bodies execute. [Interp] walks the [Expr] tree with
+   {!Eval} per tuple; [Compiled] stages each body once through
+   {!Emma_lang.Compile} and runs the resulting closure. The choice affects
+   wall-clock only: both paths share the same [worker_env] cost charging
+   and the same [bump_udf] tally, so every cost-model field is
+   bit-identical between modes (differentially tested). *)
+type udf_mode = Interp | Compiled
 
 (* Mutable chaos bookkeeping. Sequence counters number the injection
    points in coordinator execution order — the same order at any domain
@@ -46,6 +55,8 @@ type t = {
       (* inside the second or later iteration of a driver loop on an
          engine with native iteration support: job submissions reuse the
          deployed dataflow and pay a reduced overhead *)
+  udf_mode : udf_mode;
+      (* interpreted (oracle) or staged-compiled per-tuple UDF execution *)
   faults : Faults.t;
       (* deterministic fault plan: decides task failures, executor losses,
          fetch failures, stragglers, loop losses, OOM kills and checkpoint
@@ -114,8 +125,8 @@ and env = (string * dval) list
 
 type out = Obag of Pdata.t | Oscalar of Value.t | Ostateful of state_handle
 
-let create ?timeout_s ?(faults = Faults.none) ?checkpoint_every ?mem_budget
-    ?(spill = false) ?max_inflight ?pool ?trace ~cluster ~profile eval_ctx =
+let create ?timeout_s ?(udf_mode = Compiled) ?(faults = Faults.none) ?checkpoint_every
+    ?mem_budget ?(spill = false) ?max_inflight ?pool ?trace ~cluster ~profile eval_ctx =
   { cluster;
     profile;
     metrics = Metrics.create ();
@@ -124,6 +135,7 @@ let create ?timeout_s ?(faults = Faults.none) ?checkpoint_every ?mem_budget
     timeout_s;
     job_depth = 0;
     iteration_rerun = false;
+    udf_mode;
     faults;
     chaos =
       { barrier_seq = 0;
@@ -823,10 +835,19 @@ and udf_scan_cost t ~inner_records (pd : Pdata.t) =
   end
 
 and udf_fn_ex t env (u : Plan.udf) : (Value.t -> Value.t) * float =
+  (* [worker_env] does all the cost charging (broadcasts, inner table
+     reads), so the mode switch below can only move wall-clock. *)
   let base, inner = worker_env t env ~params:[ u.Plan.param ] [ u.Plan.body ] in
+  let f =
+    match t.udf_mode with
+    | Interp ->
+        fun v ->
+          Eval.eval_value t.eval_ctx (Eval.bind u.Plan.param (Eval.V v) base) u.Plan.body
+    | Compiled -> Compile.fn t.eval_ctx base ~param:u.Plan.param u.Plan.body
+  in
   ( (fun v ->
       bump_udf t;
-      Eval.eval_value t.eval_ctx (Eval.bind u.Plan.param (Eval.V v) base) u.Plan.body),
+      f v),
     inner )
 
 and udf_fn t env u = fst (udf_fn_ex t env u)
@@ -835,23 +856,35 @@ and udf2_fn t env (u : Plan.udf2) : Value.t -> Value.t -> Value.t =
   let base, _ =
     worker_env t env ~params:[ u.Plan.param1; u.Plan.param2 ] [ u.Plan.body2 ]
   in
+  let f =
+    match t.udf_mode with
+    | Interp ->
+        fun a b ->
+          let e = Eval.bind u.Plan.param1 (Eval.V a) base in
+          let e = Eval.bind u.Plan.param2 (Eval.V b) e in
+          Eval.eval_value t.eval_ctx e u.Plan.body2
+    | Compiled ->
+        Compile.fn2 t.eval_ctx base ~param1:u.Plan.param1 ~param2:u.Plan.param2
+          u.Plan.body2
+  in
   fun a b ->
     bump_udf t;
-    let e = Eval.bind u.Plan.param1 (Eval.V a) base in
-    let e = Eval.bind u.Plan.param2 (Eval.V b) e in
-    Eval.eval_value t.eval_ctx e u.Plan.body2
+    f a b
 
 (* Runtime form of a fold algebra: (empty, single, union). *)
 and fold_runtime t env (fns : Expr.fold_fns) =
   let base, _ =
     worker_env t env ~params:[] [ fns.Expr.f_empty; fns.Expr.f_single; fns.Expr.f_union ]
   in
-  let empty = Eval.eval_value t.eval_ctx base fns.Expr.f_empty in
-  let single_rv = Eval.eval t.eval_ctx base fns.Expr.f_single in
-  let union_rv = Eval.eval t.eval_ctx base fns.Expr.f_union in
-  let single v = Eval.apply_rv t.eval_ctx single_rv v in
-  let union a b = Eval.apply2_rv t.eval_ctx union_rv a b in
-  (empty, single, union)
+  match t.udf_mode with
+  | Interp ->
+      let empty = Eval.eval_value t.eval_ctx base fns.Expr.f_empty in
+      let single_rv = Eval.eval t.eval_ctx base fns.Expr.f_single in
+      let union_rv = Eval.eval t.eval_ctx base fns.Expr.f_union in
+      let single v = Eval.apply_rv t.eval_ctx single_rv v in
+      let union a b = Eval.apply2_rv t.eval_ctx union_rv a b in
+      (empty, single, union)
+  | Compiled -> Compile.fold_fns t.eval_ctx base fns
 
 and exec_to_bag t env p =
   match exec_plan t env p with
@@ -1464,19 +1497,25 @@ and exec_anti_join t env ~lkey ~rkey (lpd : Pdata.t) (rpd : Pdata.t) : out =
 
 (* Evaluate a pure driver expression: its free variables are resolved from
    the driver environment (collecting distributed bags — DFL→DRV). *)
-and eval_driver_expr t env (e : Expr.expr) : Value.t =
+and driver_eval_env t env (e : Expr.expr) : Eval.env =
   let fv = Expr.free_vars e in
-  let eval_env =
-    Strset.fold
-      (fun x acc ->
-        match List.assoc_opt x env with
-        | None -> acc
-        | Some (Dscalar rv) -> Eval.bind x rv acc
-        | Some (Dbag h) -> Eval.bind x (Eval.V (Value.bag (force_bag t h))) acc
-        | Some (Dstateful _) -> acc)
-      fv Eval.empty_env
-  in
-  Eval.eval_value t.eval_ctx eval_env e
+  Strset.fold
+    (fun x acc ->
+      match List.assoc_opt x env with
+      | None -> acc
+      | Some (Dscalar rv) -> Eval.bind x rv acc
+      | Some (Dbag h) -> Eval.bind x (Eval.V (Value.bag (force_bag t h))) acc
+      | Some (Dstateful _) -> acc)
+    fv Eval.empty_env
+
+and eval_driver_expr t env (e : Expr.expr) : Value.t =
+  Eval.eval_value t.eval_ctx (driver_eval_env t env e) e
+
+(* Like [eval_driver_expr] but keeps closures: a driver binding may be a
+   function later captured by worker UDFs (shipped as a zero-byte
+   broadcast, like the native interpreter's driver-bound closures). *)
+and eval_driver_rv t env (e : Expr.expr) : Eval.rvalue =
+  Eval.eval t.eval_ctx (driver_eval_env t env e) e
 
 let snapshot (env : (string * dval ref) list) : env = List.map (fun (n, r) -> (n, !r)) env
 
@@ -1574,7 +1613,7 @@ let exec_rhs t (env : (string * dval ref) list) (r : Cprog.rhs) : dval =
               end)
           env r.Cprog.thunks
       in
-      Dscalar (Eval.V (eval_driver_expr t (snapshot env_with_thunks) r.Cprog.expr))
+      Dscalar (eval_driver_rv t (snapshot env_with_thunks) r.Cprog.expr)
 
 let as_bool = function
   | Dscalar (Eval.V (Value.Bool b)) -> b

@@ -38,8 +38,15 @@ exception Engine_timeout of float
 type t
 (** An engine instance: cluster + profile + metrics + table storage. *)
 
+type udf_mode =
+  | Interp  (** tree-walk every UDF body per tuple with {!Emma_lang.Eval} *)
+  | Compiled
+      (** stage each UDF body once through {!Emma_lang.Compile} into a
+          host closure (the default) *)
+
 val create :
   ?timeout_s:float ->
+  ?udf_mode:udf_mode ->
   ?faults:Faults.t ->
   ?checkpoint_every:int ->
   ?mem_budget:float ->
@@ -53,6 +60,12 @@ val create :
   t
 (** The [Eval.ctx] provides the named input tables and receives written
     sinks, so engine runs and native runs are directly comparable.
+
+    [udf_mode] (default [Compiled]) selects how worker-side UDF bodies
+    execute. Both modes share the same cost charging and UDF tally, so
+    results and every cost-model metric are bit-identical between them —
+    only [wall_time_s] moves; the interpreter is retained as the
+    differential-testing oracle.
 
     [faults] is a deterministic fault plan (default {!Faults.none}): it
     injects task-attempt failures, executor losses, shuffle-fetch

@@ -1,0 +1,56 @@
+(** Staged compilation of embedded-language terms.
+
+    A partial-evaluation / normalization-by-evaluation pass in the spirit of
+    {e Stream Fusion, to Completeness} and {e Embedding by Normalisation}
+    (see PAPERS.md): each fused UDF body emitted by the compiler pipeline is
+    walked {e once} and turned into a nested OCaml closure over
+    {!Emma_value.Value}, so per-tuple evaluation performs no tree dispatch
+    and no string-keyed environment lookups. Variables bound by the UDF's
+    own binders become positional slots; names captured from the driver
+    environment (broadcast values, constants) are resolved and inlined at
+    compile time.
+
+    The reference interpreter ({!Eval}) remains the semantics and serves as
+    the differential-testing oracle: compiled closures produce the same
+    values, raise the same classified errors ([Eval.Eval_error],
+    [Emma_value.Value.Type_error], [Invalid_argument]) with the same
+    messages, and observe the same evaluation order. Compilation itself
+    never raises — a subterm that would fail at runtime compiles into code
+    that re-raises that error exactly when the interpreter would.
+
+    Compilation never calls {!Expr.fresh}, so it cannot perturb the
+    deterministic names in tooling output. *)
+
+val fn :
+  Eval.ctx -> Eval.env -> param:string -> Expr.expr -> Emma_value.Value.t -> Emma_value.Value.t
+(** [fn ctx env ~param body] compiles the unary UDF [fun param -> body]
+    under the captured environment [env]; the returned closure behaves like
+    [fun v -> Eval.eval_value ctx (Eval.bind param (V v) env) body]. *)
+
+val fn2 :
+  Eval.ctx ->
+  Eval.env ->
+  param1:string ->
+  param2:string ->
+  Expr.expr ->
+  Emma_value.Value.t ->
+  Emma_value.Value.t ->
+  Emma_value.Value.t
+(** Binary (uncurried at the plan level) UDF; [param2] is the inner binder
+    and shadows [param1] if the names coincide, like the interpreter's bind
+    order. *)
+
+val fold_fns :
+  Eval.ctx ->
+  Eval.env ->
+  Expr.fold_fns ->
+  Emma_value.Value.t
+  * (Emma_value.Value.t -> Emma_value.Value.t)
+  * (Emma_value.Value.t -> Emma_value.Value.t -> Emma_value.Value.t)
+(** Compiles a fold algebra to [(empty, single, union)]. The three
+    expressions are evaluated eagerly (when [fold_fns] is called), matching
+    the engine's interpreted fold runtime. *)
+
+val value : Eval.ctx -> Eval.env -> Expr.expr -> Emma_value.Value.t
+(** Whole-expression evaluation via staging; observationally equivalent to
+    {!Eval.eval_value}. Used by the differential test-suite. *)

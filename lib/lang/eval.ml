@@ -35,6 +35,8 @@ let lookup env x =
   | Some r -> !r
   | None -> fail "unbound variable %s" x
 
+let lookup_opt env x = Option.map ( ! ) (List.assoc_opt x env)
+
 let lookup_ref env x =
   match List.assoc_opt x env with
   | Some r -> r
@@ -202,6 +204,16 @@ and eval_comp ctx env { head; quals; alg } =
   match alg with
   | Alg_bag -> Value.bag produced
   | Alg_fold fns -> eval_fold ctx env fns produced
+
+(* One application step without forcing the result: the staged compiler
+   ({!Compile}) uses this to wrap captured interpreter closures, so a
+   curried closure applied in two steps behaves exactly like
+   [apply2_rv]. *)
+let apply_step ctx fv arg =
+  match fv with
+  | Clo { c_env; c_param; c_body } -> eval ctx (bind c_param (V arg) c_env) c_body
+  | V _ -> fail "cannot apply a non-function value"
+  | St _ -> fail "cannot apply a stateful bag"
 
 (* ------------------------------------------------------------------ *)
 (* Driver programs                                                      *)

@@ -32,6 +32,11 @@ val empty_env : env
 val bind : string -> rvalue -> env -> env
 val lookup : env -> string -> rvalue
 
+val lookup_opt : env -> string -> rvalue option
+(** Like [lookup] but returns [None] instead of raising; the staged
+    compiler ({!Compile}) uses it to resolve captured bindings at
+    compile time. *)
+
 val eval : ctx -> env -> Expr.expr -> rvalue
 val eval_value : ctx -> env -> Expr.expr -> Value.t
 (** Like [eval] but requires a first-class value (not a closure/stateful). *)
@@ -41,6 +46,13 @@ val apply_rv : ctx -> rvalue -> Value.t -> Value.t
 
 val apply2_rv : ctx -> rvalue -> Value.t -> Value.t -> Value.t
 (** Applies an evaluated curried binary UDF to two values. *)
+
+val apply_step : ctx -> rvalue -> Value.t -> rvalue
+(** One application step that does {e not} force the result to a value:
+    applying a curried closure yields the inner closure. This is the
+    building block [apply2_rv] composes; {!Compile} uses it to wrap
+    interpreter closures captured from the environment. Error messages
+    match {!apply_rv}. *)
 
 val eval_program : ctx -> Expr.program -> Value.t
 (** Runs the driver program: executes statements in order (writing sinks

@@ -35,6 +35,16 @@ val apply : t -> Emma_value.Value.t list -> Emma_value.Value.t
     mismatches and [Invalid_argument] on arity mismatches. Numeric binary
     operators promote [Int] to [Float] when operand kinds are mixed. *)
 
+val apply0 : t -> Emma_value.Value.t
+val apply1 : t -> Emma_value.Value.t -> Emma_value.Value.t
+
+val apply2 : t -> Emma_value.Value.t -> Emma_value.Value.t -> Emma_value.Value.t
+(** Arity-specialized variants of {!apply} that skip the argument-list
+    allocation and the runtime arity check; callers (the staged compiler
+    in {!Compile}) must have verified [arity p] themselves. Raise
+    [Invalid_argument "prim ...: bad application"] if [p] is not of the
+    corresponding arity. *)
+
 val is_commutative : t -> bool
 (** True for primitives known to be commutative ([Add], [Mul], [Min2],
     [Max2], [And], [Or], [Eq], [Ne]); the fold-fusion well-definedness

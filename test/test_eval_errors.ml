@@ -75,6 +75,66 @@ let test_closures_in_driver () =
   in
   check_value "driver-bound UDF" (Value.int 6) (run_program p)
 
+(* --- error parity: interpreter vs staged compiler ---------------------
+   Both UDF modes must classify failures identically: same exception
+   constructor AND same message, so `--udf-mode` never changes what a
+   failing program reports. The staged compiler constant-folds aggressively;
+   these cases pin that folding may not upgrade, downgrade or re-word an
+   error. *)
+
+module Compile = Emma_lang.Compile
+
+let classify f =
+  match f () with
+  | v -> Ok v
+  | exception Eval.Eval_error m -> Error ("Eval_error: " ^ m)
+  | exception Value.Type_error m -> Error ("Type_error: " ^ m)
+  | exception Invalid_argument m -> Error ("Invalid_argument: " ^ m)
+
+let check_error_parity name e =
+  let ctx = ctx_with [] in
+  let interp = classify (fun () -> Eval.eval_value ctx Eval.empty_env e) in
+  let compiled = classify (fun () -> Compile.value ctx Eval.empty_env e) in
+  (match interp with
+  | Error _ -> ()
+  | Ok v ->
+      Alcotest.failf "%s: expected the oracle to fail, got %s" name
+        (Value.to_display v));
+  let pp_outcome fmt = function
+    | Ok v -> Format.fprintf fmt "Ok %s" (Value.to_display v)
+    | Error m -> Format.fprintf fmt "Error %S" m
+  in
+  Alcotest.check (Alcotest.testable pp_outcome ( = )) name interp compiled
+
+let test_error_parity_arith () =
+  check_error_parity "div by zero" S.(int_ 1 / int_ 0);
+  check_error_parity "mod by zero" S.(int_ 7 mod int_ 0);
+  (* the divisor is dynamic: folding must not pre-raise *)
+  check_error_parity "dynamic div by zero"
+    S.(app (lam "d" (fun d -> int_ 1 / d)) (int_ 0))
+
+let test_error_parity_projection () =
+  check_error_parity "projection out of bounds"
+    (Emma_lang.Expr.Proj (S.tup [ S.int_ 1; S.int_ 2 ], 7));
+  check_error_parity "missing record field"
+    (S.field (S.record [ ("a", S.int_ 1) ]) "zzz");
+  check_error_parity "projection of non-tuple" (Emma_lang.Expr.Proj (S.int_ 3, 0))
+
+let test_error_parity_prim_arity () =
+  (* hand-built Prim nodes with the wrong arity (Surface can't produce
+     these); both modes must report the same arity message *)
+  check_error_parity "prim arity 2 got 1"
+    (Emma_lang.Expr.Prim (Emma_lang.Prim.Add, [ S.int_ 1 ]));
+  check_error_parity "prim arity 1 got 3"
+    (Emma_lang.Expr.Prim (Emma_lang.Prim.Neg, [ S.int_ 1; S.int_ 2; S.int_ 3 ]))
+
+let test_error_parity_apply () =
+  check_error_parity "apply non-function" (S.app (S.int_ 1) (S.int_ 2));
+  check_error_parity "unbound variable" (S.var "nope");
+  check_error_parity "fold over non-bag" (S.count (S.int_ 1));
+  check_error_parity "guard non-bool"
+    S.(for_ [ gen "x" (bag_of [ int_ 1 ]); when_ (int_ 5) ] ~yield:(var "x"))
+
 let test_shadowing_in_comprehension () =
   (* an inner generator shadows an outer one of the same name *)
   let e =
@@ -101,5 +161,9 @@ let suite =
         Alcotest.test_case "stateful duplicate keys" `Quick test_stateful_duplicate_keys_rejected;
         Alcotest.test_case "assign unbound" `Quick test_assign_unbound;
         Alcotest.test_case "driver-bound closures" `Quick test_closures_in_driver;
-        Alcotest.test_case "comprehension shadowing" `Quick test_shadowing_in_comprehension ] )
+        Alcotest.test_case "comprehension shadowing" `Quick test_shadowing_in_comprehension;
+        Alcotest.test_case "mode parity: arithmetic errors" `Quick test_error_parity_arith;
+        Alcotest.test_case "mode parity: projection errors" `Quick test_error_parity_projection;
+        Alcotest.test_case "mode parity: prim arity errors" `Quick test_error_parity_prim_arity;
+        Alcotest.test_case "mode parity: apply/fold errors" `Quick test_error_parity_apply ] )
   ]

@@ -117,6 +117,33 @@ let test_explain_stable () =
   let second = Explain.to_string (Explain.run prog) in
   Alcotest.(check string) "explain is history-independent" first second
 
+(* Every explain carries the udf-compile analysis phase: always enabled,
+   never changing the plans (no-op), and reporting the staged-UDF counts
+   the engine will compile at run time. *)
+let test_explain_udf_compile_phase () =
+  let prog = Pr.Tpch_q1.program Pr.Tpch_q1.default_params in
+  let t = Explain.run prog in
+  let ph =
+    match
+      List.find_opt (fun o -> o.Pipeline.ph_name = "udf-compile") t.Explain.phases
+    with
+    | Some ph -> ph
+    | None -> Alcotest.fail "explain has no udf-compile phase"
+  in
+  Alcotest.(check bool) "udf-compile enabled" true ph.Pipeline.ph_enabled;
+  Alcotest.(check bool) "udf-compile is analysis-only" false ph.Pipeline.ph_changed;
+  Alcotest.(check int) "udf-compile preserves node count" ph.Pipeline.ph_before
+    ph.Pipeline.ph_after;
+  let has k = List.mem_assoc k ph.Pipeline.ph_detail in
+  Alcotest.(check bool) "reports udf count" true (has "udfs");
+  Alcotest.(check bool) "reports fold algebras" true (has "fold algebras");
+  Alcotest.(check bool) "reports closed udfs" true (has "closed");
+  (* Q1 is a map/filter/aggBy pipeline: it must stage at least one UDF and
+     one fold algebra. *)
+  let n k = int_of_string (List.assoc k ph.Pipeline.ph_detail) in
+  Alcotest.(check bool) "q1 stages udfs" true (n "udfs" > 0);
+  Alcotest.(check bool) "q1 stages a fold algebra" true (n "fold algebras" > 0)
+
 (* Disabled optimizations show up as "off" phases and "not applied". *)
 let test_explain_opts () =
   let prog = Pr.Tpch_q1.program Pr.Tpch_q1.default_params in
@@ -137,4 +164,5 @@ let suite =
           Alcotest.test_case ("golden: " ^ name) `Quick (golden_test name prog))
         cases
       @ [ Alcotest.test_case "history-independent" `Quick test_explain_stable;
+          Alcotest.test_case "udf-compile phase" `Quick test_explain_udf_compile_phase;
           Alcotest.test_case "disabled opts rendered" `Quick test_explain_opts ] ) ]

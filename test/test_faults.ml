@@ -54,11 +54,12 @@ let group_prog =
                    );
                    ("b", field (var "g") "key") ])) ]
 
-let run_engine ?faults ?checkpoint_every ?timeout_s ?cluster ?pool prog tables =
+let run_engine ?faults ?checkpoint_every ?timeout_s ?cluster ?pool ?udf_mode prog
+    tables =
   let cluster = match cluster with Some c -> c | None -> Cluster.laptop () in
   let ctx = ctx_with tables in
   let eng =
-    Engine.create ?timeout_s ?faults ?checkpoint_every ?pool ~cluster
+    Engine.create ?timeout_s ?faults ?checkpoint_every ?pool ?udf_mode ~cluster
       ~profile:Cluster.spark_like ctx
   in
   let v = Engine.run eng (Emma.parallelize prog).Emma.compiled in
@@ -446,6 +447,65 @@ let test_seeded_loop_loss_bounded () =
        <= (Cluster.laptop ()).Cluster.recovery.Cluster.max_loop_restarts)
 
 (* ---------------------------------------------------------------- *)
+(* Staged UDFs under failure                                           *)
+(* ---------------------------------------------------------------- *)
+
+(* Recovery re-invokes UDFs: lineage recomputation and checkpoint resume
+   replay the staged closures. The `--udf-mode` knob must be invisible to
+   the fault model — same values and byte-identical cost AND recovery
+   counters in both modes, whatever the chaos plan. *)
+
+let check_mode_parity_under name ?checkpoint_every ~faults prog tables =
+  let vi, mi =
+    run_engine ~faults ?checkpoint_every ~udf_mode:Engine.Interp prog tables
+  in
+  let vc, mc =
+    run_engine ~faults ?checkpoint_every ~udf_mode:Engine.Compiled prog tables
+  in
+  check_value (name ^ ": same value") vi vc;
+  Alcotest.(check bool) (name ^ ": cost metrics bit-identical") true
+    (cost_sig mi = cost_sig mc);
+  Alcotest.(check bool) (name ^ ": recovery metrics bit-identical") true
+    (recovery_sig mi = recovery_sig mc)
+
+let test_compiled_udfs_under_seeded_chaos () =
+  List.iter
+    (fun (name, prog) ->
+      List.iter
+        (fun seed ->
+          check_mode_parity_under
+            (Printf.sprintf "%s/seed %d" name seed)
+            ~faults:(Faults.seeded seed) prog tables)
+        [ 7; 42 ])
+    [ ("loop", loop_prog 4); ("map", map_prog); ("group", group_prog) ]
+
+let test_compiled_lineage_recompute () =
+  (* executor loss drops cached partitions; they are rebuilt by re-running
+     the staged closures over their lineage *)
+  let faults = Faults.scripted [ Faults.Exec_loss { barrier = 3; node = 0 } ] in
+  check_mode_parity_under "executor loss" ~faults (loop_prog 5) tables;
+  let clean, _ = run_engine (loop_prog 5) tables in
+  let v, m = run_engine ~faults ~udf_mode:Engine.Compiled (loop_prog 5) tables in
+  check_value "compiled recomputation is exact" clean v;
+  Alcotest.(check bool) "recomputation actually ran" true
+    (m.Emma.Metrics.recomputed_partitions > 0)
+
+let test_compiled_checkpoint_resume () =
+  (* driver losses mid-loop: the StatefulBag ranks are restored from a
+     checkpoint and the remaining iterations replay through the compiled
+     closures *)
+  let prog, pr_tables = pagerank_setup () in
+  let faults = Faults.scripted [ Faults.Loop_loss 3; Faults.Loop_loss 6 ] in
+  check_mode_parity_under "pagerank resume" ~checkpoint_every:2 ~faults prog
+    pr_tables;
+  let clean, _ = run_engine prog pr_tables in
+  let v, m =
+    run_engine ~faults ~checkpoint_every:2 ~udf_mode:Engine.Compiled prog pr_tables
+  in
+  check_value "compiled resume is exact" clean v;
+  Alcotest.(check int) "both restores honoured" 2 m.Emma.Metrics.loop_restores
+
+(* ---------------------------------------------------------------- *)
 (* Engine_timeout fires mid-recovery                                   *)
 (* ---------------------------------------------------------------- *)
 
@@ -521,4 +581,11 @@ let suite =
         Alcotest.test_case "loss rate 1.0 stays bounded" `Quick
           test_seeded_loop_loss_bounded;
         Alcotest.test_case "timeout aborts a retry storm" `Quick
-          test_timeout_aborts_retry_storm ] ) ]
+          test_timeout_aborts_retry_storm ] );
+    ( "fault_injection_udf_modes",
+      [ Alcotest.test_case "seeded chaos: interp = compiled" `Quick
+          test_compiled_udfs_under_seeded_chaos;
+        Alcotest.test_case "lineage recompute: interp = compiled" `Quick
+          test_compiled_lineage_recompute;
+        Alcotest.test_case "checkpoint resume: interp = compiled" `Quick
+          test_compiled_checkpoint_resume ] ) ]
