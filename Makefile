@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-parallel explain-golden trace-check chaos-smoke mem-smoke udf-smoke check bench bench-scaleup bench-faults bench-memory bench-udf clean
+.PHONY: all build test test-parallel test-parallel8 explain-golden trace-check chaos-smoke mem-smoke udf-smoke pool-smoke check bench bench-scaleup bench-faults bench-memory bench-udf clean
 
 all: build
 
@@ -16,6 +16,12 @@ test:
 # fault-recovery tests are written against.
 test-parallel:
 	EMMA_TEST_DOMAINS=4 dune runtest --force
+
+# And pinned to 8 domains: oversubscribed on most hosts, which is exactly
+# the preemption-heavy schedule the work-stealing pool must stay
+# deterministic under.
+test-parallel8:
+	EMMA_TEST_DOMAINS=8 dune runtest --force
 
 # Golden-file checks for `emma explain` (part of the default `dune runtest`;
 # this target runs just that suite). Regenerate intentionally-changed goldens
@@ -43,9 +49,15 @@ mem-smoke:
 udf-smoke:
 	dune build @udf-smoke --force
 
-# The full pre-merge flow: build, tier-1 tests on 2 and 4 domains, chaos
-# smoke, memory smoke, UDF-mode differential smoke.
-check: build test test-parallel chaos-smoke mem-smoke udf-smoke
+# Short scheduling stress of the work-stealing pool at 8 oversubscribed
+# domains: nested trees, tiny-batch churn, exception storm, legacy-pool
+# differential.
+pool-smoke:
+	dune build @pool-smoke --force
+
+# The full pre-merge flow: build, tier-1 tests on 2, 4 and 8 domains,
+# chaos smoke, memory smoke, UDF-mode differential smoke, pool stress.
+check: build test test-parallel test-parallel8 chaos-smoke mem-smoke udf-smoke pool-smoke
 
 bench:
 	dune exec bench/main.exe

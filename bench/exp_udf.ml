@@ -158,7 +158,7 @@ let run () =
   let reference = ref None in
   List.iter
     (fun domains ->
-      let pool = Pool.create ~domains in
+      let pool = Pool.create ~domains () in
       Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
       List.iter
         (fun udf_mode ->
@@ -182,7 +182,7 @@ let run () =
     [ 1; 2; 4 ];
   (* wall clock: best of [reps] per mode on a 1-domain pool *)
   let best_wall udf_mode =
-    let pool = Pool.create ~domains:1 in
+    let pool = Pool.create ~domains:1 () in
     Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
     List.fold_left
       (fun best _ ->

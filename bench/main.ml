@@ -9,7 +9,12 @@
      dune exec bench/main.exe -- --domains 4 tpch
                                          runs partition work on 4 OCaml
                                          domains (results and cost metrics
-                                         are identical; wall clock varies) *)
+                                         are identical; wall clock varies)
+     dune exec bench/main.exe -- --skew 1.6 --chunk 64 scaleup
+                                         Zipf exponent / chunk policy for the
+                                         skewed scale-up sections (chunk is
+                                         auto or a row count; neither moves
+                                         results or cost metrics) *)
 
 let experiments =
   [ ("table1", Exp_table1.run);
@@ -37,14 +42,34 @@ let () =
             Printf.eprintf "--domains expects a positive integer, got %S\n" n;
             exit 1);
         parse acc rest
+    | "--skew" :: a :: rest ->
+        (match float_of_string_opt a with
+        | Some alpha when alpha >= 0.0 -> Exp_scaleup.skew_exponent := alpha
+        | _ ->
+            Printf.eprintf "--skew expects a non-negative float, got %S\n" a;
+            exit 1);
+        parse acc rest
+    | "--chunk" :: c :: rest ->
+        (match
+           if c = "auto" then Some Emma.Engine.Chunk_auto
+           else
+             match int_of_string_opt c with
+             | Some k when k >= 1 -> Some (Emma.Engine.Chunk_fixed k)
+             | _ -> None
+         with
+        | Some spec -> Exp_scaleup.chunk_spec := spec
+        | None ->
+            Printf.eprintf "--chunk expects \"auto\" or a positive row count, got %S\n" c;
+            exit 1);
+        parse acc rest
     | "--trace" :: file :: rest ->
         trace_file := Some file;
         parse acc rest
     | "--report" :: dir :: rest ->
         report_dir := Some dir;
         parse acc rest
-    | [ ("--domains" | "--trace" | "--report") ] ->
-        Printf.eprintf "--domains/--trace/--report expect a value\n";
+    | [ ("--domains" | "--skew" | "--chunk" | "--trace" | "--report") ] ->
+        Printf.eprintf "--domains/--skew/--chunk/--trace/--report expect a value\n";
         exit 1
     | name :: rest -> parse (name :: acc) rest
     | [] -> List.rev acc

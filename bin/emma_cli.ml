@@ -173,6 +173,37 @@ let max_inflight_term =
   in
   Arg.(value & opt (some int) None & info [ "max-inflight" ] ~docv:"N" ~doc)
 
+let chunk_term =
+  let doc =
+    "Adaptive-chunking policy for partition tasks on the domain pool: \
+     $(b,auto) (the default) sizes chunks from the cost model's per-row \
+     estimate with a granularity floor; an integer $(docv) pins that many \
+     physical rows per chunk. Chunking lets the work-stealing pool steal a \
+     skewed partition's tail mid-partition; results and every cost-model \
+     metric are identical for any policy — only wall-clock time and the \
+     par_* counters move."
+  in
+  Arg.(value & opt string "auto" & info [ "chunk" ] ~docv:"auto|N" ~doc)
+
+(* Shared with the bench harness's --chunk flag. *)
+let chunk_spec_of_string s : (Emma.Engine.chunk_spec, string) result =
+  match s with
+  | "auto" -> Ok Emma.Engine.Chunk_auto
+  | _ -> (
+      match int_of_string_opt s with
+      | Some k when k >= 1 -> Ok (Emma.Engine.Chunk_fixed k)
+      | Some k ->
+          Error
+            (Printf.sprintf
+               "--chunk %d is invalid: a fixed chunk must be at least 1 row \
+                (or use --chunk auto)"
+               k)
+      | None ->
+          Error
+            (Printf.sprintf
+               "--chunk %s is invalid: expected `auto' or a positive row count"
+               s))
+
 let udf_mode_term =
   let doc =
     "How per-tuple UDF bodies execute: $(b,compiled) stages each fused UDF \
@@ -238,9 +269,14 @@ let faults_of_flags chaos_seed chaos_rates =
 
 let run_cmd =
   let run name opts engine scale dop domains tables_dir trace_file ops_trace chaos_seed
-      chaos_rates checkpoint_every mem_per_slot spill max_inflight udf_mode =
+      chaos_rates checkpoint_every mem_per_slot spill max_inflight udf_mode chunk =
     with_entry name (fun e ->
         validate_run_flags ~mem_per_slot ~max_inflight ~checkpoint_every;
+        let chunk =
+          match chunk_spec_of_string chunk with
+          | Ok c -> c
+          | Error m -> usage_fail "%s" m
+        in
         Emma_util.Pool.set_default_domains domains;
         (* Install the tracer before compiling so the compile-phase spans
            land in the same file as the execution spans. *)
@@ -274,8 +310,8 @@ let run_cmd =
         let faults = faults_of_flags chaos_seed chaos_rates in
         let eng =
           Emma.Engine.create ~timeout_s:3600.0 ~udf_mode ~faults ?checkpoint_every
-            ?mem_budget:mem_per_slot ~spill ?max_inflight ~trace:tracer ~cluster
-            ~profile ctx
+            ?mem_budget:mem_per_slot ~spill ?max_inflight ~chunk ~trace:tracer
+            ~cluster ~profile ctx
         in
         let print_ops_trace () =
           if ops_trace then begin
@@ -331,7 +367,7 @@ let run_cmd =
           value & flag
           & info [ "ops-trace" ] ~doc:"Print the per-operator execution trace.")
       $ chaos_seed_term $ chaos_rates_term $ checkpoint_term $ mem_per_slot_term
-      $ spill_term $ max_inflight_term $ udf_mode_term)
+      $ spill_term $ max_inflight_term $ udf_mode_term $ chunk_term)
 
 (* ---- explain ---- *)
 

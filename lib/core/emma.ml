@@ -58,11 +58,11 @@ let run_native algo ~tables =
   (value, ctx)
 
 let run_on ?udf_mode ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight ?pool
-    ?trace rt algo ~tables =
+    ?chunk ?trace rt algo ~tables =
   let ctx = make_ctx tables in
   let engine =
     Engine.create ?timeout_s:rt.timeout_s ?udf_mode ?faults ?checkpoint_every
-      ?mem_budget ?spill ?max_inflight ?pool ?trace ~cluster:rt.cluster
+      ?mem_budget ?spill ?max_inflight ?pool ?chunk ?trace ~cluster:rt.cluster
       ~profile:rt.profile ctx
   in
   match Engine.run engine algo.compiled with
@@ -71,10 +71,10 @@ let run_on ?udf_mode ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight 
   | exception Engine.Engine_timeout at_s -> Timed_out { at_s; metrics = Engine.metrics engine }
 
 let run_on_exn ?udf_mode ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight
-    ?pool ?trace rt algo ~tables =
+    ?pool ?chunk ?trace rt algo ~tables =
   match
     run_on ?udf_mode ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight ?pool
-      ?trace rt algo ~tables
+      ?chunk ?trace rt algo ~tables
   with
   | Finished r -> r
   | Failed { reason; _ } -> failwith ("engine failure: " ^ reason)

@@ -78,6 +78,7 @@ val run_on :
   ?spill:bool ->
   ?max_inflight:int ->
   ?pool:Pool.t ->
+  ?chunk:Engine.chunk_spec ->
   ?trace:Trace.t ->
   runtime ->
   algorithm ->
@@ -86,7 +87,12 @@ val run_on :
 (** Executes the compiled program on the simulated engine. [pool] selects
     the domain pool per-partition operator work runs on (default
     {!Pool.default}); it affects only wall-clock time, never results or
-    cost-model metrics. [trace] (default {!Trace.global}) receives
+    cost-model metrics. [chunk] (default [Chunk_auto]) sets the adaptive
+    chunking policy: homomorphic operators split partitions into chunks of
+    that many rows so the work-stealing pool can steal a skewed
+    partition's tail mid-partition — like [pool], it moves only wall
+    clock and the par_* counters, never results or cost-model metrics.
+    [trace] (default {!Trace.global}) receives
     job/stage/partition spans — pure observation, never consulted by the
     cost model.
 
@@ -118,6 +124,7 @@ val run_on_exn :
   ?spill:bool ->
   ?max_inflight:int ->
   ?pool:Pool.t ->
+  ?chunk:Engine.chunk_spec ->
   ?trace:Trace.t ->
   runtime ->
   algorithm ->

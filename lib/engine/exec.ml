@@ -22,6 +22,15 @@ type location = Mem | Dfs
    bit-identical between modes (differentially tested). *)
 type udf_mode = Interp | Compiled
 
+(* Chunk-size policy for the adaptive-chunking barriers ([par_chunked]):
+   [Chunk_auto] sizes chunks from the cost model's per-row estimate with a
+   granularity floor; [Chunk_fixed k] pins k physical rows per chunk (the
+   CLI's [--chunk N]). Chunking only splits order-preserving list
+   homomorphisms and reassembles chunk outputs in order, so results and
+   every cost-model metric are bit-identical for every policy — only wall
+   time and the par_* counters move. *)
+type chunk_spec = Chunk_auto | Chunk_fixed of int
+
 (* Mutable chaos bookkeeping. Sequence counters number the injection
    points in coordinator execution order — the same order at any domain
    count, which is what makes injection domain-invariant. *)
@@ -47,6 +56,11 @@ type t = {
   pool : Pool.t;
       (* domain pool running per-partition operator work; shuffles, cost
          charging and the driver stay on the coordinator domain *)
+  chunk : chunk_spec;  (* chunk-size policy for homomorphic barriers *)
+  mutable steal_seen : Pool.stats;
+      (* pool steal counters at the last accounted barrier; diffed into
+         par_steals/par_steal_misses after each barrier (the pool may be
+         shared, so only deltas are attributable to this engine) *)
   timeout_s : float option;
   mutable job_depth : int;
       (* > 0 while a dataflow is executing: nested lineage recomputations
@@ -126,12 +140,16 @@ and env = (string * dval) list
 type out = Obag of Pdata.t | Oscalar of Value.t | Ostateful of state_handle
 
 let create ?timeout_s ?(udf_mode = Compiled) ?(faults = Faults.none) ?checkpoint_every
-    ?mem_budget ?(spill = false) ?max_inflight ?pool ?trace ~cluster ~profile eval_ctx =
+    ?mem_budget ?(spill = false) ?max_inflight ?pool ?(chunk = Chunk_auto) ?trace
+    ~cluster ~profile eval_ctx =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
   { cluster;
     profile;
     metrics = Metrics.create ();
     eval_ctx;
-    pool = (match pool with Some p -> p | None -> Pool.default ());
+    pool;
+    chunk;
+    steal_seen = Pool.stats pool;
     timeout_s;
     job_depth = 0;
     iteration_rerun = false;
@@ -588,6 +606,24 @@ let add_udf_count t n =
 
 let bump_udf t = add_udf_count t 1
 
+(* Fold the pool's steal counters into the metrics after a barrier, as the
+   delta since the last accounted barrier. Purely observational — like
+   [wall_time_s], the par_* counters are scheduling-dependent and excluded
+   from the bit-identical cost-model invariant. *)
+let account_steals t =
+  let s = Pool.stats t.pool in
+  let steals = s.Pool.steals - t.steal_seen.Pool.steals in
+  let misses = s.Pool.steal_misses - t.steal_seen.Pool.steal_misses in
+  if steals <> 0 || misses <> 0 then begin
+    t.metrics.Metrics.par_steals <- t.metrics.Metrics.par_steals + max 0 steals;
+    t.metrics.Metrics.par_steal_misses <-
+      t.metrics.Metrics.par_steal_misses + max 0 misses;
+    t.steal_seen <- s;
+    if steals > 0 && Trace.enabled t.tracer then
+      Trace.instant t.tracer ~cat:"sched" "steal"
+        ~args:[ ("steals", Trace.A_int steals); ("misses", Trace.A_int misses) ]
+  end
+
 (* Run [f 0 .. f (n-1)] — one task per partition — on the domain pool with
    a barrier. Cost charging stays on the coordinator: tasks must not touch
    the metrics or the simulated clock, which is exactly why [sim_time_s]
@@ -633,6 +669,7 @@ let par_run t n (f : int -> 'a) : 'a array =
           run_barrier
       else run_barrier ()
     in
+    account_steals t;
     Array.map
       (fun (r, c) ->
         add_udf_count t c;
@@ -640,15 +677,160 @@ let par_run t n (f : int -> 'a) : 'a array =
       rs
   end
 
-(* Narrow (partition-local) transforms on the pool, mirroring
-   [Pdata.map_parts] / [Pdata.map_parts_preserving]. *)
-let par_map_parts t f (pd : Pdata.t) : Pdata.t =
-  { pd with
-    Pdata.parts = par_run t (Pdata.nparts pd) (fun i -> f pd.Pdata.parts.(i));
-    Pdata.part_key = None }
-
+(* Narrow (partition-local) transform on the pool, mirroring
+   [Pdata.map_parts_preserving] — for partition-local work that is NOT a
+   list homomorphism (e.g. within-partition dedup) and must stay one task
+   per partition. *)
 let par_map_parts_preserving t f (pd : Pdata.t) : Pdata.t =
   { pd with Pdata.parts = par_run t (Pdata.nparts pd) (fun i -> f pd.Pdata.parts.(i)) }
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive chunking                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The work-stealing pool balances load at task granularity, so a skewed
+   partition dispatched as ONE task still pins one domain for its whole
+   duration. For operators that are order-preserving list homomorphisms
+   (f (a @ b) = f a @ f b: map, flatMap, filter, cross/broadcast-join
+   probes, shuffle routing) the barrier below splits each partition into
+   chunks of [chunk_rows] physical rows and reassembles the chunk outputs
+   in order — bit-identical results for every chunk size, but a straggler
+   partition's tail can now be stolen mid-partition. Non-homomorphic
+   per-partition work (fold accumulators, groupBy/aggBy hash tables,
+   sort-based distinct/minus, repartition-join builds) stays one task per
+   partition: splitting a float fold, for instance, would reassociate
+   additions and break the bit-identical invariant across chunk sizes. *)
+
+(* With more chunks than domains, late-arriving steals keep everyone busy
+   until the tail; 4x oversubscription is plenty before per-task overhead
+   shows. *)
+let chunk_oversub = 4
+
+(* Granularity floor: a chunk must carry at least this fraction of one
+   simulated task launch ([sched_linear_s]) in per-row work. The full
+   launch cost models a distributed scheduler (milliseconds); chunks are
+   dispatched on the host pool where a deque push is microseconds, so a
+   small fraction of it is the right floor — big enough that trivial rows
+   get coarse chunks, small enough that a skewed partition still splits. *)
+let chunk_floor_frac = 0.01
+
+(* Physical rows per chunk for a barrier over [pd]. [Chunk_auto] aims for
+   [chunk_oversub] chunks per domain, floored at [chunk_floor_frac] of a
+   task's scheduling cost worth of simulated work per chunk — the
+   cost-model estimate (per-record CPU + bytes through the UDF throughput)
+   prices a row, and rows cheaper to process get coarser chunks. *)
+let chunk_rows t (pd : Pdata.t) =
+  match t.chunk with
+  | Chunk_fixed k -> max 1 k
+  | Chunk_auto ->
+      let rows = Pdata.records pd in
+      if rows = 0 then max_int
+      else begin
+        let per_row_s =
+          ((Pdata.logical_records pd *. t.cluster.Cluster.per_record_cpu)
+          +. (Pdata.logical_bytes pd /. t.cluster.Cluster.cpu_bw))
+          /. float_of_int rows
+        in
+        let floor_rows =
+          if per_row_s <= 0.0 then rows
+          else
+            int_of_float
+              (Float.min (float_of_int rows)
+                 (ceil (t.profile.Cluster.sched_linear_s *. chunk_floor_frac /. per_row_s)))
+        in
+        let target =
+          (rows + (Pool.size t.pool * chunk_oversub) - 1)
+          / (Pool.size t.pool * chunk_oversub)
+        in
+        max 1 (max floor_rows target)
+      end
+
+(* Split every partition into <= k-row chunks, keeping element order;
+   returns (partition index, rows) tasks in partition-major order, so the
+   lowest failing task is the first failing chunk of sequential order and
+   exception choice stays deterministic. Empty partitions still get one
+   task, matching the unchunked barrier's task layout. *)
+let split_chunks k (parts : Value.t list array) =
+  let tasks = ref [] in
+  Array.iteri
+    (fun p rows ->
+      let rec go rows =
+        let rec take n xs acc =
+          match xs with
+          | x :: rest when n > 0 -> take (n - 1) rest (x :: acc)
+          | _ -> (List.rev acc, xs)
+        in
+        let chunk, rest = take k rows [] in
+        tasks := (p, chunk) :: !tasks;
+        if rest <> [] then go rest
+      in
+      go rows)
+    parts;
+  Array.of_list (List.rev !tasks)
+
+(* Chunked barrier for order-preserving list homomorphisms: [f] runs over
+   every chunk on the pool and the per-partition outputs are the in-order
+   concatenations of their chunks' outputs. Shares all of [par_run]'s
+   bookkeeping discipline: chaos draws and fault charges are keyed on the
+   LOGICAL partition count (never the chunk count, which varies with the
+   chunk policy), UDF counts tally through the domain-local cell, and
+   cost charging stays on the coordinator. *)
+let par_chunked t (f : Value.t list -> 'b list) (pd : Pdata.t) : 'b list array =
+  let nparts = Pdata.nparts pd in
+  inject_barrier_faults t nparts;
+  let parts = pd.Pdata.parts in
+  let f_traced =
+    if not (Trace.enabled t.tracer) then fun (_, rows) -> f rows
+    else
+      fun (p, rows) ->
+        Trace.span t.tracer ~cat:"task" "task"
+          ~args:
+            [ ("partition", Trace.A_int p);
+              ("domain", Trace.A_int (Domain.self () :> int)) ]
+          (fun () -> f rows)
+  in
+  if nparts <= 1 && Pdata.records pd <= 1 || Pool.size t.pool <= 1 then
+    Pool.parmap t.pool (fun i -> f_traced (i, parts.(i))) (Array.init nparts Fun.id)
+  else begin
+    let tasks = split_chunks (chunk_rows t pd) parts in
+    let n = Array.length tasks in
+    t.metrics.Metrics.par_stages <- t.metrics.Metrics.par_stages + 1;
+    t.metrics.Metrics.par_tasks <- t.metrics.Metrics.par_tasks + n;
+    t.metrics.Metrics.par_chunks <- t.metrics.Metrics.par_chunks + (n - nparts);
+    let task tk =
+      let saved = Domain.DLS.get tally_key in
+      let c = ref 0 in
+      Domain.DLS.set tally_key (Some c);
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set tally_key saved)
+        (fun () ->
+          let r = f_traced tk in
+          (r, !c))
+    in
+    let run_barrier () = Pool.parmap t.pool task tasks in
+    let rs =
+      if Trace.enabled t.tracer then
+        Trace.span t.tracer ~cat:"stage" "barrier"
+          ~args:[ ("tasks", Trace.A_int n) ]
+          run_barrier
+      else run_barrier ()
+    in
+    account_steals t;
+    let chunks_of = Array.make nparts [] in
+    for j = n - 1 downto 0 do
+      let p, _ = tasks.(j) in
+      let r, c = rs.(j) in
+      add_udf_count t c;
+      chunks_of.(p) <- r :: chunks_of.(p)
+    done;
+    Array.map List.concat chunks_of
+  end
+
+let par_map_parts_chunked t f (pd : Pdata.t) : Pdata.t =
+  { pd with Pdata.parts = par_chunked t f pd; Pdata.part_key = None }
+
+let par_map_parts_preserving_chunked t f (pd : Pdata.t) : Pdata.t =
+  { pd with Pdata.parts = par_chunked t f pd }
 
 (* ------------------------------------------------------------------ *)
 (* Plan execution                                                       *)
@@ -937,7 +1119,7 @@ and exec_plan_inner t env (p : Plan.t) : out =
       charge_local_cpu t pd;
       let f, inner_records = udf_fn_ex t env u in
       udf_scan_cost t ~inner_records pd;
-      Obag (par_map_parts t (List.map f) pd)
+      Obag (par_map_parts_chunked t (List.map f) pd)
   | Plan.Flat_map (u, q) ->
       let pd = exec_to_bag t env q in
       note_op t "flatMap" pd;
@@ -945,7 +1127,7 @@ and exec_plan_inner t env (p : Plan.t) : out =
       charge_local_cpu t pd;
       let f, inner_records = udf_fn_ex t env u in
       udf_scan_cost t ~inner_records pd;
-      Obag (par_map_parts t (List.concat_map (fun v -> Value.to_bag (f v))) pd)
+      Obag (par_map_parts_chunked t (List.concat_map (fun v -> Value.to_bag (f v))) pd)
   | Plan.Filter (u, q) ->
       let pd = exec_to_bag t env q in
       note_op t "filter" pd;
@@ -953,7 +1135,7 @@ and exec_plan_inner t env (p : Plan.t) : out =
       charge_local_cpu t pd;
       let f, inner_records = udf_fn_ex t env u in
       udf_scan_cost t ~inner_records pd;
-      Obag (par_map_parts_preserving t (List.filter (fun v -> Value.to_bool (f v))) pd)
+      Obag (par_map_parts_preserving_chunked t (List.filter (fun v -> Value.to_bool (f v))) pd)
   | Plan.Eq_join { lkey; rkey; left; right } ->
       let lpd = exec_to_bag t env left in
       let rpd = exec_to_bag t env right in
@@ -984,7 +1166,7 @@ and exec_plan_inner t env (p : Plan.t) : out =
       let small_list = Pdata.to_list small in
       let pairs v w = if flip then Value.tuple [ w; v ] else Value.tuple [ v; w ] in
       let result =
-        par_map_parts t
+        par_map_parts_chunked t
           (fun part -> List.concat_map (fun v -> List.map (fun w -> pairs v w) small_list) part)
           big
       in
@@ -1209,10 +1391,9 @@ and shuffle_by t key keyfn (pd : Pdata.t) : Pdata.t =
     let nparts = max 1 (dop t) in
     inject_fetch_faults t ~bytes:(Pdata.logical_bytes pd) ~nparts;
     let routed =
-      par_run t (Pdata.nparts pd) (fun i ->
-          List.map
-            (fun v -> (abs (Value.hash (keyfn v)) mod nparts, v))
-            pd.Pdata.parts.(i))
+      par_chunked t
+        (List.map (fun v -> (abs (Value.hash (keyfn v)) mod nparts, v)))
+        pd
     in
     let parts = Array.make nparts [] in
     Array.iter (List.iter (fun (i, v) -> parts.(i) <- v :: parts.(i))) routed;
@@ -1365,7 +1546,7 @@ and exec_join t env ~semi ~lkey ~rkey (lpd : Pdata.t) (rpd : Pdata.t) : out =
       charge_local_cpu t lpd;
       (* probe in parallel: the broadcast key set is read-only *)
       Obag
-        (par_map_parts_preserving t
+        (par_map_parts_preserving_chunked t
            (List.filter (fun v -> Hashtbl.mem keyset (lfn v)))
            lpd)
     end
@@ -1398,7 +1579,7 @@ and exec_join t env ~semi ~lkey ~rkey (lpd : Pdata.t) (rpd : Pdata.t) : out =
               !l
       in
       Obag (Pdata.with_mult ~rmult:out_rmult ~bmult:out_bmult
-              (par_map_parts t (List.concat_map join_one) big))
+              (par_map_parts_chunked t (List.concat_map join_one) big))
     end
   end
   else begin
@@ -1467,7 +1648,7 @@ and exec_anti_join t env ~lkey ~rkey (lpd : Pdata.t) (rpd : Pdata.t) : out =
     List.iter (fun v -> Hashtbl.replace keyset (rfn v) ()) (Pdata.to_list rpd);
     charge_local_cpu t lpd;
     Obag
-      (par_map_parts_preserving t
+      (par_map_parts_preserving_chunked t
          (List.filter (fun v -> not (Hashtbl.mem keyset (lfn v))))
          lpd)
   end

@@ -44,6 +44,23 @@ type udf_mode =
       (** stage each UDF body once through {!Emma_lang.Compile} into a
           host closure (the default) *)
 
+(** Chunk-size policy for the adaptive-chunking barriers. Operators that
+    are order-preserving list homomorphisms (map, flatMap, filter, cross
+    and broadcast-join probes, shuffle routing) split each partition into
+    chunks of this many physical rows before dispatching to the
+    work-stealing pool, so a skewed partition's tail can be stolen
+    mid-partition; outputs are reassembled in order, keeping results and
+    every cost-model metric bit-identical across policies. [Chunk_auto]
+    (the default) sizes chunks from the cost model's per-row estimate with
+    a granularity floor (each chunk carries at least a small fraction of
+    one task-scheduling cost in per-row work, so cheap rows get coarse
+    chunks);
+    [Chunk_fixed k] pins k rows per chunk (the CLI's [--chunk N]).
+    Non-homomorphic per-partition work (fold accumulators, groupBy/aggBy
+    tables, sort-based distinct/minus, repartition-join builds) is never
+    chunked — splitting a float fold would reassociate additions. *)
+type chunk_spec = Chunk_auto | Chunk_fixed of int
+
 val create :
   ?timeout_s:float ->
   ?udf_mode:udf_mode ->
@@ -53,6 +70,7 @@ val create :
   ?spill:bool ->
   ?max_inflight:int ->
   ?pool:Emma_util.Pool.t ->
+  ?chunk:chunk_spec ->
   ?trace:Emma_util.Trace.t ->
   cluster:Cluster.t ->
   profile:Cluster.profile ->

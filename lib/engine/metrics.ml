@@ -16,6 +16,9 @@ type t = {
   mutable wall_time_s : float;
   mutable par_stages : int;
   mutable par_tasks : int;
+  mutable par_chunks : int;
+  mutable par_steals : int;
+  mutable par_steal_misses : int;
   mutable retries : int;
   mutable fetch_failures : int;
   mutable executor_losses : int;
@@ -56,6 +59,9 @@ let create () =
     wall_time_s = 0.0;
     par_stages = 0;
     par_tasks = 0;
+    par_chunks = 0;
+    par_steals = 0;
+    par_steal_misses = 0;
     retries = 0;
     fetch_failures = 0;
     executor_losses = 0;
@@ -109,6 +115,9 @@ let to_rows m =
     ("wall time", Printf.sprintf "%.6f s" m.wall_time_s);
     ("par stages", string_of_int m.par_stages);
     ("par tasks", string_of_int m.par_tasks);
+    ("par chunks", string_of_int m.par_chunks);
+    ("par steals", string_of_int m.par_steals);
+    ("par steal misses", string_of_int m.par_steal_misses);
     ("retries", string_of_int m.retries);
     ("fetch failures", string_of_int m.fetch_failures);
     ("executor losses", string_of_int m.executor_losses);
@@ -157,6 +166,9 @@ let to_json m =
       ("wall_time_s", Json.Float m.wall_time_s);
       ("par_stages", Json.Int m.par_stages);
       ("par_tasks", Json.Int m.par_tasks);
+      ("par_chunks", Json.Int m.par_chunks);
+      ("par_steals", Json.Int m.par_steals);
+      ("par_steal_misses", Json.Int m.par_steal_misses);
       ("retries", Json.Int m.retries);
       ("fetch_failures", Json.Int m.fetch_failures);
       ("executor_losses", Json.Int m.executor_losses);

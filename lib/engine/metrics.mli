@@ -24,6 +24,14 @@ type t = {
           are bit-identical whether partitions run on 1 domain or many) *)
   mutable par_stages : int;  (** operator barriers executed on the domain pool *)
   mutable par_tasks : int;  (** partition tasks dispatched through the pool *)
+  mutable par_chunks : int;
+      (** extra chunk tasks produced by adaptive chunking, beyond one task
+          per partition; varies with the chunk policy and domain count *)
+  mutable par_steals : int;
+      (** pool tasks claimed from another domain's deque during this
+          engine's barriers; scheduling-dependent, like [wall_time_s] *)
+  mutable par_steal_misses : int;
+      (** full claim sweeps that found every deque empty (idle probes) *)
   mutable retries : int;
       (** failed task attempts injected by the fault plan and re-run
           (each charged backoff + rescheduling) *)

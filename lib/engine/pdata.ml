@@ -46,6 +46,7 @@ let with_mult ~rmult ~bmult t = { t with rmult; bmult }
 
 let to_list t = List.concat (Array.to_list t.parts)
 
+let part_records t = Array.map List.length t.parts
 let records t = Array.fold_left (fun acc p -> acc + List.length p) 0 t.parts
 let logical_records t = float_of_int (records t) *. t.rmult
 

@@ -49,6 +49,10 @@ val to_list : t -> Value.t list
 val records : t -> int
 (** Physical record count. *)
 
+val part_records : t -> int array
+(** Physical record count per partition — the skew profile the engine's
+    adaptive chunking sizes its chunks against. *)
+
 val logical_records : t -> float
 val bytes : t -> float
 (** Physical bytes. *)

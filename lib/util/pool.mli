@@ -1,22 +1,36 @@
-(** A fixed pool of worker Domains (OCaml 5 shared-memory parallelism) fed
-    through a mutex/condition work queue.
+(** A fixed pool of worker Domains (OCaml 5 shared-memory parallelism)
+    scheduled by per-domain deques with work stealing.
+
+    Each participating domain owns a deque accessed Chase-Lev style — the
+    owner pushes/pops its bottom (LIFO), thieves take the top (FIFO) — and
+    steals from a seeded-deterministic victim order only when its own deque
+    is empty. {!parmap} batches are scattered round-robin across all
+    deques, so the common case is an uncontended local pop; stealing kicks
+    in exactly when work is imbalanced. The original single-queue
+    implementation is retained as {!Pool_legacy}, the differential oracle
+    for the scheduling-adversarial test suite.
 
     [create ~domains:n] gives n-way parallelism {e including the caller}:
     n-1 worker Domains are spawned, and the domain calling {!parmap}
-    executes tasks of its own batch alongside them. Nested [parmap] calls
-    are deadlock-free because a batch's submitter can always drain its own
-    unclaimed tasks itself.
+    claims and executes tasks alongside them. Nested [parmap] calls are
+    deadlock-free because a batch's submitter can always reach any queued
+    task through its own claim sweep (pop own deque, then steal), and
+    sleeps only when every remaining task of its batch is in flight.
 
     The pool is the machinery behind the engine's multicore execution
-    backend: partitions of a dataflow operator are the tasks, and the
-    barrier at the end of [parmap] is where the coordinator merges
-    per-partition accumulators (the BSP superstep boundary). *)
+    backend: chunks of a dataflow operator's partitions are the tasks, and
+    the barrier at the end of [parmap] is where the coordinator merges
+    per-partition accumulators (the BSP superstep boundary). Scheduling is
+    invisible to the cost model — steal order can move wall time only,
+    never results or charged cost. *)
 
 type t
 
-val create : domains:int -> t
+val create : ?seed:int -> domains:int -> unit -> t
 (** Spawns [domains - 1] worker Domains ([domains <= 1] spawns none and
-    makes {!parmap} run inline — the exact sequential execution). *)
+    makes {!parmap} run inline — the exact sequential execution). [seed]
+    (default 0) keys the per-slot victim permutations, making scheduling
+    traces reproducible; results never depend on it. *)
 
 val size : t -> int
 (** The configured degree of parallelism (including the caller). *)
@@ -31,6 +45,20 @@ val parmap : t -> ('a -> 'b) -> 'a array -> 'b array
 val shutdown : t -> unit
 (** Signals every worker to exit and joins them. Idempotent; after
     shutdown, {!parmap} still works but runs inline. *)
+
+(** {1 Scheduler observability} *)
+
+type stats = {
+  steals : int;  (** tasks claimed from another slot's deque *)
+  steal_misses : int;  (** full claim sweeps that found every deque empty *)
+  tasks_run : int;  (** tasks executed through the deques (parallel path) *)
+}
+
+val stats : t -> stats
+(** Monotone counters since [create]. Purely observational: consumers (the
+    engine's [par_steals]/[par_steal_misses] metrics, trace instants) diff
+    snapshots around barriers; nothing in result or cost computation reads
+    them. *)
 
 (** {1 Global default pool}
 

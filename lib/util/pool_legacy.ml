@@ -1,0 +1,149 @@
+(* The original single-queue pool, retained verbatim as the differential
+   oracle for the work-stealing rewrite in [Pool]: the scheduling-adversarial
+   tests run both implementations over the same batches and compare results
+   and exception choices, and the steal bench measures its skewed-partition
+   wall clock as the baseline the deque pool must beat.
+
+   A pool of [domains = n] means "n-way parallelism including the caller":
+   [create ~domains:n] spawns n-1 worker Domains, and the domain that calls
+   [parmap] claims and executes tasks of its own batch alongside the
+   workers. This caller participation is what makes nested [parmap] calls
+   deadlock-free: a batch's submitter can always drain its own unclaimed
+   tasks itself, so a batch completes even if every worker is blocked
+   inside a task that itself waits on an inner batch (inner batches
+   complete by the same argument, inductively).
+
+   Exception propagation is deterministic: all tasks of a batch are run to
+   completion and the exception of the LOWEST task index is re-raised in
+   the caller — the same exception a sequential left-to-right execution
+   would surface — leaving the pool reusable. *)
+
+type batch = {
+  b_size : int;
+  b_run : int -> unit;  (* executes task i; never raises (errors recorded) *)
+  mutable b_next : int;  (* next unclaimed task index *)
+  mutable b_unfinished : int;  (* tasks not yet completed *)
+  b_done : Condition.t;  (* signaled when b_unfinished reaches 0 *)
+}
+
+type t = {
+  m : Mutex.t;
+  work : Condition.t;  (* signaled when a new batch is queued *)
+  pending : batch Queue.t;  (* batches with unclaimed tasks *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  domains : int;
+}
+
+let size t = t.domains
+
+(* Pop exhausted batches off the queue front and claim a task from the
+   first batch that still has one. Caller holds [t.m]. *)
+let rec claim_from_queue t =
+  match Queue.peek_opt t.pending with
+  | None -> None
+  | Some b ->
+      if b.b_next >= b.b_size then begin
+        ignore (Queue.pop t.pending);
+        claim_from_queue t
+      end
+      else begin
+        let i = b.b_next in
+        b.b_next <- b.b_next + 1;
+        if b.b_next >= b.b_size then ignore (Queue.pop t.pending);
+        Some (b, i)
+      end
+
+(* Execute task [i] of [b] outside the lock, then mark it finished.
+   Caller holds [t.m] on entry and on exit. *)
+let finish_task t b i =
+  Mutex.unlock t.m;
+  b.b_run i;
+  Mutex.lock t.m;
+  b.b_unfinished <- b.b_unfinished - 1;
+  if b.b_unfinished = 0 then Condition.broadcast b.b_done
+
+let rec worker_loop t =
+  if t.stop then ()
+  else
+    match claim_from_queue t with
+    | Some (b, i) ->
+        finish_task t b i;
+        worker_loop t
+    | None ->
+        Condition.wait t.work t.m;
+        worker_loop t
+
+let worker t () =
+  Mutex.lock t.m;
+  worker_loop t;
+  Mutex.unlock t.m
+
+let create ~domains =
+  let domains = max 1 domains in
+  let t =
+    { m = Mutex.create ();
+      work = Condition.create ();
+      pending = Queue.create ();
+      stop = false;
+      workers = [];
+      domains }
+  in
+  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  let ws = t.workers in
+  t.stop <- true;
+  t.workers <- [];
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  List.iter Domain.join ws
+
+let run_seq f xs =
+  (* explicit ascending order, so a failing input raises the same
+     (lowest-index) exception the parallel path propagates *)
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let r = Array.make n (f xs.(0)) in
+    for i = 1 to n - 1 do
+      r.(i) <- f xs.(i)
+    done;
+    r
+  end
+
+let parmap t f xs =
+  let n = Array.length xs in
+  if n <= 1 || t.domains <= 1 || t.workers = [] then run_seq f xs
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let run i =
+      match f xs.(i) with
+      | r -> results.(i) <- Some r
+      | exception e -> errors.(i) <- Some e
+    in
+    let b =
+      { b_size = n; b_run = run; b_next = 0; b_unfinished = n; b_done = Condition.create () }
+    in
+    Mutex.lock t.m;
+    Queue.push b t.pending;
+    Condition.broadcast t.work;
+    (* participate: drain our own batch's unclaimed tasks *)
+    while b.b_next < b.b_size do
+      let i = b.b_next in
+      b.b_next <- b.b_next + 1;
+      finish_task t b i
+    done;
+    (* tasks claimed by workers may still be in flight *)
+    while b.b_unfinished > 0 do
+      Condition.wait b.b_done t.m
+    done;
+    Mutex.unlock t.m;
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map
+      (function Some r -> r | None -> invalid_arg "Pool_legacy.parmap: missing result")
+      results
+  end

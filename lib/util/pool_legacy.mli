@@ -1,0 +1,27 @@
+(** The original single-mutex/condition work-queue pool, retained as the
+    differential oracle and performance baseline for the work-stealing
+    {!Pool}.
+
+    Semantics are identical to {!Pool} (caller participation, nested-batch
+    deadlock freedom, lowest-index exception propagation, reusability after
+    errors); only the scheduling differs: one global queue guarded by one
+    mutex, claimed a task at a time — the contention wall and
+    skewed-partition serialization the deque pool removes. The
+    scheduling-adversarial tests run both implementations over the same
+    batches, and the steal bench pins the deque pool's skewed speedup
+    against this one's. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawns [domains - 1] worker Domains ([domains <= 1] spawns none and
+    makes {!parmap} run inline). *)
+
+val size : t -> int
+
+val parmap : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Same contract as {!Pool.parmap}: all tasks run to completion, the
+    exception of the lowest input index is re-raised, nesting is safe. *)
+
+val shutdown : t -> unit
+(** Signals every worker to exit and joins them. Idempotent. *)

@@ -140,7 +140,7 @@ let test_domain_invariance () =
   let runs =
     List.map
       (fun domains ->
-        let pool = Pool.create ~domains in
+        let pool = Pool.create ~domains () in
         Fun.protect
           ~finally:(fun () -> Pool.shutdown pool)
           (fun () ->

@@ -102,7 +102,7 @@ let recovery_sig (m : Metrics.t) =
 let zero_recovery = ((0, 0, 0, 0, 0), (0, 0, 0, 0.0, 0))
 
 let with_pool domains f =
-  let pool = Pool.create ~domains in
+  let pool = Pool.create ~domains () in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
 
 (* ---------------------------------------------------------------- *)

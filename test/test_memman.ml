@@ -136,7 +136,7 @@ let mem_sig (m : Metrics.t) =
 let full_sig m = (m.Metrics.sim_time_s, invariant_sig m, mem_sig m)
 
 let with_pool domains f =
-  let pool = Pool.create ~domains in
+  let pool = Pool.create ~domains () in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
 
 (* ---------------------------------------------------------------- *)

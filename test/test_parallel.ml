@@ -48,23 +48,23 @@ let laptop_rt () =
     { cluster = Cluster.laptop (); profile = Cluster.spark_like; timeout_s = None }
 
 let with_pool domains f =
-  let pool = Pool.create ~domains in
+  let pool = Pool.create ~domains () in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
 
-let run_at ~domains prog tables =
+let run_at ?chunk ~domains prog tables =
   with_pool domains (fun pool ->
       let algo = Emma.parallelize prog in
-      let r = Emma.run_on_exn ~pool (laptop_rt ()) algo ~tables in
+      let r = Emma.run_on_exn ?chunk ~pool (laptop_rt ()) algo ~tables in
       (r.Emma.value, r.Emma.metrics))
 
 (* ---------------------------------------------------------------- *)
 (* Random pipelines: engine at 1/2/4 domains ≡ native, equal metrics  *)
 (* ---------------------------------------------------------------- *)
 
-let domains_under_test = [ 1; 2; 4 ]
+let domains_under_test = [ 1; 2; 4; 8 ]
 
 let prop_differential =
-  qcheck_case "random pipelines: engine(1/2/4 domains) = native, equal cost metrics"
+  qcheck_case "random pipelines: engine(1/2/4/8 domains) = native, equal cost metrics"
     ~count:25
     QCheck2.Gen.(pair Helpers.terminated_pipeline_gen Helpers.rows_gen)
     (fun (e, rows) ->
@@ -167,20 +167,180 @@ let test_udf_tally_exact () =
     [ 2; 4; 8 ]
 
 (* ---------------------------------------------------------------- *)
+(* Zipf skew: stealing + chunking never move results or cost metrics  *)
+(* ---------------------------------------------------------------- *)
+
+(* Zipf(alpha)-distributed keys: partition skew with real teeth — the
+   groupBy shuffle concentrates the head key's rows in one partition, and
+   the downstream flatMap/map work over it is what adaptive chunking
+   splits and idle domains steal. *)
+let zipf_rows ~seed ~alpha ~keys ~n =
+  let w = Array.init keys (fun k -> (float_of_int (k + 1)) ** -.alpha) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let acc = ref 0.0 in
+  let cdf =
+    Array.map
+      (fun x ->
+        acc := !acc +. (x /. total);
+        !acc)
+      w
+  in
+  let draw u =
+    let rec go k = if k >= keys - 1 || u <= cdf.(k) then k else go (k + 1) in
+    go 0
+  in
+  let g = Prng.create seed in
+  List.init n (fun _ ->
+      Value.record
+        [ ("a", Value.Int (Prng.int_in g (-50) 50));
+          ("b", Value.Int (draw (Prng.unit_float g))) ])
+
+(* groupBy the skewed key, then flatMap the group values back out and
+   transform them: the flatMap output keeps the groups' partition
+   placement, so the map stages downstream run over genuinely skewed
+   partitions (chunked + stolen under the new pool). *)
+let skew_group_prog =
+  S.program
+    ~ret:S.(sum (map (lam "x" (fun x -> field x "a")) (var "out")))
+    [ S.s_let "out"
+        S.(
+          map
+            (lam "x" (fun x ->
+                 record [ ("a", field x "a" + field x "b"); ("b", field x "b") ]))
+            (flat_map
+               (lam "g" (fun g -> field g "values"))
+               (group_by (lam "x" (fun x -> field x "b")) (read "skewed")))) ]
+
+(* repartition join on the skewed key: both the routing stage (chunked)
+   and the per-partition hash build (never chunked) see the skew *)
+let skew_join_prog =
+  S.program
+    ~ret:S.(count (var "out") + sum (map (lam "x" (fun x -> field x "a")) (var "out")))
+    [ S.s_let "out"
+        S.(
+          for_
+            [ gen "x" (read "skewed");
+              gen "y" (read "dims");
+              when_ (field (var "x") "b" = field (var "y") "b") ]
+            ~yield:
+              (record
+                 [ ("a", field (var "x") "a" * field (var "y") "a");
+                   ("b", field (var "x") "b") ])) ]
+
+let chunk_specs =
+  [ ("chunk=1", Engine.Chunk_fixed 1);
+    ("chunk=auto", Engine.Chunk_auto);
+    ("chunk=64", Engine.Chunk_fixed 64) ]
+
+let test_skew_differential () =
+  let tables =
+    [ ("skewed", zipf_rows ~seed:11 ~alpha:1.4 ~keys:24 ~n:600);
+      ("dims", List.init 24 (fun k -> Helpers.row (k * 3) k)) ]
+  in
+  List.iter
+    (fun (name, prog) ->
+      let native, _ = Emma.run_native (Emma.parallelize prog) ~tables in
+      let v1, m1 = run_at ~chunk:(Engine.Chunk_fixed 1) ~domains:1 prog tables in
+      check_value (name ^ ": native = engine") native v1;
+      List.iter
+        (fun d ->
+          List.iter
+            (fun (cname, chunk) ->
+              let v, m = run_at ~chunk ~domains:d prog tables in
+              check_value (Printf.sprintf "%s: value at %d domains, %s" name d cname) v1 v;
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: cost metrics at %d domains, %s" name d cname)
+                true
+                (cost_sig m1 = cost_sig m))
+            chunk_specs)
+        domains_under_test)
+    [ ("zipf groupBy", skew_group_prog); ("zipf join", skew_join_prog) ]
+
+(* the deterministic corpus again, this time sweeping the chunk policy:
+   joins/groups/distinct/minus must not notice chunking either *)
+let test_corpus_chunk_invariance () =
+  List.iter
+    (fun (name, prog) ->
+      let v1, m1 = run_at ~chunk:(Engine.Chunk_fixed 1) ~domains:1 prog corpus_tables in
+      List.iter
+        (fun (cname, chunk) ->
+          let v, m = run_at ~chunk ~domains:4 prog corpus_tables in
+          check_value (Printf.sprintf "%s: value under %s" name cname) v1 v;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: cost metrics under %s" name cname)
+            true
+            (cost_sig m1 = cost_sig m))
+        chunk_specs)
+    corpus_progs
+
+let prop_random_chunk_sizes =
+  qcheck_case "random fixed chunk sizes: pipelines invariant" ~count:20
+    QCheck2.Gen.(triple (int_range 1 100) Helpers.terminated_pipeline_gen Helpers.rows_gen)
+    (fun (k, e, rows) ->
+      let prog = S.program ~ret:e [] in
+      let tables = [ ("rows", rows) ] in
+      let v1, m1 = run_at ~chunk:(Engine.Chunk_fixed 1) ~domains:1 prog tables in
+      let v, m = run_at ~chunk:(Engine.Chunk_fixed k) ~domains:4 prog tables in
+      Value.equal v1 v && cost_sig m1 = cost_sig m)
+
+(* the new scheduling counters are part of the report surface: rendered
+   rows and JSON both carry them, and they never appear in cost_sig *)
+let test_steal_counters_reported () =
+  let _, m =
+    run_at ~chunk:Engine.Chunk_auto ~domains:4 skew_group_prog
+      [ ("skewed", zipf_rows ~seed:3 ~alpha:1.2 ~keys:16 ~n:200) ]
+  in
+  let rows = Metrics.to_rows m in
+  List.iter
+    (fun label ->
+      Alcotest.(check bool) (label ^ " in to_rows") true (List.mem_assoc label rows))
+    [ "par chunks"; "par steals"; "par steal misses" ];
+  match Metrics.to_json m with
+  | Emma_util.Json.Obj fields ->
+      List.iter
+        (fun key ->
+          Alcotest.(check bool) (key ^ " in to_json") true (List.mem_assoc key fields))
+        [ "par_chunks"; "par_steals"; "par_steal_misses" ]
+  | _ -> Alcotest.fail "Metrics.to_json is not an object"
+
+let prop_skew_alpha =
+  qcheck_case "random Zipf exponents: cost metrics chunk- and domain-invariant"
+    ~count:10
+    QCheck2.Gen.(pair (int_range 0 25) (int_range 50 300))
+    (fun (alpha10, n) ->
+      let tables =
+        [ ("skewed", zipf_rows ~seed:n ~alpha:(float_of_int alpha10 /. 10.0) ~keys:12 ~n) ]
+      in
+      let v1, m1 = run_at ~chunk:(Engine.Chunk_fixed 1) ~domains:1 skew_group_prog tables in
+      List.for_all
+        (fun (d, chunk) ->
+          let v, m = run_at ~chunk ~domains:d skew_group_prog tables in
+          Value.equal v1 v && cost_sig m1 = cost_sig m)
+        [ (2, Engine.Chunk_fixed 3); (8, Engine.Chunk_auto); (8, Engine.Chunk_fixed 64) ])
+
+(* ---------------------------------------------------------------- *)
 (* TPC-H determinism: 20 repeated parallel runs, byte-identical        *)
 (* ---------------------------------------------------------------- *)
 
 let render v m = (Format.asprintf "%a" Value.pp v, cost_sig m)
 
-let determinism_check name prog tables =
-  let reference = (fun (v, m) -> render v m) (run_at ~domains:1 prog tables) in
-  with_pool 4 (fun pool ->
+let determinism_check ?(domains = 4) ?(faults = Faults.none) name prog tables =
+  let reference =
+    (fun (v, m) -> render v m)
+      (with_pool 1 (fun pool ->
+           let r =
+             Emma.run_on_exn ~faults ~pool (laptop_rt ()) (Emma.parallelize prog) ~tables
+           in
+           (r.Emma.value, r.Emma.metrics)))
+  in
+  with_pool domains (fun pool ->
       let algo = Emma.parallelize prog in
       for i = 1 to 20 do
-        let r = Emma.run_on_exn ~pool (laptop_rt ()) algo ~tables in
+        let r = Emma.run_on_exn ~faults ~pool (laptop_rt ()) algo ~tables in
         let got = render r.Emma.value r.Emma.metrics in
         if got <> reference then
-          Alcotest.failf "%s: run %d under 4 domains differs from sequential" name i
+          Alcotest.failf "%s: run %d under %d domains differs from sequential" name i
+            domains
       done)
 
 let test_q1_determinism () =
@@ -196,6 +356,26 @@ let test_q3_determinism () =
   let orders = W.Tpch_gen.orders ~seed:7 cfg in
   let customer = W.Tpch_gen.customer ~seed:7 cfg in
   determinism_check "TPC-H Q3"
+    (Pr.Tpch_q3.program Pr.Tpch_q3.default_params)
+    [ ("lineitem", lineitem); ("orders", orders); ("customer", customer) ]
+
+(* the hard case from the issue: 8 oversubscribed domains stealing chunks
+   WHILE a seeded chaos plan injects retries/stragglers/speculation — the
+   fault draws are keyed on logical stage/partition ids, so recovery and
+   results must replay byte-identically under any steal schedule *)
+let test_q1_determinism_chaos_stealing () =
+  let cfg = W.Tpch_gen.of_scale_factor 0.0002 in
+  let lineitem = W.Tpch_gen.lineitem ~seed:7 cfg in
+  determinism_check ~domains:8 ~faults:(Faults.seeded 21) "TPC-H Q1 + chaos"
+    (Pr.Tpch_q1.program Pr.Tpch_q1.default_params)
+    [ ("lineitem", lineitem) ]
+
+let test_q3_determinism_chaos_stealing () =
+  let cfg = W.Tpch_gen.of_scale_factor 0.0003 in
+  let lineitem = W.Tpch_gen.lineitem ~seed:7 cfg in
+  let orders = W.Tpch_gen.orders ~seed:7 cfg in
+  let customer = W.Tpch_gen.customer ~seed:7 cfg in
+  determinism_check ~domains:8 ~faults:(Faults.seeded 22) "TPC-H Q3 + chaos"
     (Pr.Tpch_q3.program Pr.Tpch_q3.default_params)
     [ ("lineitem", lineitem); ("orders", orders); ("customer", customer) ]
 
@@ -216,13 +396,13 @@ let loop_prog iters =
 
 let fault_tables = [ ("t", List.init 20 (fun i -> Helpers.row i (i mod 3))) ]
 
-let run_faulty ~domains ~cache_loss_at prog tables =
+let run_faulty ?chunk ~domains ~cache_loss_at prog tables =
   with_pool domains (fun pool ->
       let ctx = ctx_with tables in
       let eng =
         Engine.create
           ~faults:(Faults.of_cache_loss_at cache_loss_at)
-          ~pool ~cluster:(Cluster.laptop ()) ~profile:Cluster.spark_like ctx
+          ?chunk ~pool ~cluster:(Cluster.laptop ()) ~profile:Cluster.spark_like ctx
       in
       let v = Engine.run eng (Emma.parallelize prog).Emma.compiled in
       (v, Engine.metrics eng))
@@ -247,6 +427,29 @@ let test_faults_domain_independent () =
             (cost_sig m1 = cost_sig m))
         [ 2; 4 ])
     [ []; [ 1 ]; [ 2; 4 ]; List.init 50 (fun i -> i + 1) ]
+
+(* injected faults key on the LOGICAL partition count, never chunk count:
+   a fault plan must replay identically under every chunk policy *)
+let test_faults_chunk_independent () =
+  let losses = [ 1; 3 ] in
+  let v1, m1 =
+    run_faulty ~chunk:(Engine.Chunk_fixed 1) ~domains:1 ~cache_loss_at:losses
+      (loop_prog 5) fault_tables
+  in
+  List.iter
+    (fun (cname, chunk) ->
+      let v, m = run_faulty ~chunk ~domains:8 ~cache_loss_at:losses (loop_prog 5) fault_tables in
+      check_value (Printf.sprintf "value under %s" cname) v1 v;
+      Alcotest.(check int)
+        (Printf.sprintf "cache losses under %s" cname)
+        m1.Metrics.cache_losses m.Metrics.cache_losses;
+      Alcotest.(check bool)
+        (Printf.sprintf "cost metrics under %s" cname)
+        true
+        (cost_sig m1 = cost_sig m))
+    [ ("chunk=1", Engine.Chunk_fixed 1);
+      ("chunk=auto", Engine.Chunk_auto);
+      ("chunk=64", Engine.Chunk_fixed 64) ]
 
 let prop_faults_parallel =
   qcheck_case "random fault schedules: recovery independent of domain count" ~count:15
@@ -284,12 +487,26 @@ let suite =
         Alcotest.test_case "corpus: joins/groups domain-invariant" `Quick
           test_corpus_domain_invariance;
         Alcotest.test_case "udf tally exact across domains" `Quick test_udf_tally_exact;
+        Alcotest.test_case "zipf skew: groupBy/join invariant across domains x chunks"
+          `Quick test_skew_differential;
+        Alcotest.test_case "corpus: joins/groups chunk-invariant" `Quick
+          test_corpus_chunk_invariance;
+        prop_random_chunk_sizes;
+        Alcotest.test_case "steal/chunk counters in report surface" `Quick
+          test_steal_counters_reported;
+        prop_skew_alpha;
         Alcotest.test_case "TPC-H Q1 20x deterministic under 4 domains" `Quick
           test_q1_determinism;
         Alcotest.test_case "TPC-H Q3 20x deterministic under 4 domains" `Quick
           test_q3_determinism;
+        Alcotest.test_case "TPC-H Q1 20x deterministic: 8 domains + chaos" `Quick
+          test_q1_determinism_chaos_stealing;
+        Alcotest.test_case "TPC-H Q3 20x deterministic: 8 domains + chaos" `Quick
+          test_q3_determinism_chaos_stealing;
         Alcotest.test_case "fault recovery domain-independent" `Quick
           test_faults_domain_independent;
+        Alcotest.test_case "fault recovery chunk-independent" `Quick
+          test_faults_chunk_independent;
         prop_faults_parallel;
         Alcotest.test_case "split PRNG streams on workers" `Quick
           test_split_streams_parallel_deterministic ] ) ]

@@ -114,7 +114,7 @@ let laptop_rt () =
     { cluster = Cluster.laptop (); profile = Cluster.spark_like; timeout_s = None }
 
 let with_pool domains f =
-  let pool = Pool.create ~domains in
+  let pool = Pool.create ~domains () in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
 
 (* everything except wall_time_s, which measures the host *)
