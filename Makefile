@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-parallel test-parallel8 explain-golden trace-check chaos-smoke mem-smoke udf-smoke pool-smoke check bench bench-scaleup bench-faults bench-memory bench-udf clean
+.PHONY: all build test test-parallel test-parallel8 explain-golden trace-check chaos-smoke mem-smoke udf-smoke pool-smoke serve-smoke check bench bench-scaleup bench-faults bench-memory bench-udf bench-serve clean
 
 all: build
 
@@ -55,9 +55,15 @@ udf-smoke:
 pool-smoke:
 	dune build @pool-smoke --force
 
+# Multi-tenant service gate: deterministic replay fingerprint, plan-cache
+# hits that never change a result, cache counters in every query's metrics.
+serve-smoke:
+	dune build @serve-smoke --force
+
 # The full pre-merge flow: build, tier-1 tests on 2, 4 and 8 domains,
-# chaos smoke, memory smoke, UDF-mode differential smoke, pool stress.
-check: build test test-parallel test-parallel8 chaos-smoke mem-smoke udf-smoke pool-smoke
+# chaos smoke, memory smoke, UDF-mode differential smoke, pool stress,
+# service-layer smoke.
+check: build test test-parallel test-parallel8 chaos-smoke mem-smoke udf-smoke pool-smoke serve-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -77,6 +83,11 @@ bench-memory:
 # Staged-UDF-compilation wall-clock experiment (writes BENCH_udf_compile.json).
 bench-udf:
 	dune exec bench/main.exe -- udf
+
+# Multi-tenant service experiment: plan cache on vs off under a Zipf
+# arrival trace (writes BENCH_serve.json).
+bench-serve:
+	dune exec bench/main.exe -- serve
 
 clean:
 	dune clean

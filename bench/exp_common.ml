@@ -50,12 +50,12 @@ let write_report ~dir name =
   close_out oc;
   Printf.eprintf "report written to %s\n" path
 
-let run_config ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight ~rt ~opts
-    prog tables =
+let run_config ?config ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight
+    ~rt ~opts prog tables =
   let algo = Emma.parallelize ~opts prog in
   let outcome =
-    Emma.run_on ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight rt algo
-      ~tables
+    Emma.run_on ?config ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight rt
+      algo ~tables
   in
   note_outcome outcome;
   match outcome with

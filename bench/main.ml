@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- fig4    runs one experiment
                                  (fig4 | table1 | iterative | tpch | fig5 |
                                   ablation | micro | scaleup | faults | memory |
-                                  udf)
+                                  udf | serve)
      dune exec bench/main.exe -- --domains 4 tpch
                                          runs partition work on 4 OCaml
                                          domains (results and cost metrics
@@ -28,7 +28,8 @@ let experiments =
     ("scaleup", Exp_scaleup.run);
     ("faults", Exp_faults.run);
     ("memory", Exp_memory.run);
-    ("udf", Exp_udf.run) ]
+    ("udf", Exp_udf.run);
+    ("serve", Exp_serve.run) ]
 
 let () =
   let trace_file = ref None in
@@ -50,16 +51,11 @@ let () =
             exit 1);
         parse acc rest
     | "--chunk" :: c :: rest ->
-        (match
-           if c = "auto" then Some Emma.Engine.Chunk_auto
-           else
-             match int_of_string_opt c with
-             | Some k when k >= 1 -> Some (Emma.Engine.Chunk_fixed k)
-             | _ -> None
-         with
-        | Some spec -> Exp_scaleup.chunk_spec := spec
-        | None ->
-            Printf.eprintf "--chunk expects \"auto\" or a positive row count, got %S\n" c;
+        (* same parser as the CLI's --chunk: one grammar, one error message *)
+        (match Emma.Config.parse_chunk c with
+        | Ok spec -> Exp_scaleup.chunk_spec := spec
+        | Error msg ->
+            Printf.eprintf "%s\n" msg;
             exit 1);
         parse acc rest
     | "--trace" :: file :: rest ->

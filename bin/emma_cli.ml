@@ -185,25 +185,6 @@ let chunk_term =
   in
   Arg.(value & opt string "auto" & info [ "chunk" ] ~docv:"auto|N" ~doc)
 
-(* Shared with the bench harness's --chunk flag. *)
-let chunk_spec_of_string s : (Emma.Engine.chunk_spec, string) result =
-  match s with
-  | "auto" -> Ok Emma.Engine.Chunk_auto
-  | _ -> (
-      match int_of_string_opt s with
-      | Some k when k >= 1 -> Ok (Emma.Engine.Chunk_fixed k)
-      | Some k ->
-          Error
-            (Printf.sprintf
-               "--chunk %d is invalid: a fixed chunk must be at least 1 row \
-                (or use --chunk auto)"
-               k)
-      | None ->
-          Error
-            (Printf.sprintf
-               "--chunk %s is invalid: expected `auto' or a positive row count"
-               s))
-
 let udf_mode_term =
   let doc =
     "How per-tuple UDF bodies execute: $(b,compiled) stages each fused UDF \
@@ -212,13 +193,7 @@ let udf_mode_term =
      and all cost-model metrics are bit-identical between modes — only \
      wall-clock time moves."
   in
-  let modes =
-    [ ("interp", Emma.Engine.Interp); ("compiled", Emma.Engine.Compiled) ]
-  in
-  Arg.(
-    value
-    & opt (enum modes) Emma.Engine.Compiled
-    & info [ "udf-mode" ] ~docv:"MODE" ~doc)
+  Arg.(value & opt (some string) None & info [ "udf-mode" ] ~docv:"MODE" ~doc)
 
 (* Flag validation errors: one actionable line on stderr, exit 2 (the
    engine's own job-failure exit is also 2; both mean "this invocation
@@ -230,52 +205,26 @@ let usage_fail fmt =
       exit 2)
     fmt
 
-let validate_run_flags ~mem_per_slot ~max_inflight ~checkpoint_every =
-  (match mem_per_slot with
-  | Some b when b <= 0.0 ->
-      usage_fail
-        "--mem-per-slot %g is invalid: the per-slot budget must be a positive \
-         number of logical bytes (try e.g. --mem-per-slot 64e6)"
-        b
-  | _ -> ());
-  (match checkpoint_every with
-  | Some k when k < 1 ->
-      usage_fail
-        "--checkpoint-every %d is invalid: the checkpoint interval must be at \
-         least 1 iteration (omit the flag to disable checkpointing)"
-        k
-  | _ -> ());
-  match max_inflight with
-  | Some k when k < 1 ->
-      usage_fail
-        "--max-inflight %d is invalid: at least 1 job must be admitted (omit \
-         the flag for unbounded admission)"
-        k
-  | _ -> ()
-
-let faults_of_flags chaos_seed chaos_rates =
-  match chaos_seed with
-  | None ->
-      if chaos_rates <> None then
-        usage_fail "--chaos-rates has no effect without --chaos-seed";
-      Emma.Faults.none
-  | Some seed -> (
-      match chaos_rates with
-      | None -> Emma.Faults.seeded seed
-      | Some s -> (
-          match Emma.Faults.rates_of_string s with
-          | Ok rates -> Emma.Faults.seeded ~rates seed
-          | Error m -> usage_fail "%s" m))
+(* The one shared flag-validation path (satellite of ISSUE 8): every
+   run/bench/serve knob parses through Config.of_cli, which holds the
+   one-line exit-2 messages. *)
+let config_of_flags ?udf_mode ?chunk ?chaos_seed ?chaos_rates ?checkpoint_every
+    ?mem_per_slot ?spill ?max_inflight ?domains ?plan_cache () =
+  match
+    Emma.Config.of_cli ?udf_mode ?chunk ?chaos_seed ?chaos_rates
+      ?checkpoint_every ?mem_per_slot ?spill ?max_inflight ?domains ?plan_cache
+      ()
+  with
+  | Ok c -> c
+  | Error m -> usage_fail "%s" m
 
 let run_cmd =
   let run name opts engine scale dop domains tables_dir trace_file ops_trace chaos_seed
       chaos_rates checkpoint_every mem_per_slot spill max_inflight udf_mode chunk =
     with_entry name (fun e ->
-        validate_run_flags ~mem_per_slot ~max_inflight ~checkpoint_every;
-        let chunk =
-          match chunk_spec_of_string chunk with
-          | Ok c -> c
-          | Error m -> usage_fail "%s" m
+        let config =
+          config_of_flags ?udf_mode ~chunk ?chaos_seed ?chaos_rates
+            ?checkpoint_every ?mem_per_slot ~spill ?max_inflight ~domains ()
         in
         Emma_util.Pool.set_default_domains domains;
         (* Install the tracer before compiling so the compile-phase spans
@@ -294,7 +243,7 @@ let run_cmd =
             Emma.Cluster.paper_cluster ~dop ~data_scale:scale
               ~table_scales:e.Registry.table_scales ()
           in
-          match mem_per_slot with
+          match config.Emma.Config.mem_budget with
           | Some b -> Emma.Cluster.with_mem_per_slot c b
           | None -> c
         in
@@ -307,10 +256,9 @@ let run_cmd =
         let ctx = Emma.Eval.create_ctx () in
         List.iter (fun (n, rows) -> Emma.Eval.register_table ctx n rows)
           (load_tables e tables_dir);
-        let faults = faults_of_flags chaos_seed chaos_rates in
         let eng =
-          Emma.Engine.create ~timeout_s:3600.0 ~udf_mode ~faults ?checkpoint_every
-            ?mem_budget:mem_per_slot ~spill ?max_inflight ~chunk ~trace:tracer
+          Emma.Engine.create ~timeout_s:3600.0
+            ~config:(Emma.Config.with_trace (Some tracer) config)
             ~cluster ~profile ctx
         in
         let print_ops_trace () =
@@ -421,6 +369,212 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Generate a program's default workload as CSV files")
     Term.(const run $ program_arg $ dir_arg)
 
+(* ---- serve ---- *)
+
+module Serve = Emma_serve.Serve
+module Arrival = Emma_serve.Arrival
+
+(* "acme:2,beta" -> [tenant acme (weight 2); tenant beta (weight 1)] *)
+let parse_tenants s =
+  String.split_on_char ',' s
+  |> List.filter (fun w -> String.trim w <> "")
+  |> List.map (fun spec ->
+         match String.split_on_char ':' (String.trim spec) with
+         | [ name ] -> Serve.tenant name
+         | [ name; w ] -> (
+             match int_of_string_opt w with
+             | Some weight when weight >= 1 -> Serve.tenant ~weight name
+             | _ ->
+                 usage_fail
+                   "--tenants: %S is invalid: expected `name' or `name:weight' \
+                    with weight >= 1"
+                   spec)
+         | _ ->
+             usage_fail
+               "--tenants: %S is invalid: expected `name' or `name:weight'" spec)
+
+let serve_cmd =
+  let run tenants_s queries_s n_events seed rate alpha arrivals_file mode engine
+      scale dop domains plan_cache udf_mode chunk chaos_seed chaos_rates
+      checkpoint_every mem_per_slot spill max_inflight counters_json =
+    let tenants = parse_tenants tenants_s in
+    if tenants = [] then usage_fail "--tenants: at least one tenant is required";
+    let queries =
+      String.split_on_char ',' queries_s
+      |> List.map String.trim
+      |> List.filter (fun w -> w <> "")
+    in
+    if queries = [] then usage_fail "--queries: at least one query is required";
+    let entries =
+      List.map
+        (fun q ->
+          match Registry.find q with
+          | Some e -> e
+          | None -> usage_fail "--queries: unknown program %S; try `emma list'" q)
+        queries
+    in
+    if n_events < 1 then
+      usage_fail "--events %d is invalid: need at least 1 arrival" n_events;
+    if not (rate > 0.0) then
+      usage_fail "--rate %g is invalid: the arrival rate must be > 0" rate;
+    if not (alpha > 0.0) then
+      usage_fail "--zipf %g is invalid: the Zipf exponent must be > 0" alpha;
+    let config =
+      config_of_flags ?udf_mode ~chunk ?chaos_seed ?chaos_rates
+        ?checkpoint_every ?mem_per_slot ~spill ?max_inflight ~domains
+        ~plan_cache ()
+    in
+    let events =
+      match arrivals_file with
+      | Some path -> (
+          let contents =
+            try In_channel.with_open_text path In_channel.input_all
+            with Sys_error m -> usage_fail "--arrivals: %s" m
+          in
+          match Arrival.of_string contents with
+          | Ok evs -> evs
+          | Error m -> usage_fail "--arrivals: %s" m)
+      | None ->
+          Arrival.generate ~seed ~rate ~alpha
+            ~tenants:(List.map (fun t -> t.Serve.tn_name) tenants)
+            ~queries ~n:n_events
+    in
+    let workload =
+      List.map
+        (fun (e : Registry.entry) ->
+          (e.Registry.name, (e.Registry.program, e.Registry.tables ())))
+        entries
+    in
+    let table_scales =
+      List.concat_map (fun (e : Registry.entry) -> e.Registry.table_scales)
+        entries
+      |> List.sort_uniq compare
+    in
+    let cluster =
+      Emma.Cluster.paper_cluster ~dop ~data_scale:scale ~table_scales ()
+    in
+    let profile =
+      match engine with
+      | `Spark -> Emma_engine.Cluster.spark_like
+      | `Flink -> Emma_engine.Cluster.flink_like
+    in
+    let rt = { Emma.cluster; profile; timeout_s = Some 3600.0 } in
+    let session = Emma.Session.create ~config rt in
+    let counters =
+      Fun.protect
+        ~finally:(fun () -> Emma.Session.close session)
+        (fun () ->
+          try
+            match mode with
+            | `Sim -> Serve.run_sim session tenants workload events
+            | `Real -> Serve.run_concurrent session tenants workload events
+          with Invalid_argument m -> usage_fail "%s" m)
+    in
+    let lat = Serve.latencies counters in
+    let n = List.length counters.Serve.sv_results in
+    Printf.printf "served %d queries over %d tenants (%s mode, %d lanes)\n" n
+      (List.length tenants)
+      (match mode with `Sim -> "sim" | `Real -> "real")
+      counters.Serve.sv_lanes;
+    (match counters.Serve.sv_cache with
+    | Some s ->
+        Printf.printf "plan cache: %d hits, %d misses, %d evictions (%d live)\n"
+          s.Emma.Plan_cache.hits s.Emma.Plan_cache.misses
+          s.Emma.Plan_cache.evictions s.Emma.Plan_cache.entries
+    | None -> Printf.printf "plan cache: off\n");
+    Printf.printf "latency p50 %.6f s, p99 %.6f s, makespan %.6f s\n"
+      (Serve.percentile lat 0.50) (Serve.percentile lat 0.99)
+      counters.Serve.sv_makespan_s;
+    (if counters.Serve.sv_makespan_s > 0.0 then
+       Printf.printf "sustained %.2f queries/s (%s)\n"
+         (float_of_int n
+         /.
+         match mode with
+         | `Sim -> counters.Serve.sv_makespan_s
+         | `Real -> counters.Serve.sv_wall_s)
+         (match mode with `Sim -> "simulated" | `Real -> "wall clock"));
+    List.iter
+      (fun tc ->
+        Printf.printf
+          "  tenant %-10s weight %d: %d admitted, max queue %d, wait %.6f s\n"
+          tc.Serve.tc_name tc.Serve.tc_weight tc.Serve.tc_admissions
+          tc.Serve.tc_max_queue tc.Serve.tc_queue_wait_s)
+      counters.Serve.sv_tenants;
+    if counters.Serve.sv_failed > 0 || counters.Serve.sv_timed_out > 0 then
+      Printf.printf "%d failed, %d timed out\n" counters.Serve.sv_failed
+        counters.Serve.sv_timed_out;
+    (match counters_json with
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc
+              (Emma.Json.to_string (Serve.counters_to_json counters)));
+        Printf.eprintf "counters written to %s\n" path
+    | None -> ());
+    if counters.Serve.sv_failed > 0 then exit 2
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a multi-tenant arrival trace of built-in programs on one \
+          shared session: fair-share (deficit round-robin) admission across \
+          tenants, per-tenant memory budgets, and a plan cache keyed on the \
+          normalized plan + schema. $(b,--mode sim) replays deterministically \
+          on the simulated clock; $(b,--mode real) runs one domain per tenant \
+          lane over the shared work-stealing pool.")
+    Term.(
+      const run
+      $ Arg.(
+          value & opt string "acme:2,beta"
+          & info [ "tenants" ] ~docv:"NAME[:W],..."
+              ~doc:"Comma-separated tenants with optional fair-share weights.")
+      $ Arg.(
+          value & opt string "q1,q3,wordcount,group-min"
+          & info [ "queries" ] ~docv:"NAMES"
+              ~doc:"Comma-separated built-in programs the trace draws from.")
+      $ Arg.(
+          value & opt int 60
+          & info [ "events" ] ~docv:"N" ~doc:"Arrivals to generate.")
+      $ Arg.(
+          value & opt int 7
+          & info [ "seed" ] ~docv:"SEED" ~doc:"Trace-generation seed.")
+      $ Arg.(
+          value & opt float 2.0
+          & info [ "rate" ] ~docv:"QPS"
+              ~doc:"Mean arrival rate (exponential inter-arrival gaps).")
+      $ Arg.(
+          value & opt float 1.1
+          & info [ "zipf" ] ~docv:"ALPHA"
+              ~doc:
+                "Zipf exponent of tenant and query popularity (bigger = more \
+                 repeat-heavy).")
+      $ Arg.(
+          value & opt (some string) None
+          & info [ "arrivals" ] ~docv:"FILE"
+              ~doc:
+                "Replay a scripted arrival trace (`<at_s> <tenant> <query>' \
+                 per line) instead of generating one.")
+      $ Arg.(
+          value
+          & opt (enum [ ("sim", `Sim); ("real", `Real) ]) `Sim
+          & info [ "mode" ] ~docv:"sim|real"
+              ~doc:
+                "$(b,sim): deterministic discrete-event replay (bit-identical \
+                 counters); $(b,real): one domain per tenant lane, wall-clock \
+                 throughput.")
+      $ engine_term $ scale_term $ dop_term $ domains_term
+      $ Arg.(
+          value & opt string "64"
+          & info [ "plan-cache" ] ~docv:"N|off"
+              ~doc:
+                "Plan-cache capacity (LRU over normalized-plan+schema keys); \
+                 $(b,off) disables caching.")
+      $ udf_mode_term $ chunk_term $ chaos_seed_term $ chaos_rates_term
+      $ checkpoint_term $ mem_per_slot_term $ spill_term $ max_inflight_term
+      $ Arg.(
+          value & opt (some string) None
+          & info [ "counters-json" ] ~docv:"FILE"
+              ~doc:"Write the machine-readable serve counters to $(docv).") )
+
 (* ---- native ---- *)
 
 let native_cmd =
@@ -439,5 +593,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; show_cmd; compile_cmd; explain_cmd; run_cmd; native_cmd; gen_cmd;
-            typecheck_cmd ]))
+          [ list_cmd; show_cmd; compile_cmd; explain_cmd; run_cmd; serve_cmd; native_cmd;
+            gen_cmd; typecheck_cmd ]))

@@ -120,7 +120,46 @@ let front_end ~trace ~observe opts fusion_stats p =
 let normalized ?(opts = default_opts) p =
   front_end ~trace:Trace.disabled ~observe:None opts (Fusion.fresh_stats ()) p
 
-let compile ?(opts = default_opts) ?trace ?observe p =
+(* ------------------------------------------------------------------ *)
+(* Plan-cache seam                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type cache_key = { ck_crc : int; ck_text : string }
+
+type cache = {
+  cache_probe : cache_key -> (Cprog.t * report) option;
+  cache_store : cache_key -> Cprog.t * report -> unit;
+}
+
+(* Every opts field participates in the key: an ablation toggle changes
+   which plan the pipeline produces, so it must miss. *)
+let opts_fingerprint o =
+  Printf.sprintf "opts:i%c f%c u%c c%c p%c"
+    (if o.inline then '1' else '0')
+    (if o.fuse then '1' else '0')
+    (if o.unnest then '1' else '0')
+    (if o.cache then '1' else '0')
+    (if o.partition then '1' else '0')
+
+let normalized_key ?(opts = default_opts) ?(schema = "") p =
+  (* Render the front-end-normalized program under a reset fresh-name
+     counter: normalization invents variable names from a global counter,
+     so without the reset the same source program would render differently
+     on every call. With it, textual identity of (normalized program,
+     opts, schema) is a stable equality — the CRC32 only indexes; the
+     carried text makes collisions harmless. *)
+  let text =
+    Expr.with_fresh_reset (fun () ->
+        Pretty.program_to_string
+          (front_end ~trace:Trace.disabled ~observe:None opts
+             (Fusion.fresh_stats ()) p))
+  in
+  let text =
+    String.concat "\n" [ opts_fingerprint opts; "schema:" ^ schema; text ]
+  in
+  { ck_crc = Emma_util.Crc32.string text; ck_text = text }
+
+let compile_cold ?(opts = default_opts) ?trace ?observe p =
   let trace = match trace with Some tr -> tr | None -> Trace.global () in
   let fusion_stats = Fusion.fresh_stats () in
   let translation = Translate.fresh_stats () in
@@ -184,3 +223,15 @@ let compile ?(opts = default_opts) ?trace ?observe p =
       translation;
       cached_vars = !cached;
       partitioned_vars = !partitioned } )
+
+let compile ?opts ?trace ?observe ?schema ?cache p =
+  match cache with
+  | None -> compile_cold ?opts ?trace ?observe p
+  | Some cache -> (
+      let key = normalized_key ?opts ?schema p in
+      match cache.cache_probe key with
+      | Some hit -> hit
+      | None ->
+          let r = compile_cold ?opts ?trace ?observe p in
+          cache.cache_store key r;
+          r)

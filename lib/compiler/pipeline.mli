@@ -64,10 +64,39 @@ val cprog_size : Emma_dataflow.Cprog.t -> int
 (** Node count of a compiled driver program: driver expressions plus plan
     nodes of every thunk. *)
 
+type cache_key = {
+  ck_crc : int;  (** CRC32 of [ck_text] — the cache's index *)
+  ck_text : string;
+      (** deterministic rendering of (opts fingerprint, table schema,
+          front-end-normalized program). Equality of this text is the
+          cache's identity, so CRC collisions are harmless. *)
+}
+
+type cache = {
+  cache_probe : cache_key -> (Emma_dataflow.Cprog.t * report) option;
+  cache_store : cache_key -> Emma_dataflow.Cprog.t * report -> unit;
+}
+(** The plan-cache seam: [compile ~cache] keys the submission, probes
+    before doing any back-end work, and stores cold results. The concrete
+    LRU lives in {!Plan_cache}; this indirection keeps the pipeline free
+    of cache policy. *)
+
+val normalized_key :
+  ?opts:opts -> ?schema:string -> Emma_lang.Expr.program -> cache_key
+(** The plan-cache key of a submission: the front-end phases (inline +
+    normalize + fuse) run under {!Emma_lang.Expr.with_fresh_reset} so
+    invented variable names are reproducible, and the rendered program is
+    combined with an [opts] fingerprint and the caller's table-[schema]
+    fingerprint. Same source modulo alpha-renaming of compiler-invented
+    names + same opts + same schema ⇒ same key; any plan-affecting change
+    ⇒ different key. *)
+
 val compile :
   ?opts:opts ->
   ?trace:Emma_util.Trace.t ->
   ?observe:(phase_obs -> unit) ->
+  ?schema:string ->
+  ?cache:cache ->
   Emma_lang.Expr.program ->
   Emma_dataflow.Cprog.t * report
 (** Runs the pipeline. The result is executable by [Emma_engine] and by the
@@ -78,7 +107,14 @@ val compile :
     defaults to the ambient {!Emma_util.Trace.global} tracer, which is
     disabled unless the CLI/bench switched it on. [observe] is called once
     per phase, in order, with a {!phase_obs} snapshot — the structured feed
-    behind [emma explain]. *)
+    behind [emma explain].
+
+    With [cache], the submission is keyed by {!normalized_key} (using
+    [schema], default [""]) and probed first: a hit returns the cached
+    compiled program without running translation/physical phases (no
+    spans, no [observe] callbacks); a miss compiles cold and stores.
+    Compiled programs are immutable, so sharing them across runs is
+    safe. *)
 
 val normalized : ?opts:opts -> Emma_lang.Expr.program -> Emma_lang.Expr.program
 (** The program after the front-end phases only (inline + recover +

@@ -1,0 +1,110 @@
+(* Bounded LRU of compiled plans, keyed by Pipeline.cache_key. The
+   capacity is small (default 64 via Config), so a scanned list keeps the
+   implementation obviously correct: probe compares the CRC first and
+   confirms on the full key text, store evicts strictly-least-recently
+   used entries. A monotone tick orders uses, so eviction is a pure
+   function of the operation sequence — no clocks, no hashing order —
+   which is what makes serve's sim-mode counters replayable. All
+   operations take the internal mutex: real concurrent mode probes from
+   multiple tenant domains. *)
+
+type entry = {
+  e_key : Pipeline.cache_key;
+  e_plan : Emma_dataflow.Cprog.t;
+  e_report : Pipeline.report;
+  mutable e_last_use : int;
+}
+
+type t = {
+  capacity : int;
+  mutable entries : entry list;  (* unordered; at most [capacity] long *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  lock : Mutex.t;
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let create ~capacity =
+  if capacity < 1 then
+    invalid_arg "Plan_cache.create: capacity must be >= 1";
+  {
+    capacity;
+    entries = [];
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    lock = Mutex.create ();
+  }
+
+let capacity t = t.capacity
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = List.length t.entries;
+      })
+
+let key_equal (a : Pipeline.cache_key) (b : Pipeline.cache_key) =
+  a.Pipeline.ck_crc = b.Pipeline.ck_crc
+  && String.equal a.Pipeline.ck_text b.Pipeline.ck_text
+
+let probe t key =
+  with_lock t (fun () ->
+      match List.find_opt (fun e -> key_equal e.e_key key) t.entries with
+      | Some e ->
+          t.tick <- t.tick + 1;
+          e.e_last_use <- t.tick;
+          t.hits <- t.hits + 1;
+          Some (e.e_plan, e.e_report)
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+(* Insert (or refresh) an entry, evicting least-recently-used ones past
+   capacity; returns how many entries were evicted by this store. Ticks
+   are unique, so the LRU choice never needs a tie-break. *)
+let store t key (plan, report) =
+  with_lock t (fun () ->
+      t.tick <- t.tick + 1;
+      (match List.find_opt (fun e -> key_equal e.e_key key) t.entries with
+      | Some e -> e.e_last_use <- t.tick
+      | None ->
+          t.entries <-
+            { e_key = key; e_plan = plan; e_report = report; e_last_use = t.tick }
+            :: t.entries);
+      let evicted = ref 0 in
+      while List.length t.entries > t.capacity do
+        let victim =
+          List.fold_left
+            (fun acc e ->
+              match acc with
+              | None -> Some e
+              | Some best ->
+                  if e.e_last_use < best.e_last_use then Some e else acc)
+            None t.entries
+        in
+        match victim with
+        | None -> assert false
+        | Some v ->
+            t.entries <- List.filter (fun e -> e != v) t.entries;
+            incr evicted
+      done;
+      t.evictions <- t.evictions + !evicted;
+      !evicted)
+
+let as_cache t =
+  {
+    Pipeline.cache_probe = (fun key -> probe t key);
+    Pipeline.cache_store = (fun key r -> ignore (store t key r));
+  }

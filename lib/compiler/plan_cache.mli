@@ -1,0 +1,40 @@
+(** Bounded LRU cache of compiled plans.
+
+    Sessions key each submission with {!Pipeline.normalized_key} (the
+    CRC32-indexed rendering of the normalized program + opts + table
+    schema) and reuse the compiled {!Emma_dataflow.Cprog.t} + report on a
+    hit, skipping the whole normalize/fusion/translate/physical pipeline.
+    Compiled programs are immutable, so a cached plan is shared across
+    runs without copying.
+
+    Eviction is strict LRU ordered by a monotone use tick — a pure
+    function of the probe/store sequence, independent of wall clock,
+    domain count and hash order — so serve's sim-mode cache counters
+    replay bit-identically. All operations are mutex-guarded for the real
+    concurrent mode. *)
+
+type t
+
+type stats = {
+  hits : int;  (** probes that found a live entry *)
+  misses : int;  (** probes that found nothing *)
+  evictions : int;  (** entries dropped to stay within capacity *)
+  entries : int;  (** current population *)
+}
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] when [capacity < 1] (use no cache at all to
+    disable caching). *)
+
+val capacity : t -> int
+val stats : t -> stats
+
+val probe : t -> Pipeline.cache_key -> (Emma_dataflow.Cprog.t * Pipeline.report) option
+(** Counted: bumps [hits] or [misses], and refreshes recency on a hit. *)
+
+val store : t -> Pipeline.cache_key -> Emma_dataflow.Cprog.t * Pipeline.report -> int
+(** Inserts (or refreshes) the entry and evicts least-recently-used
+    entries past capacity; returns the number evicted by this store. *)
+
+val as_cache : t -> Pipeline.cache
+(** The {!Pipeline.compile} seam: probe/store closures over this cache. *)

@@ -8,73 +8,101 @@ module Eval = Emma_lang.Eval
 module Plan = Emma_dataflow.Plan
 module Cprog = Emma_dataflow.Cprog
 module Pipeline = Emma_compiler.Pipeline
+module Plan_cache = Emma_compiler.Plan_cache
 module Cluster = Emma_engine.Cluster
 module Metrics = Emma_engine.Metrics
 module Engine = Emma_engine.Exec
 module Faults = Emma_engine.Faults
+module Config = Emma_engine.Config
 module Pool = Emma_util.Pool
 module Trace = Emma_util.Trace
 module Json = Emma_util.Json
 module Explain = Emma_compiler.Explain
+module Session = Session
 
-type algorithm = {
+type algorithm = Session.algorithm = {
   source : Expr.program;
   compiled : Cprog.t;
   report : Pipeline.report;
   opts : Pipeline.opts;
 }
 
-let parallelize ?(opts = Pipeline.default_opts) source =
-  let compiled, report = Pipeline.compile ~opts source in
-  { source; compiled; report; opts }
+let parallelize = Session.parallelize
 
-type runtime = {
+type runtime = Session.runtime = {
   cluster : Cluster.t;
   profile : Cluster.profile;
   timeout_s : float option;
 }
 
-let spark ?(cluster = Cluster.laptop ()) ?timeout_s () =
-  { cluster; profile = Cluster.spark_like; timeout_s }
+let spark = Session.spark
+let flink = Session.flink
 
-let flink ?(cluster = Cluster.laptop ()) ?timeout_s () =
-  { cluster; profile = Cluster.flink_like; timeout_s }
+type run_result = Session.run_result = {
+  value : Value.t;
+  metrics : Metrics.t;
+  ctx : Eval.ctx;
+}
 
-type run_result = { value : Value.t; metrics : Metrics.t; ctx : Eval.ctx }
-
-type outcome =
+type outcome = Session.outcome =
   | Finished of run_result
   | Failed of { reason : string; metrics : Metrics.t }
   | Timed_out of { at_s : float; metrics : Metrics.t }
 
-let make_ctx tables =
-  let ctx = Eval.create_ctx () in
-  List.iter (fun (name, rows) -> Eval.register_table ctx name rows) tables;
-  ctx
+let make_ctx = Session.make_ctx
+let metrics_of_outcome = Session.metrics_of_outcome
 
 let run_native algo ~tables =
   let ctx = make_ctx tables in
   let value = Eval.eval_program ctx algo.source in
   (value, ctx)
 
-let run_on ?udf_mode ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight ?pool
-    ?chunk ?trace rt algo ~tables =
-  let ctx = make_ctx tables in
-  let engine =
-    Engine.create ?timeout_s:rt.timeout_s ?udf_mode ?faults ?checkpoint_every
-      ?mem_budget ?spill ?max_inflight ?pool ?chunk ?trace ~cluster:rt.cluster
-      ~profile:rt.profile ctx
-  in
-  match Engine.run engine algo.compiled with
-  | value -> Finished { value; metrics = Engine.metrics engine; ctx }
-  | exception Engine.Engine_failure reason -> Failed { reason; metrics = Engine.metrics engine }
-  | exception Engine.Engine_timeout at_s -> Timed_out { at_s; metrics = Engine.metrics engine }
+(* Deprecated shim over Session: folds the legacy per-knob optional
+   arguments into a Config (knobs override the corresponding [config]
+   field), then runs on a throwaway single-use session. The one-shot
+   session never allocates a plan cache and never creates its own pool —
+   [pool]/[domains] semantics are unchanged from the historical run_on. *)
+let config_of_knobs ?config ?udf_mode ?faults ?checkpoint_every ?mem_budget
+    ?spill ?max_inflight ?pool ?chunk ?trace () =
+  let base = match config with Some c -> c | None -> Config.default in
+  {
+    Config.udf_mode = Option.value udf_mode ~default:base.Config.udf_mode;
+    faults = Option.value faults ~default:base.Config.faults;
+    checkpoint_every =
+      (match checkpoint_every with
+      | Some _ as k -> k
+      | None -> base.Config.checkpoint_every);
+    mem_budget =
+      (match mem_budget with Some _ as b -> b | None -> base.Config.mem_budget);
+    spill = Option.value spill ~default:base.Config.spill;
+    max_inflight =
+      (match max_inflight with
+      | Some _ as k -> k
+      | None -> base.Config.max_inflight);
+    pool = (match pool with Some _ as p -> p | None -> base.Config.pool);
+    chunk = Option.value chunk ~default:base.Config.chunk;
+    trace = (match trace with Some _ as tr -> tr | None -> base.Config.trace);
+    (* session-only concerns: a one-shot run never owns a pool or a cache *)
+    domains = None;
+    plan_cache = None;
+  }
 
-let run_on_exn ?udf_mode ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight
-    ?pool ?chunk ?trace rt algo ~tables =
+let run_on ?config ?udf_mode ?faults ?checkpoint_every ?mem_budget ?spill
+    ?max_inflight ?pool ?chunk ?trace rt algo ~tables =
+  let cfg =
+    config_of_knobs ?config ?udf_mode ?faults ?checkpoint_every ?mem_budget
+      ?spill ?max_inflight ?pool ?chunk ?trace ()
+  in
+  let session = Session.create ~config:cfg rt in
+  Fun.protect
+    ~finally:(fun () -> Session.close session)
+    (fun () -> Session.run session algo ~tables)
+
+let run_on_exn ?config ?udf_mode ?faults ?checkpoint_every ?mem_budget ?spill
+    ?max_inflight ?pool ?chunk ?trace rt algo ~tables =
   match
-    run_on ?udf_mode ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight ?pool
-      ?chunk ?trace rt algo ~tables
+    run_on ?config ?udf_mode ?faults ?checkpoint_every ?mem_budget ?spill
+      ?max_inflight ?pool ?chunk ?trace rt algo ~tables
   with
   | Finished r -> r
   | Failed { reason; _ } -> failwith ("engine failure: " ^ reason)

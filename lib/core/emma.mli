@@ -14,7 +14,16 @@
       let algorithm = Emma.parallelize program in
       let result = Emma.run_on (Emma.spark ()) algorithm ~tables:[ "xs", rows ] in
       ...
-    ]} *)
+    ]}
+
+    {b Configuration.} Execution knobs travel in one first-class record,
+    {!Config.t} (udf mode, chaos plan, checkpointing, memory governance,
+    admission, pool, chunking, tracing, domains, plan cache), built with
+    [Config.default] and functional [with_*] setters or parsed from raw
+    CLI values with [Config.of_cli]. {!Session} binds a [Config] to a
+    runtime once and accepts any number of submissions — the substrate of
+    [emma serve]. {!run_on}'s per-knob optional arguments are deprecated
+    shims kept for one release; see the README migration guide. *)
 
 module Value = Emma_value.Value
 module Databag = Emma_databag.Databag
@@ -26,16 +35,21 @@ module Eval = Emma_lang.Eval
 module Plan = Emma_dataflow.Plan
 module Cprog = Emma_dataflow.Cprog
 module Pipeline = Emma_compiler.Pipeline
+module Plan_cache = Emma_compiler.Plan_cache
 module Cluster = Emma_engine.Cluster
 module Metrics = Emma_engine.Metrics
 module Engine = Emma_engine.Exec
 module Faults = Emma_engine.Faults
+module Config = Emma_engine.Config
 module Pool = Emma_util.Pool
 module Trace = Emma_util.Trace
 module Json = Emma_util.Json
 module Explain = Emma_compiler.Explain
 
-type algorithm = {
+module Session = Session
+(** Reusable engine handles; see {!Session.create} / {!Session.submit}. *)
+
+type algorithm = Session.algorithm = {
   source : Expr.program;
   compiled : Cprog.t;
   report : Pipeline.report;
@@ -46,7 +60,7 @@ val parallelize : ?opts:Pipeline.opts -> Expr.program -> algorithm
 (** Compiles the bracketed program (paper §3.2, line 6). *)
 
 (** A runtime target: cluster configuration plus engine profile. *)
-type runtime = {
+type runtime = Session.runtime = {
   cluster : Cluster.t;
   profile : Cluster.profile;
   timeout_s : float option;
@@ -55,22 +69,27 @@ type runtime = {
 val spark : ?cluster:Cluster.t -> ?timeout_s:float -> unit -> runtime
 val flink : ?cluster:Cluster.t -> ?timeout_s:float -> unit -> runtime
 
-type run_result = {
+type run_result = Session.run_result = {
   value : Value.t;
   metrics : Metrics.t;
   ctx : Eval.ctx;  (** holds the sink tables the program wrote *)
 }
 
-type outcome =
+type outcome = Session.outcome =
   | Finished of run_result
   | Failed of { reason : string; metrics : Metrics.t }
   | Timed_out of { at_s : float; metrics : Metrics.t }
+
+val metrics_of_outcome : outcome -> Metrics.t
+(** Every outcome arm — including [Failed] and [Timed_out] — carries the
+    per-query metrics of the partial run. *)
 
 val run_native : algorithm -> tables:(string * Value.t list) list -> Value.t * Eval.ctx
 (** Host-language execution of the {e source} program on the native
     DataBag — the semantic reference. *)
 
 val run_on :
+  ?config:Config.t ->
   ?udf_mode:Engine.udf_mode ->
   ?faults:Faults.t ->
   ?checkpoint_every:int ->
@@ -84,39 +103,26 @@ val run_on :
   algorithm ->
   tables:(string * Value.t list) list ->
   outcome
-(** Executes the compiled program on the simulated engine. [pool] selects
-    the domain pool per-partition operator work runs on (default
-    {!Pool.default}); it affects only wall-clock time, never results or
-    cost-model metrics. [chunk] (default [Chunk_auto]) sets the adaptive
-    chunking policy: homomorphic operators split partitions into chunks of
-    that many rows so the work-stealing pool can steal a skewed
-    partition's tail mid-partition — like [pool], it moves only wall
-    clock and the par_* counters, never results or cost-model metrics.
-    [trace] (default {!Trace.global}) receives
-    job/stage/partition spans — pure observation, never consulted by the
-    cost model.
+(** Executes the compiled program on the simulated engine — a thin shim
+    over a single-use {!Session}.
 
-    [udf_mode] (default [Compiled]) selects staged-compiled or interpreted
-    per-tuple UDF execution; results and all cost-model metrics are
-    bit-identical between modes, only wall-clock moves.
+    {b Deprecated knobs.} The per-knob optional arguments ([udf_mode],
+    [faults], [checkpoint_every], [mem_budget], [spill], [max_inflight],
+    [pool], [chunk], [trace]) are kept for one release as shims: each,
+    when passed, overrides the corresponding field of [config] (default
+    {!Config.default}). New code should build a {!Config.t} and pass only
+    [?config] — or hold a {!Session} open across runs. The knobs'
+    semantics are unchanged; see {!Config.t} for their meaning and
+    {!Engine.create} for the execution model (pool/chunk/trace move only
+    wall-clock and observability, never results or cost-model metrics;
+    faults/memory governance keep results bit-identical to the clean
+    run).
 
-    [faults] (default {!Faults.none}) is a deterministic chaos plan the
-    engine recovers from — retries, lineage recomputation, speculation,
-    blacklisting — without changing results; [checkpoint_every] snapshots
-    driver-loop state (CRC-checksummed; corrupted records are skipped on
-    restore) every [k] iterations so injected loop losses restart from
-    the last good checkpoint.
-
-    [mem_budget] (logical bytes per slot) turns on deterministic memory
-    governance: state-building operators past the budget spill to disk
-    ([spill:true]) or are OOM-killed and retried at halved parallelism;
-    [Mem]-cached bags past [mem_budget × dop] are LRU-evicted and
-    rebuilt through lineage. [max_inflight] queues job submissions past
-    the in-flight budget. Results stay bit-identical for any sufficient
-    budget; only [sim_time_s] and the memory counters move. See
-    {!Engine.create}. *)
+    [config.domains] and [config.plan_cache] are session concerns and are
+    ignored by this one-shot entry point. *)
 
 val run_on_exn :
+  ?config:Config.t ->
   ?udf_mode:Engine.udf_mode ->
   ?faults:Faults.t ->
   ?checkpoint_every:int ->
@@ -130,4 +136,5 @@ val run_on_exn :
   algorithm ->
   tables:(string * Value.t list) list ->
   run_result
-(** Like {!run_on} but raises [Failure] on engine failure or timeout. *)
+(** Like {!run_on} but raises [Failure] on engine failure or timeout.
+    Same deprecation note applies. *)

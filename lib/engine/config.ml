@@ -1,0 +1,210 @@
+(* First-class engine configuration: one record consolidating every
+   execution knob that used to travel as nine separate optional
+   arguments. The canonical home of [udf_mode] and [chunk_spec] (Exec
+   re-exports both so existing [Engine.Interp] / [Engine.Chunk_auto]
+   call sites keep compiling). *)
+
+module Pool = Emma_util.Pool
+module Trace = Emma_util.Trace
+module Json = Emma_util.Json
+
+type udf_mode = Interp | Compiled
+type chunk_spec = Chunk_auto | Chunk_fixed of int
+
+type t = {
+  udf_mode : udf_mode;
+  faults : Faults.t;
+  checkpoint_every : int option;
+  mem_budget : float option;
+  spill : bool;
+  max_inflight : int option;
+  pool : Pool.t option;
+  chunk : chunk_spec;
+  trace : Trace.t option;
+  domains : int option;
+  plan_cache : int option;
+}
+
+let default =
+  {
+    udf_mode = Compiled;
+    faults = Faults.none;
+    checkpoint_every = None;
+    mem_budget = None;
+    spill = false;
+    max_inflight = None;
+    pool = None;
+    chunk = Chunk_auto;
+    trace = None;
+    domains = None;
+    plan_cache = Some 64;
+  }
+
+let with_udf_mode udf_mode t = { t with udf_mode }
+let with_faults faults t = { t with faults }
+let with_checkpoint_every checkpoint_every t = { t with checkpoint_every }
+let with_mem_budget mem_budget t = { t with mem_budget }
+let with_spill spill t = { t with spill }
+let with_max_inflight max_inflight t = { t with max_inflight }
+let with_pool pool t = { t with pool }
+let with_chunk chunk t = { t with chunk }
+let with_trace trace t = { t with trace }
+let with_domains domains t = { t with domains }
+let with_plan_cache plan_cache t = { t with plan_cache }
+
+(* ------------------------------------------------------------------ *)
+(* CLI-facing parsers. The error strings double as the one-line exit-2  *)
+(* messages of every subcommand, so they are worded actionably and      *)
+(* shared verbatim by run, bench and serve.                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_udf_mode s =
+  match String.lowercase_ascii (String.trim s) with
+  | "interp" | "interpreted" -> Ok Interp
+  | "compiled" | "staged" -> Ok Compiled
+  | _ ->
+      Error
+        (Printf.sprintf
+           "--udf-mode %s is invalid: expected `interp' or `compiled'" s)
+
+let parse_chunk s =
+  match String.lowercase_ascii (String.trim s) with
+  | "auto" -> Ok Chunk_auto
+  | s -> (
+      match int_of_string_opt s with
+      | Some k when k >= 1 -> Ok (Chunk_fixed k)
+      | Some k ->
+          Error
+            (Printf.sprintf
+               "--chunk %d is invalid: a fixed chunk must hold at least 1 row \
+                (or pass `auto' to size chunks from the cost model)"
+               k)
+      | None ->
+          Error
+            (Printf.sprintf
+               "--chunk %s is invalid: expected `auto' or a row count >= 1" s))
+
+let parse_plan_cache s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" | "0" -> Ok None
+  | s -> (
+      match int_of_string_opt s with
+      | Some k when k >= 1 -> Ok (Some k)
+      | _ ->
+          Error
+            (Printf.sprintf
+               "--plan-cache %s is invalid: expected `off' or a capacity >= 1"
+               s))
+
+let of_cli ?(base = default) ?udf_mode ?chunk ?chaos_seed ?chaos_rates
+    ?checkpoint_every ?mem_per_slot ?spill ?max_inflight ?domains ?plan_cache
+    () =
+  let ( let* ) = Result.bind in
+  let* udf_mode =
+    match udf_mode with
+    | None -> Ok base.udf_mode
+    | Some s -> parse_udf_mode s
+  in
+  let* chunk =
+    match chunk with None -> Ok base.chunk | Some s -> parse_chunk s
+  in
+  let* faults =
+    match (chaos_seed, chaos_rates) with
+    | None, None -> Ok base.faults
+    | None, Some _ ->
+        Error
+          "--chaos-rates has no effect without --chaos-seed: pass a seed to \
+           turn chaos on"
+    | Some seed, None -> Ok (Faults.seeded seed)
+    | Some seed, Some spec -> (
+        match Faults.rates_of_string spec with
+        | Ok rates -> Ok (Faults.seeded ~rates seed)
+        | Error e -> Error (Printf.sprintf "--chaos-rates %s" e))
+  in
+  let* checkpoint_every =
+    match checkpoint_every with
+    | None -> Ok base.checkpoint_every
+    | Some k when k >= 1 -> Ok (Some k)
+    | Some k ->
+        Error
+          (Printf.sprintf
+             "--checkpoint-every %d is invalid: the checkpoint interval must \
+              be at least 1 iteration (omit the flag to disable checkpointing)"
+             k)
+  in
+  let* mem_budget =
+    match mem_per_slot with
+    | None -> Ok base.mem_budget
+    | Some b when b > 0.0 && Float.is_finite b -> Ok (Some b)
+    | Some b ->
+        Error
+          (Printf.sprintf
+             "--mem-per-slot %g is invalid: the per-slot budget must be a \
+              positive number of logical bytes (try e.g. --mem-per-slot 64e6)"
+             b)
+  in
+  let* max_inflight =
+    match max_inflight with
+    | None -> Ok base.max_inflight
+    | Some k when k >= 1 -> Ok (Some k)
+    | Some k ->
+        Error
+          (Printf.sprintf
+             "--max-inflight %d is invalid: at least one job must be allowed \
+              in flight (omit the flag for unbounded admission)"
+             k)
+  in
+  let* domains =
+    match domains with
+    | None -> Ok base.domains
+    | Some d when d >= 1 -> Ok (Some d)
+    | Some d ->
+        Error
+          (Printf.sprintf
+             "--domains %d is invalid: at least 1 domain must run partition \
+              work"
+             d)
+  in
+  let* plan_cache =
+    match plan_cache with
+    | None -> Ok base.plan_cache
+    | Some s -> parse_plan_cache s
+  in
+  Ok
+    {
+      base with
+      udf_mode;
+      chunk;
+      faults;
+      checkpoint_every;
+      mem_budget;
+      spill = (match spill with Some b -> b | None -> base.spill);
+      max_inflight;
+      domains;
+      plan_cache;
+    }
+
+let udf_mode_to_string = function Interp -> "interp" | Compiled -> "compiled"
+
+let chunk_to_string = function
+  | Chunk_auto -> "auto"
+  | Chunk_fixed k -> string_of_int k
+
+let to_json t =
+  let opt_int = function Some k -> Json.Int k | None -> Json.Null in
+  let opt_float = function Some f -> Json.Float f | None -> Json.Null in
+  Json.Obj
+    [
+      ("udf_mode", Json.Str (udf_mode_to_string t.udf_mode));
+      ("chaos", Json.Bool (not (Faults.is_none t.faults)));
+      ("checkpoint_every", opt_int t.checkpoint_every);
+      ("mem_budget", opt_float t.mem_budget);
+      ("spill", Json.Bool t.spill);
+      ("max_inflight", opt_int t.max_inflight);
+      ("pool", Json.Str (match t.pool with Some _ -> "custom" | None -> "default"));
+      ("chunk", Json.Str (chunk_to_string t.chunk));
+      ("trace", Json.Bool (match t.trace with Some tr -> Trace.enabled tr | None -> false));
+      ("domains", opt_int t.domains);
+      ( "plan_cache",
+        match t.plan_cache with Some k -> Json.Int k | None -> Json.Str "off" );
+    ]

@@ -1,0 +1,108 @@
+(** First-class engine configuration.
+
+    One record consolidates every execution knob that previously traveled
+    as nine separate optional arguments duplicated across
+    [Emma.run_on], [Emma.run_on_exn], {!Exec.create} and the CLI. Build
+    one with {!default} and the functional [with_*] setters (or
+    {!of_cli} from raw flag values), then hand it to
+    [Emma.Session.create] / [Exec.create ?config] — the per-knob
+    optional arguments survive only as deprecated shims.
+
+    [Config] is also the canonical home of {!udf_mode} and
+    {!chunk_spec}; {!Exec} re-exports both so existing
+    [Engine.Interp] / [Engine.Chunk_auto] call sites keep compiling. *)
+
+type udf_mode =
+  | Interp  (** tree-walk every UDF body per tuple with {!Emma_lang.Eval} *)
+  | Compiled
+      (** stage each UDF body once through {!Emma_lang.Compile} into a
+          host closure (the default) *)
+
+(** Chunk-size policy for the adaptive-chunking barriers: [Chunk_auto]
+    sizes chunks from the cost model's per-row estimate with a
+    granularity floor; [Chunk_fixed k] pins k physical rows per chunk
+    (the CLI's [--chunk N]). *)
+type chunk_spec = Chunk_auto | Chunk_fixed of int
+
+type t = {
+  udf_mode : udf_mode;  (** worker-side UDF execution (default [Compiled]) *)
+  faults : Faults.t;  (** deterministic fault plan (default {!Faults.none}) *)
+  checkpoint_every : int option;
+      (** checkpoint driver-loop state every [k] iterations (default off) *)
+  mem_budget : float option;
+      (** logical bytes per slot; turns on memory governance (default
+          unbounded) *)
+  spill : bool;
+      (** overflowing slots spill to simulated disk instead of OOM-killing
+          (default [false]) *)
+  max_inflight : int option;
+      (** job-admission gate: at most this many jobs in flight (default
+          unbounded) *)
+  pool : Emma_util.Pool.t option;
+      (** domain pool for per-partition work (default: the ambient
+          {!Emma_util.Pool.default}, or a session-owned pool when
+          [domains] is set) *)
+  chunk : chunk_spec;  (** chunking policy (default [Chunk_auto]) *)
+  trace : Emma_util.Trace.t option;
+      (** span tracer (default: the ambient {!Emma_util.Trace.global}) *)
+  domains : int option;
+      (** when set and [pool] is [None], sessions create (and own) a
+          dedicated pool of this many domains *)
+  plan_cache : int option;
+      (** plan-cache capacity for sessions: [Some n] keeps the [n] most
+          recently used compiled plans (default [Some 64]); [None] turns
+          the cache off. Ignored by bare [Exec.create]. *)
+}
+
+val default : t
+(** [Compiled] UDFs, no chaos, unbounded memory and admission, ambient
+    pool and tracer, auto chunking, a 64-entry plan cache. *)
+
+val with_udf_mode : udf_mode -> t -> t
+val with_faults : Faults.t -> t -> t
+val with_checkpoint_every : int option -> t -> t
+val with_mem_budget : float option -> t -> t
+val with_spill : bool -> t -> t
+val with_max_inflight : int option -> t -> t
+val with_pool : Emma_util.Pool.t option -> t -> t
+val with_chunk : chunk_spec -> t -> t
+val with_trace : Emma_util.Trace.t option -> t -> t
+val with_domains : int option -> t -> t
+val with_plan_cache : int option -> t -> t
+
+val parse_udf_mode : string -> (udf_mode, string) result
+(** ["interp"] / ["compiled"] (case-insensitive). *)
+
+val parse_chunk : string -> (chunk_spec, string) result
+(** ["auto"] or a row count >= 1. *)
+
+val parse_plan_cache : string -> (int option, string) result
+(** ["off"] / ["0"] disables; a capacity >= 1 enables. *)
+
+val of_cli :
+  ?base:t ->
+  ?udf_mode:string ->
+  ?chunk:string ->
+  ?chaos_seed:int ->
+  ?chaos_rates:string ->
+  ?checkpoint_every:int ->
+  ?mem_per_slot:float ->
+  ?spill:bool ->
+  ?max_inflight:int ->
+  ?domains:int ->
+  ?plan_cache:string ->
+  unit ->
+  (t, string) result
+(** The one shared flag-validation path for [run], [bench] and [serve]:
+    each argument is the raw CLI value of the flag of the same name;
+    absent flags keep [base] (default {!default}). Every rejection is a
+    one-line actionable message — callers print it and exit 2.
+    [--chaos-rates] without [--chaos-seed] is rejected, matching the
+    historical CLI behavior. *)
+
+val udf_mode_to_string : udf_mode -> string
+val chunk_to_string : chunk_spec -> string
+
+val to_json : t -> Emma_util.Json.t
+(** Pinned rendering for reports; the pool/trace fields render as
+    presence flags ("custom"/"default", enabled bool), not contents. *)

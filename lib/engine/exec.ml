@@ -19,8 +19,9 @@ type location = Mem | Dfs
    {!Emma_lang.Compile} and runs the resulting closure. The choice affects
    wall-clock only: both paths share the same [worker_env] cost charging
    and the same [bump_udf] tally, so every cost-model field is
-   bit-identical between modes (differentially tested). *)
-type udf_mode = Interp | Compiled
+   bit-identical between modes (differentially tested). Defined in
+   {!Config} (the knob record) and re-exported here. *)
+type udf_mode = Config.udf_mode = Interp | Compiled
 
 (* Chunk-size policy for the adaptive-chunking barriers ([par_chunked]):
    [Chunk_auto] sizes chunks from the cost model's per-row estimate with a
@@ -29,7 +30,7 @@ type udf_mode = Interp | Compiled
    homomorphisms and reassembles chunk outputs in order, so results and
    every cost-model metric are bit-identical for every policy — only wall
    time and the par_* counters move. *)
-type chunk_spec = Chunk_auto | Chunk_fixed of int
+type chunk_spec = Config.chunk_spec = Chunk_auto | Chunk_fixed of int
 
 (* Mutable chaos bookkeeping. Sequence counters number the injection
    points in coordinator execution order — the same order at any domain
@@ -139,10 +140,37 @@ and env = (string * dval) list
 
 type out = Obag of Pdata.t | Oscalar of Value.t | Ostateful of state_handle
 
-let create ?timeout_s ?(udf_mode = Compiled) ?(faults = Faults.none) ?checkpoint_every
-    ?mem_budget ?(spill = false) ?max_inflight ?pool ?(chunk = Chunk_auto) ?trace
+let create ?timeout_s ?(config = Config.default) ?udf_mode ?faults
+    ?checkpoint_every ?mem_budget ?spill ?max_inflight ?pool ?chunk ?trace
     ~cluster ~profile eval_ctx =
-  let pool = match pool with Some p -> p | None -> Pool.default () in
+  (* per-knob optional args are deprecated shims: when given they override
+     the corresponding [config] field, preserving pre-Config call sites *)
+  let udf_mode = Option.value udf_mode ~default:config.Config.udf_mode in
+  let faults = Option.value faults ~default:config.Config.faults in
+  let checkpoint_every =
+    match checkpoint_every with
+    | Some _ as k -> k
+    | None -> config.Config.checkpoint_every
+  in
+  let mem_budget =
+    match mem_budget with Some _ as b -> b | None -> config.Config.mem_budget
+  in
+  let spill = Option.value spill ~default:config.Config.spill in
+  let max_inflight =
+    match max_inflight with
+    | Some _ as k -> k
+    | None -> config.Config.max_inflight
+  in
+  let chunk = Option.value chunk ~default:config.Config.chunk in
+  let trace =
+    match trace with Some _ as tr -> tr | None -> config.Config.trace
+  in
+  let pool =
+    match pool with
+    | Some p -> p
+    | None -> (
+        match config.Config.pool with Some p -> p | None -> Pool.default ())
+  in
   { cluster;
     profile;
     metrics = Metrics.create ();

@@ -38,7 +38,7 @@ exception Engine_timeout of float
 type t
 (** An engine instance: cluster + profile + metrics + table storage. *)
 
-type udf_mode =
+type udf_mode = Config.udf_mode =
   | Interp  (** tree-walk every UDF body per tuple with {!Emma_lang.Eval} *)
   | Compiled
       (** stage each UDF body once through {!Emma_lang.Compile} into a
@@ -59,10 +59,11 @@ type udf_mode =
     Non-homomorphic per-partition work (fold accumulators, groupBy/aggBy
     tables, sort-based distinct/minus, repartition-join builds) is never
     chunked — splitting a float fold would reassociate additions. *)
-type chunk_spec = Chunk_auto | Chunk_fixed of int
+type chunk_spec = Config.chunk_spec = Chunk_auto | Chunk_fixed of int
 
 val create :
   ?timeout_s:float ->
+  ?config:Config.t ->
   ?udf_mode:udf_mode ->
   ?faults:Faults.t ->
   ?checkpoint_every:int ->
@@ -78,6 +79,13 @@ val create :
   t
 (** The [Eval.ctx] provides the named input tables and receives written
     sinks, so engine runs and native runs are directly comparable.
+
+    [config] carries every knob below in one record ({!Config.t}, default
+    {!Config.default}); its [domains]/[plan_cache] fields are session
+    concerns and ignored here. The per-knob optional arguments are
+    deprecated shims kept for one release: when passed they override the
+    corresponding [config] field. New code should build a [Config] and
+    pass only [?config] (see the README migration guide).
 
     [udf_mode] (default [Compiled]) selects how worker-side UDF bodies
     execute. Both modes share the same cost charging and UDF tally, so

@@ -38,6 +38,9 @@ type t = {
   mutable jobs_queued : int;
   mutable queue_wait_s : float;
   mutable checkpoint_corruptions : int;
+  mutable plan_cache_hits : int;
+  mutable plan_cache_misses : int;
+  mutable plan_cache_evictions : int;
 }
 
 let create () =
@@ -81,6 +84,9 @@ let create () =
     jobs_queued = 0;
     queue_wait_s = 0.0;
     checkpoint_corruptions = 0;
+    plan_cache_hits = 0;
+    plan_cache_misses = 0;
+    plan_cache_evictions = 0;
   }
 
 let add_time m s = m.sim_time_s <- m.sim_time_s +. s
@@ -137,6 +143,9 @@ let to_rows m =
     ("jobs queued", string_of_int m.jobs_queued);
     ("queue wait", Printf.sprintf "%.1f s" m.queue_wait_s);
     ("ckpt corruptions", string_of_int m.checkpoint_corruptions);
+    ("plan hits", string_of_int m.plan_cache_hits);
+    ("plan misses", string_of_int m.plan_cache_misses);
+    ("plan evictions", string_of_int m.plan_cache_evictions);
   ]
 
 let pp ppf m =
@@ -188,6 +197,9 @@ let to_json m =
       ("jobs_queued", Json.Int m.jobs_queued);
       ("queue_wait_s", Json.Float m.queue_wait_s);
       ("checkpoint_corruptions", Json.Int m.checkpoint_corruptions);
+      ("plan_cache_hits", Json.Int m.plan_cache_hits);
+      ("plan_cache_misses", Json.Int m.plan_cache_misses);
+      ("plan_cache_evictions", Json.Int m.plan_cache_evictions);
     ]
 
 let to_json_string m = Json.to_string (to_json m)

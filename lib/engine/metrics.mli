@@ -71,6 +71,15 @@ type t = {
   mutable checkpoint_corruptions : int;
       (** loop checkpoints whose CRC32 failed verification on restore and
           were skipped in favour of an older good one *)
+  mutable plan_cache_hits : int;
+      (** session plan-cache hits: submissions whose compiled plan was
+          reused, skipping the whole compile pipeline (set by
+          [Emma.Session.submit], not the engine) *)
+  mutable plan_cache_misses : int;
+      (** submissions that compiled cold and populated the plan cache *)
+  mutable plan_cache_evictions : int;
+      (** cached plans dropped by the LRU evictor on this submission's
+          store *)
 }
 
 val create : unit -> t

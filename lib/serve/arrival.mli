@@ -1,0 +1,38 @@
+(** Arrival traces for [emma serve].
+
+    A trace is an ordered list of submissions — arrival time, tenant
+    name, query name. The list position is the submission id, the
+    deterministic tie-break used by the fair-share scheduler, so a trace
+    replays to bit-identical counters however many domains execute it.
+
+    {b Text format} (the CLI's [--arrivals FILE]): one event per line,
+
+    {v <at_s> <tenant> <query> v}
+
+    with [at_s] a non-negative float ([%.6f] on output), [#] comments and
+    blank lines ignored. *)
+
+type event = { at_s : float; tenant : string; query : string }
+
+val to_string : event list -> string
+(** Pinned rendering; round-trips through {!of_string} byte-stably. *)
+
+val of_string : string -> (event list, string) result
+(** Parses the text format; the error is a one-line actionable message
+    naming the offending line. *)
+
+val generate :
+  seed:int ->
+  rate:float ->
+  alpha:float ->
+  tenants:string list ->
+  queries:string list ->
+  n:int ->
+  event list
+(** A deterministic heavy-traffic trace: [n] arrivals with
+    [Exponential rate] inter-arrival gaps; tenant and query of each
+    arrival drawn Zipf([alpha]) over their list order (first entries
+    dominate — the repeat-heavy popularity law that makes a plan cache
+    pay). Everything is derived from [seed] via {!Emma_util.Prng}.
+    Raises [Invalid_argument] on an empty tenant/query list or a
+    non-positive rate. *)

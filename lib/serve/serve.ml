@@ -1,0 +1,452 @@
+(* The multi-tenant service layer over Emma.Session.
+
+   Two modes mirror the chaos layer's design:
+
+   - [run_sim]: a deterministic discrete-event simulation. Queries are
+     dispatched over [lanes] simulated service lanes (the max_inflight
+     admission gate) by deficit round-robin over per-tenant queues;
+     service time is the session's deterministic compile charge plus the
+     engine's simulated cost. Every quantity that feeds a scheduling
+     decision is simulated, so counters and the fingerprint replay
+     bit-identically across runs and across domain counts.
+
+   - [run_concurrent]: real concurrency — one host domain per tenant
+     lane replaying that tenant's share of the trace over the shared
+     work-stealing pool, gated by a counting semaphore when max_inflight
+     is set. Wall-clock results; per-query values still match sim mode
+     because the engine itself is deterministic. *)
+
+module Session = Emma.Session
+module Config = Emma.Config
+module Metrics = Emma.Metrics
+module Plan_cache = Emma.Plan_cache
+module Expr = Emma.Expr
+module Value = Emma.Value
+module Json = Emma.Json
+
+type tenant = { tn_name : string; tn_weight : int; tn_mem_budget : float option }
+
+let tenant ?(weight = 1) ?mem_budget name =
+  if weight < 1 then invalid_arg "Serve.tenant: weight must be >= 1";
+  { tn_name = name; tn_weight = weight; tn_mem_budget = mem_budget }
+
+type workload = (string * (Expr.program * (string * Value.t list) list)) list
+
+type query_result = {
+  qr_sub : int;
+  qr_tenant : string;
+  qr_query : string;
+  qr_arrival_s : float;
+  qr_start_s : float;
+  qr_finish_s : float;
+  qr_service_s : float;
+  qr_cache : Session.cache_status;
+  qr_outcome : Session.outcome;
+}
+
+type tenant_counters = {
+  tc_name : string;
+  tc_weight : int;
+  tc_admissions : int;
+  tc_max_queue : int;
+  tc_queue_wait_s : float;
+  tc_service_s : float;
+}
+
+type counters = {
+  sv_results : query_result list;  (* in submission-id order *)
+  sv_tenants : tenant_counters list;  (* in declaration order *)
+  sv_cache : Plan_cache.stats option;
+  sv_failed : int;
+  sv_timed_out : int;
+  sv_lanes : int;
+  sv_makespan_s : float;
+  sv_wall_s : float;  (* host seconds; excluded from the fingerprint *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared plumbing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let validate tenants workload events =
+  if tenants = [] then invalid_arg "Serve: at least one tenant is required";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      if Hashtbl.mem seen t.tn_name then
+        invalid_arg (Printf.sprintf "Serve: duplicate tenant %S" t.tn_name);
+      Hashtbl.add seen t.tn_name ())
+    tenants;
+  List.iteri
+    (fun i (e : Arrival.event) ->
+      if not (List.exists (fun t -> t.tn_name = e.Arrival.tenant) tenants) then
+        invalid_arg
+          (Printf.sprintf "Serve: event %d names unknown tenant %S" i
+             e.Arrival.tenant);
+      if not (List.mem_assoc e.Arrival.query workload) then
+        invalid_arg
+          (Printf.sprintf "Serve: event %d names unknown query %S" i
+             e.Arrival.query))
+    events
+
+(* Per-tenant engine config: the session config with the tenant's own
+   memory budget (when set). The pool field is ignored by Session.run —
+   the session pool always executes. *)
+let tenant_config session tn =
+  match tn.tn_mem_budget with
+  | None -> None
+  | Some b -> Some (Config.with_mem_budget (Some b) (Session.config session))
+
+let lanes_of session tenants =
+  match (Session.config session).Config.max_inflight with
+  | Some k -> k
+  | None -> List.length tenants
+
+let assemble ~lanes ~wall_s session tenants results =
+  let by_tenant name =
+    List.filter (fun r -> r.qr_tenant = name) results
+  in
+  let sv_tenants =
+    List.map
+      (fun tn ->
+        let rs = by_tenant tn.tn_name in
+        {
+          tc_name = tn.tn_name;
+          tc_weight = tn.tn_weight;
+          tc_admissions = List.length rs;
+          tc_max_queue = 0;  (* overridden by run_sim *)
+          tc_queue_wait_s =
+            List.fold_left (fun a r -> a +. (r.qr_start_s -. r.qr_arrival_s)) 0.0 rs;
+          tc_service_s = List.fold_left (fun a r -> a +. r.qr_service_s) 0.0 rs;
+        })
+      tenants
+  in
+  {
+    sv_results = results;
+    sv_tenants;
+    sv_cache = Session.plan_cache_stats session;
+    sv_failed =
+      List.length
+        (List.filter
+           (fun r -> match r.qr_outcome with Session.Failed _ -> true | _ -> false)
+           results);
+    sv_timed_out =
+      List.length
+        (List.filter
+           (fun r ->
+             match r.qr_outcome with Session.Timed_out _ -> true | _ -> false)
+           results);
+    sv_lanes = lanes;
+    sv_makespan_s = List.fold_left (fun a r -> max a r.qr_finish_s) 0.0 results;
+    sv_wall_s = wall_s;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic sim mode                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_sim ?(quantum_s = 1.0) session tenants workload events =
+  validate tenants workload events;
+  if not (quantum_s > 0.0) then
+    invalid_arg "Serve.run_sim: quantum must be > 0";
+  let wall0 = Unix.gettimeofday () in
+  let evs = Array.of_list events in
+  let n = Array.length evs in
+  let nt = List.length tenants in
+  let tarr = Array.of_list tenants in
+  let tindex =
+    let tbl = Hashtbl.create nt in
+    Array.iteri (fun i t -> Hashtbl.replace tbl t.tn_name i) tarr;
+    fun name -> Hashtbl.find tbl name
+  in
+  (* submission order sorted by arrival time, sub id breaking ties *)
+  let order = Array.init n Fun.id in
+  Array.stable_sort
+    (fun i j -> compare evs.(i).Arrival.at_s evs.(j).Arrival.at_s)
+    order;
+  let lanes = max 1 (lanes_of session tenants) in
+  let lane_free = Array.make lanes 0.0 in
+  let queues = Array.init nt (fun _ -> Queue.create ()) in
+  let deficit = Array.make nt 0.0 in
+  let max_queue = Array.make nt 0 in
+  let results = Array.make n None in
+  let next = ref 0 in
+  let completed = ref 0 in
+  let rr = ref 0 in
+  let enqueue_until t =
+    while !next < n && evs.(order.(!next)).Arrival.at_s <= t do
+      let sub = order.(!next) in
+      let ti = tindex evs.(sub).Arrival.tenant in
+      Queue.add sub queues.(ti);
+      max_queue.(ti) <- max max_queue.(ti) (Queue.length queues.(ti));
+      incr next
+    done
+  in
+  let queues_empty () =
+    Array.for_all Queue.is_empty queues
+  in
+  (* Deficit round-robin, post-paid: visit tenants in a fixed rotation;
+     an empty queue forfeits its deficit, a backlogged tenant earns
+     quantum x weight per visit and runs once its balance is positive
+     (the actual simulated service cost is debited after the run). Every
+     backlogged tenant's balance grows every full rotation, so no tenant
+     starves; the rotation order and the sub-id queue order make the
+     pick a pure function of the trace. *)
+  let drr_pick () =
+    let rec go () =
+      let i = !rr in
+      rr := (!rr + 1) mod nt;
+      if Queue.is_empty queues.(i) then begin
+        deficit.(i) <- 0.0;
+        go ()
+      end
+      else begin
+        deficit.(i) <-
+          deficit.(i) +. (quantum_s *. float_of_int tarr.(i).tn_weight);
+        if deficit.(i) > 0.0 then i else go ()
+      end
+    in
+    go ()
+  in
+  while !completed < n do
+    (* earliest-free lane; lowest index breaks ties *)
+    let lane = ref 0 in
+    Array.iteri (fun i t -> if t < lane_free.(!lane) then lane := i) lane_free;
+    let now = lane_free.(!lane) in
+    enqueue_until now;
+    if queues_empty () then begin
+      (* idle: advance this lane to the next arrival *)
+      let t_next = evs.(order.(!next)).Arrival.at_s in
+      lane_free.(!lane) <- max now t_next
+    end
+    else begin
+      let ti = drr_pick () in
+      let sub = Queue.pop queues.(ti) in
+      let ev = evs.(sub) in
+      let prog, tables = List.assoc ev.Arrival.query workload in
+      let config = tenant_config session tarr.(ti) in
+      let outcome, info = Session.submit ?config session prog ~tables in
+      let m = Session.metrics_of_outcome outcome in
+      let service = info.Session.si_compile_s +. m.Metrics.sim_time_s in
+      deficit.(ti) <- deficit.(ti) -. service;
+      let start = now in
+      let finish = start +. service in
+      lane_free.(!lane) <- finish;
+      results.(sub) <-
+        Some
+          {
+            qr_sub = sub;
+            qr_tenant = ev.Arrival.tenant;
+            qr_query = ev.Arrival.query;
+            qr_arrival_s = ev.Arrival.at_s;
+            qr_start_s = start;
+            qr_finish_s = finish;
+            qr_service_s = service;
+            qr_cache = info.Session.si_cache;
+            qr_outcome = outcome;
+          };
+      incr completed
+    end
+  done;
+  let results =
+    Array.to_list results
+    |> List.map (function Some r -> r | None -> assert false)
+  in
+  let c =
+    assemble ~lanes ~wall_s:(Unix.gettimeofday () -. wall0) session tenants
+      results
+  in
+  {
+    c with
+    sv_tenants =
+      List.map
+        (fun tc -> { tc with tc_max_queue = max_queue.(tindex tc.tc_name) })
+        c.sv_tenants;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Real concurrent mode                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Counting semaphore: the max_inflight admission gate of the real mode. *)
+type sem = { s_lock : Mutex.t; s_cond : Condition.t; mutable s_avail : int }
+
+let sem_create n = { s_lock = Mutex.create (); s_cond = Condition.create (); s_avail = n }
+
+let sem_acquire s =
+  Mutex.lock s.s_lock;
+  while s.s_avail <= 0 do
+    Condition.wait s.s_cond s.s_lock
+  done;
+  s.s_avail <- s.s_avail - 1;
+  Mutex.unlock s.s_lock
+
+let sem_release s =
+  Mutex.lock s.s_lock;
+  s.s_avail <- s.s_avail + 1;
+  Condition.signal s.s_cond;
+  Mutex.unlock s.s_lock
+
+let run_concurrent session tenants workload events =
+  validate tenants workload events;
+  let lanes = max 1 (lanes_of session tenants) in
+  let sem =
+    match (Session.config session).Config.max_inflight with
+    | Some k -> Some (sem_create k)
+    | None -> None
+  in
+  let numbered = List.mapi (fun i e -> (i, e)) events in
+  let wall0 = Unix.gettimeofday () in
+  (* one domain per tenant lane, replaying that tenant's submissions in
+     trace order as fast as admission allows (closed loop — arrival
+     times order the lane but are not waited out, so the measured
+     throughput is the sustained maximum, not the offered rate) *)
+  let run_lane tn =
+    let mine =
+      List.filter (fun (_, e) -> e.Arrival.tenant = tn.tn_name) numbered
+    in
+    let config = tenant_config session tn in
+    List.map
+      (fun (sub, (ev : Arrival.event)) ->
+        (* closed loop: "arrival" is when this lane starts waiting for
+           admission, so latency = admission wait + service, never the
+           scripted sim time (which is on a different clock) *)
+        let arrival = Unix.gettimeofday () -. wall0 in
+        (match sem with Some s -> sem_acquire s | None -> ());
+        let start = Unix.gettimeofday () -. wall0 in
+        let prog, tables = List.assoc ev.Arrival.query workload in
+        let outcome, info =
+          Fun.protect
+            ~finally:(fun () ->
+              match sem with Some s -> sem_release s | None -> ())
+            (fun () -> Session.submit ?config session prog ~tables)
+        in
+        let finish = Unix.gettimeofday () -. wall0 in
+        {
+          qr_sub = sub;
+          qr_tenant = ev.Arrival.tenant;
+          qr_query = ev.Arrival.query;
+          qr_arrival_s = arrival;
+          qr_start_s = start;
+          qr_finish_s = finish;
+          qr_service_s = finish -. start;
+          qr_cache = info.Session.si_cache;
+          qr_outcome = outcome;
+        })
+      mine
+  in
+  let domains =
+    List.map (fun tn -> Domain.spawn (fun () -> run_lane tn)) tenants
+  in
+  let results =
+    List.concat_map Domain.join domains
+    |> List.sort (fun a b -> compare a.qr_sub b.qr_sub)
+  in
+  assemble ~lanes ~wall_s:(Unix.gettimeofday () -. wall0) session tenants
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cache_to_string = function
+  | Session.Hit -> "hit"
+  | Session.Miss -> "miss"
+  | Session.Uncached -> "off"
+
+let status_to_string = function
+  | Session.Finished _ -> "finished"
+  | Session.Failed _ -> "failed"
+  | Session.Timed_out _ -> "timed_out"
+
+(* The replay identity of a sim run: every scheduling, queueing and cache
+   quantity, rendered with the repo's pinned float format. Host wall time
+   is deliberately absent, so the fingerprint is bit-identical across 20
+   replays and across 1/2/4/8 domains. *)
+let fingerprint c =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "lanes=%d failed=%d timed_out=%d makespan=%.6f\n" c.sv_lanes
+       c.sv_failed c.sv_timed_out c.sv_makespan_s);
+  (match c.sv_cache with
+  | None -> Buffer.add_string b "cache=off\n"
+  | Some s ->
+      Buffer.add_string b
+        (Printf.sprintf "cache hits=%d misses=%d evictions=%d entries=%d\n"
+           s.Plan_cache.hits s.Plan_cache.misses s.Plan_cache.evictions
+           s.Plan_cache.entries));
+  List.iter
+    (fun tc ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "tenant=%s weight=%d admissions=%d max_queue=%d wait=%.6f \
+            service=%.6f\n"
+           tc.tc_name tc.tc_weight tc.tc_admissions tc.tc_max_queue
+           tc.tc_queue_wait_s tc.tc_service_s))
+    c.sv_tenants;
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "sub=%d tenant=%s query=%s arr=%.6f start=%.6f finish=%.6f \
+            cache=%s status=%s\n"
+           r.qr_sub r.qr_tenant r.qr_query r.qr_arrival_s r.qr_start_s
+           r.qr_finish_s (cache_to_string r.qr_cache)
+           (status_to_string r.qr_outcome)))
+    c.sv_results;
+  Buffer.contents b
+
+let latencies c =
+  let a =
+    Array.of_list
+      (List.map (fun r -> r.qr_finish_s -. r.qr_arrival_s) c.sv_results)
+  in
+  Array.sort compare a;
+  a
+
+(* Nearest-rank percentile on a sorted array; deterministic. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let counters_to_json c =
+  let lat = latencies c in
+  Json.Obj
+    [
+      ("queries", Json.Int (List.length c.sv_results));
+      ("lanes", Json.Int c.sv_lanes);
+      ("failed", Json.Int c.sv_failed);
+      ("timed_out", Json.Int c.sv_timed_out);
+      ("makespan_s", Json.Float c.sv_makespan_s);
+      ("wall_s", Json.Float c.sv_wall_s);
+      ("latency_p50_s", Json.Float (percentile lat 0.50));
+      ("latency_p99_s", Json.Float (percentile lat 0.99));
+      ( "cache",
+        match c.sv_cache with
+        | None -> Json.Null
+        | Some s ->
+            Json.Obj
+              [
+                ("hits", Json.Int s.Plan_cache.hits);
+                ("misses", Json.Int s.Plan_cache.misses);
+                ("evictions", Json.Int s.Plan_cache.evictions);
+                ("entries", Json.Int s.Plan_cache.entries);
+              ] );
+      ( "tenants",
+        Json.List
+          (List.map
+             (fun tc ->
+               Json.Obj
+                 [
+                   ("name", Json.Str tc.tc_name);
+                   ("weight", Json.Int tc.tc_weight);
+                   ("admissions", Json.Int tc.tc_admissions);
+                   ("max_queue", Json.Int tc.tc_max_queue);
+                   ("queue_wait_s", Json.Float tc.tc_queue_wait_s);
+                   ("service_s", Json.Float tc.tc_service_s);
+                 ])
+             c.sv_tenants) );
+    ]

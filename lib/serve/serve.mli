@@ -1,0 +1,112 @@
+(** [emma serve]: a multi-tenant query service over {!Emma.Session}.
+
+    Tenants submit named queries following an {!Arrival} trace; a
+    fair-share admission scheduler — deficit round-robin over per-tenant
+    queues, deterministic tie-break on submission id — dispatches them
+    over [max_inflight] service lanes on one shared session (shared
+    work-stealing pool, shared plan cache, per-tenant memory budgets).
+
+    Two modes mirror the chaos layer's design:
+
+    - {!run_sim} is a deterministic discrete-event simulation: service
+      time is the session's deterministic compile charge plus the
+      engine's simulated cost, so every counter — queue depths, cache
+      hits/misses, per-tenant admissions, the full {!fingerprint} — is
+      bit-identical across replays and across domain counts, and each
+      query's value and engine metrics match a standalone [run_on].
+    - {!run_concurrent} is real concurrency: one host domain per tenant
+      lane replays that tenant's share of the trace over the shared pool
+      as fast as admission allows (closed loop), measuring sustained
+      wall-clock throughput. *)
+
+module Session = Emma.Session
+module Plan_cache = Emma.Plan_cache
+
+type tenant = {
+  tn_name : string;
+  tn_weight : int;  (** fair-share weight (>= 1): deficit earned per round *)
+  tn_mem_budget : float option;
+      (** per-tenant engine memory budget, overriding the session config *)
+}
+
+val tenant : ?weight:int -> ?mem_budget:float -> string -> tenant
+(** [weight] defaults to 1. Raises [Invalid_argument] when [weight < 1]. *)
+
+type workload = (string * (Emma.Expr.program * (string * Emma.Value.t list) list)) list
+(** Query name → source program + input tables. Submissions go through
+    {!Session.submit}, so repeat names hit the plan cache. *)
+
+type query_result = {
+  qr_sub : int;  (** submission id: position in the arrival trace *)
+  qr_tenant : string;
+  qr_query : string;
+  qr_arrival_s : float;
+  qr_start_s : float;  (** dispatch time (sim clock / wall offset) *)
+  qr_finish_s : float;
+  qr_service_s : float;  (** compile charge + simulated cost (sim mode) *)
+  qr_cache : Session.cache_status;
+  qr_outcome : Session.outcome;
+      (** full outcome — value and per-query metrics, present on failure
+          paths too *)
+}
+
+type tenant_counters = {
+  tc_name : string;
+  tc_weight : int;
+  tc_admissions : int;  (** queries dispatched for this tenant *)
+  tc_max_queue : int;  (** deepest backlog observed (sim mode) *)
+  tc_queue_wait_s : float;  (** total dispatch − arrival *)
+  tc_service_s : float;
+}
+
+type counters = {
+  sv_results : query_result list;  (** in submission-id order *)
+  sv_tenants : tenant_counters list;  (** in declaration order *)
+  sv_cache : Plan_cache.stats option;
+  sv_failed : int;
+  sv_timed_out : int;
+  sv_lanes : int;
+  sv_makespan_s : float;
+  sv_wall_s : float;  (** host seconds; excluded from {!fingerprint} *)
+}
+
+val run_sim :
+  ?quantum_s:float ->
+  Session.t ->
+  tenant list ->
+  workload ->
+  Arrival.event list ->
+  counters
+(** Deterministic replay of the trace. Lanes = the session config's
+    [max_inflight] (default: one per tenant). [quantum_s] (default 1.0)
+    is the deficit earned per weight unit per scheduler round; any
+    positive value is starvation-free. Raises [Invalid_argument] when a
+    trace event names an unknown tenant or query, on duplicate tenants,
+    or on an empty tenant list. *)
+
+val run_concurrent :
+  Session.t -> tenant list -> workload -> Arrival.event list -> counters
+(** One domain per tenant lane over the shared session; [max_inflight]
+    enforced by a counting semaphore. Counters use host wall clock;
+    [qr_arrival_s] is re-anchored to the instant the lane started waiting
+    for admission (the scripted times are on the simulated clock), so
+    latency = admission wait + service. Values and engine metrics per
+    query remain deterministic. *)
+
+val fingerprint : counters -> string
+(** The replay identity of a sim run: every scheduling/queue/cache
+    quantity in pinned formatting, host wall time excluded — bit-identical
+    across replays and across 1/2/4/8 domains (property-tested). *)
+
+val latencies : counters -> float array
+(** Sorted [finish − arrival] per query. *)
+
+val percentile : float array -> float -> float
+(** Nearest-rank percentile on a sorted array ([percentile lat 0.99]). *)
+
+val counters_to_json : counters -> Emma.Json.t
+(** Machine-readable summary (queries, lanes, p50/p99, cache stats,
+    per-tenant counters) with the repo's pinned float rendering. *)
+
+val cache_to_string : Session.cache_status -> string
+val status_to_string : Session.outcome -> string

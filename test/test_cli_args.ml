@@ -85,6 +85,36 @@ let test_valid_flags_accepted () =
   Alcotest.(check int) "governed run exits 0" 0
     (run_cli [ "run"; "q1"; "--mem-per-slot"; "1e6"; "--spill"; "--max-inflight"; "4" ])
 
+(* run/bench/serve share Config.of_cli, so the new flags get the same
+   exit-2 hygiene on every subcommand *)
+let test_bad_udf_mode_exits_2 () =
+  Alcotest.(check int) "--udf-mode bogus exits 2" 2
+    (run_cli [ "run"; "q1"; "--udf-mode"; "bogus" ]);
+  Alcotest.(check int) "--udf-mode interp exits 0" 0
+    (run_cli [ "run"; "q1"; "--udf-mode"; "interp" ])
+
+let test_bad_plan_cache_exits_2 () =
+  List.iter
+    (fun (name, args) -> Alcotest.(check int) name 2 (run_cli args))
+    [ ("negative plan cache", [ "serve"; "--events"; "2"; "--plan-cache=-3" ]);
+      ("garbage plan cache", [ "serve"; "--events"; "2"; "--plan-cache"; "0x" ]) ]
+
+let test_bad_serve_flags_exit_2 () =
+  List.iter
+    (fun (name, args) -> Alcotest.(check int) name 2 (run_cli ("serve" :: args)))
+    [ ("zero events", [ "--events"; "0" ]);
+      ("non-positive rate", [ "--events"; "2"; "--rate"; "0" ]);
+      ("non-positive zipf", [ "--events"; "2"; "--zipf=-1" ]);
+      ("zero tenant weight", [ "--events"; "2"; "--tenants"; "a:0" ]);
+      ("unknown serve query", [ "--events"; "2"; "--queries"; "nope" ]);
+      ("bad udf mode through serve", [ "--events"; "2"; "--udf-mode"; "bogus" ]) ]
+
+let test_serve_accepted () =
+  Alcotest.(check int) "tiny sim serve exits 0" 0
+    (run_cli
+       [ "serve"; "--events"; "4"; "--queries"; "group-min"; "--tenants";
+         "acme:2,beta"; "--seed"; "3" ])
+
 let suite =
   [ ( "cli_args",
       [ Alcotest.test_case "chaos rates parse" `Quick test_rates_parse_ok;
@@ -93,5 +123,11 @@ let suite =
         Alcotest.test_case "bad flag values exit 2" `Quick test_bad_flags_exit_2;
         Alcotest.test_case "bad --chunk values exit 2" `Quick test_bad_chunk_exits_2;
         Alcotest.test_case "--chunk auto/N accepted" `Quick test_chunk_accepted;
-        Alcotest.test_case "valid flags accepted" `Quick test_valid_flags_accepted ] )
+        Alcotest.test_case "valid flags accepted" `Quick test_valid_flags_accepted;
+        Alcotest.test_case "bad --udf-mode exits 2" `Quick test_bad_udf_mode_exits_2;
+        Alcotest.test_case "bad --plan-cache exits 2" `Quick
+          test_bad_plan_cache_exits_2;
+        Alcotest.test_case "bad serve flags exit 2" `Quick
+          test_bad_serve_flags_exit_2;
+        Alcotest.test_case "tiny serve run accepted" `Quick test_serve_accepted ] )
   ]

@@ -47,6 +47,9 @@ let sample () =
   m.Metrics.jobs_queued <- 4;
   m.Metrics.queue_wait_s <- 4.26;
   m.Metrics.checkpoint_corruptions <- 1;
+  m.Metrics.plan_cache_hits <- 9;
+  m.Metrics.plan_cache_misses <- 2;
+  m.Metrics.plan_cache_evictions <- 1;
   m
 
 let test_to_rows_pinned () =
@@ -79,7 +82,10 @@ let test_to_rows_pinned () =
   check "evicted bytes" "1.02 KB";
   check "jobs queued" "4";
   check "queue wait" "4.3 s";
-  check "ckpt corruptions" "1"
+  check "ckpt corruptions" "1";
+  check "plan hits" "9";
+  check "plan misses" "2";
+  check "plan evictions" "1"
 
 let test_pp_renders_rows () =
   let s = Format.asprintf "%a" Metrics.pp (sample ()) in
@@ -118,7 +124,11 @@ let test_to_json_roundtrip () =
       Alcotest.(check (float 0.0)) "cache_evictions" 8.0 (num "cache_evictions");
       Alcotest.(check (float 1e-6)) "queue_wait_s" 4.26 (num "queue_wait_s");
       Alcotest.(check (float 0.0)) "checkpoint_corruptions" 1.0
-        (num "checkpoint_corruptions")
+        (num "checkpoint_corruptions");
+      Alcotest.(check (float 0.0)) "plan_cache_hits" 9.0 (num "plan_cache_hits");
+      Alcotest.(check (float 0.0)) "plan_cache_misses" 2.0 (num "plan_cache_misses");
+      Alcotest.(check (float 0.0)) "plan_cache_evictions" 1.0
+        (num "plan_cache_evictions")
 
 let test_json_float_pinned () =
   Alcotest.(check string) "floats render %.6f" "[0.100000,123.456700]"

@@ -1,0 +1,302 @@
+(* Emma_serve + Plan_cache correctness.
+
+   - qcheck differential: for random pipelines, a plan-cache hit is
+     bit-identical to a cold compile — value and cost-model metrics — at
+     1, 2, 4 and 8 domains;
+   - key sensitivity: the cache key moves with the plan, the compile
+     opts and the table schema, and nothing else;
+   - LRU eviction is deterministic (recency order, refreshed by probes);
+   - the fair-share scheduler is starvation-free: a light tenant's
+     queries are not parked behind a flooding tenant's backlog;
+   - the sim-mode replay fingerprint is invariant across 20 replays and
+     across 1/2/4/8-domain pools;
+   - Arrival traces round-trip through the text format and reject
+     malformed lines with one-line errors. *)
+
+module S = Emma_lang.Surface
+module Value = Emma.Value
+module Metrics = Emma.Metrics
+module Config = Emma.Config
+module Session = Emma.Session
+module Plan_cache = Emma.Plan_cache
+module Pipeline = Emma_compiler.Pipeline
+module Pool = Emma_util.Pool
+module Serve = Emma_serve.Serve
+module Arrival = Emma_serve.Arrival
+
+let rows n =
+  List.init n (fun i ->
+      Value.record [ ("a", Value.Int i); ("b", Value.Int (i mod 5)) ])
+
+let sum_prog =
+  S.program
+    ~ret:S.(sum (map (lam "x" (fun x -> field x "a")) (read "rows")))
+    []
+
+let count_prog = S.program ~ret:S.(count (read "rows")) []
+let rt = Emma.spark ~timeout_s:3600.0 ()
+
+let with_session ?config rt f =
+  let s = Session.create ?config rt in
+  Fun.protect ~finally:(fun () -> Session.close s) (fun () -> f s)
+
+let finished_exn = function
+  | Emma.Finished r -> r
+  | Emma.Failed { reason; _ } -> Alcotest.failf "query failed: %s" reason
+  | Emma.Timed_out _ -> Alcotest.fail "query timed out"
+
+(* ---------------------------------------------------------------- *)
+(* qcheck differential: hit == cold, bit-identical, at 1/2/4/8 domains *)
+(* ---------------------------------------------------------------- *)
+
+let cost_fields (m : Metrics.t) =
+  ( m.Metrics.sim_time_s,
+    m.Metrics.shuffle_bytes,
+    m.Metrics.broadcast_bytes,
+    m.Metrics.stages,
+    m.Metrics.jobs,
+    m.Metrics.udf_invocations )
+
+let prop_cached_equals_cold (e, data) =
+  let prog = S.program ~ret:e [] in
+  let tables = [ ("rows", data) ] in
+  let reference = ref None in
+  List.iter
+    (fun domains ->
+      let pool = Pool.create ~domains () in
+      Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+      let config =
+        Config.default |> Config.with_pool (Some pool)
+        |> Config.with_plan_cache (Some 4)
+      in
+      with_session ~config rt @@ fun s ->
+      let o_cold, i_cold = Session.submit s prog ~tables in
+      let o_hit, i_hit = Session.submit s prog ~tables in
+      if i_cold.Session.si_cache <> Session.Miss then
+        QCheck2.Test.fail_report "first submit did not miss";
+      if i_hit.Session.si_cache <> Session.Hit then
+        QCheck2.Test.fail_report "second submit did not hit";
+      let r_cold = finished_exn o_cold and r_hit = finished_exn o_hit in
+      if not (Value.equal r_cold.Emma.value r_hit.Emma.value) then
+        QCheck2.Test.fail_report "cached value differs from cold compile";
+      if cost_fields r_cold.Emma.metrics <> cost_fields r_hit.Emma.metrics then
+        QCheck2.Test.fail_report "cached cost metrics differ from cold compile";
+      (* and both match the reference from the first domain count *)
+      match !reference with
+      | None -> reference := Some (r_cold.Emma.value, cost_fields r_cold.Emma.metrics)
+      | Some (v0, c0) ->
+          if not (Value.equal v0 r_cold.Emma.value) then
+            QCheck2.Test.fail_reportf "value moved at %d domains" domains;
+          if c0 <> cost_fields r_cold.Emma.metrics then
+            QCheck2.Test.fail_reportf "cost metrics moved at %d domains" domains)
+    [ 1; 2; 4; 8 ];
+  true
+
+let qcheck_differential =
+  Helpers.qcheck_case ~count:15 "plan-cache hit == cold compile at 1/2/4/8 domains"
+    QCheck2.Gen.(pair Helpers.terminated_pipeline_gen Helpers.rows_gen)
+    prop_cached_equals_cold
+
+(* ---------------------------------------------------------------- *)
+(* Key sensitivity                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let test_key_sensitivity () =
+  let k = Pipeline.normalized_key in
+  let same a b = a.Pipeline.ck_text = b.Pipeline.ck_text in
+  Alcotest.(check bool) "same program, same key" true (same (k sum_prog) (k sum_prog));
+  Alcotest.(check bool) "different program, different key" false
+    (same (k sum_prog) (k count_prog));
+  Alcotest.(check bool) "opts move the key" false
+    (same (k ~opts:Pipeline.default_opts sum_prog) (k ~opts:Pipeline.no_opts sum_prog));
+  Alcotest.(check bool) "schema moves the key" false
+    (same (k ~schema:"rows=bag<{a:int}>" sum_prog) (k ~schema:"rows=bag<{a:float}>" sum_prog));
+  Alcotest.(check bool) "crc follows the text" true
+    ((k sum_prog).Pipeline.ck_crc = (k sum_prog).Pipeline.ck_crc)
+
+(* ---------------------------------------------------------------- *)
+(* LRU determinism                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let test_lru_eviction_deterministic () =
+  let plan = Pipeline.compile count_prog in
+  let key s = { Pipeline.ck_crc = String.length s; ck_text = s } in
+  let pc = Plan_cache.create ~capacity:2 in
+  Alcotest.(check int) "store k1" 0 (Plan_cache.store pc (key "k1") plan);
+  Alcotest.(check int) "store k2" 0 (Plan_cache.store pc (key "k2") plan);
+  (* refresh k1: k2 becomes the least recently used entry *)
+  Alcotest.(check bool) "probe k1 hits" true (Plan_cache.probe pc (key "k1") <> None);
+  Alcotest.(check int) "store k3 evicts one" 1 (Plan_cache.store pc (key "k3") plan);
+  Alcotest.(check bool) "k2 was the victim" true (Plan_cache.probe pc (key "k2") = None);
+  Alcotest.(check bool) "k1 survived" true (Plan_cache.probe pc (key "k1") <> None);
+  Alcotest.(check bool) "k3 resident" true (Plan_cache.probe pc (key "k3") <> None);
+  let st = Plan_cache.stats pc in
+  Alcotest.(check int) "evictions counted" 1 st.Plan_cache.evictions;
+  Alcotest.(check int) "population at capacity" 2 st.Plan_cache.entries;
+  (* same crc, different text: a collision must not alias *)
+  let k_a = { Pipeline.ck_crc = 42; ck_text = "alpha" } in
+  let k_b = { Pipeline.ck_crc = 42; ck_text = "bravo" } in
+  let pc2 = Plan_cache.create ~capacity:4 in
+  ignore (Plan_cache.store pc2 k_a plan);
+  Alcotest.(check bool) "crc collision does not alias" true
+    (Plan_cache.probe pc2 k_b = None)
+
+let test_plan_cache_capacity_validated () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Plan_cache.create: capacity must be >= 1") (fun () ->
+      ignore (Plan_cache.create ~capacity:0))
+
+(* ---------------------------------------------------------------- *)
+(* Serve: fixtures                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let workload =
+  [ ("sum", (sum_prog, [ ("rows", rows 30) ]));
+    ("count", (count_prog, [ ("rows", rows 30) ])) ]
+
+let tenants = [ Serve.tenant ~weight:2 "acme"; Serve.tenant "beta" ]
+
+let small_trace =
+  Arrival.generate ~seed:5 ~rate:3.0 ~alpha:1.1 ~tenants:[ "acme"; "beta" ]
+    ~queries:[ "sum"; "count" ] ~n:12
+
+let sim ?(pool : Pool.t option) ?(config = Config.default) events =
+  let config =
+    match pool with None -> config | Some p -> Config.with_pool (Some p) config
+  in
+  with_session ~config rt @@ fun s -> Serve.run_sim s tenants workload events
+
+(* ---------------------------------------------------------------- *)
+(* Replay invariance                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let test_replay_fingerprint_20x () =
+  let fp0 = Serve.fingerprint (sim small_trace) in
+  for i = 2 to 20 do
+    let fp = Serve.fingerprint (sim small_trace) in
+    if fp <> fp0 then Alcotest.failf "replay %d produced a different fingerprint" i
+  done
+
+let test_replay_fingerprint_across_domains () =
+  let fp0 = Serve.fingerprint (sim small_trace) in
+  List.iter
+    (fun domains ->
+      let pool = Pool.create ~domains () in
+      Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+      let fp = Serve.fingerprint (sim ~pool small_trace) in
+      if fp <> fp0 then Alcotest.failf "fingerprint moved at %d domains" domains)
+    [ 1; 2; 4; 8 ]
+
+(* ---------------------------------------------------------------- *)
+(* Fair share                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let test_starvation_freedom () =
+  (* tenant "acme" floods 24 queries at t=0; "beta" submits 3. On one
+     service lane, deficit round-robin must interleave beta instead of
+     parking it behind the flood. *)
+  let flood =
+    List.init 24 (fun _ -> { Arrival.at_s = 0.0; tenant = "acme"; query = "count" })
+  in
+  let light =
+    List.init 3 (fun _ -> { Arrival.at_s = 0.0; tenant = "beta"; query = "count" })
+  in
+  let events = flood @ light in
+  let config =
+    Config.default |> Config.with_max_inflight (Some 1)
+    |> Config.with_plan_cache (Some 4)
+  in
+  let c = sim ~config events in
+  Alcotest.(check int) "every query ran" 27 (List.length c.Serve.sv_results);
+  Alcotest.(check int) "one lane" 1 c.Serve.sv_lanes;
+  let beta_last_finish =
+    List.fold_left
+      (fun acc (r : Serve.query_result) ->
+        if r.Serve.qr_tenant = "beta" then max acc r.Serve.qr_finish_s else acc)
+      0.0 c.Serve.sv_results
+  in
+  Alcotest.(check bool) "light tenant finishes well before the makespan" true
+    (beta_last_finish < 0.5 *. c.Serve.sv_makespan_s);
+  (* per-tenant accounting adds up *)
+  List.iter
+    (fun (tc : Serve.tenant_counters) ->
+      let expect = if tc.Serve.tc_name = "acme" then 24 else 3 in
+      Alcotest.(check int) (tc.Serve.tc_name ^ " admissions") expect
+        tc.Serve.tc_admissions)
+    c.Serve.sv_tenants
+
+let test_unknown_names_rejected () =
+  let bad_tenant = [ { Arrival.at_s = 0.0; tenant = "ghost"; query = "sum" } ] in
+  let bad_query = [ { Arrival.at_s = 0.0; tenant = "acme"; query = "nope" } ] in
+  let raises name events =
+    match sim events with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  raises "unknown tenant" bad_tenant;
+  raises "unknown query" bad_query
+
+(* ---------------------------------------------------------------- *)
+(* Arrival traces                                                     *)
+(* ---------------------------------------------------------------- *)
+
+let test_arrival_roundtrip () =
+  let txt = Arrival.to_string small_trace in
+  match Arrival.of_string txt with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok events ->
+      Alcotest.(check int) "length" (List.length small_trace) (List.length events);
+      Alcotest.(check string) "byte-stable" txt (Arrival.to_string events)
+
+let test_arrival_parse_errors () =
+  List.iter
+    (fun (name, txt) ->
+      match Arrival.of_string txt with
+      | Ok _ -> Alcotest.failf "%s: expected a parse error" name
+      | Error e ->
+          Alcotest.(check bool) (name ^ ": one-line error") false
+            (String.contains e '\n'))
+    [ ("missing fields", "1.0 acme\n");
+      ("bad time", "x acme sum\n");
+      ("negative time", "-1.0 acme sum\n") ]
+
+let test_arrival_generate_deterministic () =
+  let a = Arrival.generate ~seed:9 ~rate:2.0 ~alpha:1.2 ~tenants:[ "t1"; "t2" ]
+            ~queries:[ "q" ] ~n:50 in
+  let b = Arrival.generate ~seed:9 ~rate:2.0 ~alpha:1.2 ~tenants:[ "t1"; "t2" ]
+            ~queries:[ "q" ] ~n:50 in
+  Alcotest.(check string) "same seed, same trace" (Arrival.to_string a)
+    (Arrival.to_string b);
+  let c = Arrival.generate ~seed:10 ~rate:2.0 ~alpha:1.2 ~tenants:[ "t1"; "t2" ]
+            ~queries:[ "q" ] ~n:50 in
+  Alcotest.(check bool) "different seed, different trace" true
+    (Arrival.to_string a <> Arrival.to_string c);
+  (* arrivals are sorted and non-negative *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a.Arrival.at_s <= b.Arrival.at_s && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone non-negative" true
+    (monotone a && List.for_all (fun e -> e.Arrival.at_s >= 0.0) a)
+
+let suite =
+  [ ( "serve",
+      [ qcheck_differential;
+        Alcotest.test_case "cache key sensitivity" `Quick test_key_sensitivity;
+        Alcotest.test_case "LRU eviction deterministic" `Quick
+          test_lru_eviction_deterministic;
+        Alcotest.test_case "plan-cache capacity validated" `Quick
+          test_plan_cache_capacity_validated;
+        Alcotest.test_case "sim fingerprint stable over 20 replays" `Quick
+          test_replay_fingerprint_20x;
+        Alcotest.test_case "sim fingerprint stable across 1/2/4/8 domains" `Quick
+          test_replay_fingerprint_across_domains;
+        Alcotest.test_case "fair share is starvation-free" `Quick
+          test_starvation_freedom;
+        Alcotest.test_case "unknown tenant/query rejected" `Quick
+          test_unknown_names_rejected;
+        Alcotest.test_case "arrival trace round-trips" `Quick test_arrival_roundtrip;
+        Alcotest.test_case "arrival parse errors are one line" `Quick
+          test_arrival_parse_errors;
+        Alcotest.test_case "arrival generation deterministic" `Quick
+          test_arrival_generate_deterministic ] ) ]

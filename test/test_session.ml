@@ -1,0 +1,237 @@
+(* Emma.Session: the reusable engine handle behind run_on and emma serve.
+
+   Covers session lifecycle (owned vs borrowed pools), the plan-cache
+   submit path (miss → hit, schema sensitivity, cache counters stamped
+   into per-query metrics), the deprecated-shim equivalence of run_on,
+   and the failure-path linkage fix: Failed and Timed_out queries still
+   surface their Metrics.t and a terminal Trace instant. *)
+
+module S = Emma_lang.Surface
+module Value = Emma.Value
+module Metrics = Emma.Metrics
+module Config = Emma.Config
+module Session = Emma.Session
+module Cluster = Emma.Cluster
+module Trace = Emma_util.Trace
+
+let rows n =
+  List.init n (fun i ->
+      Value.record [ ("a", Value.Int i); ("b", Value.Int (i mod 5)) ])
+
+let sum_prog =
+  S.program
+    ~ret:S.(sum (map (lam "x" (fun x -> field x "a")) (read "rows")))
+    []
+
+let rt = Emma.spark ~timeout_s:3600.0 ()
+
+let with_session ?config rt f =
+  let s = Session.create ?config rt in
+  Fun.protect ~finally:(fun () -> Session.close s) (fun () -> f s)
+
+let finished = function
+  | Emma.Finished r -> r
+  | Emma.Failed { reason; _ } -> Alcotest.failf "query failed: %s" reason
+  | Emma.Timed_out _ -> Alcotest.fail "query timed out"
+
+let cache_status =
+  Alcotest.testable
+    (fun ppf s ->
+      Format.pp_print_string ppf
+        (match s with
+        | Session.Hit -> "Hit"
+        | Session.Miss -> "Miss"
+        | Session.Uncached -> "Uncached"))
+    ( = )
+
+let test_miss_then_hit () =
+  with_session ~config:(Config.with_plan_cache (Some 4) Config.default) rt
+  @@ fun s ->
+  let tables = [ ("rows", rows 40) ] in
+  let o1, i1 = Session.submit s sum_prog ~tables in
+  let o2, i2 = Session.submit s sum_prog ~tables in
+  Alcotest.check cache_status "first submit compiles cold" Session.Miss
+    i1.Session.si_cache;
+  Alcotest.check cache_status "repeat submit hits" Session.Hit i2.Session.si_cache;
+  let r1 = finished o1 and r2 = finished o2 in
+  Helpers.check_value "hit value identical" r1.Emma.value r2.Emma.value;
+  Alcotest.(check (float 0.0)) "hit cost-model time identical"
+    r1.Emma.metrics.Metrics.sim_time_s r2.Emma.metrics.Metrics.sim_time_s;
+  Alcotest.(check bool) "hit compile charge is cheaper" true
+    (i2.Session.si_compile_s < i1.Session.si_compile_s);
+  (* cache counters are stamped into the per-query metrics *)
+  Alcotest.(check int) "miss counted" 1 r1.Emma.metrics.Metrics.plan_cache_misses;
+  Alcotest.(check int) "hit counted" 1 r2.Emma.metrics.Metrics.plan_cache_hits;
+  match Session.plan_cache_stats s with
+  | None -> Alcotest.fail "cached session reports no stats"
+  | Some st ->
+      Alcotest.(check int) "stats hits" 1 st.Emma.Plan_cache.hits;
+      Alcotest.(check int) "stats misses" 1 st.Emma.Plan_cache.misses;
+      Alcotest.(check int) "stats entries" 1 st.Emma.Plan_cache.entries
+
+let test_uncached_session () =
+  with_session ~config:(Config.with_plan_cache None Config.default) rt @@ fun s ->
+  let tables = [ ("rows", rows 10) ] in
+  let _, i1 = Session.submit s sum_prog ~tables in
+  let _, i2 = Session.submit s sum_prog ~tables in
+  Alcotest.check cache_status "no cache: first" Session.Uncached i1.Session.si_cache;
+  Alcotest.check cache_status "no cache: repeat" Session.Uncached i2.Session.si_cache;
+  Alcotest.(check bool) "no stats" true (Session.plan_cache_stats s = None)
+
+let test_schema_sensitivity () =
+  let t1 = [ ("rows", rows 10) ] in
+  let t2 =
+    [ ( "rows",
+        List.init 10 (fun i ->
+            Value.record
+              [ ("a", Value.Int i);
+                ("b", Value.Int (i mod 5));
+                ("c", Value.Bool true) ]) ) ]
+  in
+  Alcotest.(check bool) "schema fingerprints differ" true
+    (Session.schema_of_tables t1 <> Session.schema_of_tables t2);
+  with_session rt @@ fun s ->
+  let _, i1 = Session.submit s sum_prog ~tables:t1 in
+  let _, i2 = Session.submit s sum_prog ~tables:t2 in
+  let _, i3 = Session.submit s sum_prog ~tables:t1 in
+  Alcotest.check cache_status "cold" Session.Miss i1.Session.si_cache;
+  Alcotest.check cache_status "same plan, new schema misses" Session.Miss
+    i2.Session.si_cache;
+  Alcotest.check cache_status "original schema still cached" Session.Hit
+    i3.Session.si_cache;
+  (* same shape, fresh data: still a hit *)
+  let _, i4 = Session.submit s sum_prog ~tables:[ ("rows", rows 33) ] in
+  Alcotest.check cache_status "same shape over fresh rows hits" Session.Hit
+    i4.Session.si_cache
+
+let test_owned_pool_lifecycle () =
+  let config = Config.with_domains (Some 2) Config.default in
+  let s = Session.create ~config rt in
+  let cfg = Session.config s in
+  Alcotest.(check bool) "resolved config pins a pool" true (cfg.Config.pool <> None);
+  let o, _ = Session.submit s sum_prog ~tables:[ ("rows", rows 20) ] in
+  ignore (finished o);
+  Session.close s;
+  Alcotest.(check pass) "close released the owned pool" () ()
+
+let test_run_on_shim_equivalence () =
+  (* the deprecated per-knob shim and the Config path produce identical
+     outcomes *)
+  let tables = [ ("rows", rows 40) ] in
+  let algo = Emma.parallelize sum_prog in
+  let via_knobs = Emma.run_on_exn ~udf_mode:Emma.Engine.Interp rt algo ~tables in
+  let via_config =
+    Emma.run_on_exn
+      ~config:(Config.with_udf_mode Config.Interp Config.default)
+      rt algo ~tables
+  in
+  Helpers.check_value "values equal" via_knobs.Emma.value via_config.Emma.value;
+  Alcotest.(check (float 0.0)) "cost-model time equal"
+    via_knobs.Emma.metrics.Metrics.sim_time_s
+    via_config.Emma.metrics.Metrics.sim_time_s;
+  Alcotest.(check int) "udf invocations equal"
+    via_knobs.Emma.metrics.Metrics.udf_invocations
+    via_config.Emma.metrics.Metrics.udf_invocations
+
+let terminal_instants tracer =
+  List.filter
+    (fun (e : Trace.event) ->
+      e.Trace.ev_name = "query_terminal" && e.Trace.ev_cat = "session")
+    (Trace.events tracer)
+
+let status_of (e : Trace.event) =
+  match List.assoc_opt "status" e.Trace.ev_args with
+  | Some (Trace.A_str s) -> s
+  | _ -> "?"
+
+let test_timeout_keeps_linkage () =
+  let tracer = Trace.create ~clock:(fun () -> 0.0) () in
+  let config = Config.with_trace (Some tracer) Config.default in
+  let rt =
+    Emma.spark
+      ~cluster:(Cluster.paper_cluster ~data_scale:1e6 ())
+      ~timeout_s:0.5 ()
+  in
+  with_session ~config rt @@ fun s ->
+  let o, _ = Session.submit s sum_prog ~tables:[ ("rows", rows 300) ] in
+  (match o with
+  | Emma.Timed_out { at_s; metrics } ->
+      Alcotest.(check bool) "clock past limit" true (at_s > 0.5);
+      Alcotest.(check bool) "partial metrics surfaced" true
+        (metrics.Metrics.sim_time_s >= 0.0);
+      Alcotest.(check int) "cache counters stamped on timeout" 1
+        (metrics.Metrics.plan_cache_misses)
+  | _ -> Alcotest.fail "expected a timeout");
+  match terminal_instants tracer with
+  | [ e ] -> Alcotest.(check string) "terminal instant status" "timed_out" (status_of e)
+  | l -> Alcotest.failf "expected exactly one terminal instant, got %d" (List.length l)
+
+(* a grouping program reserves per-key state, so a budget far below its
+   peak OOM-fails even after the retry ladder (no spilling) *)
+let group_prog =
+  S.program
+    ~ret:S.(count (var "d"))
+    [ S.s_let "d"
+        S.(
+          for_
+            [ gen "g" (group_by (lam "x" (fun x -> field x "b")) (read "rows")) ]
+            ~yield:
+              (record
+                 [ ( "a",
+                     sum
+                       (map (lam "x" (fun x -> field x "a")) (field (var "g") "values"))
+                   );
+                   ("b", field (var "g") "key") ])) ]
+
+let test_failure_keeps_linkage () =
+  let unbounded = Emma.run_on_exn rt (Emma.parallelize group_prog)
+      ~tables:[ ("rows", rows 200) ] in
+  let peak = unbounded.Emma.metrics.Metrics.mem_peak_bytes in
+  let tracer = Trace.create ~clock:(fun () -> 0.0) () in
+  let config =
+    Config.default
+    |> Config.with_trace (Some tracer)
+    |> Config.with_mem_budget (Some (0.4 *. peak)) (* below the retry ladder *)
+  in
+  with_session ~config rt @@ fun s ->
+  let o, _ = Session.submit s group_prog ~tables:[ ("rows", rows 200) ] in
+  (match o with
+  | Emma.Failed { reason; metrics } ->
+      Alcotest.(check bool) "reason is non-empty" true (String.length reason > 0);
+      Alcotest.(check bool) "partial metrics surfaced" true
+        (metrics.Metrics.sim_time_s >= 0.0);
+      Alcotest.(check int) "cache counters stamped on failure" 1
+        metrics.Metrics.plan_cache_misses
+  | Emma.Finished _ -> Alcotest.fail "expected an OOM failure"
+  | Emma.Timed_out _ -> Alcotest.fail "expected a failure, not a timeout");
+  match terminal_instants tracer with
+  | [ e ] -> Alcotest.(check string) "terminal instant status" "failed" (status_of e)
+  | l -> Alcotest.failf "expected exactly one terminal instant, got %d" (List.length l)
+
+let test_finished_emits_terminal () =
+  let tracer = Trace.create ~clock:(fun () -> 0.0) () in
+  let config = Config.with_trace (Some tracer) Config.default in
+  with_session ~config rt @@ fun s ->
+  let o, _ = Session.submit s sum_prog ~tables:[ ("rows", rows 10) ] in
+  ignore (finished o);
+  match terminal_instants tracer with
+  | [ e ] -> Alcotest.(check string) "terminal instant status" "finished" (status_of e)
+  | l -> Alcotest.failf "expected exactly one terminal instant, got %d" (List.length l)
+
+let suite =
+  [ ( "session",
+      [ Alcotest.test_case "submit: miss then hit, metrics stamped" `Quick
+          test_miss_then_hit;
+        Alcotest.test_case "uncached session never hits" `Quick test_uncached_session;
+        Alcotest.test_case "schema change misses, same shape hits" `Quick
+          test_schema_sensitivity;
+        Alcotest.test_case "config.domains owns a pool across close" `Quick
+          test_owned_pool_lifecycle;
+        Alcotest.test_case "run_on shims == Config path" `Quick
+          test_run_on_shim_equivalence;
+        Alcotest.test_case "timeout keeps metrics + terminal trace" `Quick
+          test_timeout_keeps_linkage;
+        Alcotest.test_case "failure keeps metrics + terminal trace" `Quick
+          test_failure_keeps_linkage;
+        Alcotest.test_case "finished queries emit the terminal instant" `Quick
+          test_finished_emits_terminal ] ) ]
