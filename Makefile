@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-parallel test-parallel8 explain-golden trace-check chaos-smoke mem-smoke udf-smoke pool-smoke serve-smoke check bench bench-scaleup bench-faults bench-memory bench-udf bench-serve clean
+.PHONY: all build test test-parallel test-parallel8 explain-golden trace-check chaos-smoke mem-smoke udf-smoke pool-smoke serve-smoke overload-smoke check bench bench-scaleup bench-faults bench-memory bench-udf bench-serve bench-overload clean
 
 all: build
 
@@ -60,10 +60,16 @@ pool-smoke:
 serve-smoke:
 	dune build @serve-smoke --force
 
+# Robustness gate: Zipf burst under tight deadlines (nonzero sheds, no
+# silent loss, fingerprint stable at 2 and 8 domains) plus a scripted
+# circuit-breaker open/half-open/close cycle.
+overload-smoke:
+	dune build @overload-smoke --force
+
 # The full pre-merge flow: build, tier-1 tests on 2, 4 and 8 domains,
 # chaos smoke, memory smoke, UDF-mode differential smoke, pool stress,
 # service-layer smoke.
-check: build test test-parallel test-parallel8 chaos-smoke mem-smoke udf-smoke pool-smoke serve-smoke
+check: build test test-parallel test-parallel8 chaos-smoke mem-smoke udf-smoke pool-smoke serve-smoke overload-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -88,6 +94,11 @@ bench-udf:
 # arrival trace (writes BENCH_serve.json).
 bench-serve:
 	dune exec bench/main.exe -- serve
+
+# Overload-control experiment: burst trace under deadline-aware shedding +
+# degradation vs the policy-off serve (writes BENCH_overload.json).
+bench-overload:
+	dune exec bench/main.exe -- overload
 
 clean:
 	dune clean

@@ -25,6 +25,7 @@ let note_outcome outcome =
     | Emma.Finished { metrics; _ } -> ("finished", metrics)
     | Emma.Failed { metrics; _ } -> ("failed", metrics)
     | Emma.Timed_out { metrics; _ } -> ("timeout", metrics)
+    | Emma.Cancelled { metrics; _ } -> ("cancelled", metrics)
   in
   runs := entry :: !runs
 
@@ -62,6 +63,8 @@ let run_config ?config ?faults ?checkpoint_every ?mem_budget ?spill ?max_infligh
   | Emma.Finished { metrics; _ } -> Time (metrics.Metrics.sim_time_s, metrics)
   | Emma.Failed { reason; _ } -> Fail reason
   | Emma.Timed_out { at_s; _ } -> Timeout at_s
+  | Emma.Cancelled { at_s; reason; _ } ->
+      Fail (Printf.sprintf "cancelled at %.1f s: %s" at_s reason)
 
 let time_cell = function
   | Time (s, _) -> Printf.sprintf "%.0f s" s

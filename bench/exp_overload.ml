@@ -1,0 +1,218 @@
+(* E14 (extension): overload control — deadline-aware shedding and the
+   degradation ladder under a burst trace, vs the policy-off serve.
+
+   The same Zipf burst (8 arrivals/s — far past what the lanes can
+   drain) replays twice over identical sessions:
+
+   - policy off: the PR-7 serve. Every query is admitted and waits out
+     the full backlog, so tail latency grows with queue depth.
+   - policy on: an end-to-end deadline of half the policy-off median.
+     Queries whose queue wait alone exceeds the budget are shed before
+     dispatch, admitted queries carry the remaining budget into the
+     engine (cancelled at the next safepoint past it), and the
+     degradation ladder trades dop and cold compiles for queue drain
+     under deep backlog.
+
+   Contracts checked while measuring (the acceptance bar pinned in
+   BENCH_overload.json):
+
+   - shedding + degradation strictly improves p99 latency of {e
+     admitted} queries — the service keeps its latency promise to the
+     queries it accepts, instead of missing it for everyone;
+   - no silent loss: on both sides every submission is accounted as
+     finished/failed/timed-out/cancelled or shed, by id;
+   - the sim fingerprint of the policy-on run is bit-identical across
+     20 replays and across 1/2/4/8-domain pools (every shed/degrade
+     decision is coordinator-side and seed-deterministic). *)
+
+module Json = Emma_util.Json
+module Pool = Emma_util.Pool
+module Prng = Emma_util.Prng
+module Serve = Emma_serve.Serve
+module Arrival = Emma_serve.Arrival
+module Session = Emma.Session
+module Config = Emma.Config
+module W = Emma_workloads
+module Pr = Emma_programs
+
+let n_events =
+  try int_of_string (Sys.getenv "EMMA_OVERLOAD_EVENTS") with Not_found -> 120
+
+let seed = 17
+let rate = 8.0
+let alpha = 1.1
+let tenant_names = [ "acme"; "beta"; "gamma" ]
+let query_names = [ "q1"; "wordcount"; "group-min"; "q3" ]
+
+let docs ~seed n =
+  let g = Prng.create seed in
+  let vocab =
+    [| "emma"; "bag"; "fold"; "join"; "group"; "plan"; "cache"; "shed"; "drain";
+       "lane" |]
+  in
+  Pr.Wordcount.docs_of_strings
+    (List.init n (fun _ ->
+         String.concat " "
+           (List.init
+              (Prng.int_in g 4 12)
+              (fun _ -> vocab.(Prng.int_in g 0 (Array.length vocab - 1))))))
+
+let workload () =
+  let cfg = W.Tpch_gen.of_scale_factor 0.002 in
+  let lineitem = W.Tpch_gen.lineitem ~seed:3 cfg in
+  let orders = W.Tpch_gen.orders ~seed:3 cfg in
+  let customer = W.Tpch_gen.customer ~seed:3 cfg in
+  let dataset =
+    W.Keyed_gen.tuples ~seed:5
+      (W.Keyed_gen.paper_config ~n_tuples:2_000 (W.Keyed_gen.uniform ~n_keys:64))
+  in
+  [ ("q1", (Pr.Tpch_q1.program Pr.Tpch_q1.default_params, [ ("lineitem", lineitem) ]));
+    ( "wordcount",
+      (Pr.Wordcount.program Pr.Wordcount.default_params, [ ("docs", docs ~seed:7 400) ]) );
+    ( "group-min",
+      (Pr.Group_min.program Pr.Group_min.default_params, [ ("dataset", dataset) ]) );
+    ( "q3",
+      ( Pr.Tpch_q3.program Pr.Tpch_q3.default_params,
+        [ ("customer", customer); ("orders", orders); ("lineitem", lineitem) ] ) ) ]
+
+let tenants =
+  [ Serve.tenant ~weight:2 "acme"; Serve.tenant "beta"; Serve.tenant "gamma" ]
+
+let rt () = Exp_common.rt ~profile:Exp_common.spark ()
+
+let run_sim ?pool ~policy wl events =
+  let config =
+    let c = Config.with_plan_cache (Some 64) Config.default in
+    match pool with None -> c | Some p -> Config.with_pool (Some p) c
+  in
+  let session = Session.create ~config (rt ()) in
+  Fun.protect ~finally:(fun () -> Session.close session) @@ fun () ->
+  Serve.run_sim ~policy session tenants wl events
+
+let accounted (c : Serve.counters) =
+  List.length c.Serve.sv_results + List.length c.Serve.sv_shed
+
+let shed_by reason (c : Serve.counters) =
+  List.length
+    (List.filter (fun (s : Serve.shed_record) -> s.Serve.sh_reason = reason)
+       c.Serve.sv_shed)
+
+let mean a =
+  if Array.length a = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 a /. float (Array.length a)
+
+let run () =
+  Exp_common.section
+    "E14: overload control — shedding + degradation vs policy-off serve (extension)";
+  Printf.printf
+    "(%d arrivals, rate %.1f/s, Zipf %.1f over %d tenants x %d queries; \
+     latencies are deterministic service-clock seconds)\n"
+    n_events rate alpha (List.length tenant_names) (List.length query_names);
+  let wl = workload () in
+  let events =
+    Arrival.generate ~seed ~rate ~alpha ~tenants:tenant_names ~queries:query_names
+      ~n:n_events
+  in
+  let off = run_sim ~policy:Serve.no_policy wl events in
+  if accounted off <> n_events then
+    failwith "overload: policy-off run lost a submission";
+  let off_lat = Serve.latencies off in
+  let deadline = 0.5 *. Serve.percentile off_lat 0.50 in
+  let policy =
+    { Serve.no_policy with
+      Serve.pl_deadline_s = Some deadline;
+      pl_degrade_depth = Some (2 * off.Serve.sv_lanes) }
+  in
+  let on = run_sim ~policy wl events in
+  if accounted on <> n_events then
+    failwith "overload: a submission went missing under load shedding";
+  (* determinism: 20 replays and 1/2/4/8-domain pools, bit-identical *)
+  let fp = Serve.fingerprint on in
+  for i = 2 to 20 do
+    if Serve.fingerprint (run_sim ~policy wl events) <> fp then
+      failwith (Printf.sprintf "overload: replay %d moved the fingerprint" i)
+  done;
+  List.iter
+    (fun domains ->
+      let pool = Pool.create ~domains () in
+      Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+      if Serve.fingerprint (run_sim ~pool ~policy wl events) <> fp then
+        failwith
+          (Printf.sprintf "overload: fingerprint moved at %d domains" domains))
+    [ 1; 2; 4; 8 ];
+  let on_lat = Serve.latencies on in
+  let row name c lat =
+    [ name;
+      string_of_int (List.length c.Serve.sv_results);
+      string_of_int (List.length c.Serve.sv_shed);
+      Printf.sprintf "%.3f s" (mean lat);
+      Printf.sprintf "%.3f s" (Serve.percentile lat 0.50);
+      Printf.sprintf "%.3f s" (Serve.percentile lat 0.99);
+      string_of_int c.Serve.sv_cancelled;
+      string_of_int c.Serve.sv_degraded ]
+  in
+  Emma_util.Tbl.print
+    ~title:
+      (Printf.sprintf
+         "admitted-query latency under the burst (deadline %.3f s, ladder step %d)"
+         deadline (2 * off.Serve.sv_lanes))
+    ~header:[ "policy"; "admitted"; "shed"; "mean"; "p50"; "p99"; "cancelled"; "degraded" ]
+    [ row "off (PR-7)" off off_lat; row "shed+degrade" on on_lat ];
+  let on_p99 = Serve.percentile on_lat 0.99 in
+  let off_p99 = Serve.percentile off_lat 0.99 in
+  let passed =
+    on_p99 < off_p99 && on.Serve.sv_shed <> [] && on.Serve.sv_results <> []
+  in
+  Printf.printf
+    "acceptance: policy-on p99 %.3f s %s policy-off p99 %.3f s (%d shed: %d \
+     deadline, %d degraded-cold; %d degraded runs) — %s\n"
+    on_p99
+    (if on_p99 < off_p99 then "<" else ">=")
+    off_p99
+    (List.length on.Serve.sv_shed)
+    (shed_by Serve.Shed_deadline on)
+    (shed_by Serve.Shed_degraded on)
+    on.Serve.sv_degraded
+    (if passed then "ok" else "FAIL");
+  let side name c lat =
+    ( name,
+      Json.Obj
+        [ ("admitted", Json.Int (List.length c.Serve.sv_results));
+          ("shed", Json.Int (List.length c.Serve.sv_shed));
+          ("shed_deadline", Json.Int (shed_by Serve.Shed_deadline c));
+          ("shed_degraded", Json.Int (shed_by Serve.Shed_degraded c));
+          ("cancelled", Json.Int c.Serve.sv_cancelled);
+          ("degraded", Json.Int c.Serve.sv_degraded);
+          ("latency_mean_s", Json.Float (mean lat));
+          ("latency_p50_s", Json.Float (Serve.percentile lat 0.50));
+          ("latency_p99_s", Json.Float (Serve.percentile lat 0.99));
+          ("makespan_s", Json.Float c.Serve.sv_makespan_s) ] )
+  in
+  let json =
+    Json.Obj
+      [ ("experiment", Json.Str "overload");
+        ( "bench",
+          Json.Str
+            "E14 burst trace: deadline-aware shedding + degradation ladder vs \
+             policy-off serve" );
+        ("events", Json.Int n_events);
+        ("seed", Json.Int seed);
+        ("rate_per_s", Json.Float rate);
+        ("zipf_alpha", Json.Float alpha);
+        ("deadline_s", Json.Float deadline);
+        ("degrade_step", Json.Int (2 * off.Serve.sv_lanes));
+        ("lanes", Json.Int on.Serve.sv_lanes);
+        side "policy_off" off off_lat;
+        side "policy_on" on on_lat;
+        ("all_submissions_accounted", Json.Bool true);
+        ("replay_fingerprint_stable_20x_and_1_2_4_8_domains", Json.Bool true);
+        ("target_met", Json.Bool passed) ]
+  in
+  let path = "BENCH_overload.json" in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "measurement written to %s\n" path;
+  if not passed then
+    failwith "overload: shedding + degradation missed the p99 target"

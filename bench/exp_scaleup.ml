@@ -255,6 +255,7 @@ let run () =
     | Emma.Finished r -> (r.Emma.value, r.Emma.metrics)
     | Emma.Failed { reason; _ } -> failwith ("scaleup: engine failure: " ^ reason)
     | Emma.Timed_out _ -> failwith "scaleup: engine timeout"
+    | Emma.Cancelled _ -> failwith "scaleup: query cancelled"
   in
   let results =
     List.map

@@ -88,7 +88,7 @@ let mean a =
 let value_of_result (r : Serve.query_result) =
   match r.Serve.qr_outcome with
   | Emma.Finished { value; _ } -> Some value
-  | Emma.Failed _ | Emma.Timed_out _ -> None
+  | Emma.Failed _ | Emma.Timed_out _ | Emma.Cancelled _ -> None
 
 let run () =
   Exp_common.section

@@ -195,6 +195,52 @@ let udf_mode_term =
   in
   Arg.(value & opt (some string) None & info [ "udf-mode" ] ~docv:"MODE" ~doc)
 
+let timeout_term =
+  let doc =
+    "Operator limit on the simulated clock: a run past $(docv) seconds is \
+     aborted with a classified TIMEOUT. Distinct from $(b,--deadline), which \
+     is a per-query service budget. A value conflicting with the runtime's \
+     own timeout is rejected at startup with exit 2."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"S" ~doc)
+
+let deadline_term =
+  let doc =
+    "Per-query latency budget in seconds on the simulated clock. A query \
+     past its budget is cancelled cooperatively at the next engine safepoint \
+     with a classified CANCELLED outcome; under $(b,emma serve) queries whose \
+     queue wait already exceeds the budget are shed before dispatch (counted, \
+     never silently dropped) and the degradation ladder engages under \
+     backlog."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S" ~doc)
+
+let max_queue_term =
+  let doc =
+    "Bound each tenant's queue at $(docv) queries; arrivals past the bound \
+     shed either themselves or the oldest queued query, picked \
+     seed-deterministically so sim-mode replays stay bit-identical."
+  in
+  Arg.(value & opt (some int) None & info [ "max-queue" ] ~docv:"N" ~doc)
+
+let breaker_term =
+  let doc =
+    "Per-tenant circuit breaker: $(b,K[:COOLDOWN_S]) opens a tenant's \
+     circuit after K consecutive failed/timed-out/cancelled outcomes \
+     (fast-failing its queue), half-opens after COOLDOWN_S simulated seconds \
+     (default 30) and probes with a single query; $(b,off) disables."
+  in
+  Arg.(value & opt (some string) None & info [ "breaker" ] ~docv:"K[:CD]" ~doc)
+
+let drain_after_term =
+  let doc =
+    "Graceful drain: stop admitting queries after $(docv) seconds (simulated \
+     in sim mode, wall clock in real mode), shed later arrivals, and finish \
+     or cancel in-flight work; the final report still accounts for every \
+     submission."
+  in
+  Arg.(value & opt (some float) None & info [ "drain-after" ] ~docv:"S" ~doc)
+
 (* Flag validation errors: one actionable line on stderr, exit 2 (the
    engine's own job-failure exit is also 2; both mean "this invocation
    cannot succeed as given"). *)
@@ -209,22 +255,25 @@ let usage_fail fmt =
    run/bench/serve knob parses through Config.of_cli, which holds the
    one-line exit-2 messages. *)
 let config_of_flags ?udf_mode ?chunk ?chaos_seed ?chaos_rates ?checkpoint_every
-    ?mem_per_slot ?spill ?max_inflight ?domains ?plan_cache () =
+    ?mem_per_slot ?spill ?max_inflight ?domains ?plan_cache ?timeout ?deadline
+    ?max_queue ?breaker ?drain_after () =
   match
     Emma.Config.of_cli ?udf_mode ?chunk ?chaos_seed ?chaos_rates
       ?checkpoint_every ?mem_per_slot ?spill ?max_inflight ?domains ?plan_cache
-      ()
+      ?timeout ?deadline ?max_queue ?breaker ?drain_after ()
   with
   | Ok c -> c
   | Error m -> usage_fail "%s" m
 
 let run_cmd =
   let run name opts engine scale dop domains tables_dir trace_file ops_trace chaos_seed
-      chaos_rates checkpoint_every mem_per_slot spill max_inflight udf_mode chunk =
+      chaos_rates checkpoint_every mem_per_slot spill max_inflight udf_mode chunk
+      timeout deadline =
     with_entry name (fun e ->
         let config =
           config_of_flags ?udf_mode ~chunk ?chaos_seed ?chaos_rates
-            ?checkpoint_every ?mem_per_slot ~spill ?max_inflight ~domains ()
+            ?checkpoint_every ?mem_per_slot ~spill ?max_inflight ~domains
+            ?timeout ?deadline ()
         in
         Emma_util.Pool.set_default_domains domains;
         (* Install the tracer before compiling so the compile-phase spans
@@ -257,7 +306,7 @@ let run_cmd =
         List.iter (fun (n, rows) -> Emma.Eval.register_table ctx n rows)
           (load_tables e tables_dir);
         let eng =
-          Emma.Engine.create ~timeout_s:3600.0
+          Emma.Engine.create ~timeout_s:(Option.value timeout ~default:3600.0)
             ~config:(Emma.Config.with_trace (Some tracer) config)
             ~cluster ~profile ctx
         in
@@ -291,6 +340,12 @@ let run_cmd =
                 (Emma.Engine.metrics eng);
               print_ops_trace ();
               3
+          | exception Emma.Engine.Engine_cancelled (at_s, reason) ->
+              Format.printf "CANCELLED at %.0f simulated s (%s)@.@.%a@." at_s
+                reason Emma.Metrics.pp
+                (Emma.Engine.metrics eng);
+              print_ops_trace ();
+              3
         in
         (match trace_file with
         | Some path ->
@@ -315,7 +370,8 @@ let run_cmd =
           value & flag
           & info [ "ops-trace" ] ~doc:"Print the per-operator execution trace.")
       $ chaos_seed_term $ chaos_rates_term $ checkpoint_term $ mem_per_slot_term
-      $ spill_term $ max_inflight_term $ udf_mode_term $ chunk_term)
+      $ spill_term $ max_inflight_term $ udf_mode_term $ chunk_term
+      $ timeout_term $ deadline_term)
 
 (* ---- explain ---- *)
 
@@ -396,7 +452,8 @@ let parse_tenants s =
 let serve_cmd =
   let run tenants_s queries_s n_events seed rate alpha arrivals_file mode engine
       scale dop domains plan_cache udf_mode chunk chaos_seed chaos_rates
-      checkpoint_every mem_per_slot spill max_inflight counters_json =
+      checkpoint_every mem_per_slot spill max_inflight timeout deadline
+      max_queue breaker drain_after counters_json =
     let tenants = parse_tenants tenants_s in
     if tenants = [] then usage_fail "--tenants: at least one tenant is required";
     let queries =
@@ -422,7 +479,7 @@ let serve_cmd =
     let config =
       config_of_flags ?udf_mode ~chunk ?chaos_seed ?chaos_rates
         ?checkpoint_every ?mem_per_slot ~spill ?max_inflight ~domains
-        ~plan_cache ()
+        ~plan_cache ?timeout ?deadline ?max_queue ?breaker ?drain_after ()
     in
     let events =
       match arrivals_file with
@@ -459,7 +516,13 @@ let serve_cmd =
       | `Flink -> Emma_engine.Cluster.flink_like
     in
     let rt = { Emma.cluster; profile; timeout_s = Some 3600.0 } in
-    let session = Emma.Session.create ~config rt in
+    let session =
+      (* Session.create rejects conflicting runtime/config timeouts with
+         Invalid_argument — surfaced as the same one-line exit-2 error as
+         any other flag-validation failure *)
+      try Emma.Session.create ~config rt
+      with Invalid_argument m -> usage_fail "%s" m
+    in
     let counters =
       Fun.protect
         ~finally:(fun () -> Emma.Session.close session)
@@ -467,7 +530,37 @@ let serve_cmd =
           try
             match mode with
             | `Sim -> Serve.run_sim session tenants workload events
-            | `Real -> Serve.run_concurrent session tenants workload events
+            | `Real ->
+                (* real mode: --drain-after is wall clock — a timer domain
+                   pulls the plug, shedding un-admitted queries and
+                   cancelling in-flight ones at their next safepoint. The
+                   timer polls a stop flag so a run that finishes early
+                   never waits out the full drain interval. *)
+                let dctl = Serve.drain_controller () in
+                let stop = Atomic.make false in
+                let timer =
+                  Option.map
+                    (fun s ->
+                      Domain.spawn (fun () ->
+                          let rec wait remaining =
+                            if (not (Atomic.get stop)) && remaining > 0.0
+                            then begin
+                              let step = Float.min 0.05 remaining in
+                              Unix.sleepf step;
+                              wait (remaining -. step)
+                            end
+                          in
+                          wait s;
+                          if not (Atomic.get stop) then Serve.drain dctl))
+                    config.Emma.Config.drain_after_s
+                in
+                Fun.protect
+                  ~finally:(fun () ->
+                    Atomic.set stop true;
+                    Option.iter Domain.join timer)
+                  (fun () ->
+                    Serve.run_concurrent ~drain:dctl session tenants workload
+                      events)
           with Invalid_argument m -> usage_fail "%s" m)
     in
     let lat = Serve.latencies counters in
@@ -496,13 +589,40 @@ let serve_cmd =
     List.iter
       (fun tc ->
         Printf.printf
-          "  tenant %-10s weight %d: %d admitted, max queue %d, wait %.6f s\n"
+          "  tenant %-10s weight %d: %d admitted, %d shed, max queue %d, \
+           breaker opens %d, wait %.6f s\n"
           tc.Serve.tc_name tc.Serve.tc_weight tc.Serve.tc_admissions
-          tc.Serve.tc_max_queue tc.Serve.tc_queue_wait_s)
+          tc.Serve.tc_shed tc.Serve.tc_max_queue tc.Serve.tc_breaker_opens
+          tc.Serve.tc_queue_wait_s)
       counters.Serve.sv_tenants;
-    if counters.Serve.sv_failed > 0 || counters.Serve.sv_timed_out > 0 then
-      Printf.printf "%d failed, %d timed out\n" counters.Serve.sv_failed
-        counters.Serve.sv_timed_out;
+    (let nshed = List.length counters.Serve.sv_shed in
+     if nshed > 0 then begin
+       let by reason =
+         List.length
+           (List.filter
+              (fun s -> s.Serve.sh_reason = reason)
+              counters.Serve.sv_shed)
+       in
+       Printf.printf
+         "shed %d queries (deadline %d, queue_full %d, breaker %d, drain %d, \
+          degraded %d)\n"
+         nshed (by Serve.Shed_deadline) (by Serve.Shed_queue_full)
+         (by Serve.Shed_breaker) (by Serve.Shed_drain) (by Serve.Shed_degraded)
+     end);
+    if counters.Serve.sv_degraded > 0 then
+      Printf.printf "%d queries ran degraded\n" counters.Serve.sv_degraded;
+    if counters.Serve.sv_breaker_opens > 0 then
+      Printf.printf "breaker: %d opens, %d half-opens, %d closes\n"
+        counters.Serve.sv_breaker_opens counters.Serve.sv_breaker_half_opens
+        counters.Serve.sv_breaker_closes;
+    if
+      counters.Serve.sv_failed > 0
+      || counters.Serve.sv_timed_out > 0
+      || counters.Serve.sv_cancelled > 0
+    then
+      Printf.printf "%d failed, %d timed out, %d cancelled\n"
+        counters.Serve.sv_failed counters.Serve.sv_timed_out
+        counters.Serve.sv_cancelled;
     (match counters_json with
     | Some path ->
         Out_channel.with_open_text path (fun oc ->
@@ -570,6 +690,8 @@ let serve_cmd =
                  $(b,off) disables caching.")
       $ udf_mode_term $ chunk_term $ chaos_seed_term $ chaos_rates_term
       $ checkpoint_term $ mem_per_slot_term $ spill_term $ max_inflight_term
+      $ timeout_term $ deadline_term $ max_queue_term $ breaker_term
+      $ drain_after_term
       $ Arg.(
           value & opt (some string) None
           & info [ "counters-json" ] ~docv:"FILE"

@@ -1,0 +1,191 @@
+(* overload-smoke: the robustness gate of `make check`.
+
+   Two deterministic scenarios over Emma_serve:
+
+   1. A Zipf burst trace (40 arrivals at 8/s over two tenants and three
+      registry programs) under a tight end-to-end deadline and the
+      degradation ladder. Asserts the overload contract: a nonzero
+      number of queries is shed, every submission is accounted
+      (finished/failed/timed-out/cancelled/shed — nothing is silently
+      dropped), and the sim replay fingerprint is bit-identical across
+      replays and across 2- and 8-domain pools.
+
+   2. A per-tenant circuit-breaker cycle: a tenant whose grouping query
+      OOM-fails under its memory budget trips the breaker after two
+      consecutive failures (open), fast-fails the next queued query,
+      then half-opens after the cool-down and closes on a successful
+      probe. Asserts one full open -> half-open -> close cycle.
+
+   Any violation exits non-zero and fails the alias. *)
+
+module S = Emma_lang.Surface
+module Value = Emma.Value
+module Metrics = Emma.Metrics
+module Config = Emma.Config
+module Pool = Emma_util.Pool
+module Serve = Emma_serve.Serve
+module Arrival = Emma_serve.Arrival
+
+let fail fmt =
+  Printf.ksprintf (fun m -> prerr_endline ("overload-smoke: " ^ m); exit 1) fmt
+
+(* ---- scenario 1: burst trace, tight deadlines, ladder ---- *)
+
+let query_names = [ "q1"; "wordcount"; "group-min" ]
+let tenants = [ Serve.tenant ~weight:2 "acme"; Serve.tenant "beta" ]
+
+let entry name =
+  match Registry.find name with
+  | Some e -> e
+  | None -> fail "unknown registry program %S" name
+
+let workload =
+  List.map
+    (fun n -> let e = entry n in (n, (e.Registry.program, e.Registry.tables ())))
+    query_names
+
+let rt =
+  let table_scales =
+    List.sort_uniq compare
+      (List.concat_map (fun n -> (entry n).Registry.table_scales) query_names)
+  in
+  Emma.spark ~cluster:(Emma.Cluster.paper_cluster ~table_scales ()) ~timeout_s:3600.0 ()
+
+let events =
+  Arrival.generate ~seed:31 ~rate:8.0 ~alpha:1.1
+    ~tenants:(List.map (fun t -> t.Serve.tn_name) tenants)
+    ~queries:query_names ~n:40
+
+let run_policy ?pool policy =
+  let config =
+    let c = Config.with_plan_cache (Some 8) Config.default in
+    match pool with None -> c | Some p -> Config.with_pool (Some p) c
+  in
+  let session = Emma.Session.create ~config rt in
+  Fun.protect ~finally:(fun () -> Emma.Session.close session) @@ fun () ->
+  Serve.run_sim ~policy session tenants workload events
+
+let accounted (c : Serve.counters) =
+  List.length c.Serve.sv_results + List.length c.Serve.sv_shed
+
+let burst () =
+  (* price the trace policy-off, then set the budget to twice the mean
+     service time: early/cached queries fit, the backlog sheds *)
+  let base = run_policy Serve.no_policy in
+  if accounted base <> List.length events then
+    fail "policy-off run lost a submission (%d/%d)" (accounted base)
+      (List.length events);
+  let lat = Serve.latencies base in
+  let mean =
+    Array.fold_left ( +. ) 0.0 lat /. float (max 1 (Array.length lat))
+  in
+  let policy =
+    { Serve.no_policy with
+      Serve.pl_deadline_s = Some (0.25 *. mean);
+      pl_degrade_depth = Some 4 }
+  in
+  let c = run_policy policy in
+  if accounted c <> List.length events then
+    fail "a submission went missing under load shedding (%d/%d)" (accounted c)
+      (List.length events);
+  if c.Serve.sv_shed = [] then fail "the burst trace shed nothing";
+  if c.Serve.sv_results = [] then fail "the burst trace admitted nothing";
+  let finished =
+    List.filter
+      (fun (r : Serve.query_result) ->
+        match r.Serve.qr_outcome with Emma.Finished _ -> true | _ -> false)
+      c.Serve.sv_results
+  in
+  if finished = [] then fail "no query finished under the deadline";
+  (* replay and pool-size invariance *)
+  let fp = Serve.fingerprint c in
+  if Serve.fingerprint (run_policy policy) <> fp then
+    fail "burst fingerprint moved between identical replays";
+  List.iter
+    (fun domains ->
+      let pool = Pool.create ~domains () in
+      Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+      if Serve.fingerprint (run_policy ~pool policy) <> fp then
+        fail "burst fingerprint moved at %d domains" domains)
+    [ 2; 8 ];
+  Printf.printf
+    "burst: %d arrivals -> %d admitted (%d finished), %d shed; fingerprint \
+     stable at 2 and 8 domains\n"
+    (List.length events)
+    (List.length c.Serve.sv_results)
+    (List.length finished)
+    (List.length c.Serve.sv_shed)
+
+(* ---- scenario 2: breaker open / half-open / close cycle ---- *)
+
+let rows n =
+  List.init n (fun i ->
+      Value.record [ ("a", Value.Int i); ("b", Value.Int (i mod 5)) ])
+
+let group_prog =
+  S.program
+    ~ret:S.(count (var "d"))
+    [ S.s_let "d"
+        S.(
+          for_
+            [ gen "g" (group_by (lam "x" (fun x -> field x "b")) (read "rows")) ]
+            ~yield:
+              (record
+                 [ ( "a",
+                     sum
+                       (map (lam "x" (fun x -> field x "a")) (field (var "g") "values"))
+                   );
+                   ("b", field (var "g") "key") ])) ]
+
+let count_prog = S.program ~ret:S.(count (read "rows")) []
+
+let breaker_cycle () =
+  let rt = Emma.spark ~timeout_s:3600.0 () in
+  let tables = [ ("rows", rows 200) ] in
+  let peak =
+    (Emma.run_on_exn rt (Emma.parallelize group_prog) ~tables).Emma.metrics
+      .Metrics.mem_peak_bytes
+  in
+  let wl = [ ("group", (group_prog, tables)); ("count", (count_prog, tables)) ] in
+  let tenants = [ Serve.tenant ~mem_budget:(0.4 *. peak) "hot"; Serve.tenant "cold" ] in
+  let policy =
+    { Serve.no_policy with
+      Serve.pl_breaker = Some { Config.br_threshold = 2; br_cooldown_s = 1.0 } }
+  in
+  let events =
+    [ { Arrival.at_s = 0.0; tenant = "hot"; query = "group" };
+      { Arrival.at_s = 0.0; tenant = "hot"; query = "group" };
+      { Arrival.at_s = 0.0; tenant = "hot"; query = "group" };
+      { Arrival.at_s = 1e6; tenant = "hot"; query = "count" } ]
+  in
+  let config =
+    Config.default
+    |> Config.with_max_inflight (Some 1)
+    |> Config.with_plan_cache (Some 8)
+  in
+  let session = Emma.Session.create ~config rt in
+  let c =
+    Fun.protect ~finally:(fun () -> Emma.Session.close session) @@ fun () ->
+    Serve.run_sim ~policy session tenants wl events
+  in
+  if accounted c <> List.length events then
+    fail "breaker scenario lost a submission";
+  if c.Serve.sv_breaker_opens < 1 then fail "the circuit never opened";
+  if c.Serve.sv_breaker_half_opens < 1 then fail "the circuit never half-opened";
+  if c.Serve.sv_breaker_closes < 1 then fail "the probe never closed the circuit";
+  let breaker_sheds =
+    List.filter
+      (fun (sh : Serve.shed_record) -> sh.Serve.sh_reason = Serve.Shed_breaker)
+      c.Serve.sv_shed
+  in
+  if breaker_sheds = [] then fail "the open circuit fast-failed nothing";
+  Printf.printf
+    "breaker: open=%d half_open=%d close=%d, %d fast-failed while open\n"
+    c.Serve.sv_breaker_opens c.Serve.sv_breaker_half_opens
+    c.Serve.sv_breaker_closes
+    (List.length breaker_sheds)
+
+let () =
+  burst ();
+  breaker_cycle ();
+  print_endline "overload-smoke: ok"

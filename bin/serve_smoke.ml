@@ -58,6 +58,7 @@ let value_of (r : Serve.query_result) =
   | Emma.Finished { value; _ } -> value
   | Emma.Failed { reason; _ } -> fail "sub %d (%s) failed: %s" r.Serve.qr_sub r.Serve.qr_query reason
   | Emma.Timed_out _ -> fail "sub %d (%s) timed out" r.Serve.qr_sub r.Serve.qr_query
+  | Emma.Cancelled _ -> fail "sub %d (%s) cancelled" r.Serve.qr_sub r.Serve.qr_query
 
 let run_concurrent () =
   let config = Emma.Config.with_plan_cache (Some 8) Emma.Config.default in

@@ -75,3 +75,5 @@ let () =
       print_endline "native and distributed execution agree."
   | Emma.Failed { reason; _ } -> Format.printf "engine failed: %s@." reason
   | Emma.Timed_out { at_s; _ } -> Format.printf "engine timed out at %.0f s@." at_s
+  | Emma.Cancelled { at_s; reason; _ } ->
+      Format.printf "engine cancelled at %.0f s: %s@." at_s reason

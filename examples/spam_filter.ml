@@ -57,5 +57,7 @@ let () =
             (metrics.Emma.Metrics.shuffle_bytes /. 1e9)
             (metrics.Emma.Metrics.broadcast_bytes /. 1e9)
       | Emma.Failed { reason; _ } -> Format.printf "  %s FAILED: %s@." name reason
-      | Emma.Timed_out { at_s; _ } -> Format.printf "  %s timed out at %.0f s@." name at_s)
+      | Emma.Timed_out { at_s; _ } -> Format.printf "  %s timed out at %.0f s@." name at_s
+      | Emma.Cancelled { at_s; reason; _ } ->
+          Format.printf "  %s cancelled at %.0f s: %s@." name at_s reason)
     configs

@@ -59,6 +59,14 @@ let key_equal (a : Pipeline.cache_key) (b : Pipeline.cache_key) =
   a.Pipeline.ck_crc = b.Pipeline.ck_crc
   && String.equal a.Pipeline.ck_text b.Pipeline.ck_text
 
+(* Uncounted membership test: no hit/miss bump, no recency refresh. The
+   serve layer's plan-cache-only degradation rung peeks at the cache to
+   decide whether a query would compile cold, and that peek must not
+   perturb the counted probe/store sequence the LRU replays from. *)
+let mem t key =
+  with_lock t (fun () ->
+      List.exists (fun e -> key_equal e.e_key key) t.entries)
+
 let probe t key =
   with_lock t (fun () ->
       match List.find_opt (fun e -> key_equal e.e_key key) t.entries with

@@ -32,6 +32,13 @@ val stats : t -> stats
 val probe : t -> Pipeline.cache_key -> (Emma_dataflow.Cprog.t * Pipeline.report) option
 (** Counted: bumps [hits] or [misses], and refreshes recency on a hit. *)
 
+val mem : t -> Pipeline.cache_key -> bool
+(** Uncounted membership test: no hit/miss bump, no recency refresh —
+    cache stats and LRU order are unchanged. Used by the serve layer's
+    plan-cache-only degradation rung to predict whether a submission
+    would compile cold, without perturbing the replayable probe/store
+    sequence. *)
+
 val store : t -> Pipeline.cache_key -> Emma_dataflow.Cprog.t * Pipeline.report -> int
 (** Inserts (or refreshes) the entry and evicts least-recently-used
     entries past capacity; returns the number evicted by this store. *)

@@ -14,6 +14,7 @@ module Metrics = Emma_engine.Metrics
 module Engine = Emma_engine.Exec
 module Faults = Emma_engine.Faults
 module Config = Emma_engine.Config
+module Cancel = Emma_engine.Cancel
 module Pool = Emma_util.Pool
 module Trace = Emma_util.Trace
 module Json = Emma_util.Json
@@ -48,6 +49,7 @@ type outcome = Session.outcome =
   | Finished of run_result
   | Failed of { reason : string; metrics : Metrics.t }
   | Timed_out of { at_s : float; metrics : Metrics.t }
+  | Cancelled of { at_s : float; reason : string; metrics : Metrics.t }
 
 let make_ctx = Session.make_ctx
 let metrics_of_outcome = Session.metrics_of_outcome
@@ -85,6 +87,12 @@ let config_of_knobs ?config ?udf_mode ?faults ?checkpoint_every ?mem_budget
     (* session-only concerns: a one-shot run never owns a pool or a cache *)
     domains = None;
     plan_cache = None;
+    (* robustness knobs have no per-knob shims — they ride the base config *)
+    timeout_s = base.Config.timeout_s;
+    deadline_s = base.Config.deadline_s;
+    max_queue = base.Config.max_queue;
+    breaker = base.Config.breaker;
+    drain_after_s = base.Config.drain_after_s;
   }
 
 let run_on ?config ?udf_mode ?faults ?checkpoint_every ?mem_budget ?spill
@@ -107,3 +115,5 @@ let run_on_exn ?config ?udf_mode ?faults ?checkpoint_every ?mem_budget ?spill
   | Finished r -> r
   | Failed { reason; _ } -> failwith ("engine failure: " ^ reason)
   | Timed_out { at_s; _ } -> failwith (Printf.sprintf "engine timeout at %.0f s" at_s)
+  | Cancelled { at_s; reason; _ } ->
+      failwith (Printf.sprintf "query cancelled at %.0f s: %s" at_s reason)

@@ -41,6 +41,7 @@ module Metrics = Emma_engine.Metrics
 module Engine = Emma_engine.Exec
 module Faults = Emma_engine.Faults
 module Config = Emma_engine.Config
+module Cancel = Emma_engine.Cancel
 module Pool = Emma_util.Pool
 module Trace = Emma_util.Trace
 module Json = Emma_util.Json
@@ -79,10 +80,14 @@ type outcome = Session.outcome =
   | Finished of run_result
   | Failed of { reason : string; metrics : Metrics.t }
   | Timed_out of { at_s : float; metrics : Metrics.t }
+  | Cancelled of { at_s : float; reason : string; metrics : Metrics.t }
+      (** cooperative cancellation (a {!Cancel} token or the per-query
+          [Config.deadline_s] budget); carries the simulated clock at the
+          terminal safepoint and the reason *)
 
 val metrics_of_outcome : outcome -> Metrics.t
-(** Every outcome arm — including [Failed] and [Timed_out] — carries the
-    per-query metrics of the partial run. *)
+(** Every outcome arm — including [Failed], [Timed_out] and [Cancelled] —
+    carries the per-query metrics of the partial run. *)
 
 val run_native : algorithm -> tables:(string * Value.t list) list -> Value.t * Eval.ctx
 (** Host-language execution of the {e source} program on the native

@@ -15,6 +15,7 @@ module Cluster = Emma_engine.Cluster
 module Metrics = Emma_engine.Metrics
 module Engine = Emma_engine.Exec
 module Config = Emma_engine.Config
+module Cancel = Emma_engine.Cancel
 module Pool = Emma_util.Pool
 module Trace = Emma_util.Trace
 
@@ -47,11 +48,13 @@ type outcome =
   | Finished of run_result
   | Failed of { reason : string; metrics : Metrics.t }
   | Timed_out of { at_s : float; metrics : Metrics.t }
+  | Cancelled of { at_s : float; reason : string; metrics : Metrics.t }
 
 let metrics_of_outcome = function
   | Finished r -> r.metrics
   | Failed { metrics; _ } -> metrics
   | Timed_out { metrics; _ } -> metrics
+  | Cancelled { metrics; _ } -> metrics
 
 let make_ctx tables =
   let ctx = Eval.create_ctx () in
@@ -75,7 +78,23 @@ type t = {
          concurrently in real serve mode *)
 }
 
+(* Timeout unification: [Session.spark ?timeout_s] (the legacy runtime
+   shim) and [Config.timeout_s] must agree. One source set wins; both set
+   to the same value is fine; both set and different is a configuration
+   error rejected with a one-line message (the CLI maps it to exit 2). *)
+let resolve_timeout rt config =
+  match (rt.timeout_s, config.Config.timeout_s) with
+  | None, t | t, None -> t
+  | Some a, Some b when a = b -> Some a
+  | Some a, Some b ->
+      invalid_arg
+        (Printf.sprintf
+           "conflicting timeouts: runtime timeout_s %g vs config timeout_s %g \
+            (set the timeout in one place only; Config is the canonical home)"
+           a b)
+
 let create ?(config = Config.default) rt =
+  let config = { config with Config.timeout_s = resolve_timeout rt config } in
   let pool, owns_pool =
     match config.Config.pool with
     | Some p -> (p, false)
@@ -123,6 +142,11 @@ let terminal_instant tracer outcome =
       | Finished _ -> ("finished", [])
       | Failed { reason; _ } -> ("failed", [ ("reason", Trace.A_str reason) ])
       | Timed_out { at_s; _ } -> ("timed_out", [ ("at_s", Trace.A_float at_s) ])
+      | Cancelled { at_s; reason; _ } ->
+          ( "cancelled",
+            [
+              ("at_s", Trace.A_float at_s); ("reason", Trace.A_str reason);
+            ] )
     in
     let m = metrics_of_outcome outcome in
     Trace.instant tracer ~cat:"session"
@@ -133,15 +157,26 @@ let terminal_instant tracer outcome =
       "query_terminal"
   end
 
-let run ?config t algo ~tables =
+let run ?config ?cancel ?cluster t algo ~tables =
   let cfg =
     match config with
     | Some c -> { c with Config.pool = Some t.pool }
     | None -> t.config
   in
+  (* a per-run config override with no timeout of its own still inherits
+     the session's resolved timeout (historically rt.timeout_s applied to
+     every run regardless of per-run knobs) *)
+  let timeout_s =
+    match cfg.Config.timeout_s with
+    | Some _ as s -> s
+    | None -> t.config.Config.timeout_s
+  in
+  (* [cluster] narrows the execution slice for this run only — the serve
+     degradation ladder halves dop with it; defaults to the runtime's *)
+  let cluster = Option.value cluster ~default:t.rt.cluster in
   let ctx = make_ctx tables in
   let engine =
-    Engine.create ?timeout_s:t.rt.timeout_s ~config:cfg ~cluster:t.rt.cluster
+    Engine.create ?timeout_s ?cancel ~config:cfg ~cluster
       ~profile:t.rt.profile ctx
   in
   let outcome =
@@ -151,6 +186,8 @@ let run ?config t algo ~tables =
         Failed { reason; metrics = Engine.metrics engine }
     | exception Engine.Engine_timeout at_s ->
         Timed_out { at_s; metrics = Engine.metrics engine }
+    | exception Engine.Engine_cancelled (at_s, reason) ->
+        Cancelled { at_s; reason; metrics = Engine.metrics engine }
   in
   terminal_instant (tracer_of cfg) outcome;
   outcome
@@ -208,7 +245,19 @@ type submit_info = {
 let cold_compile_s source = 0.05 +. (1.0e-4 *. float_of_int (Pipeline.program_size source))
 let hit_compile_s = 0.002
 
-let submit ?(opts = Pipeline.default_opts) ?config t source ~tables =
+(* Uncounted plan-cache membership: would this submission hit? Used by
+   the serve degradation ladder's plan-cache-only rung to shed queries
+   that would compile cold, without perturbing the counted probe/store
+   sequence the LRU replays from. [false] when the session is uncached. *)
+let would_hit ?(opts = Pipeline.default_opts) t source ~tables =
+  match t.cache with
+  | None -> false
+  | Some pc ->
+      let schema = schema_of_tables tables in
+      Plan_cache.mem pc (Pipeline.normalized_key ~opts ~schema source)
+
+let submit ?(opts = Pipeline.default_opts) ?config ?cancel ?cluster t source
+    ~tables =
   let cfg = match config with Some c -> c | None -> t.config in
   let tracer = tracer_of cfg in
   let schema = schema_of_tables tables in
@@ -243,7 +292,7 @@ let submit ?(opts = Pipeline.default_opts) ?config t source ~tables =
      Trace.instant tracer ~cat:"session"
        ~args:[ ("schema", Trace.A_str schema) ]
        name);
-  let outcome = run ?config t algo ~tables in
+  let outcome = run ?config ?cancel ?cluster t algo ~tables in
   let m = metrics_of_outcome outcome in
   (match status with
   | Hit -> m.Metrics.plan_cache_hits <- m.Metrics.plan_cache_hits + 1

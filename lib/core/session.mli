@@ -22,6 +22,7 @@ module Cluster = Emma_engine.Cluster
 module Metrics = Emma_engine.Metrics
 module Engine = Emma_engine.Exec
 module Config = Emma_engine.Config
+module Cancel = Emma_engine.Cancel
 module Pool = Emma_util.Pool
 module Trace = Emma_util.Trace
 
@@ -44,6 +45,11 @@ type runtime = {
 
 val spark : ?cluster:Cluster.t -> ?timeout_s:float -> unit -> runtime
 val flink : ?cluster:Cluster.t -> ?timeout_s:float -> unit -> runtime
+(** [?timeout_s] is a deprecated shim kept one release: the canonical
+    home of the execution timeout is [Config.timeout_s]. {!create}
+    accepts either source (or both set to the {e same} value) and rejects
+    conflicting values with [Invalid_argument] — the CLI maps that to a
+    one-line exit-2 error. *)
 
 type run_result = {
   value : Value.t;
@@ -55,10 +61,14 @@ type outcome =
   | Finished of run_result
   | Failed of { reason : string; metrics : Metrics.t }
   | Timed_out of { at_s : float; metrics : Metrics.t }
+  | Cancelled of { at_s : float; reason : string; metrics : Metrics.t }
+      (** cooperative cancellation: a {!Cancel} token was requested or the
+          per-query [Config.deadline_s] budget ran out; carries the
+          simulated clock at the terminal safepoint and the reason *)
 
 val metrics_of_outcome : outcome -> Metrics.t
-(** Every outcome arm — including [Failed] and [Timed_out] — carries the
-    per-query metrics of the partial run. *)
+(** Every outcome arm — including [Failed], [Timed_out] and [Cancelled] —
+    carries the per-query metrics of the partial run. *)
 
 val make_ctx : (string * Value.t list) list -> Eval.ctx
 
@@ -74,7 +84,13 @@ val create : ?config:Config.t -> runtime -> t
     creates — and owns — a dedicated [d]-domain pool (released by
     {!close}); otherwise it borrows [config.pool] or the ambient
     {!Pool.default}. [config.plan_cache = Some n] equips the session with
-    an [n]-entry LRU plan cache ({!Emma_compiler.Plan_cache}). *)
+    an [n]-entry LRU plan cache ({!Emma_compiler.Plan_cache}).
+
+    Also unifies the legacy [runtime.timeout_s] shim with
+    [config.timeout_s]: one source set wins, both set to the same value
+    is accepted, and conflicting values raise [Invalid_argument] with a
+    one-line message (exit 2 at the CLI). The resolved value lands in
+    [config t].timeout_s. *)
 
 val close : t -> unit
 (** Shuts down the session-owned pool, if any. Borrowed pools are left
@@ -89,16 +105,29 @@ val pool : t -> Pool.t
 val plan_cache_stats : t -> Plan_cache.stats option
 (** [None] when the session was created with [plan_cache = None]. *)
 
-val run : ?config:Config.t -> t -> algorithm -> tables:(string * Value.t list) list -> outcome
+val run :
+  ?config:Config.t ->
+  ?cancel:Cancel.t ->
+  ?cluster:Cluster.t ->
+  t ->
+  algorithm ->
+  tables:(string * Value.t list) list ->
+  outcome
 (** Executes an already-compiled algorithm on this session's engine
     substrate. [config] overrides the session config for this run only
     (its [pool] field is ignored — the session pool always executes);
-    serve uses this for per-tenant memory budgets.
+    serve uses this for per-tenant memory budgets. A per-run [config]
+    without a timeout of its own still inherits the session's resolved
+    timeout. [cancel] threads a cooperative cancellation token into the
+    engine; [config.deadline_s] sets the per-query budget — either ends
+    the run in a classified [Cancelled] outcome. [cluster] narrows the
+    execution slice for this run only (the serve degradation ladder
+    halves dop with it).
 
     Unlike historical [run_on], every outcome path also emits a terminal
     Trace instant ([session:query_terminal], tagged with the outcome
-    status and final [sim_time_s]) when tracing is enabled, so failed and
-    timed-out queries keep their trace/metrics linkage. *)
+    status and final [sim_time_s]) when tracing is enabled, so failed,
+    timed-out and cancelled queries keep their trace/metrics linkage. *)
 
 type cache_status =
   | Hit  (** compiled plan reused from the session plan cache *)
@@ -118,6 +147,8 @@ type submit_info = {
 val submit :
   ?opts:Pipeline.opts ->
   ?config:Config.t ->
+  ?cancel:Cancel.t ->
+  ?cluster:Cluster.t ->
   t ->
   Expr.program ->
   tables:(string * Value.t list) list ->
@@ -131,6 +162,19 @@ val submit :
     outcome's {!Metrics.t} ([plan_cache_*] fields) and as Trace instants.
     Results and engine cost metrics are bit-identical between a hit and a
     cold compile (property-tested). *)
+
+val would_hit :
+  ?opts:Pipeline.opts ->
+  t ->
+  Expr.program ->
+  tables:(string * Value.t list) list ->
+  bool
+(** Uncounted plan-cache membership: [true] iff a {!submit} of this
+    program/opts/schema would hit right now. Never bumps cache stats or
+    LRU recency ({!Plan_cache.mem}), so peeking is free of observable
+    side effects — the serve degradation ladder's plan-cache-only rung
+    uses it to shed queries that would compile cold. Always [false] on an
+    uncached session. *)
 
 val schema_of_tables : (string * Value.t list) list -> string
 (** The structural table fingerprint used by {!submit} (exposed for

@@ -1,0 +1,24 @@
+(* Cooperative cancellation tokens.
+
+   A token is a one-way latch: once requested it stays requested. The
+   engine polls it at its cost-charging safepoints (the same choke points
+   [timeout_s] uses — stage barriers, partition-task dispatch, the
+   recovery loop), so cancellation is prompt without preempting worker
+   domains mid-task. The reason string travels with the request and is
+   surfaced in the classified [Cancelled] outcome.
+
+   The write-reason-then-set-flag order means a reader that observes the
+   flag also observes the reason (release/acquire on the atomic). *)
+
+type t = { flag : bool Atomic.t; mutable reason : string }
+
+let create () = { flag = Atomic.make false; reason = "cancelled" }
+
+let request ?(reason = "cancelled") t =
+  if not (Atomic.get t.flag) then begin
+    t.reason <- reason;
+    Atomic.set t.flag true
+  end
+
+let is_requested t = Atomic.get t.flag
+let reason t = t.reason

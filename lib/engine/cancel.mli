@@ -1,0 +1,27 @@
+(** Cooperative cancellation tokens.
+
+    A token is a one-way latch shared between a controller (a drain
+    sequence, a serve watchdog, a caller that lost interest) and an
+    engine run. {!Exec} polls the token at its cost-charging safepoints —
+    the same choke points [timeout_s] uses: stage barriers,
+    partition-task dispatch, and the recovery loop — and raises
+    [Exec.Engine_cancelled] carrying the simulated clock and the request
+    reason. Worker tasks are never preempted mid-task; cancellation lands
+    at the next coordinator safepoint, which bounds the response time by
+    one barrier.
+
+    Tokens are safe to request from any domain. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, unrequested token. *)
+
+val request : ?reason:string -> t -> unit
+(** Latches the token (idempotent; the first reason wins). [reason]
+    defaults to ["cancelled"]. *)
+
+val is_requested : t -> bool
+
+val reason : t -> string
+(** The request reason; meaningful once {!is_requested} is true. *)

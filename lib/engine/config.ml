@@ -11,6 +11,8 @@ module Json = Emma_util.Json
 type udf_mode = Interp | Compiled
 type chunk_spec = Chunk_auto | Chunk_fixed of int
 
+type breaker_spec = { br_threshold : int; br_cooldown_s : float }
+
 type t = {
   udf_mode : udf_mode;
   faults : Faults.t;
@@ -23,6 +25,11 @@ type t = {
   trace : Trace.t option;
   domains : int option;
   plan_cache : int option;
+  timeout_s : float option;
+  deadline_s : float option;
+  max_queue : int option;
+  breaker : breaker_spec option;
+  drain_after_s : float option;
 }
 
 let default =
@@ -38,6 +45,11 @@ let default =
     trace = None;
     domains = None;
     plan_cache = Some 64;
+    timeout_s = None;
+    deadline_s = None;
+    max_queue = None;
+    breaker = None;
+    drain_after_s = None;
   }
 
 let with_udf_mode udf_mode t = { t with udf_mode }
@@ -51,6 +63,11 @@ let with_chunk chunk t = { t with chunk }
 let with_trace trace t = { t with trace }
 let with_domains domains t = { t with domains }
 let with_plan_cache plan_cache t = { t with plan_cache }
+let with_timeout_s timeout_s t = { t with timeout_s }
+let with_deadline_s deadline_s t = { t with deadline_s }
+let with_max_queue max_queue t = { t with max_queue }
+let with_breaker breaker t = { t with breaker }
+let with_drain_after_s drain_after_s t = { t with drain_after_s }
 
 (* ------------------------------------------------------------------ *)
 (* CLI-facing parsers. The error strings double as the one-line exit-2  *)
@@ -96,9 +113,35 @@ let parse_plan_cache s =
                "--plan-cache %s is invalid: expected `off' or a capacity >= 1"
                s))
 
+(* "K" or "K:COOLDOWN_S": open a tenant's circuit after K consecutive
+   bad outcomes, probe again after COOLDOWN_S simulated seconds (default
+   30). "off" disables. *)
+let parse_breaker s =
+  let invalid () =
+    Error
+      (Printf.sprintf
+         "--breaker %s is invalid: expected `off' or `K[:COOLDOWN_S]' with K \
+          >= 1 consecutive failures and a cooldown > 0 (e.g. --breaker 3:30)"
+         s)
+  in
+  match String.lowercase_ascii (String.trim s) with
+  | "off" -> Ok None
+  | spec -> (
+      let k_str, cd_str =
+        match String.index_opt spec ':' with
+        | None -> (spec, "30")
+        | Some i ->
+            ( String.sub spec 0 i,
+              String.sub spec (i + 1) (String.length spec - i - 1) )
+      in
+      match (int_of_string_opt k_str, float_of_string_opt cd_str) with
+      | Some k, Some cd when k >= 1 && cd > 0.0 && Float.is_finite cd ->
+          Ok (Some { br_threshold = k; br_cooldown_s = cd })
+      | _ -> invalid ())
+
 let of_cli ?(base = default) ?udf_mode ?chunk ?chaos_seed ?chaos_rates
     ?checkpoint_every ?mem_per_slot ?spill ?max_inflight ?domains ?plan_cache
-    () =
+    ?timeout ?deadline ?max_queue ?breaker ?drain_after () =
   let ( let* ) = Result.bind in
   let* udf_mode =
     match udf_mode with
@@ -170,6 +213,41 @@ let of_cli ?(base = default) ?udf_mode ?chunk ?chaos_seed ?chaos_rates
     | None -> Ok base.plan_cache
     | Some s -> parse_plan_cache s
   in
+  let positive_seconds flag base = function
+    | None -> Ok base
+    | Some s when s > 0.0 && Float.is_finite s -> Ok (Some s)
+    | Some s ->
+        Error
+          (Printf.sprintf
+             "%s %g is invalid: expected a positive number of seconds" flag s)
+  in
+  let* timeout_s = positive_seconds "--timeout" base.timeout_s timeout in
+  let* deadline_s = positive_seconds "--deadline" base.deadline_s deadline in
+  let* max_queue =
+    match max_queue with
+    | None -> Ok base.max_queue
+    | Some k when k >= 1 -> Ok (Some k)
+    | Some k ->
+        Error
+          (Printf.sprintf
+             "--max-queue %d is invalid: each tenant queue must hold at least \
+              1 query (omit the flag for unbounded queues)"
+             k)
+  in
+  let* breaker =
+    match breaker with None -> Ok base.breaker | Some s -> parse_breaker s
+  in
+  let* drain_after_s =
+    match drain_after with
+    | None -> Ok base.drain_after_s
+    | Some s when s >= 0.0 && Float.is_finite s -> Ok (Some s)
+    | Some s ->
+        Error
+          (Printf.sprintf
+             "--drain-after %g is invalid: expected a non-negative number of \
+              seconds"
+             s)
+  in
   Ok
     {
       base with
@@ -182,6 +260,11 @@ let of_cli ?(base = default) ?udf_mode ?chunk ?chaos_seed ?chaos_rates
       max_inflight;
       domains;
       plan_cache;
+      timeout_s;
+      deadline_s;
+      max_queue;
+      breaker;
+      drain_after_s;
     }
 
 let udf_mode_to_string = function Interp -> "interp" | Compiled -> "compiled"
@@ -207,4 +290,17 @@ let to_json t =
       ("domains", opt_int t.domains);
       ( "plan_cache",
         match t.plan_cache with Some k -> Json.Int k | None -> Json.Str "off" );
+      ("timeout_s", opt_float t.timeout_s);
+      ("deadline_s", opt_float t.deadline_s);
+      ("max_queue", opt_int t.max_queue);
+      ( "breaker",
+        match t.breaker with
+        | None -> Json.Null
+        | Some b ->
+            Json.Obj
+              [
+                ("threshold", Json.Int b.br_threshold);
+                ("cooldown_s", Json.Float b.br_cooldown_s);
+              ] );
+      ("drain_after_s", opt_float t.drain_after_s);
     ]

@@ -24,6 +24,16 @@ type udf_mode =
     (the CLI's [--chunk N]). *)
 type chunk_spec = Chunk_auto | Chunk_fixed of int
 
+(** Per-tenant circuit-breaker policy for [emma serve]: after
+    [br_threshold] consecutive [Failed]/[Timed_out]/[Cancelled] outcomes
+    a tenant's circuit opens (its queued queries fast-fail as shed), then
+    half-opens [br_cooldown_s] simulated seconds later and probes with a
+    single query — a good probe closes the circuit, a bad one re-opens
+    it. All transitions happen on the coordinator as pure functions of
+    recorded outcomes and the simulated clock, so they replay
+    bit-identically. *)
+type breaker_spec = { br_threshold : int; br_cooldown_s : float }
+
 type t = {
   udf_mode : udf_mode;  (** worker-side UDF execution (default [Compiled]) *)
   faults : Faults.t;  (** deterministic fault plan (default {!Faults.none}) *)
@@ -52,6 +62,29 @@ type t = {
       (** plan-cache capacity for sessions: [Some n] keeps the [n] most
           recently used compiled plans (default [Some 64]); [None] turns
           the cache off. Ignored by bare [Exec.create]. *)
+  timeout_s : float option;
+      (** simulated-clock execution timeout (default none) — the
+          canonical home of the knob historically passed as
+          [Session.spark ?timeout_s]. Sessions reject conflicting values
+          between the runtime shim and this field. *)
+  deadline_s : float option;
+      (** per-query latency budget on the simulated clock (default
+          none): the engine raises a classified [Cancelled] outcome as
+          soon as the query's own simulated time exceeds it. Distinct
+          from [timeout_s] (an operator limit) — a deadline is a service
+          objective, checked at the same safepoints. *)
+  max_queue : int option;
+      (** serve-layer knob: bounded per-tenant queue depth; arrivals past
+          the bound are shed by a seeded-deterministic policy (default
+          unbounded). Ignored by bare [Exec.create]. *)
+  breaker : breaker_spec option;
+      (** serve-layer knob: per-tenant circuit breaker (default off).
+          Ignored by bare [Exec.create]. *)
+  drain_after_s : float option;
+      (** serve-layer knob: stop admitting queries after this many
+          simulated seconds, shedding later arrivals and finishing or
+          cancelling in-flight work by deadline (default: never drain).
+          Ignored by bare [Exec.create]. *)
 }
 
 val default : t
@@ -69,6 +102,11 @@ val with_chunk : chunk_spec -> t -> t
 val with_trace : Emma_util.Trace.t option -> t -> t
 val with_domains : int option -> t -> t
 val with_plan_cache : int option -> t -> t
+val with_timeout_s : float option -> t -> t
+val with_deadline_s : float option -> t -> t
+val with_max_queue : int option -> t -> t
+val with_breaker : breaker_spec option -> t -> t
+val with_drain_after_s : float option -> t -> t
 
 val parse_udf_mode : string -> (udf_mode, string) result
 (** ["interp"] / ["compiled"] (case-insensitive). *)
@@ -78,6 +116,11 @@ val parse_chunk : string -> (chunk_spec, string) result
 
 val parse_plan_cache : string -> (int option, string) result
 (** ["off"] / ["0"] disables; a capacity >= 1 enables. *)
+
+val parse_breaker : string -> (breaker_spec option, string) result
+(** ["off"] disables; ["K"] or ["K:COOLDOWN_S"] opens a tenant's circuit
+    after [K >= 1] consecutive bad outcomes with a cooldown of
+    [COOLDOWN_S > 0] seconds (default 30). *)
 
 val of_cli :
   ?base:t ->
@@ -91,6 +134,11 @@ val of_cli :
   ?max_inflight:int ->
   ?domains:int ->
   ?plan_cache:string ->
+  ?timeout:float ->
+  ?deadline:float ->
+  ?max_queue:int ->
+  ?breaker:string ->
+  ?drain_after:float ->
   unit ->
   (t, string) result
 (** The one shared flag-validation path for [run], [bench] and [serve]:

@@ -11,6 +11,7 @@ module Crc32 = Emma_util.Crc32
 
 exception Engine_failure of string
 exception Engine_timeout of float
+exception Engine_cancelled of float * string
 
 type location = Mem | Dfs
 
@@ -63,6 +64,13 @@ type t = {
          par_steals/par_steal_misses after each barrier (the pool may be
          shared, so only deltas are attributable to this engine) *)
   timeout_s : float option;
+  deadline_s : float option;
+      (* per-query latency budget on the same simulated clock: exceeding
+         it raises [Engine_cancelled] (a service decision) rather than
+         [Engine_timeout] (an operator limit) *)
+  cancel : Cancel.t option;
+      (* cooperative cancellation token, polled at the cost-charging
+         safepoints and at every partition-dispatch barrier *)
   mutable job_depth : int;
       (* > 0 while a dataflow is executing: nested lineage recomputations
          belong to the enclosing job and are not separate submissions *)
@@ -140,11 +148,14 @@ and env = (string * dval) list
 
 type out = Obag of Pdata.t | Oscalar of Value.t | Ostateful of state_handle
 
-let create ?timeout_s ?(config = Config.default) ?udf_mode ?faults
+let create ?timeout_s ?cancel ?(config = Config.default) ?udf_mode ?faults
     ?checkpoint_every ?mem_budget ?spill ?max_inflight ?pool ?chunk ?trace
     ~cluster ~profile eval_ctx =
   (* per-knob optional args are deprecated shims: when given they override
      the corresponding [config] field, preserving pre-Config call sites *)
+  let timeout_s =
+    match timeout_s with Some _ as s -> s | None -> config.Config.timeout_s
+  in
   let udf_mode = Option.value udf_mode ~default:config.Config.udf_mode in
   let faults = Option.value faults ~default:config.Config.faults in
   let checkpoint_every =
@@ -179,6 +190,8 @@ let create ?timeout_s ?(config = Config.default) ?udf_mode ?faults
     chunk;
     steal_seen = Pool.stats pool;
     timeout_s;
+    deadline_s = config.Config.deadline_s;
+    cancel;
     job_depth = 0;
     iteration_rerun = false;
     udf_mode;
@@ -217,12 +230,34 @@ let note_op t op pd =
 (* Cost charging                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let charge t secs =
-  Metrics.add_time t.metrics secs;
-  match t.timeout_s with
+(* Cooperative-interrupt safepoint. Checked after every cost charge and
+   before every partition-dispatch barrier — the same choke points the
+   timeout uses, so cancellation and deadlines also land mid-recovery and
+   mid-admission-wait. Precedence when several limits trip on the same
+   charge: timeout (the operator limit) over deadline over an external
+   cancel request. *)
+let check_interrupts t =
+  (match t.timeout_s with
   | Some limit when t.metrics.Metrics.sim_time_s > limit ->
       raise (Engine_timeout t.metrics.Metrics.sim_time_s)
+  | _ -> ());
+  (match t.deadline_s with
+  | Some d when t.metrics.Metrics.sim_time_s > d ->
+      t.metrics.Metrics.cancellations <- t.metrics.Metrics.cancellations + 1;
+      raise
+        (Engine_cancelled
+           ( t.metrics.Metrics.sim_time_s,
+             Printf.sprintf "deadline of %g s exceeded" d ))
+  | _ -> ());
+  match t.cancel with
+  | Some c when Cancel.is_requested c ->
+      t.metrics.Metrics.cancellations <- t.metrics.Metrics.cancellations + 1;
+      raise (Engine_cancelled (t.metrics.Metrics.sim_time_s, Cancel.reason c))
   | _ -> ()
+
+let charge t secs =
+  Metrics.add_time t.metrics secs;
+  check_interrupts t
 
 let dop t = Cluster.dop t.cluster
 
@@ -661,6 +696,7 @@ let par_run t n (f : int -> 'a) : 'a array =
   (* Chaos first, before the single-domain shortcut below: injected
      barrier faults must be drawn for every barrier whatever the pool
      size, or fault plans would stop being domain-count invariant. *)
+  check_interrupts t;
   inject_barrier_faults t n;
   (* Partition-task spans run on the emitting worker domain: the span's
      tid IS the domain id, and the args repeat it next to the partition
@@ -805,6 +841,7 @@ let split_chunks k (parts : Value.t list array) =
    cost charging stays on the coordinator. *)
 let par_chunked t (f : Value.t list -> 'b list) (pd : Pdata.t) : 'b list array =
   let nparts = Pdata.nparts pd in
+  check_interrupts t;
   inject_barrier_faults t nparts;
   let parts = pd.Pdata.parts in
   let f_traced =

@@ -35,6 +35,17 @@ exception Engine_timeout of float
 (** Raised as soon as the simulated clock exceeds the configured timeout;
     carries the clock value. *)
 
+exception Engine_cancelled of float * string
+(** Cooperative cancellation: raised at the next safepoint after a
+    {!Cancel} token is requested or the query's [deadline_s] budget is
+    exhausted; carries the simulated clock and the cancellation reason.
+    Safepoints are every cost charge and every partition-dispatch
+    barrier — the same choke points [timeout_s] uses — so cancellation
+    also lands mid-recovery and mid-admission-wait. When several limits
+    trip on the same charge, [Engine_timeout] wins (the operator limit),
+    then the deadline, then an external cancel request. The run's
+    metrics record the event in [cancellations]. *)
+
 type t
 (** An engine instance: cluster + profile + metrics + table storage. *)
 
@@ -63,6 +74,7 @@ type chunk_spec = Config.chunk_spec = Chunk_auto | Chunk_fixed of int
 
 val create :
   ?timeout_s:float ->
+  ?cancel:Cancel.t ->
   ?config:Config.t ->
   ?udf_mode:udf_mode ->
   ?faults:Faults.t ->
@@ -82,10 +94,19 @@ val create :
 
     [config] carries every knob below in one record ({!Config.t}, default
     {!Config.default}); its [domains]/[plan_cache] fields are session
-    concerns and ignored here. The per-knob optional arguments are
-    deprecated shims kept for one release: when passed they override the
-    corresponding [config] field. New code should build a [Config] and
-    pass only [?config] (see the README migration guide).
+    concerns and ignored here, as are the serve-layer knobs
+    [max_queue]/[breaker]/[drain_after_s]. The per-knob optional
+    arguments are deprecated shims kept for one release: when passed they
+    override the corresponding [config] field — [timeout_s] in
+    particular falls back to [config.timeout_s] when the shim is absent.
+    New code should build a [Config] and pass only [?config] (see the
+    README migration guide).
+
+    [cancel] is a cooperative {!Cancel} token: requesting it makes the
+    run raise {!Engine_cancelled} at the next safepoint (every cost
+    charge, every partition-dispatch barrier). [config.deadline_s] is
+    checked at the same safepoints and raises the same exception once the
+    run's own simulated time exceeds the budget.
 
     [udf_mode] (default [Compiled]) selects how worker-side UDF bodies
     execute. Both modes share the same cost charging and UDF tally, so

@@ -41,6 +41,7 @@ type t = {
   mutable plan_cache_hits : int;
   mutable plan_cache_misses : int;
   mutable plan_cache_evictions : int;
+  mutable cancellations : int;
 }
 
 let create () =
@@ -87,6 +88,7 @@ let create () =
     plan_cache_hits = 0;
     plan_cache_misses = 0;
     plan_cache_evictions = 0;
+    cancellations = 0;
   }
 
 let add_time m s = m.sim_time_s <- m.sim_time_s +. s
@@ -146,6 +148,7 @@ let to_rows m =
     ("plan hits", string_of_int m.plan_cache_hits);
     ("plan misses", string_of_int m.plan_cache_misses);
     ("plan evictions", string_of_int m.plan_cache_evictions);
+    ("cancellations", string_of_int m.cancellations);
   ]
 
 let pp ppf m =
@@ -200,6 +203,7 @@ let to_json m =
       ("plan_cache_hits", Json.Int m.plan_cache_hits);
       ("plan_cache_misses", Json.Int m.plan_cache_misses);
       ("plan_cache_evictions", Json.Int m.plan_cache_evictions);
+      ("cancellations", Json.Int m.cancellations);
     ]
 
 let to_json_string m = Json.to_string (to_json m)

@@ -80,6 +80,10 @@ type t = {
   mutable plan_cache_evictions : int;
       (** cached plans dropped by the LRU evictor on this submission's
           store *)
+  mutable cancellations : int;
+      (** cooperative cancellations observed by this run: 1 when the run
+          ended in a classified [Cancelled] outcome (deadline exceeded or
+          an explicit {!Cancel} request), 0 otherwise *)
 }
 
 val create : unit -> t

@@ -20,9 +20,12 @@ module Session = Emma.Session
 module Config = Emma.Config
 module Metrics = Emma.Metrics
 module Plan_cache = Emma.Plan_cache
+module Cluster = Emma.Cluster
+module Cancel = Emma.Cancel
 module Expr = Emma.Expr
 module Value = Emma.Value
 module Json = Emma.Json
+module Prng = Emma_util.Prng
 
 type tenant = { tn_name : string; tn_weight : int; tn_mem_budget : float option }
 
@@ -42,6 +45,25 @@ type query_result = {
   qr_service_s : float;
   qr_cache : Session.cache_status;
   qr_outcome : Session.outcome;
+  qr_degrade : int;  (* degradation-ladder level the query ran at (0-3) *)
+}
+
+(* Why a query was shed instead of run. Shedding is always counted and
+   reported per submission — no query ever disappears silently. *)
+type shed_reason =
+  | Shed_deadline  (* queue wait alone already exceeded the deadline *)
+  | Shed_queue_full  (* per-tenant queue at max_queue; seeded victim pick *)
+  | Shed_breaker  (* tenant circuit open: fast-fail without dispatch *)
+  | Shed_drain  (* arrived after the drain point: admissions stopped *)
+  | Shed_degraded  (* ladder level 3: would compile cold, cache-only mode *)
+
+type shed_record = {
+  sh_sub : int;
+  sh_tenant : string;
+  sh_query : string;
+  sh_arrival_s : float;
+  sh_at_s : float;  (* clock when the shed decision was taken *)
+  sh_reason : shed_reason;
 }
 
 type tenant_counters = {
@@ -49,20 +71,81 @@ type tenant_counters = {
   tc_weight : int;
   tc_admissions : int;
   tc_max_queue : int;
+  tc_shed : int;
+  tc_breaker_opens : int;
   tc_queue_wait_s : float;
   tc_service_s : float;
 }
 
 type counters = {
   sv_results : query_result list;  (* in submission-id order *)
+  sv_shed : shed_record list;  (* in submission-id order *)
   sv_tenants : tenant_counters list;  (* in declaration order *)
   sv_cache : Plan_cache.stats option;
   sv_failed : int;
   sv_timed_out : int;
+  sv_cancelled : int;
+  sv_degraded : int;  (* admitted queries that ran at ladder level >= 1 *)
+  sv_breaker_opens : int;
+  sv_breaker_half_opens : int;
+  sv_breaker_closes : int;
   sv_lanes : int;
   sv_makespan_s : float;
   sv_wall_s : float;  (* host seconds; excluded from the fingerprint *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Overload-control policy                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* All policy decisions are coordinator-side pure functions of the trace,
+   the seed and the simulated clock — never of wall time, domain count or
+   queue-arrival races — so a sim run's fingerprint replays
+   bit-identically at any domain count. *)
+type policy = {
+  pl_seed : int;  (* seeds the queue-full victim picks *)
+  pl_deadline_s : float option;  (* per-query latency budget (arrival → finish) *)
+  pl_max_queue : int option;  (* per-tenant queue bound *)
+  pl_breaker : Config.breaker_spec option;
+  pl_drain_after_s : float option;  (* stop admissions past this clock *)
+  pl_degrade_depth : int option;
+      (* ladder step size D in total queued queries: level = depth / D,
+         capped at 3. None = ladder off. *)
+}
+
+let no_policy =
+  {
+    pl_seed = 0;
+    pl_deadline_s = None;
+    pl_max_queue = None;
+    pl_breaker = None;
+    pl_drain_after_s = None;
+    pl_degrade_depth = None;
+  }
+
+(* Derive the serve policy from a session Config: the four robustness
+   knobs map across directly; the degradation ladder auto-engages when
+   deadlines are on (it exists to protect deadlines — each rung trades
+   per-query resources for queue drainage) with a step of 2x lanes of
+   backlog per level. *)
+let policy_of_config ?(seed = 0) ~lanes cfg =
+  {
+    pl_seed = seed;
+    pl_deadline_s = cfg.Config.deadline_s;
+    pl_max_queue = cfg.Config.max_queue;
+    pl_breaker = cfg.Config.breaker;
+    pl_drain_after_s = cfg.Config.drain_after_s;
+    pl_degrade_depth =
+      (match cfg.Config.deadline_s with
+      | Some _ -> Some (2 * max 1 lanes)
+      | None -> None);
+  }
+
+(* Per-tenant circuit breaker: Closed counts consecutive bad outcomes
+   (Failed / Timed_out / Cancelled); at the threshold the circuit opens
+   until a cool-down instant on the simulated clock; the first dispatch
+   past it half-opens the circuit and probes with that single query. *)
+type breaker_state = Br_closed of int | Br_open of float | Br_half_open
 
 (* ------------------------------------------------------------------ *)
 (* Shared plumbing                                                      *)
@@ -102,10 +185,13 @@ let lanes_of session tenants =
   | Some k -> k
   | None -> List.length tenants
 
-let assemble ~lanes ~wall_s session tenants results =
-  let by_tenant name =
-    List.filter (fun r -> r.qr_tenant = name) results
-  in
+(* [max_queue] is the per-tenant deepest backlog, measured by both modes
+   (sim: scheduler queues; concurrent: admission-gate waiters) — never a
+   placeholder. [breaker_opens] maps tenant name -> opens. *)
+let assemble ~lanes ~wall_s ~max_queue ~breaker_opens
+    ~(breaker_totals : int * int * int) session tenants results sheds =
+  let by_tenant name = List.filter (fun r -> r.qr_tenant = name) results in
+  let count p = List.length (List.filter p results) in
   let sv_tenants =
     List.map
       (fun tn ->
@@ -114,28 +200,36 @@ let assemble ~lanes ~wall_s session tenants results =
           tc_name = tn.tn_name;
           tc_weight = tn.tn_weight;
           tc_admissions = List.length rs;
-          tc_max_queue = 0;  (* overridden by run_sim *)
+          tc_max_queue = max_queue tn.tn_name;
+          tc_shed =
+            List.length
+              (List.filter (fun s -> s.sh_tenant = tn.tn_name) sheds);
+          tc_breaker_opens = breaker_opens tn.tn_name;
           tc_queue_wait_s =
             List.fold_left (fun a r -> a +. (r.qr_start_s -. r.qr_arrival_s)) 0.0 rs;
           tc_service_s = List.fold_left (fun a r -> a +. r.qr_service_s) 0.0 rs;
         })
       tenants
   in
+  let opens, half_opens, closes = breaker_totals in
   {
     sv_results = results;
+    sv_shed = sheds;
     sv_tenants;
     sv_cache = Session.plan_cache_stats session;
     sv_failed =
-      List.length
-        (List.filter
-           (fun r -> match r.qr_outcome with Session.Failed _ -> true | _ -> false)
-           results);
+      count (fun r ->
+          match r.qr_outcome with Session.Failed _ -> true | _ -> false);
     sv_timed_out =
-      List.length
-        (List.filter
-           (fun r ->
-             match r.qr_outcome with Session.Timed_out _ -> true | _ -> false)
-           results);
+      count (fun r ->
+          match r.qr_outcome with Session.Timed_out _ -> true | _ -> false);
+    sv_cancelled =
+      count (fun r ->
+          match r.qr_outcome with Session.Cancelled _ -> true | _ -> false);
+    sv_degraded = count (fun r -> r.qr_degrade > 0);
+    sv_breaker_opens = opens;
+    sv_breaker_half_opens = half_opens;
+    sv_breaker_closes = closes;
     sv_lanes = lanes;
     sv_makespan_s = List.fold_left (fun a r -> max a r.qr_finish_s) 0.0 results;
     sv_wall_s = wall_s;
@@ -145,7 +239,7 @@ let assemble ~lanes ~wall_s session tenants results =
 (* Deterministic sim mode                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_sim ?(quantum_s = 1.0) session tenants workload events =
+let run_sim ?(quantum_s = 1.0) ?policy session tenants workload events =
   validate tenants workload events;
   if not (quantum_s > 0.0) then
     invalid_arg "Serve.run_sim: quantum must be > 0";
@@ -159,31 +253,97 @@ let run_sim ?(quantum_s = 1.0) session tenants workload events =
     Array.iteri (fun i t -> Hashtbl.replace tbl t.tn_name i) tarr;
     fun name -> Hashtbl.find tbl name
   in
+  let lanes = max 1 (lanes_of session tenants) in
+  let pol =
+    match policy with
+    | Some p -> p
+    | None -> policy_of_config ~lanes (Session.config session)
+  in
+  (match pol.pl_max_queue with
+  | Some k when k < 1 -> invalid_arg "Serve: max_queue must be >= 1"
+  | _ -> ());
   (* submission order sorted by arrival time, sub id breaking ties *)
   let order = Array.init n Fun.id in
   Array.stable_sort
     (fun i j -> compare evs.(i).Arrival.at_s evs.(j).Arrival.at_s)
     order;
-  let lanes = max 1 (lanes_of session tenants) in
   let lane_free = Array.make lanes 0.0 in
   let queues = Array.init nt (fun _ -> Queue.create ()) in
   let deficit = Array.make nt 0.0 in
   let max_queue = Array.make nt 0 in
+  let breaker = Array.make nt (Br_closed 0) in
+  let breaker_opens = Array.make nt 0 in
+  let br_half_opens = ref 0 in
+  let br_closes = ref 0 in
   let results = Array.make n None in
+  let sheds = ref [] in
   let next = ref 0 in
-  let completed = ref 0 in
+  let accounted = ref 0 in
   let rr = ref 0 in
+  let shed ~at_s ~reason sub =
+    let ev = evs.(sub) in
+    sheds :=
+      {
+        sh_sub = sub;
+        sh_tenant = ev.Arrival.tenant;
+        sh_query = ev.Arrival.query;
+        sh_arrival_s = ev.Arrival.at_s;
+        sh_at_s = at_s;
+        sh_reason = reason;
+      }
+      :: !sheds;
+    incr accounted
+  in
+  (* Admission: drain cutoff and the bounded queue apply at arrival time.
+     A full queue picks its victim — the arriving query or the oldest
+     queued one — by a seeded hash of the arriving sub id, so the choice
+     is a pure function of (seed, trace), never of scheduling order. *)
   let enqueue_until t =
     while !next < n && evs.(order.(!next)).Arrival.at_s <= t do
       let sub = order.(!next) in
+      let at_s = evs.(sub).Arrival.at_s in
       let ti = tindex evs.(sub).Arrival.tenant in
-      Queue.add sub queues.(ti);
-      max_queue.(ti) <- max max_queue.(ti) (Queue.length queues.(ti));
-      incr next
+      incr next;
+      let drained =
+        match pol.pl_drain_after_s with
+        | Some d when at_s > d ->
+            shed ~at_s ~reason:Shed_drain sub;
+            true
+        | _ -> false
+      in
+      if not drained then begin
+        (match pol.pl_max_queue with
+        | Some k when Queue.length queues.(ti) >= k ->
+            if Prng.hash_int ~seed:pol.pl_seed [ sub ] 2 = 0 then
+              (* drop the arriving query *)
+              shed ~at_s ~reason:Shed_queue_full sub
+            else begin
+              (* drop the oldest queued one to admit the fresh arrival *)
+              shed ~at_s ~reason:Shed_queue_full (Queue.pop queues.(ti));
+              Queue.add sub queues.(ti)
+            end
+        | _ -> Queue.add sub queues.(ti));
+        max_queue.(ti) <- max max_queue.(ti) (Queue.length queues.(ti))
+      end
     done
   in
-  let queues_empty () =
-    Array.for_all Queue.is_empty queues
+  let queues_empty () = Array.for_all Queue.is_empty queues in
+  let total_depth () =
+    Array.fold_left (fun a q -> a + Queue.length q) 0 queues
+  in
+  (* Degradation ladder: one level per [pl_degrade_depth] queries of total
+     backlog, capped at 3. Level 1 halves the execution slice (dop),
+     level 2 also disables speculative copies, level 3 additionally
+     admits only plan-cache hits (cold compiles are shed). *)
+  let degrade_level () =
+    match pol.pl_degrade_depth with
+    | None -> 0
+    | Some d -> min 3 (total_depth () / max 1 d)
+  in
+  let halve_cluster (c : Cluster.t) =
+    if c.Cluster.slots_per_node > 1 then
+      { c with Cluster.slots_per_node = max 1 (c.Cluster.slots_per_node / 2) }
+    else { c with Cluster.nodes = max 1 (c.Cluster.nodes / 2) }
   in
   (* Deficit round-robin, post-paid: visit tenants in a fixed rotation;
      an empty queue forfeits its deficit, a backlogged tenant earns
@@ -208,61 +368,161 @@ let run_sim ?(quantum_s = 1.0) session tenants workload events =
     in
     go ()
   in
-  while !completed < n do
+  let record_breaker_outcome ti ~finish outcome =
+    let bad =
+      match outcome with
+      | Session.Finished _ -> false
+      | Session.Failed _ | Session.Timed_out _ | Session.Cancelled _ -> true
+    in
+    match pol.pl_breaker with
+    | None -> ()
+    | Some { Config.br_threshold; br_cooldown_s } -> (
+        match breaker.(ti) with
+        | Br_closed k ->
+            if bad then
+              if k + 1 >= br_threshold then begin
+                breaker.(ti) <- Br_open (finish +. br_cooldown_s);
+                breaker_opens.(ti) <- breaker_opens.(ti) + 1
+              end
+              else breaker.(ti) <- Br_closed (k + 1)
+            else if k > 0 then breaker.(ti) <- Br_closed 0
+        | Br_half_open ->
+            if bad then begin
+              breaker.(ti) <- Br_open (finish +. br_cooldown_s);
+              breaker_opens.(ti) <- breaker_opens.(ti) + 1
+            end
+            else begin
+              breaker.(ti) <- Br_closed 0;
+              incr br_closes
+            end
+        | Br_open _ ->
+            (* unreachable: open circuits never dispatch *)
+            ())
+  in
+  while !accounted < n do
     (* earliest-free lane; lowest index breaks ties *)
     let lane = ref 0 in
     Array.iteri (fun i t -> if t < lane_free.(!lane) then lane := i) lane_free;
     let now = lane_free.(!lane) in
     enqueue_until now;
     if queues_empty () then begin
-      (* idle: advance this lane to the next arrival *)
-      let t_next = evs.(order.(!next)).Arrival.at_s in
-      lane_free.(!lane) <- max now t_next
+      (* idle: advance this lane to the next arrival. When the tail of
+         the trace was just shed at enqueue time there is no next
+         arrival — the loop condition has the final word. *)
+      if !next < n then
+        let t_next = evs.(order.(!next)).Arrival.at_s in
+        lane_free.(!lane) <- max now t_next
     end
     else begin
       let ti = drr_pick () in
-      let sub = Queue.pop queues.(ti) in
-      let ev = evs.(sub) in
-      let prog, tables = List.assoc ev.Arrival.query workload in
-      let config = tenant_config session tarr.(ti) in
-      let outcome, info = Session.submit ?config session prog ~tables in
-      let m = Session.metrics_of_outcome outcome in
-      let service = info.Session.si_compile_s +. m.Metrics.sim_time_s in
-      deficit.(ti) <- deficit.(ti) -. service;
-      let start = now in
-      let finish = start +. service in
-      lane_free.(!lane) <- finish;
-      results.(sub) <-
-        Some
-          {
-            qr_sub = sub;
-            qr_tenant = ev.Arrival.tenant;
-            qr_query = ev.Arrival.query;
-            qr_arrival_s = ev.Arrival.at_s;
-            qr_start_s = start;
-            qr_finish_s = finish;
-            qr_service_s = service;
-            qr_cache = info.Session.si_cache;
-            qr_outcome = outcome;
-          };
-      incr completed
+      (* circuit state at dispatch time: open fast-fails the queue head
+         without occupying a lane; past the cool-down the first pick
+         half-opens and probes with that single query *)
+      let circuit_open =
+        match breaker.(ti) with
+        | Br_open until when now < until -> true
+        | Br_open _ ->
+            breaker.(ti) <- Br_half_open;
+            incr br_half_opens;
+            false
+        | _ -> false
+      in
+      if circuit_open then
+        shed ~at_s:now ~reason:Shed_breaker (Queue.pop queues.(ti))
+      else begin
+        let sub = Queue.pop queues.(ti) in
+        let ev = evs.(sub) in
+        let wait = now -. ev.Arrival.at_s in
+        let dead_on_dispatch =
+          match pol.pl_deadline_s with Some d -> wait >= d | None -> false
+        in
+        if dead_on_dispatch then
+          (* queue wait alone consumed the budget: shed instead of
+             burning a lane on a query that can only miss. Sheds never
+             ran, so they are not breaker outcomes. *)
+          shed ~at_s:now ~reason:Shed_deadline sub
+        else begin
+          let level = degrade_level () in
+          let prog, tables = List.assoc ev.Arrival.query workload in
+          if level >= 3 && not (Session.would_hit session prog ~tables) then
+            (* ladder level 3: plan-cache-only fast path — queries that
+               would compile cold are shed to keep the hit path alive *)
+            shed ~at_s:now ~reason:Shed_degraded sub
+          else begin
+            let config =
+              let base =
+                match tenant_config session tarr.(ti) with
+                | Some c -> c
+                | None -> Session.config session
+              in
+              (* remaining per-query budget: the deadline is end-to-end
+                 (arrival -> finish), so the engine gets what the queue
+                 wait left over *)
+              let base =
+                match pol.pl_deadline_s with
+                | Some d -> Config.with_deadline_s (Some (d -. wait)) base
+                | None -> base
+              in
+              Some base
+            in
+            (* level 1 halves the execution slice; level 2 additionally
+               turns speculative straggler copies off *)
+            let cluster =
+              if level < 1 then None
+              else
+                let c =
+                  halve_cluster (Session.runtime session).Session.cluster
+                in
+                Some
+                  (if level < 2 then c
+                   else
+                     {
+                       c with
+                       Cluster.recovery =
+                         { c.Cluster.recovery with Cluster.speculate = false };
+                     })
+            in
+            let outcome, info =
+              Session.submit ?config ?cluster session prog ~tables
+            in
+            let m = Session.metrics_of_outcome outcome in
+            let service = info.Session.si_compile_s +. m.Metrics.sim_time_s in
+            deficit.(ti) <- deficit.(ti) -. service;
+            let start = now in
+            let finish = start +. service in
+            lane_free.(!lane) <- finish;
+            record_breaker_outcome ti ~finish outcome;
+            results.(sub) <-
+              Some
+                {
+                  qr_sub = sub;
+                  qr_tenant = ev.Arrival.tenant;
+                  qr_query = ev.Arrival.query;
+                  qr_arrival_s = ev.Arrival.at_s;
+                  qr_start_s = start;
+                  qr_finish_s = finish;
+                  qr_service_s = service;
+                  qr_cache = info.Session.si_cache;
+                  qr_outcome = outcome;
+                  qr_degrade = level;
+                };
+            incr accounted
+          end
+        end
+      end
     end
   done;
   let results =
-    Array.to_list results
-    |> List.map (function Some r -> r | None -> assert false)
+    Array.to_list results |> List.filter_map Fun.id
   in
-  let c =
-    assemble ~lanes ~wall_s:(Unix.gettimeofday () -. wall0) session tenants
-      results
-  in
-  {
-    c with
-    sv_tenants =
-      List.map
-        (fun tc -> { tc with tc_max_queue = max_queue.(tindex tc.tc_name) })
-        c.sv_tenants;
-  }
+  let sheds = List.sort (fun a b -> compare a.sh_sub b.sh_sub) !sheds in
+  assemble ~lanes
+    ~wall_s:(Unix.gettimeofday () -. wall0)
+    ~max_queue:(fun name -> max_queue.(tindex name))
+    ~breaker_opens:(fun name -> breaker_opens.(tindex name))
+    ~breaker_totals:
+      (Array.fold_left ( + ) 0 breaker_opens, !br_half_opens, !br_closes)
+    session tenants results sheds
 
 (* ------------------------------------------------------------------ *)
 (* Real concurrent mode                                                 *)
@@ -287,15 +547,55 @@ let sem_release s =
   Condition.signal s.s_cond;
   Mutex.unlock s.s_lock
 
-let run_concurrent session tenants workload events =
+(* Graceful drain: a controller shared between the serving domains and
+   whoever pulls the plug. [drain] stops admissions (lanes shed their
+   remaining trace as [Shed_drain]) and requests the shared cancel token,
+   so in-flight queries stop at their next engine safepoint with a
+   classified [Cancelled] outcome instead of being abandoned. *)
+type drain_ctl = { dr_flag : bool Atomic.t; dr_cancel : Cancel.t }
+
+let drain_controller () =
+  { dr_flag = Atomic.make false; dr_cancel = Cancel.create () }
+
+let drain d =
+  Atomic.set d.dr_flag true;
+  Cancel.request ~reason:"drain" d.dr_cancel
+
+let draining d = Atomic.get d.dr_flag
+
+let run_concurrent ?drain:dctl session tenants workload events =
   validate tenants workload events;
   let lanes = max 1 (lanes_of session tenants) in
+  let cfg = Session.config session in
   let sem =
-    match (Session.config session).Config.max_inflight with
+    match cfg.Config.max_inflight with
     | Some k -> Some (sem_create k)
     | None -> None
   in
+  let cancel = Option.map (fun d -> d.dr_cancel) dctl in
   let numbered = List.mapi (fun i e -> (i, e)) events in
+  let tnames = List.map (fun t -> t.tn_name) tenants in
+  (* Real (measured) per-tenant backlog: lane threads blocked on the
+     admission gate, sampled under one lock — never a placeholder. With
+     the one-domain-per-tenant replayer each tenant contributes at most
+     one waiter, so this bounds at 1 per tenant and 0 when the gate is
+     uncontended; it is the concurrent analogue of the sim scheduler's
+     queue depth. *)
+  let wait_lock = Mutex.create () in
+  let waiting = Hashtbl.create 8 in
+  let max_waiting = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      Hashtbl.replace waiting n 0;
+      Hashtbl.replace max_waiting n 0)
+    tnames;
+  let note_wait name delta =
+    Mutex.lock wait_lock;
+    let c = Hashtbl.find waiting name + delta in
+    Hashtbl.replace waiting name c;
+    if c > Hashtbl.find max_waiting name then Hashtbl.replace max_waiting name c;
+    Mutex.unlock wait_lock
+  in
   let wall0 = Unix.gettimeofday () in
   (* one domain per tenant lane, replaying that tenant's submissions in
      trace order as fast as admission allows (closed loop — arrival
@@ -308,42 +608,81 @@ let run_concurrent session tenants workload events =
     let config = tenant_config session tn in
     List.map
       (fun (sub, (ev : Arrival.event)) ->
-        (* closed loop: "arrival" is when this lane starts waiting for
-           admission, so latency = admission wait + service, never the
-           scripted sim time (which is on a different clock) *)
-        let arrival = Unix.gettimeofday () -. wall0 in
-        (match sem with Some s -> sem_acquire s | None -> ());
-        let start = Unix.gettimeofday () -. wall0 in
-        let prog, tables = List.assoc ev.Arrival.query workload in
-        let outcome, info =
-          Fun.protect
-            ~finally:(fun () ->
-              match sem with Some s -> sem_release s | None -> ())
-            (fun () -> Session.submit ?config session prog ~tables)
+        let now () = Unix.gettimeofday () -. wall0 in
+        let mk_shed reason at_s =
+          Either.Right
+            {
+              sh_sub = sub;
+              sh_tenant = ev.Arrival.tenant;
+              sh_query = ev.Arrival.query;
+              sh_arrival_s = at_s;
+              sh_at_s = at_s;
+              sh_reason = reason;
+            }
         in
-        let finish = Unix.gettimeofday () -. wall0 in
-        {
-          qr_sub = sub;
-          qr_tenant = ev.Arrival.tenant;
-          qr_query = ev.Arrival.query;
-          qr_arrival_s = arrival;
-          qr_start_s = start;
-          qr_finish_s = finish;
-          qr_service_s = finish -. start;
-          qr_cache = info.Session.si_cache;
-          qr_outcome = outcome;
-        })
+        if (match dctl with Some d -> draining d | None -> false) then
+          (* admissions stopped: the rest of this lane's trace is shed,
+             counted, and reported — never silently dropped *)
+          mk_shed Shed_drain (now ())
+        else begin
+          (* closed loop: "arrival" is when this lane starts waiting for
+             admission, so latency = admission wait + service, never the
+             scripted sim time (which is on a different clock) *)
+          let arrival = now () in
+          note_wait tn.tn_name 1;
+          (match sem with Some s -> sem_acquire s | None -> ());
+          note_wait tn.tn_name (-1);
+          let start = now () in
+          let wait = start -. arrival in
+          let dead =
+            match cfg.Config.deadline_s with
+            | Some d -> wait >= d
+            | None -> false
+          in
+          if dead then begin
+            (match sem with Some s -> sem_release s | None -> ());
+            mk_shed Shed_deadline start
+          end
+          else begin
+            let prog, tables = List.assoc ev.Arrival.query workload in
+            let outcome, info =
+              Fun.protect
+                ~finally:(fun () ->
+                  match sem with Some s -> sem_release s | None -> ())
+                (fun () ->
+                  Session.submit ?config ?cancel session prog ~tables)
+            in
+            let finish = now () in
+            Either.Left
+              {
+                qr_sub = sub;
+                qr_tenant = ev.Arrival.tenant;
+                qr_query = ev.Arrival.query;
+                qr_arrival_s = arrival;
+                qr_start_s = start;
+                qr_finish_s = finish;
+                qr_service_s = finish -. start;
+                qr_cache = info.Session.si_cache;
+                qr_outcome = outcome;
+                qr_degrade = 0;
+              }
+          end
+        end)
       mine
   in
   let domains =
     List.map (fun tn -> Domain.spawn (fun () -> run_lane tn)) tenants
   in
-  let results =
-    List.concat_map Domain.join domains
-    |> List.sort (fun a b -> compare a.qr_sub b.qr_sub)
+  let results, sheds =
+    List.concat_map Domain.join domains |> List.partition_map Fun.id
   in
-  assemble ~lanes ~wall_s:(Unix.gettimeofday () -. wall0) session tenants
-    results
+  let results = List.sort (fun a b -> compare a.qr_sub b.qr_sub) results in
+  let sheds = List.sort (fun a b -> compare a.sh_sub b.sh_sub) sheds in
+  assemble ~lanes
+    ~wall_s:(Unix.gettimeofday () -. wall0)
+    ~max_queue:(fun name -> Hashtbl.find max_waiting name)
+    ~breaker_opens:(fun _ -> 0)
+    ~breaker_totals:(0, 0, 0) session tenants results sheds
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                            *)
@@ -358,6 +697,14 @@ let status_to_string = function
   | Session.Finished _ -> "finished"
   | Session.Failed _ -> "failed"
   | Session.Timed_out _ -> "timed_out"
+  | Session.Cancelled _ -> "cancelled"
+
+let shed_reason_to_string = function
+  | Shed_deadline -> "deadline"
+  | Shed_queue_full -> "queue_full"
+  | Shed_breaker -> "breaker"
+  | Shed_drain -> "drain"
+  | Shed_degraded -> "degraded"
 
 (* The replay identity of a sim run: every scheduling, queueing and cache
    quantity, rendered with the repo's pinned float format. Host wall time
@@ -366,8 +713,12 @@ let status_to_string = function
 let fingerprint c =
   let b = Buffer.create 4096 in
   Buffer.add_string b
-    (Printf.sprintf "lanes=%d failed=%d timed_out=%d makespan=%.6f\n" c.sv_lanes
-       c.sv_failed c.sv_timed_out c.sv_makespan_s);
+    (Printf.sprintf
+       "lanes=%d failed=%d timed_out=%d cancelled=%d shed=%d degraded=%d \
+        breaker=%d/%d/%d makespan=%.6f\n"
+       c.sv_lanes c.sv_failed c.sv_timed_out c.sv_cancelled
+       (List.length c.sv_shed) c.sv_degraded c.sv_breaker_opens
+       c.sv_breaker_half_opens c.sv_breaker_closes c.sv_makespan_s);
   (match c.sv_cache with
   | None -> Buffer.add_string b "cache=off\n"
   | Some s ->
@@ -379,21 +730,29 @@ let fingerprint c =
     (fun tc ->
       Buffer.add_string b
         (Printf.sprintf
-           "tenant=%s weight=%d admissions=%d max_queue=%d wait=%.6f \
-            service=%.6f\n"
-           tc.tc_name tc.tc_weight tc.tc_admissions tc.tc_max_queue
-           tc.tc_queue_wait_s tc.tc_service_s))
+           "tenant=%s weight=%d admissions=%d max_queue=%d shed=%d \
+            breaker_opens=%d wait=%.6f service=%.6f\n"
+           tc.tc_name tc.tc_weight tc.tc_admissions tc.tc_max_queue tc.tc_shed
+           tc.tc_breaker_opens tc.tc_queue_wait_s tc.tc_service_s))
     c.sv_tenants;
   List.iter
     (fun r ->
       Buffer.add_string b
         (Printf.sprintf
            "sub=%d tenant=%s query=%s arr=%.6f start=%.6f finish=%.6f \
-            cache=%s status=%s\n"
+            cache=%s status=%s degrade=%d\n"
            r.qr_sub r.qr_tenant r.qr_query r.qr_arrival_s r.qr_start_s
            r.qr_finish_s (cache_to_string r.qr_cache)
-           (status_to_string r.qr_outcome)))
+           (status_to_string r.qr_outcome) r.qr_degrade))
     c.sv_results;
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "shed sub=%d tenant=%s query=%s arr=%.6f at=%.6f \
+                         reason=%s\n"
+           s.sh_sub s.sh_tenant s.sh_query s.sh_arrival_s s.sh_at_s
+           (shed_reason_to_string s.sh_reason)))
+    c.sv_shed;
   Buffer.contents b
 
 let latencies c =
@@ -420,6 +779,32 @@ let counters_to_json c =
       ("lanes", Json.Int c.sv_lanes);
       ("failed", Json.Int c.sv_failed);
       ("timed_out", Json.Int c.sv_timed_out);
+      ("cancelled", Json.Int c.sv_cancelled);
+      ("shed", Json.Int (List.length c.sv_shed));
+      ( "shed_by_reason",
+        Json.Obj
+          (List.map
+             (fun reason ->
+               ( shed_reason_to_string reason,
+                 Json.Int
+                   (List.length
+                      (List.filter (fun s -> s.sh_reason = reason) c.sv_shed))
+               ))
+             [
+               Shed_deadline;
+               Shed_queue_full;
+               Shed_breaker;
+               Shed_drain;
+               Shed_degraded;
+             ]) );
+      ("degraded", Json.Int c.sv_degraded);
+      ( "breaker",
+        Json.Obj
+          [
+            ("opens", Json.Int c.sv_breaker_opens);
+            ("half_opens", Json.Int c.sv_breaker_half_opens);
+            ("closes", Json.Int c.sv_breaker_closes);
+          ] );
       ("makespan_s", Json.Float c.sv_makespan_s);
       ("wall_s", Json.Float c.sv_wall_s);
       ("latency_p50_s", Json.Float (percentile lat 0.50));
@@ -445,6 +830,8 @@ let counters_to_json c =
                    ("weight", Json.Int tc.tc_weight);
                    ("admissions", Json.Int tc.tc_admissions);
                    ("max_queue", Json.Int tc.tc_max_queue);
+                   ("shed", Json.Int tc.tc_shed);
+                   ("breaker_opens", Json.Int tc.tc_breaker_opens);
                    ("queue_wait_s", Json.Float tc.tc_queue_wait_s);
                    ("service_s", Json.Float tc.tc_service_s);
                  ])

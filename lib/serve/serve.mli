@@ -17,9 +17,26 @@
     - {!run_concurrent} is real concurrency: one host domain per tenant
       lane replays that tenant's share of the trace over the shared pool
       as fast as admission allows (closed loop), measuring sustained
-      wall-clock throughput. *)
+      wall-clock throughput.
+
+    {b Overload control.} Both modes run under a {!policy}: per-query
+    deadlines (queue-expired queries are shed before dispatch; admitted
+    ones carry the remaining budget into the engine, which raises a
+    classified [Cancelled] outcome past it), bounded per-tenant queues
+    with a seeded-deterministic victim pick, per-tenant circuit breakers
+    (open after K consecutive bad outcomes, half-open probe after a
+    cool-down), a degradation ladder (halve dop → disable speculation →
+    plan-cache-only) stepped by total backlog, and graceful drain. Every
+    decision in sim mode is a pure function of (seed, trace, simulated
+    clock) taken on the coordinator, so shed/breaker behaviour replays
+    bit-identically at any domain count. Shed queries are always counted
+    and reported per submission — nothing is silently dropped. In
+    concurrent mode the queue bound, breaker and ladder do not apply
+    (they would race on wall time); deadlines and {!drain} do. *)
 
 module Session = Emma.Session
+module Config = Emma.Config
+module Cancel = Emma.Cancel
 module Plan_cache = Emma.Plan_cache
 
 type tenant = {
@@ -47,31 +64,97 @@ type query_result = {
   qr_cache : Session.cache_status;
   qr_outcome : Session.outcome;
       (** full outcome — value and per-query metrics, present on failure
-          paths too *)
+          and cancellation paths too *)
+  qr_degrade : int;
+      (** degradation-ladder level the query ran at: 0 = none, 1 =
+          halved dop, 2 = + no speculation, 3 = plan-cache-only *)
+}
+
+(** Why a query was shed instead of run. Every shed is counted and
+    carries its submission identity — no query is ever silently lost. *)
+type shed_reason =
+  | Shed_deadline  (** queue wait alone already exceeded the deadline *)
+  | Shed_queue_full
+      (** per-tenant queue at [max_queue]; the victim (arriving vs oldest
+          queued) is a seeded-deterministic pick *)
+  | Shed_breaker  (** tenant circuit open: fast-fail without dispatch *)
+  | Shed_drain  (** arrived after the drain point: admissions stopped *)
+  | Shed_degraded
+      (** ladder level 3 (plan-cache-only): the query would compile cold *)
+
+type shed_record = {
+  sh_sub : int;
+  sh_tenant : string;
+  sh_query : string;
+  sh_arrival_s : float;
+  sh_at_s : float;  (** clock when the shed decision was taken *)
+  sh_reason : shed_reason;
 }
 
 type tenant_counters = {
   tc_name : string;
   tc_weight : int;
   tc_admissions : int;  (** queries dispatched for this tenant *)
-  tc_max_queue : int;  (** deepest backlog observed (sim mode) *)
+  tc_max_queue : int;
+      (** deepest backlog observed — sim mode: the scheduler queue;
+          concurrent mode: lane threads blocked on the admission gate
+          (measured under a lock, at most 1 with the one-lane-per-tenant
+          replayer). Never a placeholder in either mode. *)
+  tc_shed : int;
+  tc_breaker_opens : int;  (** times this tenant's circuit opened *)
   tc_queue_wait_s : float;  (** total dispatch − arrival *)
   tc_service_s : float;
 }
 
 type counters = {
   sv_results : query_result list;  (** in submission-id order *)
+  sv_shed : shed_record list;  (** in submission-id order *)
   sv_tenants : tenant_counters list;  (** in declaration order *)
   sv_cache : Plan_cache.stats option;
   sv_failed : int;
   sv_timed_out : int;
+  sv_cancelled : int;  (** admitted queries ending in [Cancelled] *)
+  sv_degraded : int;  (** admitted queries run at ladder level >= 1 *)
+  sv_breaker_opens : int;
+  sv_breaker_half_opens : int;
+  sv_breaker_closes : int;
   sv_lanes : int;
   sv_makespan_s : float;
   sv_wall_s : float;  (** host seconds; excluded from {!fingerprint} *)
 }
 
+(** Overload-control policy. All decisions taken under it in sim mode are
+    coordinator-side pure functions of (seed, trace, simulated clock) —
+    never of wall time, domain count or queue races — which is what keeps
+    sim fingerprints bit-identical across 1/2/4/8 domains and replays. *)
+type policy = {
+  pl_seed : int;  (** seeds the queue-full victim picks *)
+  pl_deadline_s : float option;
+      (** end-to-end per-query budget (arrival → finish): queue-expired
+          queries are shed, admitted ones hand the remaining budget to
+          the engine as [Config.deadline_s] *)
+  pl_max_queue : int option;  (** per-tenant queue bound (>= 1) *)
+  pl_breaker : Config.breaker_spec option;
+  pl_drain_after_s : float option;
+      (** stop admitting arrivals past this simulated clock *)
+  pl_degrade_depth : int option;
+      (** ladder step size in total queued queries: level = depth / step,
+          capped at 3; [None] = ladder off *)
+}
+
+val no_policy : policy
+(** Everything off, seed 0 — byte-identical behaviour to a pre-policy
+    serve. *)
+
+val policy_of_config : ?seed:int -> lanes:int -> Config.t -> policy
+(** The default policy of both run modes: [deadline_s], [max_queue],
+    [breaker] and [drain_after_s] map across from the session config; the
+    degradation ladder auto-engages when deadlines are set (step =
+    2 × lanes of backlog per level) and stays off otherwise. *)
+
 val run_sim :
   ?quantum_s:float ->
+  ?policy:policy ->
   Session.t ->
   tenant list ->
   workload ->
@@ -80,33 +163,62 @@ val run_sim :
 (** Deterministic replay of the trace. Lanes = the session config's
     [max_inflight] (default: one per tenant). [quantum_s] (default 1.0)
     is the deficit earned per weight unit per scheduler round; any
-    positive value is starvation-free. Raises [Invalid_argument] when a
+    positive value is starvation-free. [policy] defaults to
+    {!policy_of_config} of the session config (everything off for a
+    config without robustness knobs). Raises [Invalid_argument] when a
     trace event names an unknown tenant or query, on duplicate tenants,
-    or on an empty tenant list. *)
+    on an empty tenant list, or on a non-positive [max_queue]. *)
+
+type drain_ctl
+(** Graceful-drain controller for {!run_concurrent}: create one before
+    starting, share it with the code that decides to stop. *)
+
+val drain_controller : unit -> drain_ctl
+
+val drain : drain_ctl -> unit
+(** Stops admissions (lanes shed their remaining trace as [Shed_drain])
+    and requests the shared {!Cancel} token, so in-flight queries stop at
+    their next engine safepoint with a classified [Cancelled] outcome
+    instead of being abandoned. Idempotent. *)
+
+val draining : drain_ctl -> bool
 
 val run_concurrent :
-  Session.t -> tenant list -> workload -> Arrival.event list -> counters
+  ?drain:drain_ctl ->
+  Session.t ->
+  tenant list ->
+  workload ->
+  Arrival.event list ->
+  counters
 (** One domain per tenant lane over the shared session; [max_inflight]
     enforced by a counting semaphore. Counters use host wall clock;
     [qr_arrival_s] is re-anchored to the instant the lane started waiting
     for admission (the scripted times are on the simulated clock), so
     latency = admission wait + service. Values and engine metrics per
-    query remain deterministic. *)
+    query remain deterministic. The session config's [deadline_s] sheds
+    queries whose admission wait already exceeded the budget and bounds
+    each admitted query's engine time; [drain] stops admissions and
+    cancels in-flight work. Queue bound, breaker and ladder are sim-mode
+    only. *)
 
 val fingerprint : counters -> string
-(** The replay identity of a sim run: every scheduling/queue/cache
-    quantity in pinned formatting, host wall time excluded — bit-identical
-    across replays and across 1/2/4/8 domains (property-tested). *)
+(** The replay identity of a sim run: every scheduling/queue/cache/shed/
+    breaker quantity in pinned formatting, host wall time excluded —
+    bit-identical across replays and across 1/2/4/8 domains
+    (property-tested). *)
 
 val latencies : counters -> float array
-(** Sorted [finish − arrival] per query. *)
+(** Sorted [finish − arrival] per {e admitted} query (sheds excluded —
+    they are reported separately, never folded into latency). *)
 
 val percentile : float array -> float -> float
 (** Nearest-rank percentile on a sorted array ([percentile lat 0.99]). *)
 
 val counters_to_json : counters -> Emma.Json.t
-(** Machine-readable summary (queries, lanes, p50/p99, cache stats,
-    per-tenant counters) with the repo's pinned float rendering. *)
+(** Machine-readable summary (queries, lanes, p50/p99, shed counts by
+    reason, breaker cycle counts, cache stats, per-tenant counters) with
+    the repo's pinned float rendering. *)
 
 val cache_to_string : Session.cache_status -> string
 val status_to_string : Session.outcome -> string
+val shed_reason_to_string : shed_reason -> string

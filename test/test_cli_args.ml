@@ -115,6 +115,44 @@ let test_serve_accepted () =
        [ "serve"; "--events"; "4"; "--queries"; "group-min"; "--tenants";
          "acme:2,beta"; "--seed"; "3" ])
 
+(* robustness flags (--deadline / --max-queue / --breaker / --drain-after)
+   validate through the same Config.of_cli path: one-line exit-2 errors *)
+let test_bad_robustness_flags_exit_2 () =
+  List.iter
+    (fun (name, args) -> Alcotest.(check int) name 2 (run_cli args))
+    [ ("zero deadline (run)", [ "run"; "q1"; "--deadline"; "0" ]);
+      ("zero timeout (run)", [ "run"; "q1"; "--timeout"; "0" ]);
+      ("negative deadline (serve)", [ "serve"; "--events"; "2"; "--deadline=-1" ]);
+      ("zero max-queue", [ "serve"; "--events"; "2"; "--max-queue"; "0" ]);
+      ("negative max-queue", [ "serve"; "--events"; "2"; "--max-queue=-4" ]);
+      ("zero breaker threshold", [ "serve"; "--events"; "2"; "--breaker"; "0" ]);
+      ("garbage breaker", [ "serve"; "--events"; "2"; "--breaker"; "lots" ]);
+      ("zero breaker cool-down", [ "serve"; "--events"; "2"; "--breaker"; "3:0" ]);
+      ("negative drain-after", [ "serve"; "--events"; "2"; "--drain-after=-1" ]) ]
+
+let test_robustness_flags_accepted () =
+  Alcotest.(check int) "generous deadline run exits 0" 0
+    (run_cli [ "run"; "group-min"; "--deadline"; "1e9" ]);
+  Alcotest.(check int) "serve with the full robustness set exits 0" 0
+    (run_cli
+       [ "serve"; "--events"; "4"; "--queries"; "group-min"; "--deadline"; "1e9";
+         "--max-queue"; "8"; "--breaker"; "3:20"; "--drain-after"; "1e9" ])
+
+let test_tight_deadline_exits_3 () =
+  (* a vanishing per-query budget cancels at the first safepoint; the CLI
+     maps Cancelled to the same exit code as a timeout *)
+  Alcotest.(check int) "--deadline 1e-9 exits 3" 3
+    (run_cli [ "run"; "group-min"; "--deadline"; "1e-9" ])
+
+let test_conflicting_timeouts_exit_2 () =
+  (* serve builds its runtime with a legacy default timeout; an explicit
+     conflicting --timeout must die in validation, not race it *)
+  Alcotest.(check int) "conflicting --timeout exits 2" 2
+    (run_cli [ "serve"; "--events"; "2"; "--timeout"; "7" ]);
+  Alcotest.(check int) "agreeing --timeout exits 0" 0
+    (run_cli
+       [ "serve"; "--events"; "2"; "--queries"; "group-min"; "--timeout"; "3600" ])
+
 let suite =
   [ ( "cli_args",
       [ Alcotest.test_case "chaos rates parse" `Quick test_rates_parse_ok;
@@ -129,5 +167,13 @@ let suite =
           test_bad_plan_cache_exits_2;
         Alcotest.test_case "bad serve flags exit 2" `Quick
           test_bad_serve_flags_exit_2;
-        Alcotest.test_case "tiny serve run accepted" `Quick test_serve_accepted ] )
+        Alcotest.test_case "tiny serve run accepted" `Quick test_serve_accepted;
+        Alcotest.test_case "bad robustness flags exit 2" `Quick
+          test_bad_robustness_flags_exit_2;
+        Alcotest.test_case "robustness flags accepted" `Quick
+          test_robustness_flags_accepted;
+        Alcotest.test_case "tight --deadline exits 3" `Quick
+          test_tight_deadline_exits_3;
+        Alcotest.test_case "conflicting timeouts exit 2" `Quick
+          test_conflicting_timeouts_exit_2 ] )
   ]

@@ -92,6 +92,51 @@ let test_of_cli_rejections () =
   err "--chaos-rates without seed" (Config.of_cli ~chaos_rates:"0.1,0.0,0.0" ());
   err "malformed chaos rates" (Config.of_cli ~chaos_seed:1 ~chaos_rates:"a,b" ())
 
+let test_parse_breaker () =
+  Alcotest.(check bool) "off" true (ok (Config.parse_breaker "off") = None);
+  (match ok (Config.parse_breaker "3") with
+  | Some { Config.br_threshold = 3; br_cooldown_s = cd } ->
+      Alcotest.(check bool) "default cool-down is positive" true (cd > 0.0)
+  | _ -> Alcotest.fail "K alone should parse with the default cool-down");
+  Alcotest.(check bool) "K:COOLDOWN" true
+    (ok (Config.parse_breaker "5:12.5")
+    = Some { Config.br_threshold = 5; br_cooldown_s = 12.5 });
+  err "zero threshold" (Config.parse_breaker "0");
+  err "negative threshold" (Config.parse_breaker "-2");
+  err "zero cool-down" (Config.parse_breaker "3:0");
+  err "negative cool-down" (Config.parse_breaker "3:-1");
+  err "garbage" (Config.parse_breaker "many");
+  err "garbage cool-down" (Config.parse_breaker "3:soon")
+
+let test_of_cli_robustness_flags () =
+  let c =
+    ok
+      (Config.of_cli ~timeout:30.0 ~deadline:2.5 ~max_queue:8 ~breaker:"3:20"
+         ~drain_after:60.0 ())
+  in
+  Alcotest.(check (option (float 0.0))) "timeout" (Some 30.0) c.Config.timeout_s;
+  Alcotest.(check (option (float 0.0))) "deadline" (Some 2.5) c.Config.deadline_s;
+  Alcotest.(check (option int)) "max queue" (Some 8) c.Config.max_queue;
+  Alcotest.(check bool) "breaker" true
+    (c.Config.breaker = Some { Config.br_threshold = 3; br_cooldown_s = 20.0 });
+  Alcotest.(check (option (float 0.0))) "drain after" (Some 60.0)
+    c.Config.drain_after_s;
+  (* defaults: everything off *)
+  let d = ok (Config.of_cli ()) in
+  Alcotest.(check bool) "robustness knobs default off" true
+    (d.Config.timeout_s = None && d.Config.deadline_s = None
+    && d.Config.max_queue = None && d.Config.breaker = None
+    && d.Config.drain_after_s = None);
+  (* rejections, one line each *)
+  err "--timeout 0" (Config.of_cli ~timeout:0.0 ());
+  err "--deadline 0" (Config.of_cli ~deadline:0.0 ());
+  err "--deadline -1" (Config.of_cli ~deadline:(-1.0) ());
+  err "--deadline nan" (Config.of_cli ~deadline:Float.nan ());
+  err "--max-queue 0" (Config.of_cli ~max_queue:0 ());
+  err "--breaker 0" (Config.of_cli ~breaker:"0" ());
+  err "--breaker garbage" (Config.of_cli ~breaker:"lots" ());
+  err "--drain-after -1" (Config.of_cli ~drain_after:(-1.0) ())
+
 let test_of_cli_base () =
   let base = Config.with_plan_cache (Some 8) Config.default in
   let c = ok (Config.of_cli ~base ~spill:true ~mem_per_slot:64.0 ()) in
@@ -124,4 +169,7 @@ let suite =
           test_of_cli_rejections;
         Alcotest.test_case "of_cli base config survives absent flags" `Quick
           test_of_cli_base;
+        Alcotest.test_case "parse_breaker" `Quick test_parse_breaker;
+        Alcotest.test_case "of_cli robustness flags" `Quick
+          test_of_cli_robustness_flags;
         Alcotest.test_case "to_json is well-formed" `Quick test_to_json ] ) ]

@@ -13,6 +13,7 @@ let run ?(profile = Cluster.spark_like) ?(cluster = Cluster.laptop ()) ?opts pro
   | Emma.Finished { metrics; value; _ } -> (metrics, value)
   | Emma.Failed { reason; _ } -> Alcotest.failf "engine failed: %s" reason
   | Emma.Timed_out _ -> Alcotest.fail "timed out"
+  | Emma.Cancelled _ -> Alcotest.fail "cancelled"
 
 let keyed_rows n =
   List.init n (fun i ->

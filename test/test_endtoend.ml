@@ -85,6 +85,7 @@ let run_engine ~profile ~opts prog tables =
   | Emma.Finished { value; _ } -> Ok value
   | Emma.Failed { reason; _ } -> Error reason
   | Emma.Timed_out _ -> Error "timeout"
+  | Emma.Cancelled _ -> Error "cancelled"
 
 let agree prog tables =
   let algo = Emma.parallelize prog in

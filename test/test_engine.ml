@@ -16,6 +16,7 @@ let check_agreement ?(opts = Pipeline.default_opts) ?(profile = Emma_engine.Clus
   | Emma.Finished { value; _ } -> check_value msg native value
   | Emma.Failed { reason; _ } -> Alcotest.failf "%s: engine failed: %s" msg reason
   | Emma.Timed_out _ -> Alcotest.failf "%s: engine timed out" msg
+  | Emma.Cancelled _ -> Alcotest.failf "%s: engine cancelled" msg
 
 let rows_table n =
   List.init n (fun i -> Helpers.row (i mod 7) (i mod 3))

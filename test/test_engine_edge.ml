@@ -21,6 +21,7 @@ let run_value ?opts prog tables =
   | Emma.Finished { value; _ } -> value
   | Emma.Failed { reason; _ } -> Alcotest.failf "engine failed: %s" reason
   | Emma.Timed_out _ -> Alcotest.fail "timed out"
+  | Emma.Cancelled _ -> Alcotest.fail "cancelled"
 
 let test_empty_table () =
   let prog =

@@ -13,6 +13,7 @@ let engine_run ?opts prog tables =
   | Emma.Finished r -> r
   | Emma.Failed { reason; _ } -> Alcotest.failf "engine failed: %s" reason
   | Emma.Timed_out _ -> Alcotest.fail "engine timed out"
+  | Emma.Cancelled _ -> Alcotest.fail "engine cancelled"
 
 let sort_values vs = List.sort Value.compare vs
 

@@ -20,6 +20,7 @@ let agree ?(also_no_opts = true) prog tables =
     | Emma.Finished { value; _ } -> value
     | Emma.Failed { reason; _ } -> Alcotest.failf "engine failed: %s" reason
     | Emma.Timed_out _ -> Alcotest.fail "timed out"
+    | Emma.Cancelled _ -> Alcotest.fail "cancelled"
   in
   check_value "engine(default) = native" native (engine Pipeline.default_opts);
   if also_no_opts then check_value "engine(no opts) = native" native (engine Pipeline.no_opts);

@@ -44,6 +44,7 @@ let finished_exn = function
   | Emma.Finished r -> r
   | Emma.Failed { reason; _ } -> Alcotest.failf "query failed: %s" reason
   | Emma.Timed_out _ -> Alcotest.fail "query timed out"
+  | Emma.Cancelled _ -> Alcotest.fail "query cancelled"
 
 (* ---------------------------------------------------------------- *)
 (* qcheck differential: hit == cold, bit-identical, at 1/2/4/8 domains *)
@@ -225,6 +226,223 @@ let test_starvation_freedom () =
         tc.Serve.tc_admissions)
     c.Serve.sv_tenants
 
+(* ---------------------------------------------------------------- *)
+(* Overload control: shedding, breakers, ladder, drain                *)
+(* ---------------------------------------------------------------- *)
+
+let one_lane =
+  Config.default |> Config.with_max_inflight (Some 1)
+  |> Config.with_plan_cache (Some 8)
+
+let flood ~tenant ~query n = List.init n (fun _ -> { Arrival.at_s = 0.0; tenant; query })
+
+let sim_policy ?(config = one_lane) ~policy events ~workload =
+  with_session ~config rt @@ fun s -> Serve.run_sim ~policy s tenants workload events
+
+let count_shed reason c =
+  List.length
+    (List.filter (fun (sh : Serve.shed_record) -> sh.Serve.sh_reason = reason)
+       c.Serve.sv_shed)
+
+let test_deadline_sheds_and_cancels () =
+  (* price one query, then set a budget half its service time: the first
+     dispatch is cancelled mid-run at the engine safepoint, and every
+     queued query's wait alone exceeds the budget, so the rest shed *)
+  let baseline =
+    sim_policy ~policy:Serve.no_policy ~workload (flood ~tenant:"acme" ~query:"count" 1)
+  in
+  let service = (List.hd baseline.Serve.sv_results).Serve.qr_service_s in
+  let deadline = 0.5 *. service in
+  let policy = { Serve.no_policy with Serve.pl_deadline_s = Some deadline } in
+  let c = sim_policy ~policy ~workload (flood ~tenant:"acme" ~query:"count" 10) in
+  Alcotest.(check int) "every submission accounted" 10
+    (List.length c.Serve.sv_results + List.length c.Serve.sv_shed);
+  Alcotest.(check int) "one query was admitted" 1 (List.length c.Serve.sv_results);
+  (match (List.hd c.Serve.sv_results).Serve.qr_outcome with
+  | Emma.Cancelled { at_s; _ } ->
+      Alcotest.(check bool) "cancelled past the budget" true (at_s > deadline)
+  | _ -> Alcotest.fail "the admitted query should be cancelled mid-run");
+  Alcotest.(check int) "the rest shed on queue wait" 9
+    (count_shed Serve.Shed_deadline c);
+  Alcotest.(check int) "cancellation counted" 1 c.Serve.sv_cancelled;
+  (* shed decisions are replay-stable *)
+  let c2 = sim_policy ~policy ~workload (flood ~tenant:"acme" ~query:"count" 10) in
+  Alcotest.(check string) "fingerprint stable" (Serve.fingerprint c)
+    (Serve.fingerprint c2)
+
+let test_queue_bound_sheds_deterministically () =
+  let policy = { Serve.no_policy with Serve.pl_max_queue = Some 2 } in
+  let events = flood ~tenant:"acme" ~query:"count" 8 in
+  let c = sim_policy ~policy ~workload events in
+  Alcotest.(check int) "every submission accounted" 8
+    (List.length c.Serve.sv_results + List.length c.Serve.sv_shed);
+  Alcotest.(check int) "queue bound shed the overflow" 6
+    (count_shed Serve.Shed_queue_full c);
+  Alcotest.(check int) "the bounded queue ran" 2 (List.length c.Serve.sv_results);
+  let acme =
+    List.find (fun (tc : Serve.tenant_counters) -> tc.Serve.tc_name = "acme")
+      c.Serve.sv_tenants
+  in
+  Alcotest.(check int) "tc_max_queue is the bound" 2 acme.Serve.tc_max_queue;
+  Alcotest.(check int) "tenant sheds counted" 6 acme.Serve.tc_shed;
+  (* the victim pick is seeded: same seed, same fingerprint, 20x *)
+  let fp0 = Serve.fingerprint c in
+  for i = 2 to 20 do
+    let fp = Serve.fingerprint (sim_policy ~policy ~workload events) in
+    if fp <> fp0 then Alcotest.failf "queue-full replay %d moved" i
+  done
+
+(* a grouping query over enough rows OOM-fails under a tenant budget of
+   0.4x its unbounded peak; count stays under it, so the same tenant can
+   fail K times and still succeed its half-open probe *)
+let group_prog =
+  S.program
+    ~ret:S.(count (var "d"))
+    [ S.s_let "d"
+        S.(
+          for_
+            [ gen "g" (group_by (lam "x" (fun x -> field x "b")) (read "rows")) ]
+            ~yield:
+              (record
+                 [ ( "a",
+                     sum
+                       (map (lam "x" (fun x -> field x "a")) (field (var "g") "values"))
+                   );
+                   ("b", field (var "g") "key") ])) ]
+
+let test_breaker_cycle () =
+  let tables = [ ("rows", rows 200) ] in
+  let peak =
+    (Emma.run_on_exn rt (Emma.parallelize group_prog) ~tables).Emma.metrics
+      .Metrics.mem_peak_bytes
+  in
+  let wl = ("group", (group_prog, tables)) :: workload in
+  let bad = Serve.tenant ~mem_budget:(0.4 *. peak) "bad" in
+  let tenants = [ bad; Serve.tenant "good" ] in
+  let policy =
+    { Serve.no_policy with
+      Serve.pl_breaker = Some { Config.br_threshold = 2; br_cooldown_s = 1.0 } }
+  in
+  let events =
+    [ { Arrival.at_s = 0.0; tenant = "bad"; query = "group" };
+      { Arrival.at_s = 0.0; tenant = "bad"; query = "group" };
+      { Arrival.at_s = 0.0; tenant = "bad"; query = "group" };
+      (* well past the cool-down: the half-open probe, which succeeds *)
+      { Arrival.at_s = 1e6; tenant = "bad"; query = "count" } ]
+  in
+  let c =
+    with_session ~config:one_lane rt @@ fun s ->
+    Serve.run_sim ~policy s tenants wl events
+  in
+  Alcotest.(check int) "every submission accounted" 4
+    (List.length c.Serve.sv_results + List.length c.Serve.sv_shed);
+  Alcotest.(check int) "circuit opened once" 1 c.Serve.sv_breaker_opens;
+  Alcotest.(check int) "half-opened once" 1 c.Serve.sv_breaker_half_opens;
+  Alcotest.(check int) "closed after the probe" 1 c.Serve.sv_breaker_closes;
+  Alcotest.(check int) "open circuit fast-failed the third query" 1
+    (count_shed Serve.Shed_breaker c);
+  let bad_tc =
+    List.find (fun (tc : Serve.tenant_counters) -> tc.Serve.tc_name = "bad")
+      c.Serve.sv_tenants
+  in
+  Alcotest.(check int) "per-tenant opens counted" 1 bad_tc.Serve.tc_breaker_opens;
+  let failed, finished =
+    List.partition
+      (fun (r : Serve.query_result) ->
+        match r.Serve.qr_outcome with Emma.Failed _ -> true | _ -> false)
+      c.Serve.sv_results
+  in
+  Alcotest.(check int) "two consecutive OOM failures tripped it" 2
+    (List.length failed);
+  Alcotest.(check int) "the probe finished" 1 (List.length finished)
+
+let test_ladder_degrades_before_shedding () =
+  (* backlog of 12 on one lane with a ladder step of 2: deep backlog runs
+     plan-cache-only (cold compiles shed), mid backlog runs degraded
+     (halved dop, then no speculation), and degradation never changes a
+     result *)
+  let policy = { Serve.no_policy with Serve.pl_degrade_depth = Some 2 } in
+  let events = flood ~tenant:"acme" ~query:"count" 12 in
+  let c = sim_policy ~policy ~workload events in
+  Alcotest.(check int) "every submission accounted" 12
+    (List.length c.Serve.sv_results + List.length c.Serve.sv_shed);
+  Alcotest.(check bool) "deep backlog shed cold compiles" true
+    (count_shed Serve.Shed_degraded c > 0);
+  Alcotest.(check bool) "some queries ran degraded" true (c.Serve.sv_degraded > 0);
+  Alcotest.(check bool) "some queries ran clean once the backlog drained" true
+    (List.exists (fun (r : Serve.query_result) -> r.Serve.qr_degrade = 0)
+       c.Serve.sv_results);
+  (* degradation moves dop and speculation, never results *)
+  let reference = (finished_exn (List.hd c.Serve.sv_results).Serve.qr_outcome).Emma.value in
+  List.iter
+    (fun (r : Serve.query_result) ->
+      if not (Value.equal reference (finished_exn r.Serve.qr_outcome).Emma.value)
+      then Alcotest.failf "degraded sub %d changed the result" r.Serve.qr_sub)
+    c.Serve.sv_results
+
+let test_drain_cutoff_sim () =
+  let policy = { Serve.no_policy with Serve.pl_drain_after_s = Some 1.0 } in
+  let at t = { Arrival.at_s = t; tenant = "acme"; query = "count" } in
+  let c = sim_policy ~policy ~workload [ at 0.0; at 0.5; at 2.0; at 3.0 ] in
+  Alcotest.(check int) "admitted before the cutoff" 2
+    (List.length c.Serve.sv_results);
+  Alcotest.(check int) "shed after the cutoff" 2 (count_shed Serve.Shed_drain c)
+
+let test_policy_fingerprint_across_domains () =
+  (* the full policy stack at once: all decisions are coordinator-side
+     and seed-deterministic, so the fingerprint must not move across
+     replays or pool sizes *)
+  let policy =
+    { Serve.pl_seed = 7;
+      pl_deadline_s = Some 2.0;
+      pl_max_queue = Some 3;
+      pl_breaker = Some { Config.br_threshold = 2; br_cooldown_s = 5.0 };
+      pl_drain_after_s = Some 6.0;
+      pl_degrade_depth = Some 2 }
+  in
+  let events =
+    Arrival.generate ~seed:9 ~rate:6.0 ~alpha:1.2 ~tenants:[ "acme"; "beta" ]
+      ~queries:[ "sum"; "count" ] ~n:24
+  in
+  let run pool =
+    let config =
+      match pool with
+      | None -> one_lane
+      | Some p -> Config.with_pool (Some p) one_lane
+    in
+    with_session ~config rt @@ fun s -> Serve.run_sim ~policy s tenants workload events
+  in
+  let c0 = run None in
+  Alcotest.(check bool) "the burst trace sheds under this policy" true
+    (c0.Serve.sv_shed <> []);
+  let fp0 = Serve.fingerprint c0 in
+  for i = 2 to 20 do
+    if Serve.fingerprint (run None) <> fp0 then
+      Alcotest.failf "policy replay %d moved the fingerprint" i
+  done;
+  List.iter
+    (fun domains ->
+      let pool = Pool.create ~domains () in
+      Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+      if Serve.fingerprint (run (Some pool)) <> fp0 then
+        Alcotest.failf "policy fingerprint moved at %d domains" domains)
+    [ 1; 2; 4; 8 ]
+
+let test_concurrent_drain_sheds_all () =
+  (* a pre-fired drain controller stops every admission: the whole trace
+     is shed as Shed_drain, counted, never silently dropped *)
+  let dctl = Serve.drain_controller () in
+  Serve.drain dctl;
+  Serve.drain dctl (* idempotent *);
+  Alcotest.(check bool) "draining" true (Serve.draining dctl);
+  let c =
+    with_session ~config:one_lane rt @@ fun s ->
+    Serve.run_concurrent ~drain:dctl s tenants workload small_trace
+  in
+  Alcotest.(check int) "nothing admitted" 0 (List.length c.Serve.sv_results);
+  Alcotest.(check int) "everything shed" (List.length small_trace)
+    (count_shed Serve.Shed_drain c)
+
 let test_unknown_names_rejected () =
   let bad_tenant = [ { Arrival.at_s = 0.0; tenant = "ghost"; query = "sum" } ] in
   let bad_query = [ { Arrival.at_s = 0.0; tenant = "acme"; query = "nope" } ] in
@@ -293,6 +511,20 @@ let suite =
           test_replay_fingerprint_across_domains;
         Alcotest.test_case "fair share is starvation-free" `Quick
           test_starvation_freedom;
+        Alcotest.test_case "deadline sheds the queue, cancels in-flight" `Quick
+          test_deadline_sheds_and_cancels;
+        Alcotest.test_case "queue bound sheds deterministically" `Quick
+          test_queue_bound_sheds_deterministically;
+        Alcotest.test_case "breaker open/half-open/close cycle" `Quick
+          test_breaker_cycle;
+        Alcotest.test_case "ladder degrades before shedding" `Quick
+          test_ladder_degrades_before_shedding;
+        Alcotest.test_case "drain cutoff sheds late arrivals" `Quick
+          test_drain_cutoff_sim;
+        Alcotest.test_case "full policy fingerprint stable across domains" `Quick
+          test_policy_fingerprint_across_domains;
+        Alcotest.test_case "concurrent drain sheds the whole trace" `Quick
+          test_concurrent_drain_sheds_all;
         Alcotest.test_case "unknown tenant/query rejected" `Quick
           test_unknown_names_rejected;
         Alcotest.test_case "arrival trace round-trips" `Quick test_arrival_roundtrip;

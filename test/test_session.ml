@@ -33,6 +33,7 @@ let finished = function
   | Emma.Finished r -> r
   | Emma.Failed { reason; _ } -> Alcotest.failf "query failed: %s" reason
   | Emma.Timed_out _ -> Alcotest.fail "query timed out"
+  | Emma.Cancelled _ -> Alcotest.fail "query cancelled"
 
 let cache_status =
   Alcotest.testable
@@ -203,7 +204,8 @@ let test_failure_keeps_linkage () =
       Alcotest.(check int) "cache counters stamped on failure" 1
         metrics.Metrics.plan_cache_misses
   | Emma.Finished _ -> Alcotest.fail "expected an OOM failure"
-  | Emma.Timed_out _ -> Alcotest.fail "expected a failure, not a timeout");
+  | Emma.Timed_out _ -> Alcotest.fail "expected a failure, not a timeout"
+  | Emma.Cancelled _ -> Alcotest.fail "expected a failure, not a cancellation");
   match terminal_instants tracer with
   | [ e ] -> Alcotest.(check string) "terminal instant status" "failed" (status_of e)
   | l -> Alcotest.failf "expected exactly one terminal instant, got %d" (List.length l)
@@ -216,6 +218,156 @@ let test_finished_emits_terminal () =
   ignore (finished o);
   match terminal_instants tracer with
   | [ e ] -> Alcotest.(check string) "terminal instant status" "finished" (status_of e)
+  | l -> Alcotest.failf "expected exactly one terminal instant, got %d" (List.length l)
+
+(* ---------------------------------------------------------------- *)
+(* Cancellation: token, per-query deadline, and their classification *)
+(* ---------------------------------------------------------------- *)
+
+let test_cancel_token () =
+  let tracer = Trace.create ~clock:(fun () -> 0.0) () in
+  let config = Config.with_trace (Some tracer) Config.default in
+  with_session ~config rt @@ fun s ->
+  let cancel = Emma.Cancel.create () in
+  Emma.Cancel.request ~reason:"tenant went away" cancel;
+  let o, _ = Session.submit ~cancel s sum_prog ~tables:[ ("rows", rows 200) ] in
+  (match o with
+  | Emma.Cancelled { at_s; reason; metrics } ->
+      Alcotest.(check string) "reason is the request reason" "tenant went away"
+        reason;
+      Alcotest.(check (float 0.0)) "at_s is the metrics clock"
+        metrics.Metrics.sim_time_s at_s;
+      Alcotest.(check int) "cancellation counted" 1
+        metrics.Metrics.cancellations;
+      Alcotest.(check int) "cache counters stamped on cancel" 1
+        metrics.Metrics.plan_cache_misses
+  | _ -> Alcotest.fail "expected a cancelled outcome");
+  match terminal_instants tracer with
+  | [ e ] -> Alcotest.(check string) "terminal instant status" "cancelled" (status_of e)
+  | l -> Alcotest.failf "expected exactly one terminal instant, got %d" (List.length l)
+
+let test_deadline_cancels () =
+  let rt_big =
+    Emma.spark ~cluster:(Cluster.paper_cluster ~data_scale:1e6 ()) ~timeout_s:3600.0 ()
+  in
+  with_session rt_big @@ fun s ->
+  let config = Config.with_deadline_s (Some 0.5) Config.default in
+  let o, _ = Session.submit ~config s sum_prog ~tables:[ ("rows", rows 300) ] in
+  match o with
+  | Emma.Cancelled { at_s; reason; metrics } ->
+      Alcotest.(check bool) "clock past the deadline" true (at_s > 0.5);
+      Alcotest.(check bool) "reason names the deadline" true
+        (String.length reason > 0
+        && String.sub reason 0 (min 8 (String.length reason)) = "deadline");
+      Alcotest.(check int) "cancellation counted" 1 metrics.Metrics.cancellations
+  | _ -> Alcotest.fail "expected the deadline to cancel the query"
+
+let test_timeout_conflict_rejected () =
+  (* one validated source of truth: runtime knob and Config may not disagree *)
+  let rt10 = Emma.spark ~timeout_s:10.0 () in
+  let conflicting = Config.with_timeout_s (Some 20.0) Config.default in
+  (match Session.create ~config:conflicting rt10 with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "error names both values" true
+        (String.length msg > 0)
+  | s ->
+      Session.close s;
+      Alcotest.fail "conflicting timeouts should be rejected");
+  (* equal values are fine, and either side alone wins *)
+  let agreeing = Config.with_timeout_s (Some 10.0) Config.default in
+  let s = Session.create ~config:agreeing rt10 in
+  Alcotest.(check (option (float 0.0))) "agreeing timeout resolves"
+    (Some 10.0) (Session.config s).Config.timeout_s;
+  Session.close s;
+  let s = Session.create ~config:(Config.with_timeout_s (Some 7.0) Config.default)
+      (Emma.spark ()) in
+  Alcotest.(check (option (float 0.0))) "config-only timeout wins"
+    (Some 7.0) (Session.config s).Config.timeout_s;
+  Session.close s;
+  let s = Session.create rt10 in
+  Alcotest.(check (option (float 0.0))) "runtime-only timeout wins"
+    (Some 10.0) (Session.config s).Config.timeout_s;
+  Session.close s
+
+let test_would_hit_is_uncounted () =
+  with_session ~config:(Config.with_plan_cache (Some 4) Config.default) rt
+  @@ fun s ->
+  let tables = [ ("rows", rows 20) ] in
+  Alcotest.(check bool) "cold cache: no hit" false
+    (Session.would_hit s sum_prog ~tables);
+  let _ = Session.submit s sum_prog ~tables in
+  Alcotest.(check bool) "after a submit: would hit" true
+    (Session.would_hit s sum_prog ~tables);
+  (* peeking never moves the counted stats *)
+  let before = Session.plan_cache_stats s in
+  for _ = 1 to 5 do
+    ignore (Session.would_hit s sum_prog ~tables)
+  done;
+  Alcotest.(check bool) "peeks left stats untouched" true
+    (Session.plan_cache_stats s = before);
+  (* an uncached session never would-hits *)
+  with_session ~config:(Config.with_plan_cache None Config.default) rt
+  @@ fun s2 ->
+  ignore (Session.submit s2 sum_prog ~tables);
+  Alcotest.(check bool) "uncached session: never" false
+    (Session.would_hit s2 sum_prog ~tables)
+
+(* exec.mli documents that [timeout_s] fires mid-recovery: recovery
+   charges (retry backoff) flow through the same clock the timeout
+   watches. Classified-outcome version of the raw-engine test in
+   test_faults.ml: the session surfaces Timed_out with the partial
+   metrics proving retries had already started. *)
+let loop_prog iters =
+  S.program
+    ~ret:(S.var "acc")
+    [ S.s_let "xs" S.(map (lam "x" (fun x -> field x "a")) (read "rows"));
+      S.s_var "acc" (S.int_ 0);
+      S.s_var "i" (S.int_ 0);
+      S.while_
+        S.(var "i" < int_ iters)
+        [ S.assign "acc" S.(var "acc" + sum (var "xs"));
+          S.assign "i" S.(var "i" + int_ 1) ] ]
+
+let test_timeout_mid_recovery_classified () =
+  let slow_retries =
+    let l = Cluster.laptop () in
+    { l with
+      Cluster.recovery =
+        { l.Cluster.recovery with Cluster.retry_backoff_s = 30.0 } }
+  in
+  let rt = { (Emma.spark ()) with Emma.Session.cluster = slow_retries } in
+  let tables = [ ("rows", rows 20) ] in
+  let storm =
+    Emma.Faults.scripted
+      (List.init 8 (fun part ->
+           Emma.Faults.Task_fail { barrier = 1; part; attempts = 3 }))
+  in
+  let tracer = Trace.create ~clock:(fun () -> 0.0) () in
+  (* clean run prices the deadline; the storm must blow past it *)
+  let m_clean =
+    with_session rt @@ fun s ->
+    let o, _ = Session.submit s (loop_prog 3) ~tables in
+    (finished o).Emma.metrics
+  in
+  let deadline = m_clean.Metrics.sim_time_s +. 10.0 in
+  let config =
+    Config.default
+    |> Config.with_faults storm
+    |> Config.with_timeout_s (Some deadline)
+    |> Config.with_trace (Some tracer)
+  in
+  with_session ~config rt @@ fun s ->
+  let o, _ = Session.submit s (loop_prog 3) ~tables in
+  (match o with
+  | Emma.Timed_out { at_s; metrics } ->
+      Alcotest.(check bool) "aborted past the deadline" true (at_s >= deadline);
+      Alcotest.(check bool) "retries had started: timeout landed mid-recovery"
+        true (metrics.Metrics.retries > 0);
+      Alcotest.(check (float 0.0)) "at_s is the metrics clock"
+        metrics.Metrics.sim_time_s at_s
+  | _ -> Alcotest.fail "retry storm should have hit the timeout");
+  match terminal_instants tracer with
+  | [ e ] -> Alcotest.(check string) "terminal instant status" "timed_out" (status_of e)
   | l -> Alcotest.failf "expected exactly one terminal instant, got %d" (List.length l)
 
 let suite =
@@ -234,4 +386,14 @@ let suite =
         Alcotest.test_case "failure keeps metrics + terminal trace" `Quick
           test_failure_keeps_linkage;
         Alcotest.test_case "finished queries emit the terminal instant" `Quick
-          test_finished_emits_terminal ] ) ]
+          test_finished_emits_terminal;
+        Alcotest.test_case "cancel token classifies + keeps linkage" `Quick
+          test_cancel_token;
+        Alcotest.test_case "deadline_s cancels with the budget reason" `Quick
+          test_deadline_cancels;
+        Alcotest.test_case "conflicting timeouts are rejected" `Quick
+          test_timeout_conflict_rejected;
+        Alcotest.test_case "would_hit peeks without counting" `Quick
+          test_would_hit_is_uncounted;
+        Alcotest.test_case "timeout mid-recovery is classified" `Quick
+          test_timeout_mid_recovery_classified ] ) ]
