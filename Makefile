@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test test-parallel test-parallel8 explain-golden trace-check chaos-smoke mem-smoke udf-smoke pool-smoke serve-smoke overload-smoke check bench bench-scaleup bench-faults bench-memory bench-udf bench-serve bench-overload clean
+.PHONY: all build test test-parallel test-parallel8 explain-golden trace-check chaos-smoke mem-smoke udf-smoke pool-smoke serve-smoke overload-smoke crash-smoke check bench bench-scaleup bench-faults bench-memory bench-udf bench-serve bench-overload bench-recovery clean
 
 all: build
 
@@ -66,10 +66,17 @@ serve-smoke:
 overload-smoke:
 	dune build @overload-smoke --force
 
+# Durability gate: SIGKILL journaled serve runs at scripted append
+# indices (incl. a torn write, a snapshot-based recovery and a double
+# crash), recover each, and require the replay fingerprint and journal
+# bytes to match an uninterrupted run exactly.
+crash-smoke:
+	dune build @crash-smoke --force
+
 # The full pre-merge flow: build, tier-1 tests on 2, 4 and 8 domains,
 # chaos smoke, memory smoke, UDF-mode differential smoke, pool stress,
-# service-layer smoke.
-check: build test test-parallel test-parallel8 chaos-smoke mem-smoke udf-smoke pool-smoke serve-smoke overload-smoke
+# service-layer smoke, crash-recovery smoke.
+check: build test test-parallel test-parallel8 chaos-smoke mem-smoke udf-smoke pool-smoke serve-smoke overload-smoke crash-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -99,6 +106,12 @@ bench-serve:
 # degradation vs the policy-off serve (writes BENCH_overload.json).
 bench-overload:
 	dune exec bench/main.exe -- overload
+
+# Crash-recovery experiment: exhaustive crash-point injection sweep over
+# a journaled serve trace + recovery time with/without snapshots (writes
+# BENCH_recovery.json).
+bench-recovery:
+	dune exec bench/main.exe -- recovery
 
 clean:
 	dune clean

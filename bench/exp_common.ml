@@ -45,10 +45,8 @@ let write_report ~dir name =
                (List.rev !runs)) ) ]
   in
   let path = Filename.concat dir (name ^ ".json") in
-  let oc = open_out path in
-  output_string oc (Json.to_string report);
-  output_char oc '\n';
-  close_out oc;
+  (* temp-then-rename: a crash mid-write never leaves a torn report *)
+  Emma_util.Wal.write_atomic path (Json.to_string report ^ "\n");
   Printf.eprintf "report written to %s\n" path
 
 let run_config ?config ?faults ?checkpoint_every ?mem_budget ?spill ?max_inflight

@@ -1,0 +1,381 @@
+(* E15 (extension): durable journal + crash recovery — an exhaustive
+   crash-point injection sweep over a serve trace, plus recovery time vs
+   journal length with and without snapshots.
+
+   One journaled serve run is the reference. Then, for EVERY record
+   boundary of its journal, a crashed journal is forged (truncate at the
+   boundary; additionally a torn mid-frame cut and a flipped payload
+   byte per record) and recovered in-process with [Serve.recover_sim].
+   The acceptance bar, pinned in BENCH_recovery.json:
+
+   - every crash point recovers to a replay fingerprint bit-identical
+     to the uninterrupted run, with every submission id accounted
+     exactly once (nothing lost, nothing duplicated);
+   - a corrupted newest snapshot is skipped in favour of the older one
+     (and of full replay when both are gone) — same fingerprint;
+   - recovery from a snapshot is strictly faster than full-journal
+     replay at the largest trace length (min over repeats). *)
+
+module Json = Emma_util.Json
+module Wal = Emma_util.Wal
+module Prng = Emma_util.Prng
+module Serve = Emma_serve.Serve
+module Arrival = Emma_serve.Arrival
+module Session = Emma.Session
+module Config = Emma.Config
+module W = Emma_workloads
+module Pr = Emma_programs
+
+let n_events =
+  try int_of_string (Sys.getenv "EMMA_RECOVERY_EVENTS") with Not_found -> 60
+
+let timing_events =
+  try int_of_string (Sys.getenv "EMMA_RECOVERY_TIMING_EVENTS")
+  with Not_found -> 240
+
+let seed = 23
+let rate = 4.0
+let alpha = 1.1
+let snapshot_every = 8
+let repeats = 5
+let tenant_names = [ "acme"; "beta"; "gamma" ]
+let query_names = [ "q1"; "wordcount"; "group-min"; "q3" ]
+
+let docs ~seed n =
+  let g = Prng.create seed in
+  let vocab =
+    [| "emma"; "bag"; "fold"; "join"; "group"; "plan"; "wal"; "crash";
+       "replay"; "snap" |]
+  in
+  Pr.Wordcount.docs_of_strings
+    (List.init n (fun _ ->
+         String.concat " "
+           (List.init
+              (Prng.int_in g 4 12)
+              (fun _ -> vocab.(Prng.int_in g 0 (Array.length vocab - 1))))))
+
+let workload () =
+  let cfg = W.Tpch_gen.of_scale_factor 0.002 in
+  let lineitem = W.Tpch_gen.lineitem ~seed:3 cfg in
+  let orders = W.Tpch_gen.orders ~seed:3 cfg in
+  let customer = W.Tpch_gen.customer ~seed:3 cfg in
+  let dataset =
+    W.Keyed_gen.tuples ~seed:5
+      (W.Keyed_gen.paper_config ~n_tuples:2_000 (W.Keyed_gen.uniform ~n_keys:64))
+  in
+  [ ("q1", (Pr.Tpch_q1.program Pr.Tpch_q1.default_params, [ ("lineitem", lineitem) ]));
+    ( "wordcount",
+      (Pr.Wordcount.program Pr.Wordcount.default_params, [ ("docs", docs ~seed:7 400) ]) );
+    ( "group-min",
+      (Pr.Group_min.program Pr.Group_min.default_params, [ ("dataset", dataset) ]) );
+    ( "q3",
+      ( Pr.Tpch_q3.program Pr.Tpch_q3.default_params,
+        [ ("customer", customer); ("orders", orders); ("lineitem", lineitem) ] ) ) ]
+
+let tenants =
+  [ Serve.tenant ~weight:2 "acme"; Serve.tenant "beta"; Serve.tenant "gamma" ]
+
+let rt () = Exp_common.rt ~profile:Exp_common.spark ()
+
+(* deadline + bounded queues so the trace exercises sheds, cancellations
+   and the degradation ladder — all of it must journal and recover *)
+let config () =
+  Config.default
+  |> Config.with_plan_cache (Some 64)
+  |> Config.with_deadline_s (Some 30.0)
+  |> Config.with_max_queue (Some 4)
+
+let events n =
+  Arrival.generate ~seed ~rate ~alpha ~tenants:tenant_names
+    ~queries:query_names ~n
+
+(* ---- journal forgery: raw frames, same format as Emma_util.Wal ---- *)
+
+let put_u32 v =
+  let b = Bytes.create 4 in
+  Bytes.set_uint8 b 0 ((v lsr 24) land 0xFF);
+  Bytes.set_uint8 b 1 ((v lsr 16) land 0xFF);
+  Bytes.set_uint8 b 2 ((v lsr 8) land 0xFF);
+  Bytes.set_uint8 b 3 (v land 0xFF);
+  Bytes.to_string b
+
+let frame payload =
+  put_u32 (String.length payload)
+  ^ put_u32 (Emma_util.Crc32.string payload)
+  ^ payload
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "emma-recovery-%d-%d" (Unix.getpid ()) !counter)
+    in
+    rm_rf d;
+    Sys.mkdir d 0o755;
+    d
+
+(* a crashed journal: records[0..k-1] as one segment, plus an optional
+   raw tail (torn frame bytes) and optional extra files (snapshots) *)
+let forge_dir ?(tail = "") ?(copy_snaps_from = None) records k =
+  let dir = fresh_dir () in
+  let oc = open_out_bin (Filename.concat dir "journal-0000000000.seg") in
+  for i = 0 to k - 1 do
+    output_string oc (frame records.(i))
+  done;
+  output_string oc tail;
+  close_out oc;
+  (match copy_snaps_from with
+  | Some src ->
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".snap" then
+            let contents =
+              In_channel.with_open_bin (Filename.concat src f)
+                In_channel.input_all
+            in
+            Out_channel.with_open_bin (Filename.concat dir f) (fun oc ->
+                Out_channel.output_string oc contents))
+        (Sys.readdir src)
+  | None -> ());
+  dir
+
+let with_session f =
+  let session = Session.create ~config:(config ()) (rt ()) in
+  Fun.protect ~finally:(fun () -> Session.close session) (fun () -> f session)
+
+let run_journaled ?snapshot_every ~dir wl evs =
+  with_session (fun session ->
+      let wal = Wal.create ~dir () in
+      let durability = { Serve.du_wal = wal; du_snapshot_every = snapshot_every } in
+      Fun.protect
+        ~finally:(fun () -> Wal.close wal)
+        (fun () -> Serve.run_sim ~durability session tenants wl evs))
+
+(* timed: Wal.create (tail-truncation scan) + recover_sim is the
+   recovery path an operator waits on *)
+let recover ?snapshot_every ~dir wl evs =
+  with_session (fun session ->
+      let t0 = Unix.gettimeofday () in
+      let wal = Wal.create ~dir () in
+      let durability = { Serve.du_wal = wal; du_snapshot_every = snapshot_every } in
+      let c =
+        Fun.protect
+          ~finally:(fun () -> Wal.close wal)
+          (fun () -> Serve.recover_sim ~durability session tenants wl evs)
+      in
+      (c, Unix.gettimeofday () -. t0))
+
+(* every submission id accounted exactly once across results + sheds *)
+let reconciled n (c : Serve.counters) =
+  let ids =
+    List.map (fun r -> r.Serve.qr_sub) c.Serve.sv_results
+    @ List.map (fun s -> s.Serve.sh_sub) c.Serve.sv_shed
+  in
+  List.sort compare ids = List.init n (fun i -> i)
+
+let run () =
+  Exp_common.section
+    "E15: crash recovery — exhaustive crash-point sweep + recovery time \
+     (extension)";
+  Printf.printf
+    "(%d arrivals for the sweep, %d for timing; rate %.1f/s, Zipf %.1f; \
+     snapshot cadence %d outcomes; times are host milliseconds, min of %d)\n"
+    n_events timing_events rate alpha snapshot_every repeats;
+  let wl = workload () in
+  let evs = events n_events in
+
+  (* reference: one uninterrupted journaled run *)
+  let ref_dir = fresh_dir () in
+  let reference = run_journaled ~dir:ref_dir wl evs in
+  let ref_fp = Serve.fingerprint reference in
+  if not (reconciled n_events reference) then
+    failwith "recovery: reference run lost a submission";
+  (* journaling is free of behaviour: a plain run fingerprints the same *)
+  let plain = with_session (fun s -> Serve.run_sim s tenants wl evs) in
+  if Serve.fingerprint plain <> ref_fp then
+    failwith "recovery: journaling changed the replay fingerprint";
+  let records = Wal.records (Wal.create ~dir:ref_dir ()) in
+  let n_records = Array.length records in
+  Printf.printf "journal: %d records for %d arrivals\n%!" n_records n_events;
+
+  let check_case label dir =
+    let c, _ = recover ~dir wl evs in
+    if Serve.fingerprint c <> ref_fp then
+      failwith (Printf.sprintf "recovery: %s diverged from the reference" label);
+    if not (reconciled n_events c) then
+      failwith
+        (Printf.sprintf "recovery: %s lost or duplicated a submission" label);
+    rm_rf dir
+  in
+
+  (* 1. kill at every record boundary (0 = empty journal .. n = complete) *)
+  for k = 0 to n_records do
+    check_case
+      (Printf.sprintf "kill at boundary %d" k)
+      (forge_dir records k)
+  done;
+  Printf.printf "swept %d kill boundaries: all bit-identical\n%!" (n_records + 1);
+
+  (* 2. torn write: first half of record k's frame only *)
+  for k = 0 to n_records - 1 do
+    let f = frame records.(k) in
+    let tail = String.sub f 0 (max 1 (String.length f / 2)) in
+    check_case (Printf.sprintf "torn write at record %d" k) (forge_dir ~tail records k)
+  done;
+  Printf.printf "swept %d torn-write points: all bit-identical\n%!" n_records;
+
+  (* 3. flipped payload byte in record k: CRC rejects k and everything
+     after it is dropped with it *)
+  for k = 0 to n_records - 1 do
+    let f = Bytes.of_string (frame records.(k)) in
+    Bytes.set_uint8 f 8 (Bytes.get_uint8 f 8 lxor 0xFF);
+    check_case
+      (Printf.sprintf "flipped byte in record %d" k)
+      (forge_dir ~tail:(Bytes.to_string f) records k)
+  done;
+  Printf.printf "swept %d flipped-byte corruptions: all bit-identical\n%!"
+    n_records;
+
+  (* 4. snapshot fallback: corrupt the newest snapshot — recovery must
+     fall back to the older one (or full replay), same fingerprint *)
+  let snap_ref_dir = fresh_dir () in
+  let snap_reference =
+    run_journaled ~snapshot_every ~dir:snap_ref_dir wl evs
+  in
+  if Serve.fingerprint snap_reference <> ref_fp then
+    failwith "recovery: snapshotting changed the replay fingerprint";
+  let snaps =
+    Sys.readdir snap_ref_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".snap")
+    |> List.sort compare
+  in
+  if List.length snaps < 2 then
+    failwith "recovery: expected two retained snapshots";
+  let newest = Filename.concat snap_ref_dir (List.nth snaps (List.length snaps - 1)) in
+  let corrupt path =
+    let b =
+      Bytes.of_string (In_channel.with_open_bin path In_channel.input_all)
+    in
+    Bytes.set_uint8 b (Bytes.length b / 2) (Bytes.get_uint8 b (Bytes.length b / 2) lxor 0xFF);
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_bytes oc b)
+  in
+  corrupt newest;
+  let c, _ = recover ~snapshot_every ~dir:snap_ref_dir wl evs in
+  if Serve.fingerprint c <> ref_fp then
+    failwith "recovery: snapshot-corruption fallback diverged";
+  Printf.printf "corrupt newest snapshot: fell back, bit-identical\n%!";
+
+  (* 5. recovery time vs journal length, with and without snapshots.
+     The crash lands after the final append (the process died before
+     reporting), so recovery is a pure state rebuild with no live
+     re-execution — isolating exactly what snapshots buy: full replay
+     re-simulates and re-verifies the whole journal, the snapshot path
+     restores state and replays only the tail past the newest snapshot.
+     Both paths always recover to the reference fingerprint; min wall
+     time over repeats. *)
+  let time_rebuild n_evs =
+    let t_evs = events n_evs in
+    let full_dir = fresh_dir () in
+    let full_c = run_journaled ~dir:full_dir wl t_evs in
+    let fp = Serve.fingerprint full_c in
+    let snap_dir = fresh_dir () in
+    let snap_c = run_journaled ~snapshot_every ~dir:snap_dir wl t_evs in
+    if Serve.fingerprint snap_c <> fp then
+      failwith "recovery: timing runs disagree before the crash";
+    let n_rec = Array.length (Wal.records (Wal.create ~dir:full_dir ())) in
+    (* a complete journal gains no appends on recovery, so the dirs can
+       be recovered repeatedly without re-forging *)
+    let time ?snapshot_every dir =
+      let best = ref infinity in
+      for _ = 1 to repeats do
+        let c, dt = recover ?snapshot_every ~dir wl t_evs in
+        if Serve.fingerprint c <> fp then
+          failwith "recovery: timed recovery diverged";
+        if dt < !best then best := dt
+      done;
+      !best
+    in
+    let t_full = time full_dir in
+    let t_snap = time ~snapshot_every snap_dir in
+    rm_rf full_dir;
+    rm_rf snap_dir;
+    (n_rec, t_full, t_snap)
+  in
+  let lengths = [ timing_events / 4; timing_events / 2; timing_events ] in
+  let measurements = List.map (fun n -> (n, time_rebuild n)) lengths in
+  Emma_util.Tbl.print
+    ~title:
+      (Printf.sprintf
+         "state-rebuild time vs journal length (snapshot cadence %d \
+          outcomes, min of %d)"
+         snapshot_every repeats)
+    ~header:
+      [ "arrivals"; "journal records"; "full replay"; "from snapshot"; "speedup" ]
+    (List.map
+       (fun (n, (n_rec, t_full, t_snap)) ->
+         [ string_of_int n;
+           string_of_int n_rec;
+           Printf.sprintf "%.2f ms" (t_full *. 1e3);
+           Printf.sprintf "%.2f ms" (t_snap *. 1e3);
+           Printf.sprintf "%.2fx" (t_full /. t_snap) ])
+       measurements);
+  let _, (n_rec_max, t_full, t_snap) =
+    List.nth measurements (List.length measurements - 1)
+  in
+  let passed = t_snap < t_full in
+  Printf.printf
+    "acceptance: %d/%d/%d crash points bit-identical; snapshot rebuild \
+     %.2f ms %s full replay %.2f ms at %d records — %s\n"
+    (n_records + 1) n_records n_records (t_snap *. 1e3)
+    (if passed then "<" else ">=")
+    (t_full *. 1e3) n_rec_max
+    (if passed then "ok" else "FAIL");
+  let json =
+    Json.Obj
+      [ ("experiment", Json.Str "recovery");
+        ( "bench",
+          Json.Str
+            "E15 durable journal: exhaustive crash-point sweep + snapshot \
+             recovery time" );
+        ("events", Json.Int n_events);
+        ("seed", Json.Int seed);
+        ("journal_records", Json.Int n_records);
+        ("kill_boundaries_swept", Json.Int (n_records + 1));
+        ("torn_writes_swept", Json.Int n_records);
+        ("flipped_bytes_swept", Json.Int n_records);
+        ("all_crash_points_bit_identical", Json.Bool true);
+        ("all_submissions_reconciled_by_id", Json.Bool true);
+        ("snapshot_corruption_fell_back", Json.Bool true);
+        ("snapshot_every_outcomes", Json.Int snapshot_every);
+        ( "rebuild_time_vs_journal_length",
+          Json.List
+            (List.map
+               (fun (n, (n_rec, t_full, t_snap)) ->
+                 Json.Obj
+                   [ ("arrivals", Json.Int n);
+                     ("journal_records", Json.Int n_rec);
+                     ("full_replay_ms", Json.Float (t_full *. 1e3));
+                     ("from_snapshot_ms", Json.Float (t_snap *. 1e3)) ])
+               measurements) );
+        ("recovery_full_replay_ms", Json.Float (t_full *. 1e3));
+        ("recovery_from_snapshot_ms", Json.Float (t_snap *. 1e3));
+        ("target_met", Json.Bool passed) ]
+  in
+  Wal.write_atomic "BENCH_recovery.json" (Json.to_string json ^ "\n");
+  Printf.printf "measurement written to BENCH_recovery.json\n";
+  rm_rf ref_dir;
+  rm_rf snap_ref_dir;
+  if not passed then
+    failwith "recovery: snapshot recovery was not faster than full replay"

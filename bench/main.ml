@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- fig4    runs one experiment
                                  (fig4 | table1 | iterative | tpch | fig5 |
                                   ablation | micro | scaleup | faults | memory |
-                                  udf | serve | overload)
+                                  udf | serve | overload | recovery)
      dune exec bench/main.exe -- --domains 4 tpch
                                          runs partition work on 4 OCaml
                                          domains (results and cost metrics
@@ -30,7 +30,8 @@ let experiments =
     ("memory", Exp_memory.run);
     ("udf", Exp_udf.run);
     ("serve", Exp_serve.run);
-    ("overload", Exp_overload.run) ]
+    ("overload", Exp_overload.run);
+    ("recovery", Exp_recovery.run) ]
 
 let () =
   let trace_file = ref None in

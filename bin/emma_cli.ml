@@ -256,11 +256,12 @@ let usage_fail fmt =
    one-line exit-2 messages. *)
 let config_of_flags ?udf_mode ?chunk ?chaos_seed ?chaos_rates ?checkpoint_every
     ?mem_per_slot ?spill ?max_inflight ?domains ?plan_cache ?timeout ?deadline
-    ?max_queue ?breaker ?drain_after () =
+    ?max_queue ?breaker ?drain_after ?wal ?wal_sync ?snapshot_every () =
   match
     Emma.Config.of_cli ?udf_mode ?chunk ?chaos_seed ?chaos_rates
       ?checkpoint_every ?mem_per_slot ?spill ?max_inflight ?domains ?plan_cache
-      ?timeout ?deadline ?max_queue ?breaker ?drain_after ()
+      ?timeout ?deadline ?max_queue ?breaker ?drain_after ?wal ?wal_sync
+      ?snapshot_every ()
   with
   | Ok c -> c
   | Error m -> usage_fail "%s" m
@@ -453,7 +454,8 @@ let serve_cmd =
   let run tenants_s queries_s n_events seed rate alpha arrivals_file mode engine
       scale dop domains plan_cache udf_mode chunk chaos_seed chaos_rates
       checkpoint_every mem_per_slot spill max_inflight timeout deadline
-      max_queue breaker drain_after counters_json =
+      max_queue breaker drain_after counters_json wal recover wal_sync
+      snapshot_every wal_crash fingerprint_file =
     let tenants = parse_tenants tenants_s in
     if tenants = [] then usage_fail "--tenants: at least one tenant is required";
     let queries =
@@ -476,10 +478,32 @@ let serve_cmd =
       usage_fail "--rate %g is invalid: the arrival rate must be > 0" rate;
     if not (alpha > 0.0) then
       usage_fail "--zipf %g is invalid: the Zipf exponent must be > 0" alpha;
+    (match (wal, recover) with
+    | Some _, Some _ ->
+        usage_fail
+          "--recover DIR already names the journal directory; drop --wal"
+    | _ -> ());
+    let recovering = recover <> None in
+    let wal = match recover with Some _ as r -> r | None -> wal in
     let config =
       config_of_flags ?udf_mode ~chunk ?chaos_seed ?chaos_rates
         ?checkpoint_every ?mem_per_slot ~spill ?max_inflight ~domains
-        ~plan_cache ?timeout ?deadline ?max_queue ?breaker ?drain_after ()
+        ~plan_cache ?timeout ?deadline ?max_queue ?breaker ?drain_after ?wal
+        ?wal_sync ?snapshot_every ()
+    in
+    if config.Emma.Config.wal_dir <> None && mode = `Real then
+      usage_fail
+        "--wal/--recover requires --mode sim: the journal records the \
+         deterministic simulation, which real mode cannot replay";
+    let wal_crash =
+      match wal_crash with
+      | None -> None
+      | Some _ when config.Emma.Config.wal_dir = None ->
+          usage_fail "--wal-crash has no effect without --wal DIR"
+      | Some s -> (
+          match Emma_util.Wal.crash_spec_of_string s with
+          | Ok spec -> Some spec
+          | Error m -> usage_fail "--wal-crash: %s" m)
     in
     let events =
       match arrivals_file with
@@ -529,7 +553,30 @@ let serve_cmd =
         (fun () ->
           try
             match mode with
-            | `Sim -> Serve.run_sim session tenants workload events
+            | `Sim -> (
+                match config.Emma.Config.wal_dir with
+                | None -> Serve.run_sim session tenants workload events
+                | Some dir ->
+                    let journal =
+                      Emma_util.Wal.create ~sync:config.Emma.Config.wal_sync
+                        ~dir ()
+                    in
+                    Option.iter (Emma_util.Wal.set_crash journal) wal_crash;
+                    let durability =
+                      {
+                        Serve.du_wal = journal;
+                        du_snapshot_every = config.Emma.Config.snapshot_every;
+                      }
+                    in
+                    Fun.protect
+                      ~finally:(fun () -> Emma_util.Wal.close journal)
+                      (fun () ->
+                        if recovering then
+                          Serve.recover_sim ~durability session tenants
+                            workload events
+                        else
+                          Serve.run_sim ~durability session tenants workload
+                            events))
             | `Real ->
                 (* real mode: --drain-after is wall clock — a timer domain
                    pulls the plug, shedding un-admitted queries and
@@ -561,8 +608,15 @@ let serve_cmd =
                   (fun () ->
                     Serve.run_concurrent ~drain:dctl session tenants workload
                       events)
-          with Invalid_argument m -> usage_fail "%s" m)
+          with
+          | Invalid_argument m -> usage_fail "%s" m
+          | Serve.Recovery_error m -> usage_fail "%s" m
+          | Sys_error m -> usage_fail "%s" m)
     in
+    (match fingerprint_file with
+    | Some path ->
+        Emma_util.Wal.write_atomic path (Serve.fingerprint counters ^ "\n")
+    | None -> ());
     let lat = Serve.latencies counters in
     let n = List.length counters.Serve.sv_results in
     Printf.printf "served %d queries over %d tenants (%s mode, %d lanes)\n" n
@@ -625,9 +679,9 @@ let serve_cmd =
         counters.Serve.sv_cancelled;
     (match counters_json with
     | Some path ->
-        Out_channel.with_open_text path (fun oc ->
-            Out_channel.output_string oc
-              (Emma.Json.to_string (Serve.counters_to_json counters)));
+        (* temp-then-rename: a crash mid-write never leaves a torn report *)
+        Emma_util.Wal.write_atomic path
+          (Emma.Json.to_string (Serve.counters_to_json counters));
         Printf.eprintf "counters written to %s\n" path
     | None -> ());
     if counters.Serve.sv_failed > 0 then exit 2
@@ -695,7 +749,51 @@ let serve_cmd =
       $ Arg.(
           value & opt (some string) None
           & info [ "counters-json" ] ~docv:"FILE"
-              ~doc:"Write the machine-readable serve counters to $(docv).") )
+              ~doc:"Write the machine-readable serve counters to $(docv).")
+      $ Arg.(
+          value & opt (some string) None
+          & info [ "wal" ] ~docv:"DIR"
+              ~doc:
+                "Journal every scheduling decision to a durable write-ahead \
+                 log in $(docv) (sim mode only). A killed run restarts with \
+                 $(b,--recover) $(docv).")
+      $ Arg.(
+          value & opt (some string) None
+          & info [ "recover" ] ~docv:"DIR"
+              ~doc:
+                "Recover a journaled run from $(docv): journaled outcomes \
+                 are replayed without re-execution, admitted-but-unfinished \
+                 queries are re-submitted idempotently, and the counters are \
+                 bit-identical to an uninterrupted run. Implies $(b,--wal) \
+                 $(docv); pass the original run's flags and trace.")
+      $ Arg.(
+          value & opt (some string) None
+          & info [ "wal-sync" ] ~docv:"none|batch:N|always"
+              ~doc:
+                "Journal fsync policy (default $(b,none)): $(b,none) flushes \
+                 to the OS per append, $(b,batch:N) fsyncs every N appends, \
+                 $(b,always) fsyncs per append.")
+      $ Arg.(
+          value & opt (some int) None
+          & info [ "snapshot-every" ] ~docv:"K"
+              ~doc:
+                "Write a compacting state snapshot every $(docv) outcomes, \
+                 bounding recovery replay time; old segments fully covered \
+                 by the snapshot are deleted.")
+      $ Arg.(
+          value & opt (some string) None
+          & info [ "wal-crash" ] ~docv:"N[:K]"
+              ~doc:
+                "Deterministic crash injection (testing): SIGKILL this \
+                 process after the $(docv)th journal append — or, with \
+                 $(b,:K), write only the first K bytes of that append's \
+                 frame first (a torn write).")
+      $ Arg.(
+          value & opt (some string) None
+          & info [ "fingerprint" ] ~docv:"FILE"
+              ~doc:
+                "Write the replay fingerprint of the run to $(docv) \
+                 (atomically), for crash-recovery comparison.") )
 
 (* ---- native ---- *)
 

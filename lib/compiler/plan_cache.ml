@@ -111,6 +111,55 @@ let store t key (plan, report) =
       t.evictions <- t.evictions + !evicted;
       !evicted)
 
+(* Stats-neutral recency refresh: consumes exactly one tick when the
+   key is present (matching a counted hit's probe), bumps no counters.
+   Recovery replays journaled cache hits through this so the LRU order
+   after replay is identical to the uninterrupted run's. *)
+let touch t key =
+  with_lock t (fun () ->
+      match List.find_opt (fun e -> key_equal e.e_key key) t.entries with
+      | Some e ->
+          t.tick <- t.tick + 1;
+          e.e_last_use <- t.tick
+      | None -> ())
+
+(* Stats-neutral insert-or-refresh: same tick and eviction behavior as
+   [store] (so replayed misses reproduce the uninterrupted run's LRU
+   evolution exactly) but bumps neither [misses] nor [evictions] — the
+   journaled pre-crash counts are added back as a base by the serve
+   layer. *)
+let prime t key (plan, report) =
+  with_lock t (fun () ->
+      t.tick <- t.tick + 1;
+      (match List.find_opt (fun e -> key_equal e.e_key key) t.entries with
+      | Some e -> e.e_last_use <- t.tick
+      | None ->
+          t.entries <-
+            { e_key = key; e_plan = plan; e_report = report; e_last_use = t.tick }
+            :: t.entries);
+      while List.length t.entries > t.capacity do
+        let victim =
+          List.fold_left
+            (fun acc e ->
+              match acc with
+              | None -> Some e
+              | Some best ->
+                  if e.e_last_use < best.e_last_use then Some e else acc)
+            None t.entries
+        in
+        match victim with
+        | None -> assert false
+        | Some v -> t.entries <- List.filter (fun e -> e != v) t.entries
+      done)
+
+(* Oldest-first recency order, for serve snapshots: replaying [prime] on
+   this sequence rebuilds both the population and the LRU order. *)
+let entries_by_recency t =
+  with_lock t (fun () ->
+      t.entries
+      |> List.sort (fun a b -> compare a.e_last_use b.e_last_use)
+      |> List.map (fun e -> e.e_key))
+
 let as_cache t =
   {
     Pipeline.cache_probe = (fun key -> probe t key);

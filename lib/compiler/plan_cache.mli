@@ -45,3 +45,18 @@ val store : t -> Pipeline.cache_key -> Emma_dataflow.Cprog.t * Pipeline.report -
 
 val as_cache : t -> Pipeline.cache
 (** The {!Pipeline.compile} seam: probe/store closures over this cache. *)
+
+val touch : t -> Pipeline.cache_key -> unit
+(** Stats-neutral recency refresh: consumes one tick when the key is
+    present (exactly what a counted hit would), bumps no counters; no-op
+    when absent. Used by serve recovery to replay journaled cache hits. *)
+
+val prime : t -> Pipeline.cache_key -> Emma_dataflow.Cprog.t * Pipeline.report -> unit
+(** Stats-neutral insert-or-refresh with [store]'s tick and eviction
+    behavior but no counter bumps. Used by serve recovery to replay
+    journaled cache misses and to restore snapshotted cache contents. *)
+
+val entries_by_recency : t -> Pipeline.cache_key list
+(** Current keys, least-recently-used first — replaying {!prime} over
+    this sequence reconstructs both population and LRU order. Serve
+    snapshots persist it (as query names) for recovery. *)

@@ -93,6 +93,9 @@ let config_of_knobs ?config ?udf_mode ?faults ?checkpoint_every ?mem_budget
     max_queue = base.Config.max_queue;
     breaker = base.Config.breaker;
     drain_after_s = base.Config.drain_after_s;
+    wal_dir = base.Config.wal_dir;
+    wal_sync = base.Config.wal_sync;
+    snapshot_every = base.Config.snapshot_every;
   }
 
 let run_on ?config ?udf_mode ?faults ?checkpoint_every ?mem_budget ?spill

@@ -256,6 +256,38 @@ let would_hit ?(opts = Pipeline.default_opts) t source ~tables =
       let schema = schema_of_tables tables in
       Plan_cache.mem pc (Pipeline.normalized_key ~opts ~schema source)
 
+(* The ck_text a [submit] of this program/opts/schema is keyed by.
+   Serve snapshots use it to persist cache contents as query names. *)
+let plan_key ?(opts = Pipeline.default_opts) source ~tables =
+  let schema = schema_of_tables tables in
+  (Pipeline.normalized_key ~opts ~schema source).Pipeline.ck_text
+
+(* Current cache keys, least-recently-used first; [] when uncached. *)
+let plan_cache_keys t =
+  match t.cache with
+  | None -> []
+  | Some pc ->
+      List.map
+        (fun k -> k.Pipeline.ck_text)
+        (Plan_cache.entries_by_recency pc)
+
+(* Stats-neutral cache warming for recovery replay: insert (compiling
+   cold if needed) or refresh the entry with [store]'s tick/eviction
+   behavior, bumping no counters. The journaled pre-crash hit/miss/
+   eviction counts are reported separately as a base, so warming must
+   not count anything itself. No-op on uncached sessions. *)
+let prime ?(opts = Pipeline.default_opts) t source ~tables =
+  match t.cache with
+  | None -> ()
+  | Some pc ->
+      let schema = schema_of_tables tables in
+      let key = Pipeline.normalized_key ~opts ~schema source in
+      with_lock t.compile_lock (fun () ->
+          if Plan_cache.mem pc key then Plan_cache.touch pc key
+          else
+            let compiled, report = Pipeline.compile ~opts source in
+            Plan_cache.prime pc key (compiled, report))
+
 let submit ?(opts = Pipeline.default_opts) ?config ?cancel ?cluster t source
     ~tables =
   let cfg = match config with Some c -> c | None -> t.config in

@@ -176,6 +176,33 @@ val would_hit :
     uses it to shed queries that would compile cold. Always [false] on an
     uncached session. *)
 
+val prime :
+  ?opts:Pipeline.opts ->
+  t ->
+  Expr.program ->
+  tables:(string * Value.t list) list ->
+  unit
+(** Stats-neutral cache warming for serve recovery: insert this
+    program's plan (compiling cold if absent) or refresh its recency,
+    with {!Plan_cache.store}'s tick and eviction behavior but no counter
+    bumps. Replaying the journaled hit/miss sequence through [prime]
+    reconstructs the uninterrupted run's cache population and LRU order
+    exactly; the pre-crash counts are reported as a separate base. No-op
+    on an uncached session. *)
+
+val plan_key :
+  ?opts:Pipeline.opts ->
+  Expr.program ->
+  tables:(string * Value.t list) list ->
+  string
+(** The cache-key text a {!submit} of this program/opts/schema is keyed
+    by — serve snapshots persist cache contents as query names via this
+    mapping. *)
+
+val plan_cache_keys : t -> string list
+(** Current plan-cache key texts, least-recently-used first; [[]] when
+    the session is uncached. *)
+
 val schema_of_tables : (string * Value.t list) list -> string
 (** The structural table fingerprint used by {!submit} (exposed for
     tests). *)

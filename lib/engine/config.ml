@@ -30,6 +30,9 @@ type t = {
   max_queue : int option;
   breaker : breaker_spec option;
   drain_after_s : float option;
+  wal_dir : string option;
+  wal_sync : Emma_util.Wal.sync_policy;
+  snapshot_every : int option;
 }
 
 let default =
@@ -50,6 +53,9 @@ let default =
     max_queue = None;
     breaker = None;
     drain_after_s = None;
+    wal_dir = None;
+    wal_sync = Emma_util.Wal.Sync_none;
+    snapshot_every = None;
   }
 
 let with_udf_mode udf_mode t = { t with udf_mode }
@@ -68,6 +74,9 @@ let with_deadline_s deadline_s t = { t with deadline_s }
 let with_max_queue max_queue t = { t with max_queue }
 let with_breaker breaker t = { t with breaker }
 let with_drain_after_s drain_after_s t = { t with drain_after_s }
+let with_wal_dir wal_dir t = { t with wal_dir }
+let with_wal_sync wal_sync t = { t with wal_sync }
+let with_snapshot_every snapshot_every t = { t with snapshot_every }
 
 (* ------------------------------------------------------------------ *)
 (* CLI-facing parsers. The error strings double as the one-line exit-2  *)
@@ -141,7 +150,8 @@ let parse_breaker s =
 
 let of_cli ?(base = default) ?udf_mode ?chunk ?chaos_seed ?chaos_rates
     ?checkpoint_every ?mem_per_slot ?spill ?max_inflight ?domains ?plan_cache
-    ?timeout ?deadline ?max_queue ?breaker ?drain_after () =
+    ?timeout ?deadline ?max_queue ?breaker ?drain_after ?wal ?wal_sync
+    ?snapshot_every () =
   let ( let* ) = Result.bind in
   let* udf_mode =
     match udf_mode with
@@ -248,6 +258,38 @@ let of_cli ?(base = default) ?udf_mode ?chunk ?chaos_seed ?chaos_rates
               seconds"
              s)
   in
+  let* wal_dir =
+    match wal with
+    | None -> Ok base.wal_dir
+    | Some "" -> Error "--wal expects a journal directory path"
+    | Some dir -> Ok (Some dir)
+  in
+  let* wal_sync =
+    match wal_sync with
+    | None -> Ok base.wal_sync
+    | Some s -> (
+        if wal_dir = None then
+          Error "--wal-sync has no effect without --wal: pass a journal directory"
+        else
+          match Emma_util.Wal.sync_policy_of_string s with
+          | Ok p -> Ok p
+          | Error e -> Error e)
+  in
+  let* snapshot_every =
+    match snapshot_every with
+    | None -> Ok base.snapshot_every
+    | Some _ when wal_dir = None ->
+        Error
+          "--snapshot-every has no effect without --wal: pass a journal \
+           directory"
+    | Some k when k >= 1 -> Ok (Some k)
+    | Some k ->
+        Error
+          (Printf.sprintf
+             "--snapshot-every %d is invalid: the snapshot interval must be \
+              at least 1 outcome record"
+             k)
+  in
   Ok
     {
       base with
@@ -265,6 +307,9 @@ let of_cli ?(base = default) ?udf_mode ?chunk ?chaos_seed ?chaos_rates
       max_queue;
       breaker;
       drain_after_s;
+      wal_dir;
+      wal_sync;
+      snapshot_every;
     }
 
 let udf_mode_to_string = function Interp -> "interp" | Compiled -> "compiled"
@@ -303,4 +348,8 @@ let to_json t =
                 ("cooldown_s", Json.Float b.br_cooldown_s);
               ] );
       ("drain_after_s", opt_float t.drain_after_s);
+      ( "wal",
+        match t.wal_dir with Some d -> Json.Str d | None -> Json.Null );
+      ("wal_sync", Json.Str (Emma_util.Wal.sync_policy_to_string t.wal_sync));
+      ("snapshot_every", opt_int t.snapshot_every);
     ]

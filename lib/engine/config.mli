@@ -85,6 +85,17 @@ type t = {
           simulated seconds, shedding later arrivals and finishing or
           cancelling in-flight work by deadline (default: never drain).
           Ignored by bare [Exec.create]. *)
+  wal_dir : string option;
+      (** serve-layer knob: directory of the durable write-ahead journal
+          ([--wal DIR] / [--recover DIR]); default off. Ignored by bare
+          [Exec.create]. *)
+  wal_sync : Emma_util.Wal.sync_policy;
+      (** fsync policy for journal appends (default {!Emma_util.Wal.Sync_none});
+          only meaningful with [wal_dir]. *)
+  snapshot_every : int option;
+      (** write a recovery snapshot every [k] outcome records (default:
+          no snapshots — recovery replays the whole journal); only
+          meaningful with [wal_dir]. *)
 }
 
 val default : t
@@ -107,6 +118,9 @@ val with_deadline_s : float option -> t -> t
 val with_max_queue : int option -> t -> t
 val with_breaker : breaker_spec option -> t -> t
 val with_drain_after_s : float option -> t -> t
+val with_wal_dir : string option -> t -> t
+val with_wal_sync : Emma_util.Wal.sync_policy -> t -> t
+val with_snapshot_every : int option -> t -> t
 
 val parse_udf_mode : string -> (udf_mode, string) result
 (** ["interp"] / ["compiled"] (case-insensitive). *)
@@ -139,6 +153,9 @@ val of_cli :
   ?max_queue:int ->
   ?breaker:string ->
   ?drain_after:float ->
+  ?wal:string ->
+  ?wal_sync:string ->
+  ?snapshot_every:int ->
   unit ->
   (t, string) result
 (** The one shared flag-validation path for [run], [bench] and [serve]:

@@ -42,6 +42,10 @@ type t = {
   mutable plan_cache_misses : int;
   mutable plan_cache_evictions : int;
   mutable cancellations : int;
+  mutable wal_appends : int;
+  mutable wal_bytes : float;
+  mutable wal_fsyncs : int;
+  mutable recovery_replayed : int;
 }
 
 let create () =
@@ -89,6 +93,10 @@ let create () =
     plan_cache_misses = 0;
     plan_cache_evictions = 0;
     cancellations = 0;
+    wal_appends = 0;
+    wal_bytes = 0.0;
+    wal_fsyncs = 0;
+    recovery_replayed = 0;
   }
 
 let add_time m s = m.sim_time_s <- m.sim_time_s +. s
@@ -149,6 +157,10 @@ let to_rows m =
     ("plan misses", string_of_int m.plan_cache_misses);
     ("plan evictions", string_of_int m.plan_cache_evictions);
     ("cancellations", string_of_int m.cancellations);
+    ("wal appends", string_of_int m.wal_appends);
+    ("wal bytes", human_bytes m.wal_bytes);
+    ("wal fsyncs", string_of_int m.wal_fsyncs);
+    ("recovery replayed", string_of_int m.recovery_replayed);
   ]
 
 let pp ppf m =
@@ -204,6 +216,10 @@ let to_json m =
       ("plan_cache_misses", Json.Int m.plan_cache_misses);
       ("plan_cache_evictions", Json.Int m.plan_cache_evictions);
       ("cancellations", Json.Int m.cancellations);
+      ("wal_appends", Json.Int m.wal_appends);
+      ("wal_bytes", Json.Float m.wal_bytes);
+      ("wal_fsyncs", Json.Int m.wal_fsyncs);
+      ("recovery_replayed", Json.Int m.recovery_replayed);
     ]
 
 let to_json_string m = Json.to_string (to_json m)

@@ -84,6 +84,17 @@ type t = {
       (** cooperative cancellations observed by this run: 1 when the run
           ended in a classified [Cancelled] outcome (deadline exceeded or
           an explicit {!Cancel} request), 0 otherwise *)
+  mutable wal_appends : int;
+      (** journal records appended on behalf of this submission (its
+          dispatch and outcome records) when serve runs with [--wal] *)
+  mutable wal_bytes : float;
+      (** framed journal bytes written for this submission *)
+  mutable wal_fsyncs : int;
+      (** fsync calls attributable to this submission under the active
+          [--wal-sync] policy *)
+  mutable recovery_replayed : int;
+      (** 1 when this outcome was rebuilt from the durable journal during
+          [--recover] instead of re-executing the query, 0 otherwise *)
 }
 
 val create : unit -> t

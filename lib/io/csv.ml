@@ -201,8 +201,8 @@ let of_string s =
 (* ---- files ------------------------------------------------------------- *)
 
 let write_file path rows =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string rows))
+  (* temp-then-rename so a crash mid-write never leaves a torn CSV *)
+  Emma_util.Wal.write_atomic path (to_string rows)
 
 let read_file path =
   let ic = open_in path in

@@ -26,6 +26,8 @@ module Expr = Emma.Expr
 module Value = Emma.Value
 module Json = Emma.Json
 module Prng = Emma_util.Prng
+module Wal = Emma_util.Wal
+module Trace = Emma_util.Trace
 
 type tenant = { tn_name : string; tn_weight : int; tn_mem_budget : float option }
 
@@ -188,7 +190,7 @@ let lanes_of session tenants =
 (* [max_queue] is the per-tenant deepest backlog, measured by both modes
    (sim: scheduler queues; concurrent: admission-gate waiters) — never a
    placeholder. [breaker_opens] maps tenant name -> opens. *)
-let assemble ~lanes ~wall_s ~max_queue ~breaker_opens
+let assemble ?(cache_base = (0, 0, 0)) ~lanes ~wall_s ~max_queue ~breaker_opens
     ~(breaker_totals : int * int * int) session tenants results sheds =
   let by_tenant name = List.filter (fun r -> r.qr_tenant = name) results in
   let count p = List.length (List.filter p results) in
@@ -216,7 +218,18 @@ let assemble ~lanes ~wall_s ~max_queue ~breaker_opens
     sv_results = results;
     sv_shed = sheds;
     sv_tenants;
-    sv_cache = Session.plan_cache_stats session;
+    sv_cache =
+      (let bh, bm, be = cache_base in
+       match Session.plan_cache_stats session with
+       | Some s ->
+           Some
+             {
+               s with
+               Plan_cache.hits = s.Plan_cache.hits + bh;
+               misses = s.Plan_cache.misses + bm;
+               evictions = s.Plan_cache.evictions + be;
+             }
+       | None -> None);
     sv_failed =
       count (fun r ->
           match r.qr_outcome with Session.Failed _ -> true | _ -> false);
@@ -236,10 +249,217 @@ let assemble ~lanes ~wall_s ~max_queue ~breaker_opens
   }
 
 (* ------------------------------------------------------------------ *)
+(* Durability: journal records, snapshots and recovery                  *)
+(* ------------------------------------------------------------------ *)
+
+exception Recovery_error of string
+
+type durability = { du_wal : Wal.t; du_snapshot_every : int option }
+
+let cache_to_string = function
+  | Session.Hit -> "hit"
+  | Session.Miss -> "miss"
+  | Session.Uncached -> "off"
+
+let status_to_string = function
+  | Session.Finished _ -> "finished"
+  | Session.Failed _ -> "failed"
+  | Session.Timed_out _ -> "timed_out"
+  | Session.Cancelled _ -> "cancelled"
+
+let shed_reason_to_string = function
+  | Shed_deadline -> "deadline"
+  | Shed_queue_full -> "queue_full"
+  | Shed_breaker -> "breaker"
+  | Shed_drain -> "drain"
+  | Shed_degraded -> "degraded"
+
+let cache_of_string = function
+  | "hit" -> Session.Hit
+  | "miss" -> Session.Miss
+  | "off" -> Session.Uncached
+  | s -> raise (Recovery_error (Printf.sprintf "journal: unknown cache status %S" s))
+
+let shed_reason_of_string = function
+  | "deadline" -> Shed_deadline
+  | "queue_full" -> Shed_queue_full
+  | "breaker" -> Shed_breaker
+  | "drain" -> Shed_drain
+  | "degraded" -> Shed_degraded
+  | s -> raise (Recovery_error (Printf.sprintf "journal: unknown shed reason %S" s))
+
+(* Floats are journaled as lossless hex floats; the pinned %.6f decimal
+   rendering exists only at fingerprint time, so a value that round-trips
+   through the journal is bit-identical to the live one. *)
+let fhex = Printf.sprintf "%h"
+
+let fval s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> raise (Recovery_error (Printf.sprintf "journal: bad float %S" s))
+
+(* key=value access over a space-split record payload. Fixed fields come
+   before the free-form [reason=] tail, so first match wins even when the
+   reason itself contains k=v-shaped words. *)
+let fields_of payload = String.split_on_char ' ' payload
+
+let field name fs =
+  let prefix = name ^ "=" in
+  match List.find_opt (String.starts_with ~prefix) fs with
+  | Some kv ->
+      String.sub kv (String.length prefix) (String.length kv - String.length prefix)
+  | None ->
+      raise (Recovery_error (Printf.sprintf "journal: record lacks %s= field" name))
+
+let int_field name fs =
+  match int_of_string_opt (field name fs) with
+  | Some i -> i
+  | None ->
+      raise (Recovery_error (Printf.sprintf "journal: bad integer in %s= field" name))
+
+(* The free-form reason is always the final field and may contain spaces:
+   everything after the first " reason=" is the reason verbatim. *)
+let reason_field payload =
+  let marker = " reason=" in
+  let ml = String.length marker in
+  let n = String.length payload in
+  let rec find i =
+    if i + ml > n then
+      raise (Recovery_error (Printf.sprintf "journal: record lacks reason= field: %S" payload))
+    else if String.sub payload i ml = marker then String.sub payload (i + ml) (n - i - ml)
+    else find (i + 1)
+  in
+  find 0
+
+let encode_meta ~n ~lanes ~seed ~quantum_s tenants workload =
+  Printf.sprintf "meta v=1 n=%d lanes=%d seed=%d quantum=%s tenants=%s queries=%s"
+    n lanes seed (fhex quantum_s)
+    (String.concat ","
+       (List.map (fun t -> Printf.sprintf "%s:%d" t.tn_name t.tn_weight) tenants))
+    (String.concat "," (List.map fst workload))
+
+let encode_arrival sub (ev : Arrival.event) =
+  Printf.sprintf "arrival sub=%d at=%s tenant=%s query=%s" sub
+    (fhex ev.Arrival.at_s) ev.Arrival.tenant ev.Arrival.query
+
+let encode_shed s =
+  Printf.sprintf "shed sub=%d at=%s reason=%s" s.sh_sub (fhex s.sh_at_s)
+    (shed_reason_to_string s.sh_reason)
+
+let encode_dispatch sub ~start ~level =
+  Printf.sprintf "dispatch sub=%d start=%s level=%d" sub (fhex start) level
+
+let encode_outcome ~evictions (r : query_result) =
+  let at, reason =
+    match r.qr_outcome with
+    | Session.Finished _ -> (0.0, "")
+    | Session.Failed { reason; _ } -> (0.0, reason)
+    | Session.Timed_out { at_s; _ } -> (at_s, "")
+    | Session.Cancelled { at_s; reason; _ } -> (at_s, reason)
+  in
+  Printf.sprintf
+    "outcome sub=%d status=%s cache=%s degrade=%d evictions=%d service=%s \
+     start=%s finish=%s at=%s reason=%s"
+    r.qr_sub
+    (status_to_string r.qr_outcome)
+    (cache_to_string r.qr_cache)
+    r.qr_degrade evictions (fhex r.qr_service_s) (fhex r.qr_start_s)
+    (fhex r.qr_finish_s) (fhex at) reason
+
+(* A journaled outcome, as replay sees it. *)
+type jout = {
+  jo_sub : int;
+  jo_status : string;
+  jo_cache : string;
+  jo_degrade : int;
+  jo_evictions : int;
+  jo_service : float;
+  jo_start : float;
+  jo_finish : float;
+  jo_at : float;
+  jo_reason : string;
+}
+
+let decode_outcome payload =
+  let fs = fields_of payload in
+  {
+    jo_sub = int_field "sub" fs;
+    jo_status = field "status" fs;
+    jo_cache = field "cache" fs;
+    jo_degrade = int_field "degrade" fs;
+    jo_evictions = int_field "evictions" fs;
+    jo_service = fval (field "service" fs);
+    jo_start = fval (field "start" fs);
+    jo_finish = fval (field "finish" fs);
+    jo_at = fval (field "at" fs);
+    jo_reason = reason_field payload;
+  }
+
+(* Status-faithful placeholder for an outcome rebuilt from the journal:
+   the constructor, times and cache classification are exact (they feed
+   the fingerprint); the value/ctx and engine metrics of the original run
+   are not re-materialised — [recovery_replayed] marks the outcome so
+   consumers can tell. The query is NOT re-executed: that is the
+   exactly-once half of recovery. *)
+let replayed_outcome jo =
+  let m = Metrics.create () in
+  m.Metrics.recovery_replayed <- 1;
+  (match jo.jo_cache with
+  | "hit" -> m.Metrics.plan_cache_hits <- 1
+  | "miss" -> m.Metrics.plan_cache_misses <- 1
+  | _ -> ());
+  m.Metrics.plan_cache_evictions <- jo.jo_evictions;
+  match jo.jo_status with
+  | "finished" ->
+      Session.Finished { Session.value = Value.Unit; metrics = m; ctx = Session.make_ctx [] }
+  | "failed" -> Session.Failed { reason = jo.jo_reason; metrics = m }
+  | "timed_out" -> Session.Timed_out { at_s = jo.jo_at; metrics = m }
+  | "cancelled" ->
+      Session.Cancelled { at_s = jo.jo_at; reason = jo.jo_reason; metrics = m }
+  | s -> raise (Recovery_error (Printf.sprintf "journal: unknown outcome status %S" s))
+
+(* Journal cursor: the re-simulation regenerates the record stream from
+   the top; records before [j_first] were compacted away (nothing to
+   check), records inside the retained journal are VERIFIED against it
+   (a mismatch means the journal belongs to a different configuration or
+   trace), and records past the end are appended. A recovered run
+   therefore converges on exactly the journal an uninterrupted run would
+   have written — which is what lets repeated crashes compose. *)
+type jctx = {
+  j_wal : Wal.t;
+  j_existing : string array;
+  j_first : int;
+  mutable j_idx : int; (* global index of the next record to regenerate *)
+  j_snap_every : int option;
+  mutable j_outcomes : int; (* outcome records seen, replayed or live *)
+}
+
+let jwrite j payload =
+  let i = j.j_idx in
+  j.j_idx <- i + 1;
+  if i < j.j_first then ()
+  else if i - j.j_first < Array.length j.j_existing then begin
+    let old = j.j_existing.(i - j.j_first) in
+    if not (String.equal old payload) then
+      raise
+        (Recovery_error
+           (Printf.sprintf
+              "journal record %d does not match this serve configuration \
+               (journaled %S, regenerated %S): recover with the flags and \
+               trace of the original run"
+              i old payload))
+  end
+  else ignore (Wal.append j.j_wal payload)
+
+(* Is the cursor past the retained journal (i.e. writing fresh records)? *)
+let j_live j = j.j_idx > j.j_first + Array.length j.j_existing
+
+(* ------------------------------------------------------------------ *)
 (* Deterministic sim mode                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_sim ?(quantum_s = 1.0) ?policy session tenants workload events =
+let sim ?(quantum_s = 1.0) ?policy ?durability ~recovering session tenants
+    workload events =
   validate tenants workload events;
   if not (quantum_s > 0.0) then
     invalid_arg "Serve.run_sim: quantum must be > 0";
@@ -280,9 +500,54 @@ let run_sim ?(quantum_s = 1.0) ?policy session tenants workload events =
   let next = ref 0 in
   let accounted = ref 0 in
   let rr = ref 0 in
+  (* --- durability state ------------------------------------------- *)
+  let jctx =
+    match durability with
+    | None -> None
+    | Some { du_wal; du_snapshot_every } ->
+        Some
+          {
+            j_wal = du_wal;
+            j_existing = Wal.records du_wal;
+            j_first = Wal.first_seq du_wal;
+            j_idx = 0;
+            j_snap_every = du_snapshot_every;
+            j_outcomes = 0;
+          }
+  in
+  (* Outcomes already in the journal, by submission id: replay uses them
+     instead of re-executing (exactly-once). A journaled dispatch with no
+     outcome — the query in flight at the crash — is absent here, so the
+     re-simulation re-submits it idempotently at its original point. *)
+  let memo = Hashtbl.create 64 in
+  (match jctx with
+  | Some j when recovering ->
+      Array.iter
+        (fun payload ->
+          if String.starts_with ~prefix:"outcome " payload then
+            let jo = decode_outcome payload in
+            Hashtbl.replace memo jo.jo_sub jo)
+        j.j_existing
+  | _ -> ());
+  (* Counted cache stats recovered from the journal/snapshot; reported
+     totals = this base + the live session's own counts. *)
+  let cache_base = ref (0, 0, 0) in
+  let add_base (h, mi, e) =
+    let bh, bm, be = !cache_base in
+    cache_base := (bh + h, bm + mi, be + e)
+  in
+  let evict_of = Array.make (max 1 n) 0 in
+  let replayed = ref 0 in
+  let resubmitted = ref 0 in
+  let snapshot_used = ref None in
+  let tracer =
+    match (Session.config session).Config.trace with
+    | Some tr -> tr
+    | None -> Trace.global ()
+  in
   let shed ~at_s ~reason sub =
     let ev = evs.(sub) in
-    sheds :=
+    let rec_ =
       {
         sh_sub = sub;
         sh_tenant = ev.Arrival.tenant;
@@ -291,7 +556,9 @@ let run_sim ?(quantum_s = 1.0) ?policy session tenants workload events =
         sh_at_s = at_s;
         sh_reason = reason;
       }
-      :: !sheds;
+    in
+    sheds := rec_ :: !sheds;
+    (match jctx with Some j -> jwrite j (encode_shed rec_) | None -> ());
     incr accounted
   in
   (* Admission: drain cutoff and the bounded queue apply at arrival time.
@@ -399,6 +666,236 @@ let run_sim ?(quantum_s = 1.0) ?policy session tenants workload events =
             (* unreachable: open circuits never dispatch *)
             ())
   in
+  (* --- snapshots ---------------------------------------------------- *)
+  let result_of_jout jo =
+    if jo.jo_sub < 0 || jo.jo_sub >= n then
+      raise (Recovery_error (Printf.sprintf "journal: sub %d out of range" jo.jo_sub));
+    let ev = evs.(jo.jo_sub) in
+    evict_of.(jo.jo_sub) <- jo.jo_evictions;
+    {
+      qr_sub = jo.jo_sub;
+      qr_tenant = ev.Arrival.tenant;
+      qr_query = ev.Arrival.query;
+      qr_arrival_s = ev.Arrival.at_s;
+      qr_start_s = jo.jo_start;
+      qr_finish_s = jo.jo_finish;
+      qr_service_s = jo.jo_service;
+      qr_cache = cache_of_string jo.jo_cache;
+      qr_outcome = replayed_outcome jo;
+      qr_degrade = jo.jo_degrade;
+    }
+  in
+  let shed_of_payload payload =
+    let fs = fields_of payload in
+    let sub = int_field "sub" fs in
+    if sub < 0 || sub >= n then
+      raise (Recovery_error (Printf.sprintf "journal: shed sub %d out of range" sub));
+    let ev = evs.(sub) in
+    {
+      sh_sub = sub;
+      sh_tenant = ev.Arrival.tenant;
+      sh_query = ev.Arrival.query;
+      sh_arrival_s = ev.Arrival.at_s;
+      sh_at_s = fval (field "at" fs);
+      sh_reason = shed_reason_of_string (field "reason" fs);
+    }
+  in
+  (* Full scheduler state at a record boundary: restoring it and then
+     replaying only the journal suffix reproduces the exact state a
+     full-journal replay would reach — snapshots are purely a recovery-
+     time optimisation, never a semantic input. Cache contents are
+     persisted as LRU-ordered query names; re-priming them rebuilds both
+     the population and the recency order. *)
+  let snapshot_payload j covers =
+    let b = Buffer.create 1024 in
+    let live =
+      match Session.plan_cache_stats session with
+      | Some s -> s
+      | None -> { Plan_cache.hits = 0; misses = 0; evictions = 0; entries = 0 }
+    in
+    let bh, bm, be = !cache_base in
+    Buffer.add_string b
+      (Printf.sprintf
+         "snapshot v=1 covers=%d next=%d accounted=%d rr=%d half_opens=%d \
+          closes=%d outcomes=%d hits=%d misses=%d evictions=%d\n"
+         covers !next !accounted !rr !br_half_opens !br_closes j.j_outcomes
+         (bh + live.Plan_cache.hits)
+         (bm + live.Plan_cache.misses)
+         (be + live.Plan_cache.evictions));
+    let fline tag a =
+      Buffer.add_string b
+        (tag ^ String.concat "" (List.map (fun v -> " " ^ fhex v) (Array.to_list a)) ^ "\n")
+    in
+    let iline tag a =
+      Buffer.add_string b
+        (tag
+        ^ String.concat "" (List.map (fun v -> " " ^ string_of_int v) (Array.to_list a))
+        ^ "\n")
+    in
+    fline "lanes" lane_free;
+    fline "deficit" deficit;
+    iline "maxq" max_queue;
+    iline "bropens" breaker_opens;
+    Array.iteri
+      (fun ti q ->
+        Buffer.add_string b (Printf.sprintf "queue %d" ti);
+        Queue.iter (fun sub -> Buffer.add_string b (Printf.sprintf " %d" sub)) q;
+        Buffer.add_char b '\n')
+      queues;
+    Array.iteri
+      (fun ti st ->
+        Buffer.add_string b
+          (match st with
+          | Br_closed k -> Printf.sprintf "breaker %d closed %d\n" ti k
+          | Br_open until -> Printf.sprintf "breaker %d open %s\n" ti (fhex until)
+          | Br_half_open -> Printf.sprintf "breaker %d half\n" ti))
+      breaker;
+    let key2name =
+      List.map
+        (fun (name, (prog, tables)) -> (Session.plan_key prog ~tables, name))
+        workload
+    in
+    Buffer.add_string b "lru";
+    List.iter
+      (fun key ->
+        match List.assoc_opt key key2name with
+        | Some name -> Buffer.add_string b (" " ^ name)
+        | None ->
+            raise (Recovery_error "snapshot: cached plan not in the workload"))
+      (Session.plan_cache_keys session);
+    Buffer.add_char b '\n';
+    Array.iter
+      (function
+        | Some r ->
+            Buffer.add_string b
+              ("result " ^ encode_outcome ~evictions:evict_of.(r.qr_sub) r ^ "\n")
+        | None -> ())
+      results;
+    List.iter
+      (fun s -> Buffer.add_string b ("shedrec " ^ encode_shed s ^ "\n"))
+      (List.rev !sheds);
+    Buffer.contents b
+  in
+  let restore_snapshot j covers payload =
+    let header, rest =
+      match String.split_on_char '\n' payload with
+      | h :: r -> (h, r)
+      | [] -> raise (Recovery_error "snapshot: empty")
+    in
+    let fs = fields_of header in
+    if field "v" fs <> "1" then raise (Recovery_error "snapshot: unknown version");
+    if int_field "covers" fs <> covers then
+      raise (Recovery_error "snapshot: covers mismatch");
+    next := int_field "next" fs;
+    accounted := int_field "accounted" fs;
+    rr := int_field "rr" fs;
+    br_half_opens := int_field "half_opens" fs;
+    br_closes := int_field "closes" fs;
+    j.j_outcomes <- int_field "outcomes" fs;
+    cache_base := (int_field "hits" fs, int_field "misses" fs, int_field "evictions" fs);
+    let iv s =
+      match int_of_string_opt s with
+      | Some i -> i
+      | None -> raise (Recovery_error (Printf.sprintf "snapshot: bad integer %S" s))
+    in
+    let fill_floats dst vs what =
+      let a = Array.of_list (List.map fval vs) in
+      if Array.length a <> Array.length dst then
+        raise
+          (Recovery_error
+             (Printf.sprintf
+                "snapshot: %s count mismatch — was the journal written with a \
+                 different configuration?"
+                what));
+      Array.blit a 0 dst 0 (Array.length dst)
+    in
+    let fill_ints dst vs what =
+      let a = Array.of_list (List.map iv vs) in
+      if Array.length a <> Array.length dst then
+        raise (Recovery_error (Printf.sprintf "snapshot: %s count mismatch" what));
+      Array.blit a 0 dst 0 (Array.length dst)
+    in
+    List.iter
+      (fun line ->
+        if line <> "" then
+          match String.split_on_char ' ' line with
+          | "lanes" :: vs -> fill_floats lane_free vs "lane"
+          | "deficit" :: vs -> fill_floats deficit vs "tenant"
+          | "maxq" :: vs -> fill_ints max_queue vs "tenant"
+          | "bropens" :: vs -> fill_ints breaker_opens vs "tenant"
+          | "queue" :: ti :: subs ->
+              let ti = iv ti in
+              if ti < 0 || ti >= nt then
+                raise (Recovery_error "snapshot: tenant index out of range");
+              Queue.clear queues.(ti);
+              List.iter (fun s -> Queue.add (iv s) queues.(ti)) subs
+          | "breaker" :: ti :: st ->
+              let ti = iv ti in
+              if ti < 0 || ti >= nt then
+                raise (Recovery_error "snapshot: tenant index out of range");
+              breaker.(ti) <-
+                (match st with
+                | [ "closed"; k ] -> Br_closed (iv k)
+                | [ "open"; u ] -> Br_open (fval u)
+                | [ "half" ] -> Br_half_open
+                | _ -> raise (Recovery_error "snapshot: bad breaker state"))
+          | "lru" :: names ->
+              List.iter
+                (fun name ->
+                  match List.assoc_opt name workload with
+                  | Some (prog, tables) -> Session.prime session prog ~tables
+                  | None ->
+                      raise
+                        (Recovery_error
+                           (Printf.sprintf "snapshot: unknown query %S" name)))
+                names
+          | "result" :: _ ->
+              let jo =
+                decode_outcome (String.sub line 7 (String.length line - 7))
+              in
+              incr replayed;
+              results.(jo.jo_sub) <- Some (result_of_jout jo)
+          | "shedrec" :: _ ->
+              sheds :=
+                shed_of_payload (String.sub line 8 (String.length line - 8))
+                :: !sheds
+          | _ -> raise (Recovery_error (Printf.sprintf "snapshot: bad line %S" line)))
+      rest;
+    j.j_idx <- covers
+  in
+  (* --- recovery bootstrap ------------------------------------------ *)
+  (match jctx with
+  | Some j when recovering -> (
+      match Wal.load_snapshot j.j_wal with
+      | Some (covers, payload) ->
+          restore_snapshot j covers payload;
+          snapshot_used := Some covers
+      | None -> ())
+  | _ -> ());
+  (* Regenerate (and verify, or append) the preamble unless a snapshot
+     skipped the cursor past it. Snapshots are only ever written after
+     outcome records, which follow the full preamble, so the cursor is
+     either 0 or past the preamble entirely. *)
+  (match jctx with
+  | Some j when j.j_idx = 0 ->
+      jwrite j
+        (encode_meta ~n ~lanes ~seed:pol.pl_seed ~quantum_s tenants workload);
+      Array.iteri (fun sub ev -> jwrite j (encode_arrival sub ev)) evs
+  | _ -> ());
+  (match jctx with
+  | Some j when recovering && Trace.enabled tracer ->
+      Trace.instant tracer ~cat:"recovery"
+        ~args:
+          [
+            ("journal_records", Trace.A_int (Array.length j.j_existing));
+            ("first_seq", Trace.A_int j.j_first);
+            ( "snapshot",
+              match !snapshot_used with
+              | Some c -> Trace.A_int c
+              | None -> Trace.A_str "none" );
+          ]
+        "recovery_start"
+  | _ -> ());
   while !accounted < n do
     (* earliest-free lane; lowest index breaks ties *)
     let lane = ref 0 in
@@ -449,64 +946,130 @@ let run_sim ?(quantum_s = 1.0) ?policy session tenants workload events =
                would compile cold are shed to keep the hit path alive *)
             shed ~at_s:now ~reason:Shed_degraded sub
           else begin
-            let config =
-              let base =
-                match tenant_config session tarr.(ti) with
-                | Some c -> c
-                | None -> Session.config session
-              in
-              (* remaining per-query budget: the deadline is end-to-end
-                 (arrival -> finish), so the engine gets what the queue
-                 wait left over *)
-              let base =
-                match pol.pl_deadline_s with
-                | Some d -> Config.with_deadline_s (Some (d -. wait)) base
-                | None -> base
-              in
-              Some base
+            let ws0 =
+              match jctx with Some j -> Some (Wal.stats j.j_wal) | None -> None
             in
-            (* level 1 halves the execution slice; level 2 additionally
-               turns speculative straggler copies off *)
-            let cluster =
-              if level < 1 then None
-              else
-                let c =
-                  halve_cluster (Session.runtime session).Session.cluster
-                in
-                Some
-                  (if level < 2 then c
-                   else
-                     {
-                       c with
-                       Cluster.recovery =
-                         { c.Cluster.recovery with Cluster.speculate = false };
-                     })
+            let dispatch_live =
+              match jctx with
+              | Some j ->
+                  let live = j_live j || j.j_idx = j.j_first + Array.length j.j_existing in
+                  jwrite j (encode_dispatch sub ~start:now ~level);
+                  live
+              | None -> true
             in
-            let outcome, info =
-              Session.submit ?config ?cluster session prog ~tables
+            let memo_jo = if recovering then Hashtbl.find_opt memo sub else None in
+            let outcome, service, cache_status, evictions =
+              match memo_jo with
+              | Some jo ->
+                  (* exactly-once: the journal already holds this query's
+                     outcome — warm the plan cache exactly as the original
+                     probe/store did (stats-neutral; the counted stats ride
+                     [cache_base]) and rebuild the result without
+                     re-executing *)
+                  incr replayed;
+                  (match jo.jo_cache with
+                  | "hit" | "miss" -> Session.prime session prog ~tables
+                  | _ -> ());
+                  add_base
+                    ( (if jo.jo_cache = "hit" then 1 else 0),
+                      (if jo.jo_cache = "miss" then 1 else 0),
+                      jo.jo_evictions );
+                  ( replayed_outcome jo,
+                    jo.jo_service,
+                    cache_of_string jo.jo_cache,
+                    jo.jo_evictions )
+              | None ->
+                  (* live execution — either a normal run, or the query
+                     that was admitted but unfinished at the crash, now
+                     re-submitted idempotently under its original sub id *)
+                  if recovering && not dispatch_live then incr resubmitted;
+                  let config =
+                    let base =
+                      match tenant_config session tarr.(ti) with
+                      | Some c -> c
+                      | None -> Session.config session
+                    in
+                    (* remaining per-query budget: the deadline is
+                       end-to-end (arrival -> finish), so the engine gets
+                       what the queue wait left over *)
+                    let base =
+                      match pol.pl_deadline_s with
+                      | Some d -> Config.with_deadline_s (Some (d -. wait)) base
+                      | None -> base
+                    in
+                    Some base
+                  in
+                  (* level 1 halves the execution slice; level 2
+                     additionally turns speculative straggler copies off *)
+                  let cluster =
+                    if level < 1 then None
+                    else
+                      let c =
+                        halve_cluster (Session.runtime session).Session.cluster
+                      in
+                      Some
+                        (if level < 2 then c
+                         else
+                           {
+                             c with
+                             Cluster.recovery =
+                               {
+                                 c.Cluster.recovery with
+                                 Cluster.speculate = false;
+                               };
+                           })
+                  in
+                  let outcome, info =
+                    Session.submit ?config ?cluster session prog ~tables
+                  in
+                  let m = Session.metrics_of_outcome outcome in
+                  let service = info.Session.si_compile_s +. m.Metrics.sim_time_s in
+                  (outcome, service, info.Session.si_cache, info.Session.si_evictions)
             in
-            let m = Session.metrics_of_outcome outcome in
-            let service = info.Session.si_compile_s +. m.Metrics.sim_time_s in
             deficit.(ti) <- deficit.(ti) -. service;
             let start = now in
             let finish = start +. service in
             lane_free.(!lane) <- finish;
             record_breaker_outcome ti ~finish outcome;
-            results.(sub) <-
-              Some
-                {
-                  qr_sub = sub;
-                  qr_tenant = ev.Arrival.tenant;
-                  qr_query = ev.Arrival.query;
-                  qr_arrival_s = ev.Arrival.at_s;
-                  qr_start_s = start;
-                  qr_finish_s = finish;
-                  qr_service_s = service;
-                  qr_cache = info.Session.si_cache;
-                  qr_outcome = outcome;
-                  qr_degrade = level;
-                };
-            incr accounted
+            evict_of.(sub) <- evictions;
+            let r =
+              {
+                qr_sub = sub;
+                qr_tenant = ev.Arrival.tenant;
+                qr_query = ev.Arrival.query;
+                qr_arrival_s = ev.Arrival.at_s;
+                qr_start_s = start;
+                qr_finish_s = finish;
+                qr_service_s = service;
+                qr_cache = cache_status;
+                qr_outcome = outcome;
+                qr_degrade = level;
+              }
+            in
+            results.(sub) <- Some r;
+            incr accounted;
+            (match jctx with
+            | Some j ->
+                jwrite j (encode_outcome ~evictions r);
+                j.j_outcomes <- j.j_outcomes + 1;
+                (match j.j_snap_every with
+                | Some k when j.j_outcomes mod k = 0 && j_live j ->
+                    Wal.write_snapshot j.j_wal ~covers:j.j_idx
+                      (snapshot_payload j j.j_idx)
+                | _ -> ());
+                let m = Session.metrics_of_outcome outcome in
+                (match ws0 with
+                | Some s0 ->
+                    let s1 = Wal.stats j.j_wal in
+                    m.Metrics.wal_appends <-
+                      m.Metrics.wal_appends + s1.Wal.wa_appends - s0.Wal.wa_appends;
+                    m.Metrics.wal_bytes <-
+                      m.Metrics.wal_bytes
+                      +. float_of_int (s1.Wal.wa_bytes - s0.Wal.wa_bytes);
+                    m.Metrics.wal_fsyncs <-
+                      m.Metrics.wal_fsyncs + s1.Wal.wa_fsyncs - s0.Wal.wa_fsyncs
+                | None -> ())
+            | None -> ())
           end
         end
       end
@@ -516,13 +1079,35 @@ let run_sim ?(quantum_s = 1.0) ?policy session tenants workload events =
     Array.to_list results |> List.filter_map Fun.id
   in
   let sheds = List.sort (fun a b -> compare a.sh_sub b.sh_sub) !sheds in
-  assemble ~lanes
+  (match jctx with
+  | Some j when recovering ->
+      Wal.sync j.j_wal;
+      if Trace.enabled tracer then
+        Trace.instant tracer ~cat:"recovery"
+          ~args:
+            [
+              ("replayed", Trace.A_int !replayed);
+              ("resubmitted", Trace.A_int !resubmitted);
+              ("journal_next", Trace.A_int j.j_idx);
+            ]
+          "recovery_done"
+  | Some j -> Wal.sync j.j_wal
+  | None -> ());
+  assemble ~cache_base:!cache_base ~lanes
     ~wall_s:(Unix.gettimeofday () -. wall0)
     ~max_queue:(fun name -> max_queue.(tindex name))
     ~breaker_opens:(fun name -> breaker_opens.(tindex name))
     ~breaker_totals:
       (Array.fold_left ( + ) 0 breaker_opens, !br_half_opens, !br_closes)
     session tenants results sheds
+
+let run_sim ?quantum_s ?policy ?durability session tenants workload events =
+  sim ?quantum_s ?policy ?durability ~recovering:false session tenants workload
+    events
+
+let recover_sim ?quantum_s ?policy ~durability session tenants workload events =
+  sim ?quantum_s ?policy ~durability ~recovering:true session tenants workload
+    events
 
 (* ------------------------------------------------------------------ *)
 (* Real concurrent mode                                                 *)
@@ -687,24 +1272,6 @@ let run_concurrent ?drain:dctl session tenants workload events =
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                            *)
 (* ------------------------------------------------------------------ *)
-
-let cache_to_string = function
-  | Session.Hit -> "hit"
-  | Session.Miss -> "miss"
-  | Session.Uncached -> "off"
-
-let status_to_string = function
-  | Session.Finished _ -> "finished"
-  | Session.Failed _ -> "failed"
-  | Session.Timed_out _ -> "timed_out"
-  | Session.Cancelled _ -> "cancelled"
-
-let shed_reason_to_string = function
-  | Shed_deadline -> "deadline"
-  | Shed_queue_full -> "queue_full"
-  | Shed_breaker -> "breaker"
-  | Shed_drain -> "drain"
-  | Shed_degraded -> "degraded"
 
 (* The replay identity of a sim run: every scheduling, queueing and cache
    quantity, rendered with the repo's pinned float format. Host wall time

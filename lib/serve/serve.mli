@@ -38,6 +38,7 @@ module Session = Emma.Session
 module Config = Emma.Config
 module Cancel = Emma.Cancel
 module Plan_cache = Emma.Plan_cache
+module Wal = Emma_util.Wal
 
 type tenant = {
   tn_name : string;
@@ -152,9 +153,25 @@ val policy_of_config : ?seed:int -> lanes:int -> Config.t -> policy
     degradation ladder auto-engages when deadlines are set (step =
     2 × lanes of backlog per level) and stays off otherwise. *)
 
+exception Recovery_error of string
+(** Raised by {!recover_sim} (and by journaling {!run_sim}) when the
+    durable state on disk cannot be reconciled with the run being
+    performed: a journal record regenerated from (trace, flags) differs
+    from the retained journal, a snapshot's scheduler dimensions do not
+    match the session, or a snapshot names a cached plan outside the
+    workload. The one-line message tells the operator to recover with the
+    original run's flags and trace; the CLI maps it to exit 2. *)
+
+type durability = {
+  du_wal : Wal.t;  (** open journal (see {!Emma_util.Wal.create}) *)
+  du_snapshot_every : int option;
+      (** write a compacting snapshot every K outcomes ([None] = never) *)
+}
+
 val run_sim :
   ?quantum_s:float ->
   ?policy:policy ->
+  ?durability:durability ->
   Session.t ->
   tenant list ->
   workload ->
@@ -167,7 +184,37 @@ val run_sim :
     {!policy_of_config} of the session config (everything off for a
     config without robustness knobs). Raises [Invalid_argument] when a
     trace event names an unknown tenant or query, on duplicate tenants,
-    on an empty tenant list, or on a non-positive [max_queue]. *)
+    on an empty tenant list, or on a non-positive [max_queue].
+
+    With [durability] the run journals every decision as it is taken —
+    one meta record, one record per arrival, then a shed record per shed
+    and dispatch + outcome records per admission — and optionally writes
+    compacting snapshots every [du_snapshot_every] outcomes. Journaling
+    never changes the fingerprint: a journaled run and a plain run of the
+    same (session, trace, policy) produce bit-identical counters. *)
+
+val recover_sim :
+  ?quantum_s:float ->
+  ?policy:policy ->
+  durability:durability ->
+  Session.t ->
+  tenant list ->
+  workload ->
+  Arrival.event list ->
+  counters
+(** Crash recovery: rebuild the serve run recorded in [durability]'s
+    journal. The scheduler re-simulates the trace from the latest usable
+    snapshot (or from t=0); decisions already journaled are verified
+    against the regenerated ones ({!Recovery_error} on mismatch), queries
+    with a journaled outcome are {e not} re-executed — their results are
+    rebuilt from the journal and the plan cache is warmed stats-neutrally
+    to the same population and LRU order — and queries that were admitted
+    but unfinished at the crash are re-submitted idempotently under their
+    original submission id. New decisions past the retained journal are
+    appended, so the recovered journal converges to the uninterrupted
+    run's journal and repeated crashes compose. The recovered counters'
+    {!fingerprint} is bit-identical to an uninterrupted run
+    (property-tested across every crash point). *)
 
 type drain_ctl
 (** Graceful-drain controller for {!run_concurrent}: create one before

@@ -183,12 +183,9 @@ let to_chrome_json t =
          ("displayTimeUnit", Json.Str "ms") ])
 
 let write_chrome_json t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_chrome_json t);
-      output_char oc '\n')
+  (* temp-then-rename: a crash mid-write must never leave a truncated
+     trace under the final name *)
+  Wal.write_atomic path (to_chrome_json t ^ "\n")
 
 let attr_str = function
   | A_str s -> s

@@ -1,0 +1,338 @@
+(* Segmented append-only journal with CRC32-framed records. See wal.mli
+   for the on-disk layout and the recovery semantics of [create]. *)
+
+type sync_policy = Sync_none | Sync_batch of int | Sync_always
+
+let sync_policy_of_string s =
+  match s with
+  | "none" -> Ok Sync_none
+  | "always" -> Ok Sync_always
+  | _ -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "batch" -> (
+          let n = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt n with
+          | Some n when n >= 1 -> Ok (Sync_batch n)
+          | _ ->
+              Error
+                (Printf.sprintf "--wal-sync batch:%s: expected a positive batch size" n))
+      | _ ->
+          Error
+            (Printf.sprintf "--wal-sync %s: expected none, always or batch:N" s))
+
+let sync_policy_to_string = function
+  | Sync_none -> "none"
+  | Sync_always -> "always"
+  | Sync_batch n -> Printf.sprintf "batch:%d" n
+
+type crash_spec = Crash_after of int | Crash_torn of int * int
+
+let crash_spec_of_string s =
+  let err () =
+    Error (Printf.sprintf "--wal-crash %s: expected N or N:K (N >= 1, K >= 0)" s)
+  in
+  match String.index_opt s ':' with
+  | None -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok (Crash_after n)
+      | _ -> err ())
+  | Some i -> (
+      let n = String.sub s 0 i in
+      let k = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt n, int_of_string_opt k) with
+      | Some n, Some k when n >= 1 && k >= 0 -> Ok (Crash_torn (n, k))
+      | _ -> err ())
+
+type stats = { wa_appends : int; wa_bytes : int; wa_fsyncs : int }
+
+(* A segment file on disk: global index of its first record, how many
+   records it holds, and its path. The last element of [segments] is
+   always the active (append) segment. *)
+type segment = { mutable seg_start : int; mutable seg_count : int; seg_path : string }
+
+type t = {
+  dir : string;
+  sync : sync_policy;
+  segment_bytes : int;
+  opened : string array; (* records present at open, starting at [first] *)
+  first : int;
+  mutable segments : segment list;
+  mutable oc : out_channel;
+  mutable cur_size : int; (* bytes in the active segment *)
+  mutable next_seq : int;
+  mutable appends : int; (* process-local, drives crash injection *)
+  mutable bytes : int;
+  mutable fsyncs : int;
+  mutable unsynced : int; (* appends since last fsync, for Sync_batch *)
+  mutable crash : crash_spec option;
+  mutable closed : bool;
+}
+
+(* -- framing ------------------------------------------------------- *)
+
+let header_len = 8
+let max_record = 64 * 1024 * 1024
+
+let put_u32 b off v =
+  Bytes.set_uint8 b off ((v lsr 24) land 0xff);
+  Bytes.set_uint8 b (off + 1) ((v lsr 16) land 0xff);
+  Bytes.set_uint8 b (off + 2) ((v lsr 8) land 0xff);
+  Bytes.set_uint8 b (off + 3) (v land 0xff)
+
+let get_u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let encode_frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (header_len + n) in
+  put_u32 b 0 n;
+  put_u32 b 4 (Crc32.string payload);
+  Bytes.blit_string payload 0 b header_len n;
+  Bytes.unsafe_to_string b
+
+(* Scans [data] for valid frames. Returns the records and the byte
+   length of the valid prefix; anything past it is a torn or corrupt
+   tail. *)
+let scan_frames data =
+  let len = String.length data in
+  let recs = ref [] in
+  let pos = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    if !pos + header_len > len then stop := true
+    else
+      let n = get_u32 data !pos in
+      if n > max_record || !pos + header_len + n > len then stop := true
+      else
+        let payload = String.sub data (!pos + header_len) n in
+        if Crc32.string payload <> get_u32 data (!pos + 4) then stop := true
+        else begin
+          recs := payload :: !recs;
+          pos := !pos + header_len + n
+        end
+  done;
+  (List.rev !recs, !pos)
+
+(* -- filesystem helpers -------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_file path =
+  In_channel.with_open_bin path (fun ic -> In_channel.input_all ic)
+
+let fsync_channel oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let write_atomic ?(fsync = false) path contents =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".emma-write" ".tmp" in
+  (try
+     Out_channel.with_open_bin tmp (fun oc ->
+         output_string oc contents;
+         if fsync then fsync_channel oc)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let segment_path dir start = Filename.concat dir (Printf.sprintf "journal-%010d.seg" start)
+let snapshot_path dir covers = Filename.concat dir (Printf.sprintf "snap-%010d.snap" covers)
+
+let parse_numbered ~prefix ~suffix name =
+  if
+    String.length name > String.length prefix + String.length suffix
+    && String.starts_with ~prefix name
+    && String.ends_with ~suffix name
+  then
+    int_of_string_opt
+      (String.sub name (String.length prefix)
+         (String.length name - String.length prefix - String.length suffix))
+  else None
+
+let list_numbered dir ~prefix ~suffix =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (parse_numbered ~prefix ~suffix)
+  |> List.sort compare
+
+(* -- open / recover ------------------------------------------------ *)
+
+let create ?(sync = Sync_none) ?(segment_bytes = 64 * 1024) ~dir () =
+  mkdir_p dir;
+  let starts = list_numbered dir ~prefix:"journal-" ~suffix:".seg" in
+  (* Read segments in order; stop at the first gap or corrupt record —
+     everything after is dropped (replay regenerates it). *)
+  let segments = ref [] in
+  let records = ref [] in
+  let keep_reading = ref true in
+  List.iter
+    (fun start ->
+      if !keep_reading then begin
+        let expected =
+          match !segments with
+          | [] -> start
+          | seg :: _ -> seg.seg_start + seg.seg_count
+        in
+        if start <> expected then keep_reading := false
+        else
+          let path = segment_path dir start in
+          let data = read_file path in
+          let recs, valid = scan_frames data in
+          if valid < String.length data then begin
+            (* torn or corrupt tail: truncate here, drop later segments *)
+            Unix.truncate path valid;
+            keep_reading := false
+          end;
+          segments := { seg_start = start; seg_count = List.length recs; seg_path = path } :: !segments;
+          records := List.rev_append recs !records
+      end)
+    starts;
+  (* Delete any segment files past the valid prefix. *)
+  let kept = List.rev !segments in
+  let keep_starts = List.map (fun s -> s.seg_start) kept in
+  List.iter
+    (fun start ->
+      if not (List.mem start keep_starts) then
+        try Sys.remove (segment_path dir start) with Sys_error _ -> ())
+    starts;
+  let kept =
+    match kept with
+    | [] -> [ { seg_start = 0; seg_count = 0; seg_path = segment_path dir 0 } ]
+    | l -> l
+  in
+  let first = (List.hd kept).seg_start in
+  let last = List.nth kept (List.length kept - 1) in
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644 last.seg_path
+  in
+  let cur_size = (Unix.stat last.seg_path).Unix.st_size in
+  {
+    dir;
+    sync;
+    segment_bytes;
+    opened = Array.of_list (List.rev !records);
+    first;
+    segments = kept;
+    oc;
+    cur_size;
+    next_seq = last.seg_start + last.seg_count;
+    appends = 0;
+    bytes = 0;
+    fsyncs = 0;
+    unsynced = 0;
+    crash = None;
+    closed = false;
+  }
+
+let records t = t.opened
+let first_seq t = t.first
+let count t = t.next_seq
+let stats t = { wa_appends = t.appends; wa_bytes = t.bytes; wa_fsyncs = t.fsyncs }
+let set_crash t spec = t.crash <- Some spec
+
+let do_fsync t =
+  flush t.oc;
+  Unix.fsync (Unix.descr_of_out_channel t.oc);
+  t.fsyncs <- t.fsyncs + 1;
+  t.unsynced <- 0
+
+let sync t = if not t.closed then do_fsync t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    flush t.oc;
+    close_out t.oc
+  end
+
+let active_segment t = List.nth t.segments (List.length t.segments - 1)
+
+let rotate t =
+  flush t.oc;
+  close_out t.oc;
+  let seg = { seg_start = t.next_seq; seg_count = 0; seg_path = segment_path t.dir t.next_seq } in
+  t.segments <- t.segments @ [ seg ];
+  t.oc <- open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 seg.seg_path;
+  t.cur_size <- 0
+
+(* SIGKILL ourselves: the crash-injection harness relies on the process
+   dying without any atexit / finaliser cleanup, exactly like a real
+   crash. Data already flushed to the OS survives in the page cache. *)
+let die () = Unix.kill (Unix.getpid ()) Sys.sigkill
+
+let append t payload =
+  if t.closed then invalid_arg "Wal.append: journal is closed";
+  let frame = encode_frame payload in
+  if t.cur_size > 0 && t.cur_size + String.length frame > t.segment_bytes then rotate t;
+  t.appends <- t.appends + 1;
+  (match t.crash with
+  | Some (Crash_torn (n, k)) when t.appends = n ->
+      output_substring t.oc frame 0 (min k (String.length frame));
+      fsync_channel t.oc;
+      die ()
+  | _ -> ());
+  output_string t.oc frame;
+  flush t.oc;
+  t.bytes <- t.bytes + String.length frame;
+  t.cur_size <- t.cur_size + String.length frame;
+  t.unsynced <- t.unsynced + 1;
+  (match t.sync with
+  | Sync_always -> do_fsync t
+  | Sync_batch n -> if t.unsynced >= n then do_fsync t
+  | Sync_none -> ());
+  (match t.crash with
+  | Some (Crash_after n) when t.appends = n ->
+      fsync_channel t.oc;
+      die ()
+  | _ -> ());
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let seg = active_segment t in
+  seg.seg_count <- seg.seg_count + 1;
+  seq
+
+(* -- snapshots ----------------------------------------------------- *)
+
+let write_snapshot t ~covers payload =
+  write_atomic ~fsync:true (snapshot_path t.dir covers) (encode_frame payload);
+  (* Keep the newest two snapshots; everything older is deleted. *)
+  let snaps = list_numbered t.dir ~prefix:"snap-" ~suffix:".snap" in
+  let keep = match List.rev snaps with a :: b :: _ -> [ a; b ] | l -> l in
+  List.iter
+    (fun c ->
+      if not (List.mem c keep) then
+        try Sys.remove (snapshot_path t.dir c) with Sys_error _ -> ())
+    snaps;
+  (* Compact: a segment whose records all precede the oldest retained
+     snapshot can never be needed for replay again. Never delete the
+     active segment. *)
+  let oldest = List.fold_left min max_int keep in
+  let active = active_segment t in
+  let dead, live =
+    List.partition
+      (fun seg -> seg != active && seg.seg_start + seg.seg_count <= oldest)
+      t.segments
+  in
+  List.iter (fun seg -> try Sys.remove seg.seg_path with Sys_error _ -> ()) dead;
+  t.segments <- live
+
+let load_snapshot t =
+  let snaps = List.rev (list_numbered t.dir ~prefix:"snap-" ~suffix:".snap") in
+  let usable covers =
+    if covers < t.first || covers > t.next_seq then None
+    else
+      match read_file (snapshot_path t.dir covers) with
+      | exception Sys_error _ -> None
+      | data -> (
+          match scan_frames data with
+          | [ payload ], valid when valid = String.length data -> Some (covers, payload)
+          | _ -> None)
+  in
+  List.find_map usable snaps

@@ -1,0 +1,104 @@
+(** Segmented append-only write-ahead journal with CRC-framed records.
+
+    The serve layer journals every scheduling decision through this
+    module so that a killed `emma serve` process can be restarted with
+    `--recover DIR` and replay to a bit-identical state. Records are
+    opaque strings framed as [length (4B BE) | crc32 (4B BE) | payload];
+    the checksum is {!Crc32.string} of the payload. A journal is a
+    directory of segment files [journal-<start>.seg] (where [<start>] is
+    the global index of the segment's first record) plus up to two
+    snapshot files [snap-<covers>.snap] written by {!write_snapshot}.
+
+    Opening a journal is a recovery action: any torn tail (partial
+    frame from a crash mid-write) or checksum-invalid record is
+    truncated away, along with everything after it — later records are
+    regenerated deterministically by replay, so dropping them is safe.
+
+    All functions are single-process, single-writer; the serve
+    simulation loop that drives them is single-threaded. *)
+
+type sync_policy =
+  | Sync_none  (** flush to the OS on every append, never fsync *)
+  | Sync_batch of int  (** fsync after every N appends *)
+  | Sync_always  (** fsync after every append *)
+
+val sync_policy_of_string : string -> (sync_policy, string) result
+(** Parses ["none"], ["always"] or ["batch:N"] (N >= 1); one-line error
+    message otherwise (same contract as the [Config] flag parsers). *)
+
+val sync_policy_to_string : sync_policy -> string
+
+type crash_spec =
+  | Crash_after of int
+      (** SIGKILL this process after the Nth append (1-based, counting
+          appends performed by this process) has been fully written and
+          flushed. *)
+  | Crash_torn of int * int
+      (** Write only the first K bytes of the Nth append's frame, flush,
+          then SIGKILL — simulates a torn write at a record boundary. *)
+
+val crash_spec_of_string : string -> (crash_spec, string) result
+(** Parses ["N"] as [Crash_after N] or ["N:K"] as [Crash_torn (N, K)]. *)
+
+type stats = {
+  wa_appends : int;  (** records appended by this process *)
+  wa_bytes : int;  (** framed bytes written by this process *)
+  wa_fsyncs : int;  (** fsync calls issued by this process *)
+}
+
+type t
+
+val create : ?sync:sync_policy -> ?segment_bytes:int -> dir:string -> unit -> t
+(** Opens (creating the directory if needed) the journal in [dir],
+    truncating any invalid tail as described above, and positions the
+    writer after the last valid record. [segment_bytes] (default 64 KiB)
+    bounds a segment file; appends that would overflow it rotate to a
+    fresh segment first. Raises [Sys_error] on filesystem failure. *)
+
+val records : t -> string array
+(** The valid records present when the journal was opened (the replay
+    suffix), starting at global index {!first_seq}. Appends made after
+    [create] are not reflected. *)
+
+val first_seq : t -> int
+(** Global index of the first record retained on disk — 0 unless
+    snapshot compaction has deleted whole segments. *)
+
+val count : t -> int
+(** Total number of records in the journal right now: open-time records
+    plus appends made since. Equal to the global index the next append
+    will receive. *)
+
+val append : t -> string -> int
+(** Appends one record, returning its global index. Applies the fsync
+    policy and any armed {!set_crash} injection. *)
+
+val sync : t -> unit
+(** Forces a flush + fsync of the active segment regardless of policy. *)
+
+val stats : t -> stats
+
+val close : t -> unit
+
+val set_crash : t -> crash_spec -> unit
+(** Arms deterministic crash injection for testing; see {!crash_spec}. *)
+
+val write_snapshot : t -> covers:int -> string -> unit
+(** Writes [payload] as [snap-<covers>.snap] — CRC-framed, written to a
+    temp file, fsynced and renamed into place so a crash can never leave
+    a half-written snapshot under the final name. [covers] is the number
+    of journal records the snapshot summarises. Keeps the newest two
+    snapshots, deletes older ones, and compacts: segment files whose
+    records all fall before the oldest retained snapshot are deleted. *)
+
+val load_snapshot : t -> (int * string) option
+(** The newest snapshot that is (a) checksum-valid and (b) consistent
+    with the journal ([first_seq <= covers <= count]); falls back to the
+    older snapshot when the newest is corrupt, and to [None] when no
+    usable snapshot exists (full-journal replay). *)
+
+val write_atomic : ?fsync:bool -> string -> string -> unit
+(** [write_atomic path contents] writes [contents] to a temp file in
+    [path]'s directory with a protected close, then renames it over
+    [path] — readers never observe a partial file. [?fsync] (default
+    false) fsyncs before the rename. *)

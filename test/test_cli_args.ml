@@ -153,6 +153,86 @@ let test_conflicting_timeouts_exit_2 () =
     (run_cli
        [ "serve"; "--events"; "2"; "--queries"; "group-min"; "--timeout"; "3600" ])
 
+(* durability flags (--wal / --recover / --wal-sync / --snapshot-every /
+   --wal-crash) validate through Config.of_cli and the serve wiring *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_temp_dir f =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "emma-test-cli-%d" (Unix.getpid ()))
+  in
+  rm_rf d;
+  Fun.protect ~finally:(fun () -> rm_rf d) (fun () -> f d)
+
+let with_temp_file contents f =
+  let path = Filename.temp_file "emma-test-arrivals" ".txt" in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents);
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_bad_wal_flags_exit_2 () =
+  with_temp_dir @@ fun dir ->
+  List.iter
+    (fun (name, args) ->
+      Alcotest.(check int) name 2
+        (run_cli ("serve" :: "--events" :: "2" :: args)))
+    [ ("--wal-sync without --wal", [ "--wal-sync"; "always" ]);
+      ("bad --wal-sync value", [ "--wal"; dir; "--wal-sync"; "sometimes" ]);
+      ("zero batch", [ "--wal"; dir; "--wal-sync"; "batch:0" ]);
+      ("--snapshot-every without --wal", [ "--snapshot-every"; "4" ]);
+      ("zero --snapshot-every", [ "--wal"; dir; "--snapshot-every"; "0" ]);
+      ("--wal-crash without --wal", [ "--wal-crash"; "3" ]);
+      ("garbage --wal-crash", [ "--wal"; dir; "--wal-crash"; "x" ]);
+      ("--wal plus --recover", [ "--wal"; dir; "--recover"; dir ]);
+      ("empty --wal path", [ "--wal"; "" ]);
+      ("--wal in real mode", [ "--wal"; dir; "--mode"; "real" ]) ]
+
+let test_wal_roundtrip_exits_0 () =
+  with_temp_dir @@ fun dir ->
+  let base = [ "serve"; "--events"; "4"; "--queries"; "group-min" ] in
+  Alcotest.(check int) "journaled serve exits 0" 0
+    (run_cli (base @ [ "--wal"; dir; "--wal-sync"; "batch:8";
+                       "--snapshot-every"; "2" ]));
+  Alcotest.(check bool) "journal segment written" true
+    (Array.exists
+       (fun f -> Filename.check_suffix f ".seg")
+       (Sys.readdir dir));
+  Alcotest.(check int) "recovery of a complete journal exits 0" 0
+    (run_cli (base @ [ "--recover"; dir ]))
+
+(* --arrivals: malformed or truncated trace files die with exit 2 before
+   any query is scheduled, as does a trace naming an unknown tenant *)
+let test_bad_arrivals_exit_2 () =
+  let serve file = run_cli [ "serve"; "--arrivals"; file ] in
+  Alcotest.(check int) "nonexistent arrivals file" 2
+    (serve "/nonexistent/arrivals.txt");
+  List.iter
+    (fun (name, contents) ->
+      with_temp_file contents (fun file ->
+          Alcotest.(check int) name 2 (serve file)))
+    [ ("truncated line (missing query field)", "0.5 acme q1\n1.0 acme\n");
+      ("too many fields", "0.5 acme q1 extra\n");
+      ("non-numeric arrival time", "abc acme q1\n");
+      ("negative arrival time", "-1.0 acme q1\n");
+      ("unknown tenant in the trace", "0.5 nobody q1\n");
+      ("unknown query in the trace", "0.5 acme nope\n") ]
+
+let test_arrivals_accepted () =
+  with_temp_file "# comment\n0.500000 acme q1\n\n1.000000 beta group-min\n"
+    (fun file ->
+      Alcotest.(check int) "well-formed arrivals file exits 0" 0
+        (run_cli
+           [ "serve"; "--arrivals"; file; "--tenants"; "acme:2,beta";
+             "--queries"; "q1,group-min" ]))
+
 let suite =
   [ ( "cli_args",
       [ Alcotest.test_case "chaos rates parse" `Quick test_rates_parse_ok;
@@ -175,5 +255,13 @@ let suite =
         Alcotest.test_case "tight --deadline exits 3" `Quick
           test_tight_deadline_exits_3;
         Alcotest.test_case "conflicting timeouts exit 2" `Quick
-          test_conflicting_timeouts_exit_2 ] )
+          test_conflicting_timeouts_exit_2;
+        Alcotest.test_case "bad wal flags exit 2" `Quick
+          test_bad_wal_flags_exit_2;
+        Alcotest.test_case "wal then recover exits 0" `Quick
+          test_wal_roundtrip_exits_0;
+        Alcotest.test_case "bad arrivals files exit 2" `Quick
+          test_bad_arrivals_exit_2;
+        Alcotest.test_case "arrivals file accepted" `Quick
+          test_arrivals_accepted ] )
   ]

@@ -50,6 +50,10 @@ let sample () =
   m.Metrics.plan_cache_hits <- 9;
   m.Metrics.plan_cache_misses <- 2;
   m.Metrics.plan_cache_evictions <- 1;
+  m.Metrics.wal_appends <- 12;
+  m.Metrics.wal_bytes <- 2560.0;
+  m.Metrics.wal_fsyncs <- 6;
+  m.Metrics.recovery_replayed <- 1;
   m
 
 let test_to_rows_pinned () =
@@ -85,7 +89,11 @@ let test_to_rows_pinned () =
   check "ckpt corruptions" "1";
   check "plan hits" "9";
   check "plan misses" "2";
-  check "plan evictions" "1"
+  check "plan evictions" "1";
+  check "wal appends" "12";
+  check "wal bytes" "2.56 KB";
+  check "wal fsyncs" "6";
+  check "recovery replayed" "1"
 
 let test_pp_renders_rows () =
   let s = Format.asprintf "%a" Metrics.pp (sample ()) in
@@ -128,7 +136,12 @@ let test_to_json_roundtrip () =
       Alcotest.(check (float 0.0)) "plan_cache_hits" 9.0 (num "plan_cache_hits");
       Alcotest.(check (float 0.0)) "plan_cache_misses" 2.0 (num "plan_cache_misses");
       Alcotest.(check (float 0.0)) "plan_cache_evictions" 1.0
-        (num "plan_cache_evictions")
+        (num "plan_cache_evictions");
+      Alcotest.(check (float 0.0)) "wal_appends" 12.0 (num "wal_appends");
+      Alcotest.(check (float 0.0)) "wal_bytes" 2560.0 (num "wal_bytes");
+      Alcotest.(check (float 0.0)) "wal_fsyncs" 6.0 (num "wal_fsyncs");
+      Alcotest.(check (float 0.0)) "recovery_replayed" 1.0
+        (num "recovery_replayed")
 
 let test_json_float_pinned () =
   Alcotest.(check string) "floats render %.6f" "[0.100000,123.456700]"

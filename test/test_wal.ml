@@ -1,0 +1,487 @@
+(* Emma_util.Wal + serve crash recovery.
+
+   - qcheck framing: random record batches round-trip through
+     append/reopen, across segment rotations, and EVERY prefix
+     truncation of the final record's frame drops exactly that record;
+   - a flipped payload byte fails the CRC and truncates the journal at
+     the corrupted record;
+   - snapshots: newest-valid wins, a corrupted newest falls back to the
+     older one, compaction deletes fully-covered segments and the
+     journal reopens with a non-zero [first_seq];
+   - serve recovery: for a small trace, recovery from every record
+     boundary of the journal — and from every boundary with snapshots
+     on — reproduces the uninterrupted run's fingerprint bit-identically
+     with every submission id accounted exactly once, and journaling
+     itself never moves the fingerprint;
+   - recovering against the wrong trace raises [Recovery_error] instead
+     of silently diverging. *)
+
+module Wal = Emma_util.Wal
+module Crc32 = Emma_util.Crc32
+module S = Emma_lang.Surface
+module Value = Emma.Value
+module Metrics = Emma.Metrics
+module Config = Emma.Config
+module Session = Emma.Session
+module Serve = Emma_serve.Serve
+module Arrival = Emma_serve.Arrival
+
+(* ---------------------------------------------------------------- *)
+(* Fixtures                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "emma-test-wal-%d-%d" (Unix.getpid ()) !counter)
+    in
+    rm_rf d;
+    d
+
+let with_dir f =
+  let d = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf d) (fun () -> f d)
+
+let put_u32 v =
+  let b = Bytes.create 4 in
+  Bytes.set_uint8 b 0 ((v lsr 24) land 0xFF);
+  Bytes.set_uint8 b 1 ((v lsr 16) land 0xFF);
+  Bytes.set_uint8 b 2 ((v lsr 8) land 0xFF);
+  Bytes.set_uint8 b 3 (v land 0xFF);
+  Bytes.to_string b
+
+let frame payload =
+  put_u32 (String.length payload) ^ put_u32 (Crc32.string payload) ^ payload
+
+let write_all ?sync ?segment_bytes ~dir records =
+  let w = Wal.create ?sync ?segment_bytes ~dir () in
+  List.iter (fun r -> ignore (Wal.append w r)) records;
+  Wal.close w
+
+let read_records dir =
+  let w = Wal.create ~dir () in
+  Fun.protect ~finally:(fun () -> Wal.close w) (fun () -> Wal.records w)
+
+let reopen dir = Array.to_list (read_records dir)
+
+(* ---------------------------------------------------------------- *)
+(* Framing                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let record_gen =
+  (* arbitrary bytes, including NULs and newlines — framing is binary *)
+  QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 64))
+
+let prop_roundtrip =
+  Helpers.qcheck_case "wal: batches round-trip through reopen" ~count:60
+    QCheck2.Gen.(
+      pair (list_size (int_range 0 40) record_gen) (int_range 32 256))
+    (fun (records, segment_bytes) ->
+      with_dir (fun dir ->
+          write_all ~segment_bytes ~dir records;
+          reopen dir = records))
+
+let prop_final_record_truncations =
+  (* every prefix-truncation length of the final record's frame loses
+     exactly that record; the rest of the journal survives *)
+  Helpers.qcheck_case "wal: every torn tail of the last record truncates it"
+    ~count:25
+    QCheck2.Gen.(pair (list_size (int_range 0 6) record_gen) record_gen)
+    (fun (prefix, last) ->
+      with_dir (fun dir ->
+          write_all ~dir (prefix @ [ last ]);
+          let seg = Filename.concat dir "journal-0000000000.seg" in
+          let full = In_channel.with_open_bin seg In_channel.input_all in
+          let frame_len = 8 + String.length last in
+          let keep = String.length full - frame_len in
+          let ok = ref true in
+          for cut = 0 to frame_len - 1 do
+            let torn = String.sub full 0 (keep + cut) in
+            Out_channel.with_open_bin seg (fun oc ->
+                Out_channel.output_string oc torn);
+            if reopen dir <> prefix then ok := false
+          done;
+          !ok))
+
+let test_flipped_byte_truncates () =
+  with_dir (fun dir ->
+      let records = [ "alpha"; "bravo"; "charlie"; "delta" ] in
+      write_all ~dir records;
+      let seg = Filename.concat dir "journal-0000000000.seg" in
+      let b =
+        Bytes.of_string (In_channel.with_open_bin seg In_channel.input_all)
+      in
+      (* payload byte of record 2 ("charlie"): 2 frames + header in *)
+      let off = (8 + 5) + (8 + 5) + 8 in
+      Bytes.set_uint8 b off (Bytes.get_uint8 b off lxor 0x01);
+      Out_channel.with_open_bin seg (fun oc -> Out_channel.output_bytes oc b);
+      Alcotest.(check (list string))
+        "corrupted record and its suffix are dropped" [ "alpha"; "bravo" ]
+        (reopen dir);
+      (* the truncated journal accepts fresh appends *)
+      let w = Wal.create ~dir () in
+      ignore (Wal.append w "echo");
+      Wal.close w;
+      Alcotest.(check (list string))
+        "append after truncation" [ "alpha"; "bravo"; "echo" ] (reopen dir))
+
+let test_rotation_and_count () =
+  with_dir (fun dir ->
+      let records = List.init 20 (fun i -> Printf.sprintf "record-%03d" i) in
+      write_all ~segment_bytes:64 ~dir records;
+      let segs =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".seg")
+      in
+      Alcotest.(check bool) "small segments rotate" true (List.length segs > 1);
+      let w = Wal.create ~dir () in
+      Alcotest.(check int) "count spans segments" 20 (Wal.count w);
+      Alcotest.(check int) "first_seq 0 before compaction" 0 (Wal.first_seq w);
+      Alcotest.(check (list string))
+        "records ordered across segments" records
+        (Array.to_list (Wal.records w));
+      Wal.close w)
+
+let test_append_indices_and_stats () =
+  with_dir (fun dir ->
+      let w = Wal.create ~sync:Wal.Sync_always ~dir () in
+      Alcotest.(check int) "first append is record 0" 0 (Wal.append w "a");
+      Alcotest.(check int) "second append is record 1" 1 (Wal.append w "b");
+      let s = Wal.stats w in
+      Alcotest.(check int) "appends counted" 2 s.Wal.wa_appends;
+      Alcotest.(check int) "framed bytes counted" (8 + 1 + 8 + 1) s.Wal.wa_bytes;
+      Alcotest.(check bool) "sync_always fsyncs per append" true
+        (s.Wal.wa_fsyncs >= 2);
+      Wal.close w;
+      let w2 = Wal.create ~dir () in
+      Alcotest.(check int) "reopen appends after the tail" 2 (Wal.append w2 "c");
+      Wal.close w2)
+
+let test_sync_policy_parse () =
+  let ok s v =
+    match Wal.sync_policy_of_string s with
+    | Ok p -> Alcotest.(check string) s v (Wal.sync_policy_to_string p)
+    | Error e -> Alcotest.failf "%S rejected: %s" s e
+  in
+  ok "none" "none";
+  ok "always" "always";
+  ok "batch:16" "batch:16";
+  List.iter
+    (fun s ->
+      match Wal.sync_policy_of_string s with
+      | Ok _ -> Alcotest.failf "%S should have been rejected" s
+      | Error e ->
+          Alcotest.(check bool) "one-line error" false (String.contains e '\n'))
+    [ "sometimes"; "batch:0"; "batch:-1"; "batch:x"; "batch:"; "" ]
+
+let test_crash_spec_parse () =
+  (match Wal.crash_spec_of_string "7" with
+  | Ok (Wal.Crash_after 7) -> ()
+  | _ -> Alcotest.fail "\"7\" should parse as Crash_after 7");
+  (match Wal.crash_spec_of_string "7:3" with
+  | Ok (Wal.Crash_torn (7, 3)) -> ()
+  | _ -> Alcotest.fail "\"7:3\" should parse as Crash_torn (7, 3)");
+  List.iter
+    (fun s ->
+      match Wal.crash_spec_of_string s with
+      | Ok _ -> Alcotest.failf "%S should have been rejected" s
+      | Error _ -> ())
+    [ "0"; "-1"; "x"; "3:"; "3:x"; "" ]
+
+let test_write_atomic () =
+  with_dir (fun dir ->
+      Sys.mkdir dir 0o755;
+      let path = Filename.concat dir "out.txt" in
+      Wal.write_atomic path "first";
+      Alcotest.(check string) "written" "first"
+        (In_channel.with_open_bin path In_channel.input_all);
+      Wal.write_atomic path "second";
+      Alcotest.(check string) "overwritten atomically" "second"
+        (In_channel.with_open_bin path In_channel.input_all);
+      Alcotest.(check (list string))
+        "no temp files left behind" [ "out.txt" ]
+        (Array.to_list (Sys.readdir dir)))
+
+(* ---------------------------------------------------------------- *)
+(* Snapshots                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let test_snapshot_newest_wins_and_fallback () =
+  with_dir (fun dir ->
+      let w = Wal.create ~dir () in
+      for i = 0 to 9 do
+        ignore (Wal.append w (Printf.sprintf "r%d" i))
+      done;
+      Wal.write_snapshot w ~covers:4 "state-at-4";
+      Wal.write_snapshot w ~covers:8 "state-at-8";
+      (match Wal.load_snapshot w with
+      | Some (8, "state-at-8") -> ()
+      | Some (c, _) -> Alcotest.failf "newest snapshot should win, got covers=%d" c
+      | None -> Alcotest.fail "no snapshot loaded");
+      Wal.close w;
+      (* corrupt the newest: recovery must fall back to the older one *)
+      let newest = Filename.concat dir "snap-0000000008.snap" in
+      let b =
+        Bytes.of_string (In_channel.with_open_bin newest In_channel.input_all)
+      in
+      Bytes.set_uint8 b (Bytes.length b - 1) (Bytes.get_uint8 b (Bytes.length b - 1) lxor 0xFF);
+      Out_channel.with_open_bin newest (fun oc -> Out_channel.output_bytes oc b);
+      let w2 = Wal.create ~dir () in
+      (match Wal.load_snapshot w2 with
+      | Some (4, "state-at-4") -> ()
+      | Some (c, _) -> Alcotest.failf "fallback picked covers=%d" c
+      | None -> Alcotest.fail "older snapshot should have been usable");
+      Wal.close w2;
+      (* corrupt the older one too: full replay (None) *)
+      let older = Filename.concat dir "snap-0000000004.snap" in
+      let b2 =
+        Bytes.of_string (In_channel.with_open_bin older In_channel.input_all)
+      in
+      Bytes.set_uint8 b2 9 (Bytes.get_uint8 b2 9 lxor 0xFF);
+      Out_channel.with_open_bin older (fun oc -> Out_channel.output_bytes oc b2);
+      let w3 = Wal.create ~dir () in
+      Alcotest.(check bool) "both corrupt -> full replay" true
+        (Wal.load_snapshot w3 = None);
+      Wal.close w3)
+
+let test_snapshot_compaction () =
+  with_dir (fun dir ->
+      (* tiny segments so compaction has whole files to delete *)
+      let w = Wal.create ~segment_bytes:64 ~dir () in
+      for i = 0 to 29 do
+        ignore (Wal.append w (Printf.sprintf "record-%03d" i))
+      done;
+      Wal.write_snapshot w ~covers:20 "s20";
+      Wal.write_snapshot w ~covers:25 "s25";
+      Wal.close w;
+      let w2 = Wal.create ~dir () in
+      Alcotest.(check bool) "compaction dropped leading segments" true
+        (Wal.first_seq w2 > 0);
+      Alcotest.(check bool) "compaction never outruns the oldest snapshot" true
+        (Wal.first_seq w2 <= 20);
+      Alcotest.(check int) "count preserved" 30 (Wal.count w2);
+      let recs = Wal.records w2 in
+      Alcotest.(check string) "suffix records intact"
+        (Printf.sprintf "record-%03d" (Wal.first_seq w2))
+        recs.(0);
+      (match Wal.load_snapshot w2 with
+      | Some (25, "s25") -> ()
+      | _ -> Alcotest.fail "newest snapshot survives compaction");
+      Wal.close w2)
+
+(* ---------------------------------------------------------------- *)
+(* Serve recovery: exhaustive boundary sweep on a small trace         *)
+(* ---------------------------------------------------------------- *)
+
+let rows n =
+  List.init n (fun i ->
+      Value.record [ ("a", Value.Int i); ("b", Value.Int (i mod 5)) ])
+
+let sum_prog =
+  S.program
+    ~ret:S.(sum (map (lam "x" (fun x -> field x "a")) (read "rows")))
+    []
+
+let count_prog = S.program ~ret:S.(count (read "rows")) []
+
+let workload =
+  [ ("sum", (sum_prog, [ ("rows", rows 30) ]));
+    ("count", (count_prog, [ ("rows", rows 30) ])) ]
+
+let tenants = [ Serve.tenant ~weight:2 "acme"; Serve.tenant "beta" ]
+
+let small_trace =
+  Arrival.generate ~seed:5 ~rate:3.0 ~alpha:1.1 ~tenants:[ "acme"; "beta" ]
+    ~queries:[ "sum"; "count" ] ~n:12
+
+let rt = Emma.spark ~timeout_s:3600.0 ()
+
+(* deadline + tight queues so sheds and cancellations are in the journal *)
+let config =
+  Config.default
+  |> Config.with_plan_cache (Some 4)
+  |> Config.with_deadline_s (Some 20.0)
+  |> Config.with_max_queue (Some 3)
+
+let with_session f =
+  let s = Session.create ~config rt in
+  Fun.protect ~finally:(fun () -> Session.close s) (fun () -> f s)
+
+let journaled ?snapshot_every dir =
+  with_session (fun s ->
+      let w = Wal.create ~dir () in
+      let durability = { Serve.du_wal = w; du_snapshot_every = snapshot_every } in
+      Fun.protect
+        ~finally:(fun () -> Wal.close w)
+        (fun () -> Serve.run_sim ~durability s tenants workload small_trace))
+
+let recovered ?snapshot_every dir =
+  with_session (fun s ->
+      let w = Wal.create ~dir () in
+      let durability = { Serve.du_wal = w; du_snapshot_every = snapshot_every } in
+      Fun.protect
+        ~finally:(fun () -> Wal.close w)
+        (fun () -> Serve.recover_sim ~durability s tenants workload small_trace))
+
+let reconciled (c : Serve.counters) =
+  let n = List.length small_trace in
+  let ids =
+    List.map (fun (r : Serve.query_result) -> r.Serve.qr_sub) c.Serve.sv_results
+    @ List.map (fun (s : Serve.shed_record) -> s.Serve.sh_sub) c.Serve.sv_shed
+  in
+  List.sort compare ids = List.init n (fun i -> i)
+
+(* forge a crashed journal: the first [k] reference records (+ [tail]) *)
+let forge ?(tail = "") ?snaps_from records k =
+  let dir = fresh_dir () in
+  Sys.mkdir dir 0o755;
+  let oc = open_out_bin (Filename.concat dir "journal-0000000000.seg") in
+  for i = 0 to k - 1 do
+    output_string oc (frame records.(i))
+  done;
+  output_string oc tail;
+  close_out oc;
+  (match snaps_from with
+  | Some src ->
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".snap" then
+            Out_channel.with_open_bin (Filename.concat dir f) (fun oc ->
+                Out_channel.output_string oc
+                  (In_channel.with_open_bin (Filename.concat src f)
+                     In_channel.input_all)))
+        (Sys.readdir src)
+  | None -> ());
+  dir
+
+let test_recovery_every_boundary () =
+  with_dir (fun ref_dir ->
+      let reference = journaled ref_dir in
+      let fp = Serve.fingerprint reference in
+      Alcotest.(check bool) "reference reconciled" true (reconciled reference);
+      (* journaling itself never moves the fingerprint *)
+      let plain =
+        with_session (fun s -> Serve.run_sim s tenants workload small_trace)
+      in
+      Alcotest.(check string) "journaled = plain fingerprint" fp
+        (Serve.fingerprint plain);
+      let records = read_records ref_dir in
+      let n = Array.length records in
+      Alcotest.(check bool) "journal is non-trivial" true (n > 12);
+      for k = 0 to n do
+        let dir = forge records k in
+        let c = recovered dir in
+        if Serve.fingerprint c <> fp then
+          Alcotest.failf "boundary %d/%d: fingerprint diverged" k n;
+        if not (reconciled c) then
+          Alcotest.failf "boundary %d/%d: submission lost or duplicated" k n;
+        (* the recovered journal converges to the uninterrupted one *)
+        let recs = read_records dir in
+        if recs <> records then
+          Alcotest.failf "boundary %d/%d: journal did not converge" k n;
+        rm_rf dir
+      done)
+
+let test_recovery_with_snapshots () =
+  with_dir (fun ref_dir ->
+      let plain = with_dir (fun d -> Serve.fingerprint (journaled d)) in
+      let reference = journaled ~snapshot_every:3 ref_dir in
+      let fp = Serve.fingerprint reference in
+      Alcotest.(check string) "snapshotting never moves the fingerprint" plain fp;
+      let records = read_records ref_dir in
+      let n = Array.length records in
+      (* sweep every boundary with the retained snapshots alongside; a
+         snapshot covering more records than the crashed journal holds
+         must be skipped, not trusted *)
+      for k = 0 to n do
+        let dir = forge ~snaps_from:ref_dir records k in
+        let c = recovered ~snapshot_every:3 dir in
+        if Serve.fingerprint c <> fp then
+          Alcotest.failf "snapshot boundary %d/%d: fingerprint diverged" k n;
+        if not (reconciled c) then
+          Alcotest.failf "snapshot boundary %d/%d: submission lost" k n;
+        rm_rf dir
+      done)
+
+let test_recovery_metrics_marked () =
+  with_dir (fun dir ->
+      let reference = journaled dir in
+      (* journaled run: every admitted query carries its journal cost *)
+      let appends =
+        List.fold_left
+          (fun acc (r : Serve.query_result) ->
+            let m = Session.metrics_of_outcome r.Serve.qr_outcome in
+            acc + m.Metrics.wal_appends)
+          0 reference.Serve.sv_results
+      in
+      Alcotest.(check bool) "wal_appends accounted per query" true (appends > 0);
+      let c = recovered dir in
+      let replayed =
+        List.length
+          (List.filter
+             (fun (r : Serve.query_result) ->
+               (Session.metrics_of_outcome r.Serve.qr_outcome)
+                 .Metrics.recovery_replayed > 0)
+             c.Serve.sv_results)
+      in
+      Alcotest.(check int) "every outcome replayed from the journal, none re-run"
+        (List.length reference.Serve.sv_results)
+        replayed)
+
+let test_recovery_rejects_wrong_trace () =
+  with_dir (fun dir ->
+      ignore (journaled dir);
+      let other =
+        Arrival.generate ~seed:6 ~rate:3.0 ~alpha:1.1
+          ~tenants:[ "acme"; "beta" ] ~queries:[ "sum"; "count" ] ~n:12
+      in
+      match
+        with_session (fun s ->
+            let w = Wal.create ~dir () in
+            let durability = { Serve.du_wal = w; du_snapshot_every = None } in
+            Fun.protect
+              ~finally:(fun () -> Wal.close w)
+              (fun () -> Serve.recover_sim ~durability s tenants workload other))
+      with
+      | _ -> Alcotest.fail "recovering the wrong trace should raise"
+      | exception Serve.Recovery_error m ->
+          Alcotest.(check bool) "error is one line" false (String.contains m '\n'))
+
+let suite =
+  [ ( "wal",
+      [ prop_roundtrip;
+        prop_final_record_truncations;
+        Alcotest.test_case "flipped byte truncates at the record" `Quick
+          test_flipped_byte_truncates;
+        Alcotest.test_case "segment rotation preserves order" `Quick
+          test_rotation_and_count;
+        Alcotest.test_case "append indices and stats" `Quick
+          test_append_indices_and_stats;
+        Alcotest.test_case "sync policy parse" `Quick test_sync_policy_parse;
+        Alcotest.test_case "crash spec parse" `Quick test_crash_spec_parse;
+        Alcotest.test_case "write_atomic" `Quick test_write_atomic;
+        Alcotest.test_case "snapshot fallback on corruption" `Quick
+          test_snapshot_newest_wins_and_fallback;
+        Alcotest.test_case "snapshot compaction" `Quick test_snapshot_compaction ] );
+    ( "recovery",
+      [ Alcotest.test_case "every crash boundary recovers bit-identically"
+          `Quick test_recovery_every_boundary;
+        Alcotest.test_case "every boundary with snapshots on" `Quick
+          test_recovery_with_snapshots;
+        Alcotest.test_case "replayed outcomes are marked, not re-run" `Quick
+          test_recovery_metrics_marked;
+        Alcotest.test_case "wrong trace raises Recovery_error" `Quick
+          test_recovery_rejects_wrong_trace ] )
+  ]
